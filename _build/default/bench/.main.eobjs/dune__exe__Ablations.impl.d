@@ -1,0 +1,1 @@
+bench/ablations.ml: Cluster Distribution Harness Iso_heap Lazy List Migration Negotiation Option Pm2_core Pm2_util Slot Slot_manager

@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analyze Bechamel Benchmark Cluster Harness Hashtbl Instance Iso_heap List Measure Negotiation Option Pm2_core Pm2_heap Pm2_util Staged Test Time Toolkit

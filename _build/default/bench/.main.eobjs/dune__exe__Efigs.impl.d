@@ -1,0 +1,1 @@
+bench/efigs.ml: Cluster Harness List Pm2_core Pm2_sim Printf

@@ -1,0 +1,1 @@
+bench/fig11.ml: Cluster Harness List Negotiation Pm2_core Pm2_util

@@ -1,0 +1,1 @@
+bench/harness.ml: Cluster Distribution Iso_heap Lazy List Migration Pm2_core Pm2_heap Pm2_programs Pm2_util Printf String

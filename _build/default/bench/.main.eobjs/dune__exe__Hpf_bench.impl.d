@@ -1,0 +1,1 @@
+bench/hpf_bench.ml: Harness List Pm2_core Pm2_hpf Pm2_loadbal Pm2_sim Pm2_util String

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Bechamel_suite Efigs Fig11 Hpf_bench List Migration_bench Negotiation_bench Printf Sys

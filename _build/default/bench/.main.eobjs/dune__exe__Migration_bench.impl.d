@@ -1,0 +1,1 @@
+bench/migration_bench.ml: Cluster Harness List Pm2_core Pm2_util

@@ -1,0 +1,1 @@
+bench/negotiation_bench.ml: Cluster Harness List Negotiation Pm2_core Pm2_util

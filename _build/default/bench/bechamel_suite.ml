@@ -1,0 +1,108 @@
+(* Host wall-clock micro-benchmarks of the allocator and migration code
+   paths themselves (Bechamel, monotonic clock) — one [Test.make] per
+   paper table/figure:
+
+   - F11a: the sub-slot isomalloc fast path vs the malloc baseline;
+   - F11b: multi-slot isomalloc (negotiation + merged slot) vs malloc;
+   - T1:  a full pack/transfer/unpack migration round trip;
+   - T2:  one negotiation protocol execution.
+
+   These complement the virtual-time figures: virtual time tells you what
+   the modelled 1999 cluster would measure; these tell you what the OCaml
+   implementation costs on the host today. *)
+
+open Bechamel
+open Toolkit
+open Pm2_core
+
+(* Each staged function allocates and frees (or migrates back and forth),
+   so the simulated state is in steady state across samples. *)
+
+let test_f11a_isomalloc () =
+  let c = Harness.cluster () in
+  let th = Cluster.host_thread c ~node:0 in
+  let env = Cluster.host_env c 0 in
+  Test.make ~name:"F11a: isomalloc+isofree 1 KB"
+    (Staged.stage (fun () ->
+         match Iso_heap.isomalloc env th 1024 with
+         | Some a -> Iso_heap.isofree env th a
+         | None -> failwith "exhausted"))
+
+let test_f11a_malloc () =
+  let c = Harness.cluster () in
+  let heap = Cluster.node_heap c 0 in
+  Test.make ~name:"F11a: malloc+free 1 KB"
+    (Staged.stage (fun () ->
+         let a = Pm2_heap.Malloc.malloc heap 1024 in
+         Pm2_heap.Malloc.free heap a))
+
+let test_f11b_isomalloc () =
+  let c = Harness.cluster () in
+  let th = Cluster.host_thread c ~node:0 in
+  let env = Cluster.host_env c 0 in
+  Test.make ~name:"F11b: isomalloc+isofree 1 MB (multi-slot)"
+    (Staged.stage (fun () ->
+         match Iso_heap.isomalloc env th (1024 * 1024) with
+         | Some a -> Iso_heap.isofree env th a
+         | None -> failwith "exhausted"))
+
+let test_f11b_malloc () =
+  let c = Harness.cluster () in
+  let heap = Cluster.node_heap c 0 in
+  Test.make ~name:"F11b: malloc+free 1 MB"
+    (Staged.stage (fun () ->
+         let a = Pm2_heap.Malloc.malloc heap (1024 * 1024) in
+         Pm2_heap.Malloc.free heap a))
+
+let test_t1_migration () =
+  let c = Harness.cluster () in
+  let th = Cluster.host_thread c ~node:0 in
+  let dest = ref 1 in
+  Test.make ~name:"T1: null-thread migration (one way)"
+    (Staged.stage (fun () ->
+         Cluster.host_migrate c th ~dest:!dest;
+         dest := 1 - !dest))
+
+let test_t2_negotiation () =
+  let c = Harness.cluster ~nodes:4 () in
+  let neg = Cluster.negotiation c in
+  Test.make ~name:"T2: negotiation protocol (4 nodes)"
+    (Staged.stage (fun () -> ignore (Negotiation.execute neg ~requester:0 ~n:4)))
+
+let run_suite () =
+  Harness.section "Bechamel: host wall-clock cost of the implementation paths";
+  let tests =
+    [
+      test_f11a_malloc ();
+      test_f11a_isomalloc ();
+      test_f11b_malloc ();
+      test_f11b_isomalloc ();
+      test_t1_migration ();
+      test_t2_negotiation ();
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~kde:None () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let grouped = Test.make_grouped ~name:"pm2" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results =
+    Analyze.merge ols instances (List.map (fun i -> Analyze.all ols i raw) instances)
+  in
+  let t = Pm2_util.Table.create [ "benchmark"; "ns/op (host)"; "r^2" ] in
+  (match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
+   | None -> ()
+   | Some per_test ->
+     Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) per_test []
+     |> List.sort compare
+     |> List.iter (fun (name, ols) ->
+         let est =
+           match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
+         in
+         let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
+         Pm2_util.Table.add_rowf t "%s|%.0f|%.3f" name est r2));
+  Pm2_util.Table.print t;
+  Harness.note "host wall-clock of the same code paths the virtual-time figures model;";
+  Harness.note "they measure this OCaml implementation, not the 1999 testbed"

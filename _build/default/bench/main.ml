@@ -1,0 +1,51 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (section 5) plus the ablations indexed in DESIGN.md.
+
+     dune exec bench/main.exe            -- run everything
+     dune exec bench/main.exe -- <ids>   -- run selected experiments
+
+   Experiment ids: e-figs f11-small f11-large t-migration t-negotiation
+   a-distribution a-packing a-slotcache a-pointers a-slotsize bechamel *)
+
+let experiments =
+  [
+    ("e-figs", "Figs. 1-4, 7-9: the paper's example programs", Efigs.all);
+    ("f11-small", "Fig. 11 top: malloc vs isomalloc, 0-500 KB", Fig11.small);
+    ("f11-large", "Fig. 11 bottom: malloc vs isomalloc, 1-8 MB", Fig11.large);
+    ("t-migration", "sec. 5: null-thread migration < 75 us", Migration_bench.null_thread);
+    ( "t-migration-payload",
+      "migration latency vs isomalloc'd payload",
+      Migration_bench.payload_sweep );
+    ( "t-negotiation",
+      "sec. 5: negotiation 255 us + 165 us per extra node",
+      Negotiation_bench.scaling );
+    ("a-distribution", "ablation: initial slot distribution", Ablations.distribution);
+    ("a-packing", "ablation: blocks-only vs full-slot packing", Ablations.packing);
+    ("a-slotcache", "ablation: the slot cache", Ablations.slot_cache);
+    ("a-pointers", "ablation: registered pointers vs iso-address", Ablations.registered_pointers);
+    ("a-slotsize", "ablation: slot size", Ablations.slot_size);
+    ("a-fit", "ablation: first-fit vs best-fit placement", Ablations.fit_strategy);
+    ("a-prebuy", "ablation: pre-buying slots in negotiations", Ablations.prebuy);
+    ("a-restructure", "ablation: global slot restructuring", Ablations.restructure);
+    ("hpf", "motivating application: VP load balancing", Hpf_bench.run);
+    ("bechamel", "host wall-clock microbenchmarks", Bechamel_suite.run_suite);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as ids) -> ids
+    | _ -> List.map (fun (id, _, _) -> id) experiments
+  in
+  print_endline "PM2 isomalloc reproduction - benchmark suite";
+  print_endline "(virtual times model the paper's testbed: 200 MHz PentiumPro,";
+  print_endline " Linux 2.0.36, Myrinet/BIP; see DESIGN.md for the cost model)";
+  List.iter
+    (fun id ->
+       match List.find_opt (fun (id', _, _) -> id = id') experiments with
+       | Some (_, _, f) -> f ()
+       | None ->
+         Printf.eprintf "unknown experiment %S; available:\n" id;
+         List.iter (fun (id, doc, _) -> Printf.eprintf "  %-22s %s\n" id doc) experiments;
+         exit 2)
+    requested

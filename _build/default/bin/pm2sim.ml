@@ -1,0 +1,257 @@
+(* pm2sim — command-line front end to the simulated PM2 cluster.
+
+     pm2sim run fig7 --arg 110 --nodes 2
+     pm2sim run fig2 --scheme relocating
+     pm2sim balance --workers 24 --nodes 4 --policy least-loaded
+     pm2sim info
+     pm2sim list *)
+
+open Cmdliner
+open Pm2_core
+
+let program = Pm2_programs.Figures.image ()
+
+(* -- shared options -- *)
+
+let nodes_arg =
+  Arg.(value & opt int 2 & info [ "nodes" ] ~docv:"N" ~doc:"Cluster size (container processes).")
+
+let scheme_conv =
+  let parse = function
+    | "iso" -> Ok Cluster.Iso
+    | "relocating" | "reloc" -> Ok Cluster.Relocating
+    | s -> Error (`Msg (Printf.sprintf "unknown scheme %S (iso|relocating)" s))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (match s with Cluster.Iso -> "iso" | Cluster.Relocating -> "relocating")
+  in
+  Arg.conv (parse, print)
+
+let scheme_arg =
+  Arg.(
+    value
+    & opt scheme_conv Cluster.Iso
+    & info [ "scheme" ] ~docv:"SCHEME"
+        ~doc:"Migration scheme: $(b,iso) (the paper's iso-address scheme) or \
+              $(b,relocating) (the legacy pointer-registration scheme).")
+
+let distribution_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "rr" ] | [ "round-robin" ] -> Ok Distribution.Round_robin
+    | [ "partition" ] -> Ok Distribution.Partition
+    | [ "bc"; k ] | [ "block-cyclic"; k ] ->
+      (try Ok (Distribution.Block_cyclic (int_of_string k))
+       with _ -> Error (`Msg "block-cyclic needs an integer, e.g. bc:8"))
+    | _ -> Error (`Msg (Printf.sprintf "unknown distribution %S (rr|bc:K|partition)" s))
+  in
+  let print ppf d = Format.pp_print_string ppf (Distribution.to_string d) in
+  Arg.conv (parse, print)
+
+let distribution_arg =
+  Arg.(
+    value
+    & opt distribution_conv Distribution.Round_robin
+    & info [ "distribution" ] ~docv:"DIST"
+        ~doc:"Initial slot distribution: $(b,rr), $(b,bc:K) or $(b,partition).")
+
+let slot_size_arg =
+  Arg.(
+    value
+    & opt int (64 * 1024)
+    & info [ "slot-size" ] ~docv:"BYTES" ~doc:"Slot size (a multiple of the 4 KB page).")
+
+let timed_arg =
+  Arg.(value & flag & info [ "timed" ] ~doc:"Prefix output lines with virtual timestamps.")
+
+let config ~nodes ~scheme ~distribution ~slot_size =
+  {
+    (Cluster.default_config ~nodes:(max nodes 2)) with
+    Cluster.scheme;
+    distribution;
+    slot_size;
+  }
+
+(* -- run -- *)
+
+let entries () = List.map fst program.Pm2_mvm.Program.entries
+
+let run_cmd =
+  let entry_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ENTRY"
+           ~doc:"Program entry point (see $(b,pm2sim list)).")
+  in
+  let arg_arg =
+    Arg.(value & opt int 0 & info [ "arg" ] ~docv:"N" ~doc:"Integer argument (register r1).")
+  in
+  let run entry arg nodes scheme distribution slot_size timed =
+    if not (List.mem entry (entries ())) then begin
+      Printf.eprintf "unknown entry %S; try: %s\n" entry (String.concat " " (entries ()));
+      exit 2
+    end;
+    let cluster =
+      Cluster.create (config ~nodes ~scheme ~distribution ~slot_size) program
+    in
+    ignore (Cluster.spawn cluster ~node:0 ~entry ~arg ());
+    let finish = Cluster.run cluster in
+    let tr = Cluster.trace cluster in
+    List.iter print_endline
+      (if timed then Pm2_sim.Trace.timed_lines tr else Pm2_sim.Trace.lines tr);
+    Printf.printf "\n; finished at %.1f virtual us; %d migrations; %d negotiations\n"
+      finish
+      (List.length (Cluster.migrations cluster))
+      (Negotiation.count (Cluster.negotiation cluster));
+    (match Pm2.mean_migration_latency cluster with
+     | Some us -> Printf.printf "; mean one-way migration latency: %.1f us\n" us
+     | None -> ());
+    Cluster.check_invariants cluster
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one of the paper's example programs on a simulated cluster.")
+    Term.(
+      const run $ entry_arg $ arg_arg $ nodes_arg $ scheme_arg $ distribution_arg
+      $ slot_size_arg $ timed_arg)
+
+(* -- balance -- *)
+
+let balance_cmd =
+  let workers_arg =
+    Arg.(value & opt int 24 & info [ "workers" ] ~docv:"N" ~doc:"Worker thread count.")
+  in
+  let policy_conv =
+    let parse = function
+      | "least-loaded" -> Ok Pm2_loadbal.Balancer.Least_loaded
+      | "spread" -> Ok Pm2_loadbal.Balancer.Round_robin_spread
+      | s ->
+        (match String.split_on_char ':' s with
+         | [ "threshold"; hi; lo ] ->
+           (try
+              Ok (Pm2_loadbal.Balancer.Threshold
+                    { high = int_of_string hi; low = int_of_string lo })
+            with _ -> Error (`Msg "threshold needs threshold:HIGH:LOW"))
+         | _ -> Error (`Msg (Printf.sprintf "unknown policy %S" s)))
+    in
+    Arg.conv (parse, fun ppf p ->
+        Format.pp_print_string ppf (Pm2_loadbal.Balancer.policy_to_string p))
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt (some policy_conv) None
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Balancing policy: $(b,least-loaded), $(b,spread) or \
+                $(b,threshold:HIGH:LOW). Omit for no balancing.")
+  in
+  let run workers nodes policy =
+    let cluster = Cluster.create (Cluster.default_config ~nodes:(max nodes 2)) program in
+    ignore (Cluster.spawn cluster ~node:0 ~entry:"spawner" ~arg:workers ());
+    let balancer =
+      Option.map (fun p -> Pm2_loadbal.Balancer.attach cluster ~policy:p ~period:400.) policy
+    in
+    let makespan = Cluster.run cluster in
+    Printf.printf "makespan: %.0f virtual us for %d workers on %d nodes\n" makespan workers
+      nodes;
+    (match balancer with
+     | Some b ->
+       let s = Pm2_loadbal.Balancer.stats b in
+       Printf.printf "balancer: %d rounds acted, %d migrations requested, %d completed\n"
+         s.Pm2_loadbal.Balancer.decisions s.Pm2_loadbal.Balancer.migrations_requested
+         (List.length (Cluster.migrations cluster))
+     | None -> print_endline "balancer: none (baseline)");
+    Cluster.check_invariants cluster
+  in
+  Cmd.v
+    (Cmd.info "balance"
+       ~doc:"Run the irregular-workers demo, optionally with a load balancer.")
+    Term.(const run $ workers_arg $ nodes_arg $ policy_arg)
+
+(* -- hpf -- *)
+
+let hpf_cmd =
+  let module Vp = Pm2_hpf.Virtual_processor in
+  let vps_arg =
+    Arg.(value & opt int 12 & info [ "vps" ] ~docv:"N" ~doc:"Virtual processors.")
+  in
+  let sweeps_arg =
+    Arg.(value & opt int 6 & info [ "sweeps" ] ~docv:"N" ~doc:"Owner-computes iterations.")
+  in
+  let balance_arg =
+    Arg.(value & flag & info [ "balance" ] ~doc:"Attach a least-loaded balancer.")
+  in
+  let run vps sweeps nodes scheme balance =
+    let cfg =
+      {
+        Vp.default_config with
+        Vp.vps;
+        iterations = sweeps;
+        nodes = max nodes 2;
+        scheme;
+        policy = (if balance then Some Pm2_loadbal.Balancer.Least_loaded else None);
+      }
+    in
+    let r = Vp.run cfg in
+    Printf.printf
+      "%d VPs x %d elements x %d sweeps on %d nodes (%s scheme, %s)\n"
+      cfg.Vp.vps cfg.Vp.elements_per_vp cfg.Vp.iterations cfg.Vp.nodes
+      (match scheme with Cluster.Iso -> "iso" | Cluster.Relocating -> "relocating")
+      (if balance then "least-loaded balancer" else "no balancing");
+    Printf.printf "makespan           %.0f virtual us\n" r.Vp.makespan;
+    Printf.printf "VP migrations      %d\n" r.Vp.migrations;
+    Printf.printf "array chunks       %s\n" (if r.Vp.checksums_ok then "intact" else "CORRUPTED");
+    Printf.printf "final imbalance    %d\n" r.Vp.final_imbalance;
+    if not r.Vp.checksums_ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "hpf"
+       ~doc:"Run the data-parallel virtual-processor workload (the paper's \
+             motivating application).")
+    Term.(const run $ vps_arg $ sweeps_arg $ nodes_arg $ scheme_arg $ balance_arg)
+
+(* -- info / list -- *)
+
+let info_cmd =
+  let run nodes slot_size =
+    let g = Slot.make ~slot_size in
+    let open Pm2_vmem.Layout in
+    Printf.printf "memory layout (identical on all %d nodes, paper Fig. 5):\n" nodes;
+    Printf.printf "  code        0x%012x  (%s)\n" code_base
+      (Pm2_util.Units.bytes_to_string code_size);
+    Printf.printf "  static data 0x%012x  (%s)\n" data_base
+      (Pm2_util.Units.bytes_to_string data_size);
+    Printf.printf "  local heap  0x%012x  (up to %s, does not migrate)\n" heap_base
+      (Pm2_util.Units.bytes_to_string heap_max_size);
+    Printf.printf "  iso area    0x%012x  (%s)\n" iso_base
+      (Pm2_util.Units.bytes_to_string iso_size);
+    Printf.printf "  stack       0x%012x  (%s)\n" stack_base
+      (Pm2_util.Units.bytes_to_string stack_size);
+    Printf.printf "slot geometry:\n";
+    Printf.printf "  slot size   %s (%d pages)\n"
+      (Pm2_util.Units.bytes_to_string g.Slot.slot_size)
+      (Slot.pages_per_slot g);
+    Printf.printf "  slot count  %d\n" g.Slot.count;
+    Printf.printf "  bitmap      %d bytes per node\n" (Slot.bitmap_bytes g);
+    let cm = Pm2_sim.Cost_model.default in
+    Printf.printf "cost model (calibrated to the paper's testbed):\n";
+    Printf.printf "  instruction %.3f us, page touch %.1f us, mmap base %.1f us\n"
+      cm.Pm2_sim.Cost_model.instr_cost cm.Pm2_sim.Cost_model.page_touch
+      cm.Pm2_sim.Cost_model.mmap_base;
+    Printf.printf "  network     %.1f us latency + %.4f us/byte (~%.0f MB/s)\n"
+      cm.Pm2_sim.Cost_model.net_latency cm.Pm2_sim.Cost_model.net_per_byte
+      (1. /. cm.Pm2_sim.Cost_model.net_per_byte)
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print the memory layout, slot geometry and cost model.")
+    Term.(const run $ nodes_arg $ slot_size_arg)
+
+let list_cmd =
+  let run () =
+    print_endline "available program entry points:";
+    List.iter (fun e -> Printf.printf "  %s\n" e) (entries ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available guest program entry points.")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "simulated PM2 runtime with iso-address thread migration (IPPS/SPDP'99)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "pm2sim" ~doc) [ run_cmd; balance_cmd; hpf_cmd; info_cmd; list_cmd ]))

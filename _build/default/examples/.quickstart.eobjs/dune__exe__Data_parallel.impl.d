@@ -1,0 +1,1 @@
+examples/data_parallel.ml: Array Pm2_hpf Pm2_loadbal Printf Sys

@@ -1,0 +1,1 @@
+examples/linked_list.ml: Array List Pm2_core Pm2_programs Pm2_sim Printf Sys

@@ -1,0 +1,1 @@
+examples/load_balancing.ml: Array List Option Pm2_core Pm2_loadbal Pm2_programs Printf Sys

@@ -1,0 +1,1 @@
+examples/pointer_safety.ml: List Pm2_core Pm2_programs Printf String

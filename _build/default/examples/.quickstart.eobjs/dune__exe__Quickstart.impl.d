@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Pm2_core Pm2_mvm Pm2_sim Printf

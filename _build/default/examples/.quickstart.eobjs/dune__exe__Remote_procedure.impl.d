@@ -1,0 +1,1 @@
+examples/remote_procedure.ml: Array List Pm2_core Pm2_mvm Pm2_sim Printf Sys

@@ -1,0 +1,49 @@
+(* The paper's motivating application (§1, §6): a data-parallel (HPF-style)
+   computation whose virtual processors are PM2 threads. Each VP owns a
+   block of the distributed array, allocated with pm2_isomalloc; a load
+   balancer migrates whole VPs — data included — while they compute, and
+   the final checksums prove that not a byte was lost.
+
+   Run with: dune exec examples/data_parallel.exe [-- <vps> <nodes>] *)
+
+module Vp = Pm2_hpf.Virtual_processor
+module Balancer = Pm2_loadbal.Balancer
+
+let show name (r : Vp.result) =
+  Printf.printf "  %-24s makespan %8.0f us   %3d VP migrations   chunks %s   imbalance %d\n"
+    name r.Vp.makespan r.Vp.migrations
+    (if r.Vp.checksums_ok then "intact" else "CORRUPTED")
+    r.Vp.final_imbalance;
+  r.Vp.makespan
+
+let () =
+  let vps = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 12 in
+  let nodes = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 4 in
+  let base = { Vp.default_config with Vp.vps; nodes } in
+  Printf.printf
+    "HPF-style run: %d virtual processors x %d elements x %d sweeps on %d nodes\n"
+    base.Vp.vps base.Vp.elements_per_vp base.Vp.iterations nodes;
+
+  print_endline "\nall virtual processors start on node 0 (worst case):";
+  let baseline = show "no balancing" (Vp.run base) in
+  let balanced =
+    show "least-loaded balancer"
+      (Vp.run { base with Vp.policy = Some Balancer.Least_loaded })
+  in
+  Printf.printf "  => %.2fx faster; every VP migrated with its array chunk at the\n"
+    (baseline /. balanced);
+  print_endline "     same virtual addresses - no marshalling code in the application";
+
+  print_endline "\nblock placement with skewed per-element costs:";
+  let skewed = { base with Vp.placement = Vp.Block; cost_min = 5; cost_range = 200 } in
+  let b0 = show "no balancing" (Vp.run skewed) in
+  let b1 =
+    show "least-loaded balancer"
+      (Vp.run { skewed with Vp.policy = Some Balancer.Least_loaded })
+  in
+  if b1 < b0 then
+    Printf.printf "  => %.2fx faster even from an initially balanced placement\n" (b0 /. b1)
+  else
+    Printf.printf
+      "  => break-even (%.2fx): with little imbalance to recover, dozens of\n     transparent migrations cost almost nothing - the paper's point\n"
+      (b0 /. b1)

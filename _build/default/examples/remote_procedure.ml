@@ -1,0 +1,130 @@
+(* PM2's programming model is RPC-based ("Parallel Multithreaded
+   Machine"): threads are created on remote nodes by lightweight RPCs.
+   This example computes sum(0..n-1) by fanning one worker out to every
+   node, each summing its stripe and handing the partial result back
+   through join — and, mid-computation, each worker migrates once to the
+   next node to show that a computation in flight survives relocation.
+
+   Run with: dune exec examples/remote_procedure.exe [-- <n> <nodes>] *)
+
+open Pm2_mvm.Asm
+module Isa = Pm2_mvm.Isa
+module Cluster = Pm2_core.Cluster
+module Pm2 = Pm2_core.Pm2
+
+(* worker: r1 = lo * 2^32 + len * 2^8 + nodes. Sums lo..lo+len-1 into r0,
+   migrating to the next node halfway through. *)
+let emit_worker b =
+  let fmt = cstring b "stripe done on node %d: %d" in
+  proc b "worker" (fun b ->
+      imm b r4 256;
+      mod_ b r10 r1 r4; (* nodes *)
+      div b r5 r1 r4;
+      imm b r4 0x1000000;
+      mod_ b r9 r5 r4; (* len *)
+      div b r8 r5 r4; (* lo *)
+      imm b r6 0; (* sum *)
+      mov b r5 r8; (* i = lo *)
+      add b r7 r8 r9; (* end = lo + len *)
+      imm b r4 2;
+      div b r9 r9 r4;
+      add b r9 r8 r9; (* halfway: lo + len/2 *)
+      label b "w.loop";
+      bge b r5 r7 "w.done";
+      bne b r5 r9 "w.nomig";
+      (* migrate to (node + 1) mod nodes, partial sum in registers *)
+      sys b Isa.Sys_node;
+      addi b r4 r0 1;
+      mod_ b r4 r4 r10;
+      mov b r1 r4;
+      sys b Isa.Sys_migrate;
+      label b "w.nomig";
+      add b r6 r6 r5;
+      addi b r5 r5 1;
+      jmp b "w.loop";
+      label b "w.done";
+      sys b Isa.Sys_node;
+      mov b r2 r0;
+      mov b r3 r6;
+      imm b r1 fmt;
+      sys b Isa.Sys_print;
+      mov b r0 r6; (* exit value = partial sum *)
+      halt b)
+
+(* main: r1 = n * 2^8 + nodes. *)
+let emit_main b =
+  let fmt = cstring b "total = %d" in
+  proc b "main" (fun b ->
+      imm b r4 256;
+      mod_ b r9 r1 r4; (* nodes *)
+      div b r8 r1 r4; (* n *)
+      div b r7 r8 r9; (* stripe = n / nodes *)
+      imm b r5 0; (* node i *)
+      label b "m.fork";
+      bge b r5 r9 "m.forked";
+      (* stripe length: the last node takes the remainder *)
+      addi b r4 r5 1;
+      bne b r4 r9 "m.even";
+      mul b r4 r5 r7;
+      sub b r10 r8 r4; (* len = n - i*stripe *)
+      jmp b "m.arg";
+      label b "m.even";
+      mov b r10 r7;
+      label b "m.arg";
+      (* arg = (i*stripe) * 2^32 + len * 2^8 + nodes *)
+      mul b r4 r5 r7;
+      imm b r6 0x100000000;
+      mul b r4 r4 r6;
+      imm b r6 256;
+      mul b r11 r10 r6;
+      add b r4 r4 r11;
+      add b r4 r4 r9;
+      mov b r1 r5;
+      lea b r2 "worker";
+      mov b r3 r4;
+      sys b Isa.Sys_rpc; (* fork the stripe on node r1 *)
+      push b r0; (* save the handle *)
+      addi b r5 r5 1;
+      jmp b "m.fork";
+      label b "m.forked";
+      (* join all, accumulating exit values *)
+      imm b r6 0;
+      imm b r5 0;
+      label b "m.join";
+      bge b r5 r9 "m.joined";
+      pop b r1;
+      sys b Isa.Sys_join;
+      add b r6 r6 r0;
+      addi b r5 r5 1;
+      jmp b "m.join";
+      label b "m.joined";
+      mov b r2 r6;
+      imm b r1 fmt;
+      sys b Isa.Sys_print;
+      halt b)
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 10_000 in
+  let nodes = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 4 in
+  assert (n < 1 lsl 24 && nodes < 256 && nodes >= 2);
+  let program =
+    Pm2.build (fun b ->
+        emit_worker b;
+        emit_main b)
+  in
+  let config = Cluster.default_config ~nodes in
+  let cluster = Cluster.create config program in
+  ignore (Cluster.spawn cluster ~node:0 ~entry:"main" ~arg:((n * 256) + nodes) ());
+  let makespan = Cluster.run cluster in
+  List.iter print_endline (Pm2_sim.Trace.lines (Cluster.trace cluster));
+  let expected = n * (n - 1) / 2 in
+  Printf.printf "\nexpected total %d; %d RPC workers over %d nodes; %d migrations; %.0f virtual us\n"
+    expected nodes nodes
+    (List.length (Cluster.migrations cluster))
+    makespan;
+  Cluster.check_invariants cluster;
+  if not (Pm2_sim.Trace.contains (Cluster.trace cluster) ("total = " ^ string_of_int expected))
+  then begin
+    prerr_endline "FAILED: wrong total";
+    exit 1
+  end

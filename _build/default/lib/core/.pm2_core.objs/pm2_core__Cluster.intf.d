@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Distribution Iso_heap Migration Negotiation Pm2_heap Pm2_mvm Pm2_net Pm2_sim Pm2_vmem Slot Slot_manager Thread

@@ -1,0 +1,1 @@
+lib/core/distribution.ml: Array Pm2_util Printf Slot

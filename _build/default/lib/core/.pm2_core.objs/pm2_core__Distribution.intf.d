@@ -1,0 +1,1 @@
+lib/core/distribution.mli: Pm2_util Slot

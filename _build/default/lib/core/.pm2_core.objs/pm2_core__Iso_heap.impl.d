@@ -1,0 +1,1 @@
+lib/core/iso_heap.ml: Hashtbl List Pm2_heap Pm2_sim Pm2_vmem Printf Slot Slot_header Slot_manager Thread

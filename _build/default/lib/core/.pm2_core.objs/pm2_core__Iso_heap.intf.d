@@ -1,0 +1,1 @@
+lib/core/iso_heap.mli: Pm2_sim Pm2_vmem Slot Slot_manager Thread

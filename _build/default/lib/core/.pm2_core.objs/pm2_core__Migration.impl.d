@@ -1,0 +1,1 @@
+lib/core/migration.ml: Array Bytes Hashtbl List Pm2_heap Pm2_mvm Pm2_net Pm2_sim Pm2_vmem Printf Slot_header Thread

@@ -1,0 +1,1 @@
+lib/core/migration.mli: Bytes Pm2_sim Pm2_vmem Slot Thread

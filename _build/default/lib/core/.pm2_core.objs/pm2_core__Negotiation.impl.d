@@ -1,0 +1,1 @@
+lib/core/negotiation.ml: Array Pm2_net Pm2_sim Pm2_util Printf Slot Slot_manager

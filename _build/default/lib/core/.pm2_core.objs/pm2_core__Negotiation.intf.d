@@ -1,0 +1,1 @@
+lib/core/negotiation.mli: Pm2_net Pm2_util Slot Slot_manager

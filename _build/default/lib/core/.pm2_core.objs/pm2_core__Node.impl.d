@@ -1,0 +1,1 @@
+lib/core/node.ml: Lazy Pm2_heap Pm2_util Pm2_vmem Slot_manager Thread

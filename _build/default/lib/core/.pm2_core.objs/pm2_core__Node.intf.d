@@ -1,0 +1,1 @@
+lib/core/node.mli: Pm2_heap Pm2_sim Pm2_util Pm2_vmem Slot Slot_manager Thread

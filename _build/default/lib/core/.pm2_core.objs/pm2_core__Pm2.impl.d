@@ -1,0 +1,1 @@
+lib/core/pm2.ml: Cluster List Pm2_mvm Pm2_sim Pm2_util

@@ -1,0 +1,1 @@
+lib/core/pm2.mli: Cluster Pm2_mvm

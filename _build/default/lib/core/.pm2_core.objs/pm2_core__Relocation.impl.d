@@ -1,0 +1,1 @@
+lib/core/relocation.ml: Array Bytes Hashtbl List Pm2_mvm Pm2_net Pm2_sim Pm2_vmem Slot Slot_header Slot_manager Thread

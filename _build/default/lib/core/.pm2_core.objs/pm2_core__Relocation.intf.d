@@ -1,0 +1,1 @@
+lib/core/relocation.mli: Bytes Pm2_sim Pm2_vmem Slot Slot_manager Thread

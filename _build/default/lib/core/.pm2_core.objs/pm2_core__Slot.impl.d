@@ -1,0 +1,1 @@
+lib/core/slot.ml: Pm2_vmem Printf

@@ -1,0 +1,1 @@
+lib/core/slot_header.ml: List Pm2_vmem Printf Slot

@@ -1,0 +1,1 @@
+lib/core/slot_header.mli: Pm2_vmem

@@ -1,0 +1,1 @@
+lib/core/slot_manager.mli: Pm2_sim Pm2_util Pm2_vmem Slot

@@ -1,0 +1,1 @@
+lib/core/thread.ml: Format Hashtbl Pm2_mvm Pm2_vmem Printf

@@ -1,0 +1,1 @@
+lib/core/thread.mli: Format Hashtbl Pm2_mvm Pm2_vmem

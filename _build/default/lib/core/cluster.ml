@@ -1,0 +1,774 @@
+module As = Pm2_vmem.Address_space
+module Cm = Pm2_sim.Cost_model
+module Engine = Pm2_sim.Engine
+module Trace = Pm2_sim.Trace
+module Network = Pm2_net.Network
+module Interp = Pm2_mvm.Interp
+module Isa = Pm2_mvm.Isa
+module Program = Pm2_mvm.Program
+module Malloc = Pm2_heap.Malloc
+module Dlist = Pm2_util.Dlist
+module Vec = Pm2_util.Vec
+module Prng = Pm2_util.Prng
+
+type scheme =
+  | Iso
+  | Relocating
+
+type config = {
+  nodes : int;
+  slot_size : int;
+  distribution : Distribution.t;
+  cache_capacity : int;
+  scheme : scheme;
+  packing : Migration.packing;
+  quantum : int;
+  fit : Iso_heap.fit;
+  prebuy : int;
+  cost : Cm.t;
+  seed : int;
+}
+
+let default_config ~nodes =
+  {
+    nodes;
+    slot_size = 64 * 1024;
+    distribution = Distribution.Round_robin;
+    cache_capacity = 16;
+    scheme = Iso;
+    packing = Migration.Blocks_only;
+    quantum = 200;
+    fit = Iso_heap.First_fit;
+    prebuy = 0;
+    cost = Cm.default;
+    seed = 42;
+  }
+
+type migration_record = {
+  tid : int;
+  src : int;
+  dst : int;
+  started : float;
+  resumed : float;
+  bytes : int;
+}
+
+type sema = {
+  home : int; (* Marcel semaphores are process-local: P/V only at home *)
+  mutable count : int;
+  sem_waiters : Thread.t Queue.t;
+}
+
+type barrier = {
+  participants : int;
+  mutable arrived : int;
+  mutable parked : Thread.t list;
+}
+
+type t = {
+  config : config;
+  geometry : Slot.t;
+  engine : Engine.t;
+  net : Network.t;
+  trace : Trace.t;
+  program : Program.t;
+  nodes : Node.t array;
+  neg : Negotiation.t;
+  threads : (int, Thread.t) Hashtbl.t;
+  waiters : (int, Thread.t list) Hashtbl.t; (* Sys_join: tid -> parked threads *)
+  semaphores : (int, sema) Hashtbl.t; (* Marcel-style node-local semaphores *)
+  mutable next_sem : int;
+  barriers : (int, barrier) Hashtbl.t;
+  mutable next_barrier : int;
+  mutable next_tid : int;
+  migrations : migration_record Vec.t;
+  mutable isomalloc_count : int;
+  mutable malloc_count : int;
+  mutable pending_block : float option;
+      (* set by a blocking negotiation inside a syscall; consumed by the
+         dispatcher, which parks the thread until that absolute time *)
+}
+
+let create (config : config) program =
+  if config.nodes <= 0 then invalid_arg "Cluster.create: nodes <= 0";
+  if config.quantum <= 0 then invalid_arg "Cluster.create: quantum <= 0";
+  let geometry = Slot.make ~slot_size:config.slot_size in
+  let engine = Engine.create () in
+  let net = Network.create engine config.cost ~nodes:config.nodes in
+  let bitmaps =
+    Distribution.populate config.distribution ~geometry ~nodes:config.nodes
+  in
+  let nodes =
+    Array.init config.nodes (fun id ->
+        Node.create ~id ~cost:config.cost ~geometry ~bitmap:bitmaps.(id)
+          ~cache_capacity:config.cache_capacity ~seed:config.seed)
+  in
+  Array.iter (fun n -> Program.load_data program n.Node.space) nodes;
+  {
+    config;
+    geometry;
+    engine;
+    net;
+    trace = Trace.create ();
+    program;
+    nodes;
+    neg = Negotiation.create ~geometry ~mgrs:(Array.map (fun n -> n.Node.mgr) nodes) ~net;
+    threads = Hashtbl.create 64;
+    waiters = Hashtbl.create 16;
+    semaphores = Hashtbl.create 16;
+    next_sem = 1;
+    barriers = Hashtbl.create 4;
+    next_barrier = 1;
+    next_tid = 0x20; (* so the first thread prints as "eeff0020", as in Fig. 8 *)
+    migrations = Vec.create ();
+    isomalloc_count = 0;
+    malloc_count = 0;
+    pending_block = None;
+  }
+
+let config t = t.config
+let engine t = t.engine
+let network t = t.net
+let trace t = t.trace
+let geometry t = t.geometry
+let negotiation t = t.neg
+let program t = t.program
+let node_count t = Array.length t.nodes
+let node_space t i = t.nodes.(i).Node.space
+let node_heap t i = t.nodes.(i).Node.heap
+let node_mgr t i = t.nodes.(i).Node.mgr
+let node_load t i = Node.load t.nodes.(i)
+
+let thread t id = Hashtbl.find t.threads id
+
+let threads t =
+  Hashtbl.fold (fun _ th acc -> th :: acc) t.threads []
+  |> List.sort (fun a b -> compare a.Thread.id b.Thread.id)
+
+let live_threads t =
+  Hashtbl.fold (fun _ th n -> if Thread.is_exited th then n else n + 1) t.threads 0
+
+let drain_charges t i = Node.take_charges t.nodes.(i)
+
+let migrations t = Vec.to_list t.migrations
+
+let isomalloc_calls t = t.isomalloc_count
+let malloc_calls t = t.malloc_count
+
+(* -- environments for the block layer -- *)
+
+let host_env t node_id =
+  let node = t.nodes.(node_id) in
+  {
+    Iso_heap.space = node.Node.space;
+    mgr = node.Node.mgr;
+    cost = t.config.cost;
+    charge = Node.charge node;
+    fit = t.config.fit;
+    negotiate =
+      (fun ~n ->
+         let r = Negotiation.execute ~prebuy:t.config.prebuy t.neg ~requester:node_id ~n in
+         Node.charge node r.Negotiation.duration;
+         r.Negotiation.start);
+  }
+
+(* In syscall context a negotiation parks the calling thread for the
+   modelled protocol time (serialised through the system-wide lock). *)
+let syscall_env t node_id =
+  let node = t.nodes.(node_id) in
+  {
+    Iso_heap.space = node.Node.space;
+    mgr = node.Node.mgr;
+    cost = t.config.cost;
+    charge = Node.charge node;
+    fit = t.config.fit;
+    negotiate =
+      (fun ~n ->
+         let r = Negotiation.execute ~prebuy:t.config.prebuy t.neg ~requester:node_id ~n in
+         let finish =
+           Negotiation.acquire_slot_lock t.neg ~now:(Engine.now t.engine)
+             ~duration:r.Negotiation.duration
+         in
+         t.pending_block <- Some finish;
+         r.Negotiation.start);
+  }
+
+let take_pending_block t =
+  let b = t.pending_block in
+  t.pending_block <- None;
+  b
+
+(* -- pm2_printf -- *)
+
+let format_guest space fmt args =
+  let buf = Buffer.create (String.length fmt + 16) in
+  let args = ref args in
+  let next_arg () =
+    match !args with
+    | [] -> 0
+    | a :: tl ->
+      args := tl;
+      a
+  in
+  let n = String.length fmt in
+  let rec loop i =
+    if i < n then begin
+      let c = fmt.[i] in
+      if c = '%' && i + 1 < n then begin
+        (match fmt.[i + 1] with
+         | 'd' -> Buffer.add_string buf (string_of_int (next_arg ()))
+         | 'p' | 'x' -> Buffer.add_string buf (Printf.sprintf "%x" (next_arg ()))
+         | 's' -> Buffer.add_string buf (As.load_cstring space (next_arg ()))
+         | '%' -> Buffer.add_char buf '%'
+         | other ->
+           Buffer.add_char buf '%';
+           Buffer.add_char buf other);
+        loop (i + 2)
+      end
+      else begin
+        Buffer.add_char buf c;
+        loop (i + 1)
+      end
+    end
+  in
+  loop 0;
+  Buffer.contents buf
+
+(* Guest-visible thread handles, printed with %p as in Fig. 8. *)
+let handle_of_tid id = 0xeeff0000 + id
+
+let tid_of_handle h = h - 0xeeff0000
+
+(* ===== the scheduler / syscall knot ===== *)
+
+type quantum_outcome =
+  | Requeue (* budget exhausted or yielded: back to the run queue *)
+  | Left (* migrated away, or parked until an absolute time *)
+  | Dead
+
+let rec enqueue t (th : Thread.t) =
+  th.state <- Thread.Ready;
+  let node = t.nodes.(th.node) in
+  ignore (Dlist.push_back node.Node.queue th);
+  schedule_tick t node ~delay:0.
+
+and schedule_tick t node ~delay =
+  if not node.Node.tick_scheduled then begin
+    node.Node.tick_scheduled <- true;
+    Engine.schedule_after t.engine ~delay (fun () -> tick t node)
+  end
+
+and tick t node =
+  node.Node.tick_scheduled <- false;
+  if not (Dlist.is_empty node.Node.queue) then begin
+    let th = Dlist.pop_front node.Node.queue in
+    th.Thread.state <- Thread.Running;
+    Node.charge node t.config.cost.Cm.context_switch;
+    let outcome = run_quantum t node th in
+    (match outcome with
+     | Requeue ->
+       th.Thread.state <- Thread.Ready;
+       ignore (Dlist.push_back node.Node.queue th)
+     | Left | Dead -> ());
+    let dt = Node.take_charges node in
+    (* Re-arm even on an empty queue when time was spent: the clock must
+       advance past the work just performed (makespan correctness). *)
+    if (not (Dlist.is_empty node.Node.queue)) || dt > 0. then
+      schedule_tick t node ~delay:dt
+  end
+
+and run_quantum t node (th : Thread.t) =
+  (* Preemptive migration is honoured at quantum boundaries: the thread
+     itself never cooperates. *)
+  match th.Thread.pending_migration with
+  | Some dest when dest <> node.Node.id ->
+    th.Thread.pending_migration <- None;
+    start_migration t node th ~dest;
+    Left
+  | _ ->
+    th.Thread.pending_migration <- None;
+    let cost = t.config.cost in
+    let rec loop budget =
+      if budget <= 0 then Requeue
+      else begin
+        match Interp.step t.program th.Thread.ctx node.Node.space with
+        | Interp.Running ->
+          Node.charge node cost.Cm.instr_cost;
+          loop (budget - 1)
+        | Interp.Halted ->
+          exit_thread t node th Thread.Halted;
+          Dead
+        | Interp.Fault f ->
+          guest_fault t node th f
+        | Interp.Syscall sc ->
+          Node.charge node (cost.Cm.instr_cost +. cost.Cm.syscall_base);
+          (match dispatch t node th sc with
+           | `Continue -> loop (budget - 5)
+           | `Requeue -> Requeue
+           | `Left -> Left
+           | `Dead -> Dead)
+      end
+    in
+    let outcome = loop t.config.quantum in
+    (* Stack-overflow guard: the stack must not run into its slot header. *)
+    (match outcome with
+     | Requeue
+       when th.Thread.stack_slot <> 0
+            && th.Thread.ctx.Interp.sp < th.Thread.stack_slot + Slot_header.size_of_header
+       ->
+       Trace.emit t.trace ~time:(Engine.now t.engine) ~node:node.Node.id "Stack overflow";
+       exit_thread t node th (Thread.Faulted (Interp.Segv th.Thread.ctx.Interp.sp));
+       Dead
+     | o -> o)
+
+and guest_fault t node th fault =
+  Trace.emit t.trace ~time:(Engine.now t.engine) ~node:node.Node.id
+    (Format.asprintf "%a" Interp.pp_fault fault);
+  exit_thread t node th (Thread.Faulted fault);
+  Dead
+
+and exit_thread t node (th : Thread.t) reason =
+  th.Thread.state <- Thread.Exited reason;
+  (* On death a thread releases all its slots to the node it is visiting
+     (paper, Fig. 6, step 4). A faulted thread may have corrupt metadata;
+     leak rather than crash the simulation. *)
+  if th.Thread.slots_head <> 0 then begin
+    try Iso_heap.release_all (host_env t node.Node.id) th with
+    | Failure _ | Invalid_argument _ | As.Segfault _ -> ()
+  end;
+  (* Wake every thread joined on this one, handing each the exit value
+     (the dead thread's r0 — PM2's LRPC result convention). *)
+  match Hashtbl.find_opt t.waiters th.Thread.id with
+  | None -> ()
+  | Some parked ->
+    Hashtbl.remove t.waiters th.Thread.id;
+    List.iter
+      (fun (w : Thread.t) ->
+         w.Thread.ctx.Pm2_mvm.Interp.regs.(0) <- th.Thread.ctx.Pm2_mvm.Interp.regs.(0);
+         enqueue t w)
+      parked
+
+and dispatch t node (th : Thread.t) sc =
+  let cost = t.config.cost in
+  let ctx = th.Thread.ctx in
+  let r = ctx.Interp.regs in
+  try
+    match sc with
+    | Isa.Sys_print ->
+      let fmt = As.load_cstring node.Node.space r.(1) in
+      let text = format_guest node.Node.space fmt [ r.(2); r.(3) ] in
+      Node.charge node (0.02 *. float_of_int (String.length text));
+      List.iter
+        (fun line ->
+           if line <> "" then
+             Trace.emit t.trace ~time:(Engine.now t.engine) ~node:node.Node.id line)
+        (String.split_on_char '\n' text);
+      `Continue
+    | Isa.Sys_self ->
+      r.(0) <- handle_of_tid th.Thread.id;
+      `Continue
+    | Isa.Sys_node ->
+      r.(0) <- node.Node.id;
+      `Continue
+    | Isa.Sys_clock ->
+      r.(0) <- int_of_float (Engine.now t.engine *. 1000.);
+      `Continue
+    | Isa.Sys_rand ->
+      r.(0) <- Prng.int node.Node.prng (max 1 r.(1));
+      `Continue
+    | Isa.Sys_workload ->
+      Node.charge node (float_of_int (max 0 r.(1)));
+      `Continue
+    | Isa.Sys_yield -> `Requeue
+    | Isa.Sys_malloc ->
+      t.malloc_count <- t.malloc_count + 1;
+      (try r.(0) <- Malloc.malloc node.Node.heap r.(1)
+       with Malloc.Out_of_memory -> r.(0) <- 0);
+      `Continue
+    | Isa.Sys_free ->
+      Malloc.free node.Node.heap r.(1);
+      `Continue
+    | Isa.Sys_isomalloc ->
+      t.isomalloc_count <- t.isomalloc_count + 1;
+      (match Iso_heap.isomalloc (syscall_env t node.Node.id) th r.(1) with
+       | Some addr -> r.(0) <- addr
+       | None -> r.(0) <- 0);
+      (match take_pending_block t with
+       | None -> `Continue
+       | Some finish ->
+         (* The negotiation blocked the thread inside the system-wide
+            critical section; park it until the protocol completes. *)
+         th.Thread.state <- Thread.Blocked;
+         Engine.schedule t.engine ~at:(max finish (Engine.now t.engine)) (fun () ->
+             enqueue t th);
+         `Left)
+    | Isa.Sys_isofree ->
+      Iso_heap.isofree (syscall_env t node.Node.id) th r.(1);
+      (* isofree never negotiates, but consume a stale block just in case *)
+      ignore (take_pending_block t);
+      `Continue
+    | Isa.Sys_migrate ->
+      let dest = r.(1) in
+      if dest = node.Node.id then `Continue
+      else if dest < 0 || dest >= Array.length t.nodes then
+        guest_fault_ret t node th (Interp.Wild_pc dest)
+      else begin
+        start_migration t node th ~dest;
+        `Left
+      end
+    | Isa.Sys_register_ptr ->
+      r.(0) <- Thread.register_ptr th r.(1);
+      Node.charge node cost.Cm.pointer_update;
+      `Continue
+    | Isa.Sys_unregister_ptr ->
+      Thread.unregister_ptr th r.(1);
+      `Continue
+    | Isa.Sys_spawn ->
+      let child = spawn_pc t ~node:node.Node.id ~pc:r.(1) ~arg:r.(2) in
+      r.(0) <- handle_of_tid child.Thread.id;
+      `Continue
+    | Isa.Sys_migrate_thread ->
+      (* "It may also be preemptively migrated by another thread running
+         on the same node" (§2). *)
+      let dest = r.(2) in
+      (match Hashtbl.find_opt t.threads (tid_of_handle r.(1)) with
+       | Some victim
+         when victim.Thread.node = node.Node.id
+              && (not (Thread.is_exited victim))
+              && victim.Thread.state <> Thread.Migrating
+              && dest >= 0
+              && dest < Array.length t.nodes ->
+         if victim.Thread.id = th.Thread.id then begin
+           (* migrating oneself through this path behaves like Sys_migrate *)
+           r.(0) <- 0;
+           if dest <> node.Node.id then begin
+             start_migration t node th ~dest;
+             `Left
+           end
+           else `Continue
+         end
+         else begin
+           victim.Thread.pending_migration <- (if dest = node.Node.id then None else Some dest);
+           r.(0) <- 0;
+           `Continue
+         end
+       | _ ->
+         r.(0) <- -1;
+         `Continue)
+    | Isa.Sys_rpc ->
+      let dest = r.(1) in
+      if dest < 0 || dest >= Array.length t.nodes then begin
+        r.(0) <- -1;
+        `Continue
+      end
+      else begin
+        let child = rpc t ~src:node.Node.id ~dest ~pc:r.(2) ~arg:r.(3) in
+        r.(0) <- handle_of_tid child.Thread.id;
+        `Continue
+      end
+    | Isa.Sys_join ->
+      (match Hashtbl.find_opt t.threads (tid_of_handle r.(1)) with
+       | Some target when not (Thread.is_exited target) ->
+         th.Thread.state <- Thread.Blocked;
+         let parked =
+           Option.value ~default:[] (Hashtbl.find_opt t.waiters target.Thread.id)
+         in
+         Hashtbl.replace t.waiters target.Thread.id (th :: parked);
+         `Left
+       | Some target ->
+         (* already exited: return its exit value immediately *)
+         r.(0) <- target.Thread.ctx.Pm2_mvm.Interp.regs.(0);
+         `Continue
+       | None ->
+         r.(0) <- -1;
+         `Continue)
+    | Isa.Sys_isorealloc ->
+      t.isomalloc_count <- t.isomalloc_count + 1;
+      (match Iso_heap.isorealloc (syscall_env t node.Node.id) th r.(1) r.(2) with
+       | Some addr -> r.(0) <- addr
+       | None -> r.(0) <- 0);
+      (match take_pending_block t with
+       | None -> `Continue
+       | Some finish ->
+         th.Thread.state <- Thread.Blocked;
+         Engine.schedule t.engine ~at:(max finish (Engine.now t.engine)) (fun () ->
+             enqueue t th);
+         `Left)
+    | Isa.Sys_sem_create ->
+      let id = t.next_sem in
+      t.next_sem <- id + 1;
+      Hashtbl.replace t.semaphores id
+        { home = node.Node.id; count = r.(1); sem_waiters = Queue.create () };
+      r.(0) <- id;
+      `Continue
+    | Isa.Sys_sem_p ->
+      (match Hashtbl.find_opt t.semaphores r.(1) with
+       | Some sem when sem.home = node.Node.id ->
+         sem.count <- sem.count - 1;
+         r.(0) <- 0;
+         if sem.count < 0 then begin
+           th.Thread.state <- Thread.Blocked;
+           Queue.push th sem.sem_waiters;
+           `Left
+         end
+         else `Continue
+       | _ ->
+         r.(0) <- -1;
+         `Continue)
+    | Isa.Sys_sem_v ->
+      (match Hashtbl.find_opt t.semaphores r.(1) with
+       | Some sem when sem.home = node.Node.id ->
+         sem.count <- sem.count + 1;
+         r.(0) <- 0;
+         (* wake the first waiter that is still alive *)
+         let rec wake () =
+           match Queue.take_opt sem.sem_waiters with
+           | None -> ()
+           | Some w -> if Thread.is_exited w then wake () else enqueue t w
+         in
+         wake ();
+         `Continue
+       | _ ->
+         r.(0) <- -1;
+         `Continue)
+    | Isa.Sys_sleep ->
+      let delay = float_of_int (max 0 r.(1)) in
+      th.Thread.state <- Thread.Blocked;
+      Engine.schedule_after t.engine ~delay (fun () -> enqueue t th);
+      `Left
+    | Isa.Sys_barrier ->
+      (match Hashtbl.find_opt t.barriers r.(1) with
+       | None ->
+         r.(0) <- -1;
+         `Continue
+       | Some bar ->
+         r.(0) <- 0;
+         bar.arrived <- bar.arrived + 1;
+         Network.record_virtual t.net ~src:node.Node.id ~dst:0 ~bytes:64;
+         th.Thread.state <- Thread.Blocked;
+         bar.parked <- th :: bar.parked;
+         if bar.arrived >= bar.participants then begin
+           (* every participant is in: release them after one broadcast
+              hop of the modelled network *)
+           let to_wake = bar.parked in
+           bar.parked <- [];
+           bar.arrived <- 0;
+           let delay = Network.transfer_time t.net ~bytes:64 in
+           Engine.schedule_after t.engine ~delay (fun () ->
+               List.iter (fun w -> enqueue t w) to_wake)
+         end;
+         `Left)
+  with
+  | As.Segfault { addr; _ } -> guest_fault_ret t node th (Interp.Segv addr)
+  | Invalid_argument msg ->
+    Trace.emit t.trace ~time:(Engine.now t.engine) ~node:node.Node.id
+      (Printf.sprintf "runtime error: %s" msg);
+    exit_thread t node th (Thread.Faulted (Interp.Segv 0));
+    `Dead
+
+and guest_fault_ret t node th fault =
+  ignore (guest_fault t node th fault);
+  `Dead
+
+and start_migration t node (th : Thread.t) ~dest =
+  th.Thread.state <- Thread.Migrating;
+  let started = Engine.now t.engine in
+  let src = node.Node.id in
+  (* Fold slot-manager charges raised during packing into the latency. *)
+  let before = node.Node.charged in
+  match
+    match t.config.scheme with
+    | Iso ->
+      let p =
+        Migration.pack ~geometry:t.geometry ~cost:t.config.cost ~space:node.Node.space
+          ~packing:t.config.packing th
+      in
+      Ok (p.Migration.buffer, p.Migration.pack_cost)
+    | Relocating ->
+      (match
+         Relocation.pack ~geometry:t.geometry ~cost:t.config.cost ~space:node.Node.space
+           ~mgr:node.Node.mgr th
+       with
+       | p -> Ok (p.Relocation.buffer, p.Relocation.pack_cost)
+       | exception Failure msg -> Error msg)
+  with
+  | Error msg ->
+    (* The legacy scheme cannot pack this thread (e.g. it holds dynamic
+       data slots): abort the migration and let the thread keep running
+       where it is — precisely the limitation isomalloc removes. *)
+    node.Node.charged <- before;
+    Trace.emit t.trace ~time:started ~node:src
+      (Printf.sprintf "migration of thread %x aborted: %s" (handle_of_tid th.Thread.id)
+         msg);
+    enqueue t th
+  | Ok (buffer, pack_cost) ->
+    let extra = node.Node.charged -. before in
+    node.Node.charged <- before;
+    let pack_total = pack_cost +. extra in
+    Node.charge node pack_total;
+    Engine.schedule_after t.engine ~delay:pack_total (fun () ->
+        Network.send t.net ~src ~dst:dest buffer (fun buffer ->
+            deliver t th ~src ~dest ~started buffer))
+
+and deliver t (th : Thread.t) ~src ~dest ~started buffer =
+  let dnode = t.nodes.(dest) in
+  let before = dnode.Node.charged in
+  let unpack_cost =
+    match t.config.scheme with
+    | Iso ->
+      Migration.unpack ~geometry:t.geometry ~cost:t.config.cost ~space:dnode.Node.space th
+        buffer
+    | Relocating ->
+      Relocation.unpack ~geometry:t.geometry ~cost:t.config.cost ~space:dnode.Node.space
+        ~mgr:dnode.Node.mgr th buffer
+  in
+  let extra = dnode.Node.charged -. before in
+  dnode.Node.charged <- before;
+  let resume_delay = unpack_cost +. extra in
+  Node.charge dnode resume_delay;
+  th.Thread.node <- dest;
+  Engine.schedule_after t.engine ~delay:resume_delay (fun () ->
+      Vec.push t.migrations
+        {
+          tid = th.Thread.id;
+          src;
+          dst = dest;
+          started;
+          resumed = Engine.now t.engine;
+          bytes = Bytes.length buffer;
+        };
+      enqueue t th)
+
+and spawn_pc t ~node:node_id ~pc ~arg =
+  let node = t.nodes.(node_id) in
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  Node.charge node t.config.cost.Cm.thread_create;
+  let th = Thread.make ~id:tid ~node:node_id ~ctx:(Interp.make_context ~entry:pc ~stack_top:0) in
+  (match Iso_heap.acquire_stack_slot (host_env t node_id) th with
+   | Some stack_top ->
+     let ctx = Interp.make_context ~entry:pc ~stack_top in
+     ctx.Interp.regs.(1) <- arg;
+     th.Thread.ctx <- ctx
+   | None -> failwith "Cluster.spawn: iso-address area exhausted (no stack slot)");
+  Hashtbl.replace t.threads tid th;
+  enqueue t th;
+  th
+
+and rpc t ~src ~dest ~pc ~arg =
+  (* PM2's LRPC: a small request message creates a thread on the remote
+     node when it lands. The descriptor exists immediately (so the caller
+     can join on it); the stack slot is acquired on arrival, on the
+     destination node — thread creation stays a purely local operation
+     there (§4.1). *)
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  let th =
+    Thread.make ~id:tid ~node:dest ~ctx:(Interp.make_context ~entry:pc ~stack_top:0)
+  in
+  th.Thread.state <- Thread.Blocked;
+  Hashtbl.replace t.threads tid th;
+  let request = Bytes.create 96 (* entry + argument + protocol header *) in
+  Network.send t.net ~src ~dst:dest request (fun _ ->
+      let dnode = t.nodes.(dest) in
+      Node.charge dnode t.config.cost.Cm.thread_create;
+      match Iso_heap.acquire_stack_slot (host_env t dest) th with
+      | Some stack_top ->
+        let ctx = Interp.make_context ~entry:pc ~stack_top in
+        ctx.Interp.regs.(1) <- arg;
+        th.Thread.ctx <- ctx;
+        enqueue t th
+      | None -> exit_thread t dnode th (Thread.Faulted (Interp.Segv 0)));
+  th
+
+let spawn t ~node ~entry ?(arg = 0) () =
+  spawn_pc t ~node ~pc:(Program.entry t.program entry) ~arg
+
+let request_migration t (th : Thread.t) ~dest =
+  if dest < 0 || dest >= Array.length t.nodes then
+    invalid_arg "Cluster.request_migration: bad destination";
+  if not (Thread.is_exited th) then begin
+    th.Thread.pending_migration <- Some dest;
+    (* Make sure the node wakes up to honour it even if idle. *)
+    schedule_tick t t.nodes.(th.Thread.node) ~delay:0.
+  end
+
+let create_barrier t ~participants =
+  if participants <= 0 then invalid_arg "Cluster.create_barrier: participants <= 0";
+  let id = t.next_barrier in
+  t.next_barrier <- id + 1;
+  Hashtbl.replace t.barriers id { participants; arrived = 0; parked = [] };
+  id
+
+let run ?until t = Engine.run ?until t.engine
+
+(* -- host-mode helpers -- *)
+
+let host_thread t ~node =
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  let th = Thread.make ~id:tid ~node ~ctx:(Interp.make_context ~entry:0 ~stack_top:0) in
+  (match Iso_heap.acquire_stack_slot (host_env t node) th with
+   | Some stack_top -> th.Thread.ctx <- Interp.make_context ~entry:0 ~stack_top
+   | None -> failwith "Cluster.host_thread: iso-address area exhausted");
+  Hashtbl.replace t.threads tid th;
+  th
+
+let host_migrate t (th : Thread.t) ~dest =
+  if dest < 0 || dest >= Array.length t.nodes then
+    invalid_arg "Cluster.host_migrate: bad destination";
+  let src = th.Thread.node in
+  if src <> dest then begin
+    let snode = t.nodes.(src) and dnode = t.nodes.(dest) in
+    let started = Engine.now t.engine in
+    let before = snode.Node.charged in
+    let buffer, pack_cost =
+      match t.config.scheme with
+      | Iso ->
+        let p =
+          Migration.pack ~geometry:t.geometry ~cost:t.config.cost ~space:snode.Node.space
+            ~packing:t.config.packing th
+        in
+        (p.Migration.buffer, p.Migration.pack_cost)
+      | Relocating ->
+        let p =
+          Relocation.pack ~geometry:t.geometry ~cost:t.config.cost
+            ~space:snode.Node.space ~mgr:snode.Node.mgr th
+        in
+        (p.Relocation.buffer, p.Relocation.pack_cost)
+    in
+    let pack_total = pack_cost +. (snode.Node.charged -. before) in
+    snode.Node.charged <- before;
+    Node.charge snode pack_total;
+    let bytes = Bytes.length buffer in
+    Network.record_virtual t.net ~src ~dst:dest ~bytes;
+    let before = dnode.Node.charged in
+    let unpack_cost =
+      match t.config.scheme with
+      | Iso ->
+        Migration.unpack ~geometry:t.geometry ~cost:t.config.cost ~space:dnode.Node.space
+          th buffer
+      | Relocating ->
+        Relocation.unpack ~geometry:t.geometry ~cost:t.config.cost
+          ~space:dnode.Node.space ~mgr:dnode.Node.mgr th buffer
+    in
+    let unpack_total = unpack_cost +. (dnode.Node.charged -. before) in
+    dnode.Node.charged <- before;
+    Node.charge dnode unpack_total;
+    th.Thread.node <- dest;
+    let latency = pack_total +. Network.transfer_time t.net ~bytes +. unpack_total in
+    Vec.push t.migrations
+      { tid = th.Thread.id; src; dst = dest; started; resumed = started +. latency; bytes }
+  end
+
+let check_invariants t =
+  Negotiation.check_global_invariant t.neg;
+  Array.iter (fun n -> Slot_manager.check_invariants n.Node.mgr) t.nodes;
+  Hashtbl.iter
+    (fun _ (th : Thread.t) ->
+       match th.Thread.state with
+       | Thread.Migrating | Thread.Exited _ -> ()
+       | _ ->
+         if th.Thread.slots_head <> 0 then
+           Iso_heap.check_invariants (host_env t th.Thread.node) th)
+    t.threads

@@ -1,0 +1,143 @@
+(** The simulated PM2 configuration: nodes + network + scheduler + syscall
+    layer. This is where the MiniVM meets the runtime: threads execute in
+    quanta on their node, and every [Sys_*] instruction lands in the
+    dispatcher below, which implements the PM2 primitives ([pm2_isomalloc],
+    [pm2_migrate], [pm2_printf], ...).
+
+    Preemptive migration: any agent (another thread via the host API, the
+    load balancer, a test) may set a pending migration on a thread; it is
+    honoured at the next instruction-quantum boundary, with no cooperation
+    from the thread — "threads are unaware of their being migrated" (§2). *)
+
+type scheme =
+  | Iso (* iso-address migration — the paper's contribution *)
+  | Relocating (* legacy address-relocating scheme (§2) — baseline *)
+
+type config = {
+  nodes : int;
+  slot_size : int;
+  distribution : Distribution.t;
+  cache_capacity : int; (* slot-cache entries per node; 0 disables *)
+  scheme : scheme;
+  packing : Migration.packing; (* used by the [Iso] scheme *)
+  quantum : int; (* instructions per scheduling quantum *)
+  fit : Iso_heap.fit; (* block placement strategy (paper: first-fit) *)
+  prebuy : int; (* extra slots bought per negotiation (paper 4.4 remark) *)
+  cost : Pm2_sim.Cost_model.t;
+  seed : int;
+}
+
+val default_config : nodes:int -> config
+(** 64 KB slots, round-robin distribution (the paper's experimental setup),
+    iso scheme with blocks-only packing, slot cache of 16, quantum 200. *)
+
+type migration_record = {
+  tid : int;
+  src : int;
+  dst : int;
+  started : float; (* virtual time at freeze *)
+  resumed : float; (* virtual time at which the thread is runnable again *)
+  bytes : int; (* wire size *)
+}
+
+type t
+
+(** [create config program] boots [config.nodes] container processes, each
+    with the SPMD [program] image loaded at the standard addresses. *)
+val create : config -> Pm2_mvm.Program.t -> t
+
+val config : t -> config
+val engine : t -> Pm2_sim.Engine.t
+val network : t -> Pm2_net.Network.t
+val trace : t -> Pm2_sim.Trace.t
+val geometry : t -> Slot.t
+val negotiation : t -> Negotiation.t
+val program : t -> Pm2_mvm.Program.t
+
+val node_count : t -> int
+
+(** Per-node accessors (tests and benches). *)
+val node_space : t -> int -> Pm2_vmem.Address_space.t
+
+val node_heap : t -> int -> Pm2_heap.Malloc.t
+val node_mgr : t -> int -> Slot_manager.t
+val node_load : t -> int -> int
+
+(** {1 Threads} *)
+
+(** [spawn t ~node ~entry ?arg ()] creates a thread on [node] starting at
+    entry point [entry] (a name registered with {!Pm2_mvm.Asm.proc}) with
+    [arg] in register [r1], gives it a stack slot, and queues it.
+    @raise Failure if the iso-address area cannot provide a stack slot.
+    @raise Not_found on an unknown entry name. *)
+val spawn : t -> node:int -> entry:string -> ?arg:int -> unit -> Thread.t
+
+(** [spawn_pc] is [spawn] with a raw program counter (used by [Sys_spawn]). *)
+val spawn_pc : t -> node:int -> pc:int -> arg:int -> Thread.t
+
+val thread : t -> int -> Thread.t
+(** Lookup by id. @raise Not_found. *)
+
+val threads : t -> Thread.t list
+
+val live_threads : t -> int
+(** Threads not yet exited. *)
+
+(** [request_migration t th ~dest] marks [th] for preemptive migration to
+    [dest]; it happens at [th]'s next quantum boundary. No-op if the
+    thread already exited. *)
+val request_migration : t -> Thread.t -> dest:int -> unit
+
+(** [rpc t ~src ~dest ~pc ~arg] creates a thread on [dest] by remote
+    procedure call from [src] (PM2's LRPC): the request travels the
+    network and the thread starts on arrival. Returns the thread
+    (state [Blocked] until the request lands). *)
+val rpc : t -> src:int -> dest:int -> pc:int -> arg:int -> Thread.t
+
+(** [create_barrier t ~participants] registers a reusable cyclic barrier
+    for [participants] guest threads (released by one modelled broadcast
+    hop once the last participant arrives at [Sys_barrier]). Returns the
+    guest-visible handle. *)
+val create_barrier : t -> participants:int -> int
+
+(** {1 Running} *)
+
+(** [run ?until t] drives the event engine until quiescence (all threads
+    exited or blocked forever) or until the given virtual time. Returns
+    the final virtual time. *)
+val run : ?until:float -> t -> float
+
+(** {1 Host-mode allocation (tests and benches)}
+
+    These run the allocator machinery directly, without MiniVM programs:
+    negotiations are charged to the node synchronously instead of blocking
+    a guest thread. *)
+
+(** An {!Iso_heap.env} for [node] with a synchronous negotiate. *)
+val host_env : t -> int -> Iso_heap.env
+
+(** [host_thread t ~node] is a thread with a stack slot but no queued
+    execution — a handle for direct [Iso_heap] calls. *)
+val host_thread : t -> node:int -> Thread.t
+
+(** [host_migrate t th ~dest] migrates a host thread synchronously (state
+    only; time is charged to both nodes). Works for host threads outside
+    the scheduler. *)
+val host_migrate : t -> Thread.t -> dest:int -> unit
+
+(** [drain_charges t node] reads and resets the node's virtual-CPU
+    accumulator — the measurement primitive of the Fig. 11 benches. *)
+val drain_charges : t -> int -> float
+
+(** {1 Statistics} *)
+
+val migrations : t -> migration_record list
+(** Completed migrations, oldest first. *)
+
+val isomalloc_calls : t -> int
+val malloc_calls : t -> int
+
+(** Cross-node invariant sweep: bitmap disjointness, per-node slot-manager
+    coherence, and full [Iso_heap] checks on every live thread.
+    @raise Failure on violation. *)
+val check_invariants : t -> unit

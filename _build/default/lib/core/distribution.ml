@@ -1,0 +1,36 @@
+module Bitset = Pm2_util.Bitset
+
+type t =
+  | Round_robin
+  | Block_cyclic of int
+  | Partition
+  | Custom of (slots:int -> nodes:int -> slot:int -> int)
+
+let owner t ~slots ~nodes ~slot =
+  match t with
+  | Round_robin -> slot mod nodes
+  | Block_cyclic k ->
+    if k <= 0 then invalid_arg "Distribution: Block_cyclic needs k > 0";
+    slot / k mod nodes
+  | Partition ->
+    (* p equal contiguous sub-areas; the remainder goes to the last node. *)
+    min (nodes - 1) (slot / ((slots + nodes - 1) / nodes))
+  | Custom f ->
+    let n = f ~slots ~nodes ~slot in
+    if n < 0 || n >= nodes then
+      invalid_arg (Printf.sprintf "Distribution: custom pattern returned bad node %d" n);
+    n
+
+let populate t ~geometry ~nodes =
+  let slots = geometry.Slot.count in
+  let maps = Array.init nodes (fun _ -> Bitset.create slots) in
+  for slot = 0 to slots - 1 do
+    Bitset.set maps.(owner t ~slots ~nodes ~slot) slot
+  done;
+  maps
+
+let to_string = function
+  | Round_robin -> "round-robin"
+  | Block_cyclic k -> Printf.sprintf "block-cyclic(%d)" k
+  | Partition -> "partition"
+  | Custom _ -> "custom"

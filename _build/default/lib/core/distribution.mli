@@ -1,0 +1,28 @@
+(** Initial slot distribution patterns (paper, §4.1).
+
+    "Initially, slots are distributed among the nodes according to some
+    user-defined distribution pattern [...] In our current implementation,
+    slots are assigned to nodes in a round-robin fashion [...] it behaves
+    rather poorly for multi-slot allocations. Nothing prevents the user
+    from choosing other distributions."
+
+    The distribution only fixes the {e initial} owner of each slot;
+    ownership then flows node → thread → (possibly another) node. *)
+
+type t =
+  | Round_robin (* slot i belongs to node (i mod p) — the paper's default *)
+  | Block_cyclic of int (* runs of k contiguous slots per node, cyclically *)
+  | Partition (* p equal contiguous sub-areas, one per node *)
+  | Custom of (slots:int -> nodes:int -> slot:int -> int)
+      (* arbitrary user pattern; must return a node id in [0, nodes) *)
+
+(** [owner t ~slots ~nodes ~slot] is the initial owner of [slot].
+    @raise Invalid_argument if a [Custom] pattern returns a bad node id, or
+    [Block_cyclic k] has [k <= 0]. *)
+val owner : t -> slots:int -> nodes:int -> slot:int -> int
+
+(** [populate t ~geometry ~nodes] builds one ownership bitmap per node
+    (bit set = owned and free), partitioning all slots. *)
+val populate : t -> geometry:Slot.t -> nodes:int -> Pm2_util.Bitset.t array
+
+val to_string : t -> string

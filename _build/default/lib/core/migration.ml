@@ -1,0 +1,200 @@
+module As = Pm2_vmem.Address_space
+module Layout = Pm2_vmem.Layout
+module Cm = Pm2_sim.Cost_model
+module B = Pm2_heap.Blockfmt
+module Sh = Slot_header
+module Pk = Pm2_net.Packet
+module Interp = Pm2_mvm.Interp
+
+type packing =
+  | Blocks_only
+  | Full_slots
+
+type packed = {
+  buffer : Bytes.t;
+  pack_cost : float;
+}
+
+let packing_to_string = function
+  | Blocks_only -> "blocks-only"
+  | Full_slots -> "full-slots"
+
+let wire_magic = 0x4d494752 (* "MIGR" *)
+
+let pack_descriptor p (th : Thread.t) =
+  Pk.pack_int p wire_magic;
+  Pk.pack_int p th.id;
+  let ctx = th.ctx in
+  Pk.pack_int p ctx.Interp.pc;
+  Pk.pack_int p ctx.Interp.sp;
+  Pk.pack_int p ctx.Interp.fp;
+  Array.iter (Pk.pack_int p) ctx.Interp.regs;
+  Pk.pack_int p th.slots_head;
+  Pk.pack_int p th.stack_slot;
+  Pk.pack_int p th.next_key;
+  let cells = Hashtbl.fold (fun k a acc -> (k, a) :: acc) th.registry [] in
+  Pk.pack_list p (fun (k, a) -> Pk.pack_int p k; Pk.pack_int p a) cells
+
+let unpack_descriptor u (th : Thread.t) =
+  if Pk.unpack_int u <> wire_magic then invalid_arg "Migration.unpack: bad magic";
+  let id = Pk.unpack_int u in
+  if id <> th.Thread.id then invalid_arg "Migration.unpack: thread id mismatch";
+  let pc = Pk.unpack_int u in
+  let sp = Pk.unpack_int u in
+  let fp = Pk.unpack_int u in
+  let regs = Array.init Pm2_mvm.Isa.num_regs (fun _ -> Pk.unpack_int u) in
+  th.ctx <- { Interp.regs; pc; sp; fp };
+  th.slots_head <- Pk.unpack_int u;
+  th.stack_slot <- Pk.unpack_int u;
+  th.next_key <- Pk.unpack_int u;
+  Hashtbl.reset th.registry;
+  let cells = Pk.unpack_list u (fun () ->
+      let k = Pk.unpack_int u in
+      let a = Pk.unpack_int u in
+      (k, a))
+  in
+  List.iter (fun (k, a) -> Hashtbl.replace th.registry k a) cells
+
+(* Live blocks of a data slot, in address order: (offset, size) pairs. *)
+let used_blocks space slot =
+  let limit = slot + Sh.read_size space slot in
+  let rec walk b acc =
+    if b >= limit then List.rev acc
+    else begin
+      let size = B.read_size space b in
+      let acc = if B.read_used space b then (b - slot, size) :: acc else acc in
+      walk (b + size) acc
+    end
+  in
+  walk (Sh.blocks_base slot) []
+
+let pack_slot space packing p (th : Thread.t) slot =
+  let size = Sh.read_size space slot in
+  Pk.pack_int p slot;
+  Pk.pack_int p size;
+  match packing with
+  | Full_slots -> Pk.pack_bytes p (As.load_bytes space slot size)
+  | Blocks_only ->
+    (* Header verbatim (carries the chain links and kind). *)
+    Pk.pack_bytes p (As.load_bytes space slot Sh.size_of_header);
+    (match Sh.read_kind space slot with
+     | Sh.Stack ->
+       (* Only the live region [sp, stack top) is meaningful. *)
+       let sp = th.ctx.Interp.sp in
+       let top = slot + size in
+       if sp < slot + Sh.size_of_header || sp > top then
+         failwith (Printf.sprintf "Migration: stack pointer 0x%x outside stack slot" sp);
+       Pk.pack_int p 1; (* tag: stack payload *)
+       Pk.pack_int p (sp - slot);
+       Pk.pack_bytes p (As.load_bytes space sp (top - sp))
+     | Sh.Data ->
+       Pk.pack_int p 0; (* tag: block list *)
+       let blocks = used_blocks space slot in
+       Pk.pack_list p
+         (fun (off, bsize) ->
+            Pk.pack_int p off;
+            Pk.pack_bytes p (As.load_bytes space (slot + off) bsize))
+         blocks)
+
+(* Rebuild the free blocks of a data slot from the gaps between its used
+   blocks, relinking the per-slot free list. *)
+let rebuild_free_list space slot size used =
+  Sh.write_free_head space slot 0;
+  let link b =
+    let head = Sh.read_free_head space slot in
+    B.write_next_free space b head;
+    B.write_prev_free space b 0;
+    if head <> 0 then B.write_prev_free space head b;
+    Sh.write_free_head space slot b
+  in
+  let gaps = ref [] in
+  let mk_free off len = if len > 0 then gaps := (off, len) :: !gaps in
+  let cursor = ref Sh.size_of_header in
+  List.iter
+    (fun (off, bsize) ->
+       mk_free !cursor (off - !cursor);
+       cursor := off + bsize)
+    used;
+  mk_free !cursor (size - !cursor);
+  (* [gaps] is in descending address order; linking each at the front
+     leaves the free list in ascending address order, so post-migration
+     first-fit keeps preferring low addresses. *)
+  List.iter
+    (fun (off, len) ->
+       let b = slot + off in
+       B.write_tags space b ~size:len ~used:false;
+       link b)
+    !gaps
+
+let unpack_slot space u =
+  let slot = Pk.unpack_int u in
+  let size = Pk.unpack_int u in
+  As.mmap space ~addr:slot ~size;
+  let full_or_header = Pk.unpack_bytes u in
+  if Bytes.length full_or_header = size then begin
+    (* Full_slots image. *)
+    As.store_bytes space slot full_or_header;
+    (slot, size)
+  end
+  else begin
+    As.store_bytes space slot full_or_header;
+    (match Pk.unpack_int u with
+     | 1 ->
+       let sp_off = Pk.unpack_int u in
+       let live = Pk.unpack_bytes u in
+       As.store_bytes space (slot + sp_off) live
+     | 0 ->
+       let used =
+         Pk.unpack_list u (fun () ->
+             let off = Pk.unpack_int u in
+             let data = Pk.unpack_bytes u in
+             As.store_bytes space (slot + off) data;
+             (off, Bytes.length data))
+       in
+       rebuild_free_list space slot size used
+     | tag -> invalid_arg (Printf.sprintf "Migration.unpack: bad slot tag %d" tag));
+    (slot, size)
+  end
+
+let pack ~geometry ~cost ~space ~packing (th : Thread.t) =
+  ignore geometry;
+  let slots = Sh.chain_to_list space ~head:th.slots_head in
+  let p = Pk.packer () in
+  pack_descriptor p th;
+  Pk.pack_int p (List.length slots);
+  List.iter (fun slot -> pack_slot space packing p th slot) slots;
+  (* Free the source memory: the slots stay owned by the thread (bitmaps
+     untouched), but their pages leave this node. *)
+  let munmap_total = ref 0. in
+  List.iter
+    (fun slot ->
+       let size = Sh.read_size space slot in
+       As.munmap space ~addr:slot ~size;
+       munmap_total := !munmap_total +. Cm.munmap_cost cost ~pages:(size / Layout.page_size))
+    slots;
+  let buffer = Pk.contents p in
+  let pack_cost =
+    cost.Cm.context_switch (* freeze *)
+    +. Cm.memcpy_cost cost ~bytes:(Bytes.length buffer)
+    +. !munmap_total
+  in
+  { buffer; pack_cost }
+
+let unpack ~geometry ~cost ~space (th : Thread.t) buffer =
+  ignore geometry;
+  let u = Pk.unpacker buffer in
+  unpack_descriptor u th;
+  let nslots = Pk.unpack_int u in
+  let mmap_total = ref 0. in
+  for _ = 1 to nslots do
+    let _slot, size = unpack_slot space u in
+    (* Mapping cost without the zero-fill term: every useful page is
+       populated by the copy-in, which is charged as memcpy. *)
+    mmap_total :=
+      !mmap_total +. cost.Cm.mmap_base
+      +. (float_of_int (size / Layout.page_size) *. cost.Cm.mmap_per_page)
+  done;
+  if Pk.remaining u <> 0 then invalid_arg "Migration.unpack: trailing bytes";
+  !mmap_total
+  +. Cm.memcpy_cost cost ~bytes:(Bytes.length buffer)
+  +. cost.Cm.context_switch (* resume *)

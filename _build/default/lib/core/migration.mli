@@ -1,0 +1,52 @@
+(** Iso-address migration: pack / transfer / unpack (paper, §2 and §4).
+
+    The migration operation is carried out in three steps:
+
+    + the thread is frozen and its resources (descriptor + slots) are
+      copied into a communication buffer; the memory areas are unmapped;
+    + the buffer travels to the destination node;
+    + the destination maps memory {e at the same virtual addresses},
+      copies the resources back, and resumes the thread.
+
+    Two packing strategies are provided (ablation A2): {!Full_slots} ships
+    every byte of every slot; {!Blocks_only} is the paper's §6
+    optimization — only the header, the live stack region and the
+    internally allocated blocks of each slot are sent, and the free blocks
+    are reconstructed from the gaps on arrival. *)
+
+type packing =
+  | Blocks_only
+  | Full_slots
+
+type packed = {
+  buffer : Bytes.t; (* what travels on the wire *)
+  pack_cost : float; (* freeze + copy-out + unmapping, µs *)
+}
+
+(** [pack ~geometry ~cost ~space ~packing thread] freezes [thread], packs
+    its resources, and unmaps its slots from [space]. After this the
+    thread's memory exists only in the buffer. *)
+val pack :
+  geometry:Slot.t ->
+  cost:Pm2_sim.Cost_model.t ->
+  space:Pm2_vmem.Address_space.t ->
+  packing:packing ->
+  Thread.t ->
+  packed
+
+(** [unpack ~geometry ~cost ~space thread buffer] maps every packed slot at
+    its original address in [space], restores the contents, and overwrites
+    [thread]'s descriptor fields (context, slot list head, registered
+    pointers) from the wire image. Returns the unpack cost in µs.
+    @raise Invalid_argument on a corrupt buffer.
+    @raise Invalid_argument if some target page is already mapped — i.e.
+    the iso-address discipline was violated. *)
+val unpack :
+  geometry:Slot.t ->
+  cost:Pm2_sim.Cost_model.t ->
+  space:Pm2_vmem.Address_space.t ->
+  Thread.t ->
+  Bytes.t ->
+  float
+
+val packing_to_string : packing -> string

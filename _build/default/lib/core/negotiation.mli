@@ -1,0 +1,79 @@
+(** The global slot-negotiation protocol (paper, §4.4).
+
+    When a node cannot serve a multi-slot request from its own bitmap (or
+    has run out of slots entirely), it:
+
+    + enters a system-wide critical section,
+    + gathers the bitmaps of all nodes,
+    + computes their global OR,
+    + finds the first run of [n] contiguous available slots (first-fit) and
+      buys the non-local ones (bit set in the requester's bitmap, cleared
+      in each original owner's),
+    + scatters the updated bitmaps back,
+    + exits the critical section.
+
+    State changes are applied synchronously against the simulator; the
+    {e duration} is modelled from the message sequence over the network
+    cost model and returned to the caller, which either charges it (host
+    mode) or blocks the calling thread for it (syscall mode). The critical
+    section is a FIFO lock: concurrent negotiations serialise through
+    {!acquire_slot_lock}. The paper measures 255 µs for 2 nodes on
+    BIP/Myrinet, +165 µs per extra node — the defaults of
+    {!Pm2_sim.Cost_model} reproduce those values. *)
+
+type t
+
+type result = {
+  start : int option; (* first slot of the purchased run; None = no run *)
+  duration : float; (* modelled protocol time, µs *)
+  bought : int; (* slots whose ownership moved to the requester *)
+}
+
+val create : geometry:Slot.t -> mgrs:Slot_manager.t array -> net:Pm2_net.Network.t -> t
+
+(** [execute t ~requester ~n] runs one negotiation on behalf of node
+    [requester] for [n] contiguous slots. Ownership changes are applied
+    before returning. Even a failed search costs the full protocol time.
+    Network counters are updated ([record_virtual]).
+
+    [prebuy] (default 0) implements the paper's §4.4 remark that a node
+    may "take advantage of a negotiation phase to pre-buy slots in
+    prevision of foreseeable large allocation requests": up to [prebuy]
+    extra free slots contiguous with the purchased run are bought in the
+    same critical section, at no extra protocol cost. *)
+val execute : ?prebuy:int -> t -> requester:int -> n:int -> result
+
+(** [restructure t] implements the paper's other §4.4 remark: a global
+    exchange phase that "completely restructure[s] the slot distribution
+    at the system level, [...] grouping contiguous free slots as much as
+    possible on the various nodes". All free slots are redistributed so
+    that each node owns one contiguous range (in address order, sized
+    proportionally to what it owned before); busy slots are untouched.
+    Returns [(slots moved, modelled duration)]. *)
+val restructure : t -> int * float
+
+(** Largest run of contiguous owned-free slots on [node] — the metric
+    restructuring improves. *)
+val largest_local_run : t -> node:int -> int
+
+(** [duration_model t ~nodes] is the modelled protocol time for a
+    [nodes]-node configuration (used by T2 to print the series without
+    running allocations). *)
+val duration_model : t -> nodes:int -> float
+
+(** {1 Critical-section serialisation}
+
+    [acquire_slot_lock t ~now ~duration] reserves the system-wide critical
+    section starting no earlier than [now] and returns the absolute time at
+    which this negotiation {e completes}; later callers queue FIFO behind
+    it. *)
+val acquire_slot_lock : t -> now:float -> duration:float -> float
+
+(** {1 Statistics} *)
+
+val count : t -> int
+val durations : t -> Pm2_util.Stats.Acc.t
+
+(** The iso-address discipline: no slot may appear in two nodes' bitmaps
+    (slots held by threads appear in none). @raise Failure on violation. *)
+val check_global_invariant : t -> unit

@@ -1,0 +1,36 @@
+(** One node of a PM2 configuration: the container (heavy) process.
+
+    "In a PM2 application, there is a single (heavy) process running at
+    each node [...] We often identify this container process with the node
+    running it." (§2). A node bundles the simulated address space, the
+    local heap, the slot manager, the run queue of its scheduler and a
+    virtual-CPU-time accumulator into which all runtime work is charged. *)
+
+type t = {
+  id : int;
+  space : Pm2_vmem.Address_space.t;
+  heap : Pm2_heap.Malloc.t;
+  mgr : Slot_manager.t;
+  queue : Thread.t Pm2_util.Dlist.t;
+  mutable tick_scheduled : bool;
+  mutable charged : float; (* accumulated CPU cost, drained per quantum *)
+  prng : Pm2_util.Prng.t;
+}
+
+val create :
+  id:int ->
+  cost:Pm2_sim.Cost_model.t ->
+  geometry:Slot.t ->
+  bitmap:Pm2_util.Bitset.t ->
+  cache_capacity:int ->
+  seed:int ->
+  t
+
+(** Add virtual CPU time to the node's accumulator. *)
+val charge : t -> float -> unit
+
+(** Read and reset the accumulator. *)
+val take_charges : t -> float
+
+(** Number of runnable threads currently queued. *)
+val load : t -> int

@@ -1,0 +1,40 @@
+let build f =
+  let b = Pm2_mvm.Asm.create () in
+  f b;
+  Pm2_mvm.Asm.assemble b
+
+let launch ?config program ~spawns =
+  let nodes =
+    (* At least two nodes: every paper scenario migrates to node 1. *)
+    List.fold_left (fun acc (node, _, _) -> max acc (node + 1)) 2 spawns
+  in
+  let config =
+    match config with Some c -> c | None -> Cluster.default_config ~nodes
+  in
+  let cluster = Cluster.create config program in
+  List.iter
+    (fun (node, entry, arg) -> ignore (Cluster.spawn cluster ~node ~entry ~arg ()))
+    spawns;
+  cluster
+
+let run_to_completion ?config ?until program ~entry ?(arg = 0) () =
+  let config =
+    match config with Some c -> c | None -> Cluster.default_config ~nodes:2
+  in
+  let cluster = launch ~config program ~spawns:[ (0, entry, arg) ] in
+  ignore (Cluster.run ?until cluster);
+  Pm2_sim.Trace.lines (Cluster.trace cluster)
+
+let migration_latency cluster i =
+  let ms = Cluster.migrations cluster in
+  match List.nth_opt ms i with
+  | Some m -> m.Cluster.resumed -. m.Cluster.started
+  | None -> invalid_arg "Pm2.migration_latency: index out of range"
+
+let mean_migration_latency cluster =
+  match Cluster.migrations cluster with
+  | [] -> None
+  | ms ->
+    Some
+      (Pm2_util.Stats.mean
+         (List.map (fun m -> m.Cluster.resumed -. m.Cluster.started) ms))

@@ -1,0 +1,42 @@
+(** High-level PM2 facade.
+
+    The full machinery lives in the sibling modules ({!Cluster},
+    {!Iso_heap}, {!Migration}, {!Negotiation}, ...); this module offers the
+    few-line entry points used by the examples and benches:
+
+    {[
+      let program = Pm2.build (fun b -> Pm2_mvm.Asm.proc b "main" my_main) in
+      let lines = Pm2.run_to_completion ~nodes:2 program ~entry:"main" in
+      List.iter print_endline lines
+    ]} *)
+
+(** [build f] assembles a program: [f] receives a fresh assembler. *)
+val build : (Pm2_mvm.Asm.t -> unit) -> Pm2_mvm.Program.t
+
+(** [launch ?config program ~spawns] boots a cluster and spawns one thread
+    per [(node, entry, arg)] triple. The cluster is returned un-run, so
+    callers can attach balancers or monitors before {!Cluster.run}. *)
+val launch :
+  ?config:Cluster.config ->
+  Pm2_mvm.Program.t ->
+  spawns:(int * string * int) list ->
+  Cluster.t
+
+(** [run_to_completion ?config ?until program ~entry ?arg ()] spawns a
+    single thread of [entry] on node 0, runs the simulation, and returns
+    the [pm2_printf] output lines (paper-style ["[node0] ..."]). *)
+val run_to_completion :
+  ?config:Cluster.config ->
+  ?until:float ->
+  Pm2_mvm.Program.t ->
+  entry:string ->
+  ?arg:int ->
+  unit ->
+  string list
+
+(** Migration latency (resume − freeze) of the [i]-th completed migration,
+    in virtual µs. @raise Invalid_argument if out of range. *)
+val migration_latency : Cluster.t -> int -> float
+
+(** Mean migration latency over all completed migrations; [None] if none. *)
+val mean_migration_latency : Cluster.t -> float option

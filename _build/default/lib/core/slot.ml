@@ -1,0 +1,30 @@
+module Layout = Pm2_vmem.Layout
+
+type t = {
+  slot_size : int;
+  count : int;
+}
+
+let make ~slot_size =
+  if slot_size <= 0 || slot_size mod Layout.page_size <> 0 then
+    invalid_arg "Slot.make: slot size must be a positive multiple of the page size";
+  if Layout.iso_size mod slot_size <> 0 then
+    invalid_arg "Slot.make: slot size must divide the iso-address area size";
+  { slot_size; count = Layout.iso_size / slot_size }
+
+let default = make ~slot_size:(64 * 1024)
+
+let base t i =
+  if i < 0 || i >= t.count then invalid_arg (Printf.sprintf "Slot.base: bad index %d" i);
+  Layout.iso_base + (i * t.slot_size)
+
+let index t addr =
+  if not (Layout.in_iso_area addr) then
+    invalid_arg (Printf.sprintf "Slot.index: 0x%x outside the iso-address area" addr);
+  (addr - Layout.iso_base) / t.slot_size
+
+let pages_per_slot t = t.slot_size / Layout.page_size
+
+let bitmap_bytes t = (t.count + 7) / 8
+
+let slots_for t bytes = max 1 ((bytes + t.slot_size - 1) / t.slot_size)

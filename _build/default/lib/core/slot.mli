@@ -1,0 +1,37 @@
+(** Slot geometry (paper, §3.2).
+
+    The iso-address area is divided into fixed-size virtual address slots,
+    "very much like memory pages at the node level". The paper fixes the
+    slot size at 64 KB (16 pages) so that a thread stack fits in one slot
+    and thread creation never needs a negotiation; we keep the size a
+    parameter so the slot-size ablation (experiment A5) can sweep it. *)
+
+type t = private {
+  slot_size : int; (* bytes; a positive multiple of the page size *)
+  count : int; (* number of slots in the iso-address area *)
+}
+
+(** [make ~slot_size] — @raise Invalid_argument if [slot_size] is not a
+    positive multiple of the page size or does not divide the area size. *)
+val make : slot_size:int -> t
+
+(** The paper's geometry: 64 KB slots over the 3.5 GB area → 57 344 slots,
+    7 KB bitmaps. *)
+val default : t
+
+(** [base t i] is the first virtual address of slot [i]. *)
+val base : t -> int -> Pm2_vmem.Layout.addr
+
+(** [index t addr] is the slot containing [addr].
+    @raise Invalid_argument if [addr] is outside the iso-address area. *)
+val index : t -> Pm2_vmem.Layout.addr -> int
+
+val pages_per_slot : t -> int
+
+val bitmap_bytes : t -> int
+(** Size of a per-node slot bitmap — what a negotiation gather/scatter
+    moves per node (7 KB with the default geometry, as in §4.2). *)
+
+(** [slots_for t bytes] is the number of contiguous slots needed to hold
+    [bytes] (at least 1). *)
+val slots_for : t -> int -> int

@@ -1,0 +1,179 @@
+module As = Pm2_vmem.Address_space
+module Cm = Pm2_sim.Cost_model
+module Bitset = Pm2_util.Bitset
+module Vec = Pm2_util.Vec
+
+type stats = {
+  mutable acquires : int;
+  mutable cache_hits : int;
+  mutable releases : int;
+  mutable mmap_count : int;
+  mutable munmap_count : int;
+  mutable steals : int;
+  mutable grants : int;
+}
+
+type t = {
+  node : int;
+  geometry : Slot.t;
+  space : As.t;
+  cost : Cm.t;
+  charge : float -> unit;
+  bitmap : Bitset.t;
+  cache : int Vec.t; (* LIFO stack of cached slot indices (lazy deletion) *)
+  cache_set : (int, unit) Hashtbl.t;
+  cache_capacity : int;
+  stats : stats;
+}
+
+let create ~node ~geometry ~space ~cost ~charge ~bitmap ~cache_capacity =
+  if Bitset.length bitmap <> geometry.Slot.count then
+    invalid_arg "Slot_manager.create: bitmap size mismatch";
+  {
+    node;
+    geometry;
+    space;
+    cost;
+    charge;
+    bitmap;
+    cache = Vec.create ();
+    cache_set = Hashtbl.create 16;
+    cache_capacity;
+    stats =
+      {
+        acquires = 0;
+        cache_hits = 0;
+        releases = 0;
+        mmap_count = 0;
+        munmap_count = 0;
+        steals = 0;
+        grants = 0;
+      };
+  }
+
+let node t = t.node
+let geometry t = t.geometry
+let stats t = t.stats
+let owned t = Bitset.count t.bitmap
+let owns_free t i = Bitset.get t.bitmap i
+let bitmap t = t.bitmap
+
+let mmap_slot_range t ~start ~n =
+  As.mmap t.space ~addr:(Slot.base t.geometry start) ~size:(n * t.geometry.Slot.slot_size);
+  t.stats.mmap_count <- t.stats.mmap_count + 1;
+  t.charge (Cm.mmap_cost t.cost ~pages:(n * Slot.pages_per_slot t.geometry))
+
+let munmap_slot t i =
+  As.munmap t.space ~addr:(Slot.base t.geometry i) ~size:t.geometry.Slot.slot_size;
+  t.stats.munmap_count <- t.stats.munmap_count + 1;
+  t.charge (Cm.munmap_cost t.cost ~pages:(Slot.pages_per_slot t.geometry))
+
+(* Pop a live cache entry, skipping lazily deleted ones. *)
+let rec cache_pop t =
+  if Vec.is_empty t.cache then None
+  else begin
+    let i = Vec.pop t.cache in
+    if Hashtbl.mem t.cache_set i then begin
+      Hashtbl.remove t.cache_set i;
+      Some i
+    end
+    else cache_pop t
+  end
+
+let cache_remove t i = Hashtbl.remove t.cache_set i
+
+let cache_member t i = Hashtbl.mem t.cache_set i
+
+let cache_push t i =
+  Vec.push t.cache i;
+  Hashtbl.replace t.cache_set i ()
+
+let acquire_local t =
+  t.stats.acquires <- t.stats.acquires + 1;
+  match cache_pop t with
+  | Some i ->
+    (* Cached slots are still marked free in the bitmap; claim it. *)
+    Bitset.clear t.bitmap i;
+    t.stats.cache_hits <- t.stats.cache_hits + 1;
+    t.charge t.cost.Cm.slot_cache_hit;
+    Some i
+  | None ->
+    (match Bitset.first_set t.bitmap with
+     | None -> None
+     | Some i ->
+       Bitset.clear t.bitmap i;
+       mmap_slot_range t ~start:i ~n:1;
+       Some i)
+
+let find_local_run t n =
+  t.charge (float_of_int (Bitset.byte_size t.bitmap) *. t.cost.Cm.bitmap_scan_per_byte);
+  Bitset.find_run t.bitmap n
+
+let acquire_run t ~start ~n =
+  for i = start to start + n - 1 do
+    if not (Bitset.get t.bitmap i) then
+      invalid_arg (Printf.sprintf "Slot_manager.acquire_run: slot %d not owned" i)
+  done;
+  t.stats.acquires <- t.stats.acquires + 1;
+  Bitset.clear_range t.bitmap start n;
+  (* Map the run, reusing cached mappings and grouping the fresh mmaps. *)
+  let i = ref start in
+  while !i < start + n do
+    if cache_member t !i then begin
+      cache_remove t !i;
+      t.stats.cache_hits <- t.stats.cache_hits + 1;
+      t.charge t.cost.Cm.slot_cache_hit;
+      incr i
+    end
+    else begin
+      let first = !i in
+      while !i < start + n && not (cache_member t !i) do incr i done;
+      mmap_slot_range t ~start:first ~n:(!i - first)
+    end
+  done
+
+let release t i =
+  if Bitset.get t.bitmap i then
+    invalid_arg (Printf.sprintf "Slot_manager.release: slot %d already free here" i);
+  t.stats.releases <- t.stats.releases + 1;
+  Bitset.set t.bitmap i;
+  if Hashtbl.length t.cache_set < t.cache_capacity then cache_push t i
+  else munmap_slot t i
+
+let release_run t ~start ~n =
+  for i = start to start + n - 1 do
+    release t i
+  done
+
+let steal t i =
+  if not (Bitset.get t.bitmap i) then
+    invalid_arg (Printf.sprintf "Slot_manager.steal: slot %d not owned" i);
+  Bitset.clear t.bitmap i;
+  t.stats.steals <- t.stats.steals + 1;
+  if cache_member t i then begin
+    cache_remove t i;
+    munmap_slot t i
+  end
+
+let grant t i =
+  if Bitset.get t.bitmap i then
+    invalid_arg (Printf.sprintf "Slot_manager.grant: slot %d already owned" i);
+  Bitset.set t.bitmap i;
+  t.stats.grants <- t.stats.grants + 1
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let live = ref 0 in
+  Hashtbl.iter
+    (fun i () ->
+       incr live;
+       if not (Bitset.get t.bitmap i) then fail "cached slot %d is not owned" i;
+       if not (As.is_mapped t.space (Slot.base t.geometry i)) then
+         fail "cached slot %d is not mapped" i)
+    t.cache_set;
+  if !live > t.cache_capacity then fail "cache over capacity (%d > %d)" !live t.cache_capacity;
+  Bitset.iter_set
+    (fun i ->
+       if (not (cache_member t i)) && As.is_mapped t.space (Slot.base t.geometry i) then
+         fail "owned slot %d is mapped but not cached" i)
+    t.bitmap

@@ -1,0 +1,97 @@
+(** Per-node slot bookkeeping (paper, §4.2 "Managing slots").
+
+    Each node tracks the slots it owns with a private bitmap: bit set ⇔
+    the slot is owned by this node {e and} free. A clear bit means the slot
+    belongs to another node (necessarily free there) or to some thread
+    (local or remote) — the node cannot tell, and never needs to.
+
+    Ownership movements implemented here:
+    - node → thread: {!acquire_local} / {!acquire_run} (bit 1 → 0, memory
+      mapped);
+    - thread → node: {!release} / {!release_run} (bit 0 → 1, memory kept in
+      the process-wide slot cache or unmapped);
+    - node → node (negotiation "buy"): {!steal} on the seller,
+      {!grant} on the buyer.
+
+    The slot cache is the paper's §6 optimization: released slots stay
+    mmapped, so the next acquisition at a cached address skips the mmap. *)
+
+type t
+
+type stats = {
+  mutable acquires : int;
+  mutable cache_hits : int;
+  mutable releases : int;
+  mutable mmap_count : int;
+  mutable munmap_count : int;
+  mutable steals : int; (* slots sold to another node *)
+  mutable grants : int; (* slots bought from other nodes *)
+}
+
+(** [create ~node ~geometry ~space ~cost ~charge ~bitmap ~cache_capacity].
+    [bitmap] is this node's share of the initial distribution (ownership is
+    taken over, not copied). [charge] receives virtual-time costs.
+    [cache_capacity = 0] disables the slot cache. *)
+val create :
+  node:int ->
+  geometry:Slot.t ->
+  space:Pm2_vmem.Address_space.t ->
+  cost:Pm2_sim.Cost_model.t ->
+  charge:(float -> unit) ->
+  bitmap:Pm2_util.Bitset.t ->
+  cache_capacity:int ->
+  t
+
+val node : t -> int
+val geometry : t -> Slot.t
+val stats : t -> stats
+
+(** Number of slots currently owned (and free). *)
+val owned : t -> int
+
+val owns_free : t -> int -> bool
+
+(** Read-only view of the ownership bitmap (negotiation gathers these). *)
+val bitmap : t -> Pm2_util.Bitset.t
+
+(** {1 node → thread} *)
+
+(** [acquire_local t] takes one owned slot (preferring cached ones), maps
+    its memory, and returns its index — or [None] if the node owns no slot
+    (the caller must then negotiate). *)
+val acquire_local : t -> int option
+
+(** [find_local_run t n] is the first-fit start of [n] contiguous owned
+    slots, charging the bitmap-scan cost — or [None]. *)
+val find_local_run : t -> int -> int option
+
+(** [acquire_run t ~start ~n] takes slots [start..start+n-1], all of which
+    must be owned, and maps the whole range.
+    @raise Invalid_argument if some slot of the run is not owned. *)
+val acquire_run : t -> start:int -> n:int -> unit
+
+(** {1 thread → node} *)
+
+(** [release t i] gives slot [i] (currently mapped, thread-owned) to this
+    node. The memory stays mapped if the cache has room, else is unmapped. *)
+val release : t -> int -> unit
+
+(** [release_run t ~start ~n] releases a merged slot, slot by slot. *)
+val release_run : t -> start:int -> n:int -> unit
+
+(** {1 node → node (negotiation)} *)
+
+(** [steal t i] removes owned slot [i] from this node (sold to a buyer);
+    unmaps it first if it sat in the cache.
+    @raise Invalid_argument if not owned. *)
+val steal : t -> int -> unit
+
+(** [grant t i] makes this node the owner of free slot [i] (bought).
+    @raise Invalid_argument if already owned. *)
+val grant : t -> int -> unit
+
+(** {1 Invariants (tests)} *)
+
+(** Cached slots are owned, mapped, and within capacity; owned non-cached
+    slots are unmapped. @raise Failure on violation. *)
+val check_invariants : t -> unit

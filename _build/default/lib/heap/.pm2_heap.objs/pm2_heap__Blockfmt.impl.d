@@ -1,0 +1,1 @@
+lib/heap/blockfmt.ml: Pm2_vmem Printf

@@ -1,0 +1,1 @@
+lib/heap/blockfmt.mli: Pm2_vmem

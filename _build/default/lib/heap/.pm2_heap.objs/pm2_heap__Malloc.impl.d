@@ -1,0 +1,1 @@
+lib/heap/malloc.ml: Blockfmt Hashtbl Pm2_sim Pm2_vmem Printf

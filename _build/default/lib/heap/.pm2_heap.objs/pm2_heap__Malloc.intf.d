@@ -1,0 +1,1 @@
+lib/heap/malloc.mli: Pm2_sim Pm2_vmem

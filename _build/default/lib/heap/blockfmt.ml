@@ -1,0 +1,44 @@
+module As = Pm2_vmem.Address_space
+
+type space = As.t
+
+type addr = Pm2_vmem.Layout.addr
+
+let header_size = 8
+let overhead = 16
+let min_block = 32
+
+let align n = (n + 7) land lnot 7
+
+let block_size_for ~payload = max min_block (align payload + overhead)
+
+let payload_of_block size = size - overhead
+
+let payload_addr b = b + header_size
+
+let block_of_payload p = p - header_size
+
+let used_bit = 1
+
+let read_size sp b = As.load_word sp b land lnot used_bit
+
+let read_used sp b = As.load_word sp b land used_bit <> 0
+
+let write_tags sp b ~size ~used =
+  if size land 7 <> 0 || size < min_block then
+    invalid_arg (Printf.sprintf "Blockfmt.write_tags: bad size %d" size);
+  let tag = size lor (if used then used_bit else 0) in
+  As.store_word sp b tag;
+  As.store_word sp (b + size - 8) tag
+
+let read_next_free sp b = As.load_word sp (b + 8)
+
+let write_next_free sp b v = As.store_word sp (b + 8) v
+
+let read_prev_free sp b = As.load_word sp (b + 16)
+
+let write_prev_free sp b v = As.store_word sp (b + 16) v
+
+let read_size_at_footer sp a = As.load_word sp (a - 8) land lnot used_bit
+
+let read_used_at_footer sp a = As.load_word sp (a - 8) land used_bit <> 0

@@ -1,0 +1,62 @@
+(** On-"disk" block format shared by the local-heap allocator and the
+    isomalloc block layer (paper, §3.3: blocks have headers storing their
+    size, plus free-list links for free blocks).
+
+    A block occupies [size] bytes ([size] is a multiple of 8, at least
+    {!min_block}):
+
+    {v
+      h          : header word  = size lor used-bit
+      h+8        : user payload (for a free block: next-free link)
+      h+16       :              (for a free block: prev-free link)
+      h+size-8   : footer word  = size lor used-bit
+    v}
+
+    The footer enables O(1) backwards coalescing (boundary tags). All words
+    live in simulated memory, so for isomalloc blocks they are migrated
+    verbatim by the iso-address copy and stay consistent. *)
+
+type space = Pm2_vmem.Address_space.t
+
+type addr = Pm2_vmem.Layout.addr
+
+val header_size : int
+(** 8 bytes before the payload. *)
+
+val overhead : int
+(** header + footer = 16 bytes. *)
+
+val min_block : int
+(** 32 bytes: overhead + room for the two free-list links. *)
+
+val align : int -> int
+(** Round a size up to a multiple of 8. *)
+
+(** [block_size_for ~payload] is the smallest valid block size able to hold
+    [payload] user bytes. *)
+val block_size_for : payload:int -> int
+
+val payload_of_block : int -> int
+val payload_addr : addr -> addr
+val block_of_payload : addr -> addr
+
+(** {1 Field access} *)
+
+val read_size : space -> addr -> int
+val read_used : space -> addr -> bool
+
+(** [write_tags sp b ~size ~used] writes both the header and footer. *)
+val write_tags : space -> addr -> size:int -> used:bool -> unit
+
+(** Free-list links (valid on free blocks only). 0 encodes nil. *)
+val read_next_free : space -> addr -> addr
+
+val write_next_free : space -> addr -> addr -> unit
+val read_prev_free : space -> addr -> addr
+val write_prev_free : space -> addr -> addr -> unit
+
+(** [read_size_at_footer sp a] decodes the block size from the footer word
+    stored at address [a - 8] (used to find the preceding block). *)
+val read_size_at_footer : space -> addr -> int
+
+val read_used_at_footer : space -> addr -> bool

@@ -1,0 +1,56 @@
+(** The node-local heap: a classic boundary-tag, first-fit [malloc]/[free]
+    with explicit doubly linked free list and sbrk-style growth.
+
+    This is the paper's comparison baseline (Fig. 11) and the allocator the
+    container (heavy) process itself uses. Data allocated here lives in the
+    local-heap segment, which does {e not} belong to the iso-address area:
+    it never follows a migrating thread, reproducing the failure of Figs. 4
+    and 9 when such data is accessed after migration.
+
+    Virtual-time costs (search steps, heap growth page faults) are reported
+    through a [charge] callback so the scheduler can account them to the
+    calling thread. *)
+
+type t
+
+type addr = Pm2_vmem.Layout.addr
+
+exception Out_of_memory
+
+(** [create space cost ~charge] sets up an empty heap in [space]'s
+    local-heap segment. [charge] receives virtual-time costs. *)
+val create :
+  Pm2_vmem.Address_space.t ->
+  Pm2_sim.Cost_model.t ->
+  charge:(float -> unit) ->
+  t
+
+(** [malloc t size] allocates [size] user bytes and returns the payload
+    address (8-aligned).
+    @raise Out_of_memory if the heap segment is exhausted.
+    @raise Invalid_argument if [size <= 0]. *)
+val malloc : t -> int -> addr
+
+(** [free t addr] releases a block previously returned by [malloc]
+    (coalescing with free neighbours).
+    @raise Invalid_argument if [addr] is not a live [malloc] payload. *)
+val free : t -> addr -> unit
+
+(** [usable_size t addr] is the payload capacity of the block. *)
+val usable_size : t -> addr -> int
+
+(** {1 Introspection (tests, benches)} *)
+
+val live_blocks : t -> int
+val live_bytes : t -> int
+(** User bytes currently allocated. *)
+
+val heap_bytes : t -> int
+(** Bytes of address space currently claimed from the segment (brk). *)
+
+val free_list_length : t -> int
+
+(** [check_invariants t] walks the whole arena and verifies tag coherence,
+    free-list integrity and full coalescing; raises [Failure] with a
+    diagnostic on corruption. Used by the property tests. *)
+val check_invariants : t -> unit

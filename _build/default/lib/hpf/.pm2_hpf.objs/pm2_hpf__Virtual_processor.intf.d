@@ -1,0 +1,1 @@
+lib/hpf/virtual_processor.mli: Pm2_core Pm2_loadbal Pm2_mvm

@@ -1,0 +1,195 @@
+open Pm2_mvm.Asm
+module Isa = Pm2_mvm.Isa
+module Cluster = Pm2_core.Cluster
+module Thread = Pm2_core.Thread
+module Interp = Pm2_mvm.Interp
+module Balancer = Pm2_loadbal.Balancer
+
+type placement =
+  | All_on_node0
+  | Block
+
+type config = {
+  vps : int;
+  elements_per_vp : int;
+  iterations : int;
+  nodes : int;
+  placement : placement;
+  policy : Balancer.policy option;
+  balancer_period : float;
+  scheme : Cluster.scheme;
+  cost_min : int;
+  cost_range : int;
+}
+
+let default_config =
+  {
+    vps = 12;
+    elements_per_vp = 64;
+    iterations = 6;
+    nodes = 4;
+    placement = All_on_node0;
+    policy = None;
+    balancer_period = 2_000.;
+    scheme = Cluster.Iso;
+    cost_min = 20;
+    cost_range = 100;
+  }
+
+type result = {
+  makespan : float;
+  migrations : int;
+  checksums_ok : bool;
+  final_imbalance : int;
+  cluster : Cluster.t;
+}
+
+let element_cost cfg vp i = cfg.cost_min + (((31 * vp) + (7 * i)) mod cfg.cost_range)
+
+let expected_checksum cfg vp =
+  let sum = ref 0 in
+  for i = 0 to cfg.elements_per_vp - 1 do
+    sum := !sum + element_cost cfg vp i
+  done;
+  !sum
+
+(* Spawn argument: ((vp * 4096 + elems) * 256 + iters) * 256 + barrier. *)
+let pack_arg cfg ~vp ~barrier =
+  ((((vp * 4096) + cfg.elements_per_vp) * 256) + cfg.iterations) * 256 + barrier
+
+let validate cfg =
+  if cfg.vps <= 0 || cfg.vps >= 4096 then invalid_arg "Virtual_processor: bad vps";
+  if cfg.elements_per_vp <= 0 || cfg.elements_per_vp >= 4096 then
+    invalid_arg "Virtual_processor: bad elements_per_vp";
+  if cfg.iterations <= 0 || cfg.iterations >= 256 then
+    invalid_arg "Virtual_processor: bad iterations";
+  if cfg.nodes < 2 then invalid_arg "Virtual_processor: need at least 2 nodes";
+  if cfg.cost_min < 0 || cfg.cost_range <= 0 then
+    invalid_arg "Virtual_processor: bad cost model"
+
+(* The virtual-processor body. Registers:
+   r12 vp id, r11 iterations left, r10 barrier, r9 elements, r8 chunk base,
+   r7 loop index, r6 accumulator/scratch, r5 scratch, r4 constants. *)
+let emit_vp cfg b =
+  let fmt_done = cstring b "vp %d finished on node %d" in
+  proc b "vp" (fun b ->
+      (* decode the packed argument *)
+      imm b r4 256;
+      mod_ b r10 r1 r4; (* barrier *)
+      div b r1 r1 r4;
+      mod_ b r11 r1 r4; (* iterations *)
+      div b r1 r1 r4;
+      imm b r4 4096;
+      mod_ b r9 r1 r4; (* elements *)
+      div b r12 r1 r4; (* vp id *)
+      (* chunk = pm2_isomalloc(8 * elements) *)
+      imm b r4 8;
+      mul b r1 r9 r4;
+      sys b Isa.Sys_isomalloc;
+      mov b r8 r0;
+      (* initialise: chunk[i] = cost_min + (31*vp + 7*i) mod range *)
+      imm b r7 0;
+      label b "vp.init";
+      bge b r7 r9 "vp.inited";
+      imm b r4 31;
+      mul b r5 r12 r4;
+      imm b r4 7;
+      mul b r6 r7 r4;
+      add b r5 r5 r6;
+      imm b r4 cfg.cost_range;
+      mod_ b r5 r5 r4;
+      addi b r5 r5 cfg.cost_min;
+      imm b r4 8;
+      mul b r6 r7 r4;
+      add b r6 r8 r6;
+      store b r5 r6 0;
+      addi b r7 r7 1;
+      jmp b "vp.init";
+      label b "vp.inited";
+      (* owner-computes sweeps, one barrier per iteration *)
+      label b "vp.iter";
+      imm b r4 0;
+      beq b r11 r4 "vp.done";
+      imm b r7 0;
+      label b "vp.sweep";
+      bge b r7 r9 "vp.swept";
+      imm b r4 8;
+      mul b r6 r7 r4;
+      add b r6 r8 r6;
+      load b r1 r6 0; (* the element's cost *)
+      sys b Isa.Sys_workload; (* compute on it *)
+      addi b r7 r7 1;
+      jmp b "vp.sweep";
+      label b "vp.swept";
+      mov b r1 r10;
+      sys b Isa.Sys_barrier;
+      addi b r11 r11 (-1);
+      jmp b "vp.iter";
+      label b "vp.done";
+      (* checksum the chunk: every byte must have survived migrations *)
+      imm b r6 0;
+      imm b r7 0;
+      label b "vp.sum";
+      bge b r7 r9 "vp.summed";
+      imm b r4 8;
+      mul b r5 r7 r4;
+      add b r5 r8 r5;
+      load b r5 r5 0;
+      add b r6 r6 r5;
+      addi b r7 r7 1;
+      jmp b "vp.sum";
+      label b "vp.summed";
+      sys b Isa.Sys_node;
+      mov b r3 r0;
+      mov b r2 r12;
+      imm b r1 fmt_done;
+      sys b Isa.Sys_print;
+      mov b r1 r8;
+      sys b Isa.Sys_isofree;
+      mov b r0 r6; (* exit value: the checksum *)
+      halt b)
+
+let program cfg =
+  validate cfg;
+  Pm2_core.Pm2.build (emit_vp cfg)
+
+let run cfg =
+  validate cfg;
+  let cluster =
+    Cluster.create
+      { (Cluster.default_config ~nodes:cfg.nodes) with Cluster.scheme = cfg.scheme }
+      (program cfg)
+  in
+  let barrier = Cluster.create_barrier cluster ~participants:cfg.vps in
+  let vps =
+    List.init cfg.vps (fun vp ->
+        let node = match cfg.placement with All_on_node0 -> 0 | Block -> vp mod cfg.nodes in
+        (vp, Cluster.spawn cluster ~node ~entry:"vp" ~arg:(pack_arg cfg ~vp ~barrier) ()))
+  in
+  (match cfg.policy with
+   | Some policy -> ignore (Balancer.attach cluster ~policy ~period:cfg.balancer_period)
+   | None -> ());
+  let makespan = Cluster.run cluster in
+  Cluster.check_invariants cluster;
+  let checksums_ok =
+    List.for_all
+      (fun (vp, (th : Thread.t)) ->
+         Thread.is_exited th
+         && th.Thread.ctx.Interp.regs.(0) = expected_checksum cfg vp)
+      vps
+  in
+  let placements = Array.make cfg.nodes 0 in
+  List.iter
+    (fun (_, (th : Thread.t)) ->
+       placements.(th.Thread.node) <- placements.(th.Thread.node) + 1)
+    vps;
+  let final_imbalance =
+    Array.fold_left max 0 placements - Array.fold_left min max_int placements
+  in
+  {
+    makespan;
+    migrations = List.length (Cluster.migrations cluster);
+    checksums_ok;
+    final_imbalance;
+    cluster;
+  }

@@ -1,0 +1,62 @@
+(** Data-parallel virtual processors over PM2 — the paper's motivating
+    application.
+
+    "Our interest in iso-address allocation and migration stems from
+    data-parallel compiling." (§1) PM2 served as the runtime of two HPF
+    compilers whose {e virtual processors} are PM2 threads: each owns a
+    block of a distributed array, allocated with [pm2_isomalloc] so that
+    load balancing can move a virtual processor — data and all — with one
+    transparent migration (Perez, HIPS'97; §6 of the paper).
+
+    This module is that runtime layer in miniature: [run] builds a guest
+    program in which every virtual processor isomallocs its array chunk,
+    initialises it with a deterministic per-element cost, then executes
+    [iterations] owner-computes sweeps separated by global barriers. A
+    load balancer may migrate virtual processors between sweeps. At the
+    end each VP checksums its chunk (catching any byte lost in
+    migration) and exits with the checksum, which [run] verifies against
+    the host-side expectation. *)
+
+type placement =
+  | All_on_node0 (* worst case: the whole array starts on one node *)
+  | Block (* VPs dealt out round-robin at start-up *)
+
+type config = {
+  vps : int; (* virtual processors; < 4096 *)
+  elements_per_vp : int; (* array elements per VP; < 4096 *)
+  iterations : int; (* owner-computes sweeps; < 256 *)
+  nodes : int;
+  placement : placement;
+  policy : Pm2_loadbal.Balancer.policy option; (* None = no balancing *)
+  balancer_period : float;
+      (* µs between balancing rounds; barrier-synchronised programs favour
+         long periods — instantaneous queue lengths are noisy near
+         barriers *)
+  scheme : Pm2_core.Cluster.scheme;
+      (* Iso (default) or Relocating — under the legacy scheme VP
+         migrations abort, because the array chunks cannot move *)
+  cost_min : int; (* per-element work, µs *)
+  cost_range : int; (* element i of VP v costs cost_min + (31v + 7i) mod range *)
+}
+
+val default_config : config
+(** 12 VPs × 64 elements × 6 iterations on 4 nodes, all starting on
+    node 0, 20 + (0..100) µs per element, no balancing. *)
+
+type result = {
+  makespan : float; (* virtual µs to complete all sweeps *)
+  migrations : int; (* completed VP migrations *)
+  checksums_ok : bool; (* every chunk intact after every migration *)
+  final_imbalance : int; (* |max - min| VPs per node at the end *)
+  cluster : Pm2_core.Cluster.t; (* for further inspection *)
+}
+
+(** [run config] executes the program and verifies the checksums.
+    @raise Invalid_argument if a config field is out of range. *)
+val run : config -> result
+
+(** The guest image used by [run] (exposed for tests; entry ["vp"]). *)
+val program : config -> Pm2_mvm.Program.t
+
+(** Host-side expected checksum of VP [v] (the sum of its element costs). *)
+val expected_checksum : config -> int -> int

@@ -1,0 +1,1 @@
+lib/loadbal/balancer.ml: Array List Pm2_core Pm2_sim Printf

@@ -1,0 +1,1 @@
+lib/loadbal/balancer.mli: Pm2_core

@@ -1,0 +1,125 @@
+module Engine = Pm2_sim.Engine
+module Cluster = Pm2_core.Cluster
+module Thread = Pm2_core.Thread
+
+type policy =
+  | Threshold of { high : int; low : int }
+  | Least_loaded
+  | Round_robin_spread
+
+type stats = {
+  mutable decisions : int;
+  mutable migrations_requested : int;
+}
+
+type t = {
+  cluster : Cluster.t;
+  policy : policy;
+  period : float;
+  stats : stats;
+}
+
+let policy_to_string = function
+  | Threshold { high; low } -> Printf.sprintf "threshold(high=%d,low=%d)" high low
+  | Least_loaded -> "least-loaded"
+  | Round_robin_spread -> "round-robin-spread"
+
+let loads cluster =
+  Array.init (Cluster.node_count cluster) (fun i -> Cluster.node_load cluster i)
+
+let imbalance cluster =
+  let l = loads cluster in
+  Array.fold_left max 0 l - Array.fold_left min max_int l
+
+let argmax a =
+  let best = ref 0 in
+  Array.iteri (fun i v -> if v > a.(!best) then best := i) a;
+  !best
+
+let argmin a =
+  let best = ref 0 in
+  Array.iteri (fun i v -> if v < a.(!best) then best := i) a;
+  !best
+
+(* Runnable threads currently placed on [node] (ready in its queue). *)
+let movable_threads cluster node =
+  List.filter
+    (fun (th : Thread.t) ->
+       th.Thread.node = node
+       && th.Thread.state = Thread.Ready
+       && th.Thread.pending_migration = None)
+    (Cluster.threads cluster)
+
+let request t th ~dest =
+  Cluster.request_migration t.cluster th ~dest;
+  t.stats.migrations_requested <- t.stats.migrations_requested + 1
+
+(* One balancing round; [true] if at least one migration was requested. *)
+let balance_once t =
+  let l = loads t.cluster in
+  let nodes = Array.length l in
+  if nodes < 2 then false
+  else begin
+    let requested = ref 0 in
+    (match t.policy with
+     | Threshold { high; low } ->
+       Array.iteri
+         (fun src load ->
+            if load > high then begin
+              let excess = ref (load - high) in
+              let victims = movable_threads t.cluster src in
+              List.iter
+                (fun th ->
+                   if !excess > 0 then begin
+                     let dst = argmin l in
+                     if dst <> src && l.(dst) < low then begin
+                       request t th ~dest:dst;
+                       l.(dst) <- l.(dst) + 1;
+                       l.(src) <- l.(src) - 1;
+                       decr excess;
+                       incr requested
+                     end
+                   end)
+                victims
+            end)
+         l
+     | Least_loaded ->
+       let src = argmax l and dst = argmin l in
+       if src <> dst && l.(src) - l.(dst) > 1 then begin
+         match movable_threads t.cluster src with
+         | th :: _ ->
+           request t th ~dest:dst;
+           incr requested
+         | [] -> ()
+       end
+     | Round_robin_spread ->
+       let src = argmax l in
+       if l.(src) > 1 then begin
+         let victims = movable_threads t.cluster src in
+         List.iteri
+           (fun i th ->
+              let dst = i mod nodes in
+              if dst <> src then begin
+                request t th ~dest:dst;
+                incr requested
+              end)
+           victims
+       end);
+    if !requested > 0 then t.stats.decisions <- t.stats.decisions + 1;
+    !requested > 0
+  end
+
+let attach cluster ~policy ~period =
+  if period <= 0. then invalid_arg "Balancer.attach: period <= 0";
+  let t = { cluster; policy; period; stats = { decisions = 0; migrations_requested = 0 } } in
+  let engine = Cluster.engine cluster in
+  let rec wake () =
+    if Cluster.live_threads cluster > 0 then begin
+      ignore (balance_once t);
+      Engine.schedule_after engine ~delay:period wake
+    end
+  in
+  Engine.schedule_after engine ~delay:period wake;
+  t
+
+let stats t = t.stats

@@ -1,0 +1,41 @@
+(** Dynamic load balancing on top of preemptive migration.
+
+    The paper's motivation (§1–2): "a generic module implemented outside
+    the running application could balance the load by migrating the
+    application threads. The threads are unaware of their being migrated."
+    This module is that generic module: it periodically observes each
+    node's run-queue length and, according to a policy, requests preemptive
+    migrations of runnable threads from overloaded to underloaded nodes —
+    exercising exactly the transparency property the iso-address scheme
+    provides. *)
+
+type policy =
+  | Threshold of { high : int; low : int }
+      (* a node with load > high sheds threads to the least-loaded node
+         while that node's load < low *)
+  | Least_loaded
+      (* move one thread per period from the most- to the least-loaded
+         node when the spread exceeds 1 *)
+  | Round_robin_spread
+      (* spread the threads of the most-loaded node round-robin (the
+         static policy of naive runtimes; kept as a baseline) *)
+
+type stats = {
+  mutable decisions : int; (* balancing rounds that migrated something *)
+  mutable migrations_requested : int;
+}
+
+type t
+
+(** [attach cluster ~policy ~period] installs a balancer that wakes every
+    [period] virtual µs while the cluster has live threads. Returns the
+    balancer handle (for stats). *)
+val attach : Pm2_core.Cluster.t -> policy:policy -> period:float -> t
+
+val stats : t -> stats
+
+val policy_to_string : policy -> string
+
+(** [imbalance cluster] is [max load - min load] across nodes, a simple
+    scalar the experiments report. *)
+val imbalance : Pm2_core.Cluster.t -> int

@@ -1,0 +1,1 @@
+lib/mvm/asm.ml: Buffer Bytes Hashtbl Isa List Pm2_util Pm2_vmem Printf Program

@@ -1,0 +1,1 @@
+lib/mvm/asm.mli: Isa Program

@@ -1,0 +1,1 @@
+lib/mvm/interp.ml: Array Format Isa Pm2_vmem Program

@@ -1,0 +1,1 @@
+lib/mvm/interp.mli: Format Isa Pm2_vmem Program

@@ -1,0 +1,1 @@
+lib/mvm/isa.ml: Format

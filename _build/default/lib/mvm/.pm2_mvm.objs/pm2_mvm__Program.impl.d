@@ -1,0 +1,1 @@
+lib/mvm/program.ml: Array Bytes Isa List Pm2_vmem Printf

@@ -1,0 +1,1 @@
+lib/mvm/program.mli: Bytes Isa Pm2_vmem

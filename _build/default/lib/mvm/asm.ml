@@ -1,0 +1,118 @@
+module Vec = Pm2_util.Vec
+module Layout = Pm2_vmem.Layout
+
+let r0 = 0
+let r1 = 1
+let r2 = 2
+let r3 = 3
+let r4 = 4
+let r5 = 5
+let r6 = 6
+let r7 = 7
+let r8 = 8
+let r9 = 9
+let r10 = 10
+let r11 = 11
+let r12 = 12
+
+type t = {
+  code : Isa.instr Vec.t;
+  labels : (string, int) Hashtbl.t;
+  fixups : (int * string) Vec.t; (* instruction index, label it refers to *)
+  data : Buffer.t;
+  strings : (string, int) Hashtbl.t; (* interned C strings -> address *)
+  mutable entries : (string * int) list;
+  mutable gensym : int;
+}
+
+let create () =
+  {
+    code = Vec.create ();
+    labels = Hashtbl.create 16;
+    fixups = Vec.create ();
+    data = Buffer.create 256;
+    strings = Hashtbl.create 16;
+    entries = [];
+    gensym = 0;
+  }
+
+let here b = Vec.length b.code
+
+let label b name =
+  if Hashtbl.mem b.labels name then failwith (Printf.sprintf "Asm: label %s redefined" name);
+  Hashtbl.replace b.labels name (here b)
+
+let proc b name body =
+  label b name;
+  b.entries <- (name, here b) :: b.entries;
+  body b
+
+let fresh_label b =
+  b.gensym <- b.gensym + 1;
+  Printf.sprintf ".L%d" b.gensym
+
+let cstring b s =
+  match Hashtbl.find_opt b.strings s with
+  | Some addr -> addr
+  | None ->
+    let addr = Layout.data_base + Buffer.length b.data in
+    Buffer.add_string b.data s;
+    Buffer.add_char b.data '\000';
+    (* keep words 8-aligned for subsequent [words] reservations *)
+    while Buffer.length b.data land 7 <> 0 do
+      Buffer.add_char b.data '\000'
+    done;
+    Hashtbl.replace b.strings s addr;
+    addr
+
+let words b n =
+  let addr = Layout.data_base + Buffer.length b.data in
+  Buffer.add_bytes b.data (Bytes.make (8 * n) '\000');
+  addr
+
+let emit b i = Vec.push b.code i
+
+let emit_ref b mk name =
+  Vec.push b.fixups (here b, name);
+  emit b (mk 0)
+
+let imm b rd v = emit b (Isa.Imm (rd, v))
+let mov b rd rs = emit b (Isa.Mov (rd, rs))
+let add b rd a c = emit b (Isa.Add (rd, a, c))
+let sub b rd a c = emit b (Isa.Sub (rd, a, c))
+let mul b rd a c = emit b (Isa.Mul (rd, a, c))
+let div b rd a c = emit b (Isa.Div (rd, a, c))
+let mod_ b rd a c = emit b (Isa.Mod (rd, a, c))
+let addi b rd rs v = emit b (Isa.Addi (rd, rs, v))
+let load b rd rs off = emit b (Isa.Load (rd, rs, off))
+let store b rs rbase off = emit b (Isa.Store (rs, rbase, off))
+let push b r = emit b (Isa.Push r)
+let pop b r = emit b (Isa.Pop r)
+let sp b rd = emit b (Isa.Sp rd)
+let fp b rd = emit b (Isa.Fp rd)
+let jmp b l = emit_ref b (fun t -> Isa.Jmp t) l
+let beq b x y l = emit_ref b (fun t -> Isa.Beq (x, y, t)) l
+let bne b x y l = emit_ref b (fun t -> Isa.Bne (x, y, t)) l
+let blt b x y l = emit_ref b (fun t -> Isa.Blt (x, y, t)) l
+let bge b x y l = emit_ref b (fun t -> Isa.Bge (x, y, t)) l
+let call b l = emit_ref b (fun t -> Isa.Call t) l
+let ret b = emit b Isa.Ret
+let enter b n = emit b (Isa.Enter n)
+let leave b = emit b Isa.Leave
+let sys b sc = emit b (Isa.Sys sc)
+let halt b = emit b Isa.Halt
+let nop b = emit b Isa.Nop
+let lea b rd l = emit_ref b (fun t -> Isa.Imm (rd, t)) l
+
+let assemble b : Program.t =
+  Vec.iter
+    (fun (idx, name) ->
+       match Hashtbl.find_opt b.labels name with
+       | None -> failwith (Printf.sprintf "Asm: undefined label %s" name)
+       | Some target -> Vec.set b.code idx (Isa.with_target (Vec.get b.code idx) target))
+    b.fixups;
+  {
+    Program.code = Vec.to_array b.code;
+    data = Buffer.to_bytes b.data;
+    entries = List.rev b.entries;
+  }

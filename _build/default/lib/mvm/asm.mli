@@ -1,0 +1,106 @@
+(** Assembler EDSL for MiniVM programs.
+
+    Example — the paper's Fig. 1 procedure [p1] looks like:
+
+    {[
+      let open Pm2_mvm.Asm in
+      let b = create () in
+      let fmt = cstring b "value = %d" in
+      proc b "p1" (fun b ->
+          enter b 16;
+          imm b r0 1;
+          store b r0 fp (-8);           (* int x = 1 *)
+          load b r2 fp (-8);
+          imm b r1 fmt;
+          sys b Sys_print;              (* pm2_printf("value = %d", x) *)
+          imm b r1 1;
+          sys b Sys_migrate;            (* pm2_migrate(self, 1)        *)
+          load b r2 fp (-8);
+          imm b r1 fmt;
+          sys b Sys_print;
+          leave b;
+          halt b);
+      assemble b
+    ]} *)
+
+type t
+
+(** Register names (r0 = result, r1..r3 = arguments by convention). *)
+val r0 : Isa.reg
+
+val r1 : Isa.reg
+val r2 : Isa.reg
+val r3 : Isa.reg
+val r4 : Isa.reg
+val r5 : Isa.reg
+val r6 : Isa.reg
+val r7 : Isa.reg
+val r8 : Isa.reg
+val r9 : Isa.reg
+val r10 : Isa.reg
+val r11 : Isa.reg
+val r12 : Isa.reg
+
+val create : unit -> t
+
+(** {1 Labels and entry points} *)
+
+(** [label b name] binds [name] to the next instruction's pc. Each name may
+    be bound once. Forward references are resolved at [assemble] time. *)
+val label : t -> string -> unit
+
+(** [proc b name body] marks [name] as a program entry point bound at the
+    current pc, then runs [body b] to emit its instructions. *)
+val proc : t -> string -> (t -> unit) -> unit
+
+(** [fresh_label b] generates a unique internal label name. *)
+val fresh_label : t -> string
+
+(** {1 Static data} *)
+
+(** [cstring b s] places a NUL-terminated string in the data segment and
+    returns its virtual address. Identical strings are interned. *)
+val cstring : t -> string -> int
+
+(** [words b n] reserves [n] zeroed 8-byte words of static data; returns the
+    address. *)
+val words : t -> int -> int
+
+(** {1 Instructions} *)
+
+val imm : t -> Isa.reg -> int -> unit
+val mov : t -> Isa.reg -> Isa.reg -> unit
+val add : t -> Isa.reg -> Isa.reg -> Isa.reg -> unit
+val sub : t -> Isa.reg -> Isa.reg -> Isa.reg -> unit
+val mul : t -> Isa.reg -> Isa.reg -> Isa.reg -> unit
+val div : t -> Isa.reg -> Isa.reg -> Isa.reg -> unit
+val mod_ : t -> Isa.reg -> Isa.reg -> Isa.reg -> unit
+val addi : t -> Isa.reg -> Isa.reg -> int -> unit
+val load : t -> Isa.reg -> Isa.reg -> int -> unit
+val store : t -> Isa.reg -> Isa.reg -> int -> unit
+val push : t -> Isa.reg -> unit
+val pop : t -> Isa.reg -> unit
+val sp : t -> Isa.reg -> unit
+val fp : t -> Isa.reg -> unit
+val jmp : t -> string -> unit
+val beq : t -> Isa.reg -> Isa.reg -> string -> unit
+val bne : t -> Isa.reg -> Isa.reg -> string -> unit
+val blt : t -> Isa.reg -> Isa.reg -> string -> unit
+val bge : t -> Isa.reg -> Isa.reg -> string -> unit
+val call : t -> string -> unit
+val ret : t -> unit
+val enter : t -> int -> unit
+val leave : t -> unit
+val sys : t -> Isa.syscall -> unit
+val halt : t -> unit
+val nop : t -> unit
+
+(** [lea b rd name] loads the pc of label [name] into [rd] (for
+    [Sys_spawn] entry arguments). *)
+val lea : t -> Isa.reg -> string -> unit
+
+(** {1 Assembly} *)
+
+(** Resolve all label references and produce the immutable image.
+    @raise Failure on undefined or doubly-defined labels. *)
+val assemble : t -> Program.t

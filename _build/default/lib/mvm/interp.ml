@@ -1,0 +1,131 @@
+module As = Pm2_vmem.Address_space
+
+type context = {
+  regs : int array;
+  mutable pc : int;
+  mutable sp : Pm2_vmem.Layout.addr;
+  mutable fp : Pm2_vmem.Layout.addr;
+}
+
+type fault =
+  | Segv of Pm2_vmem.Layout.addr
+  | Wild_pc of int
+  | Division_by_zero
+
+type outcome =
+  | Running
+  | Syscall of Isa.syscall
+  | Halted
+  | Fault of fault
+
+let make_context ~entry ~stack_top =
+  { regs = Array.make Isa.num_regs 0; pc = entry; sp = stack_top; fp = stack_top }
+
+let copy_context c = { c with regs = Array.copy c.regs }
+
+let pp_fault ppf = function
+  | Segv a -> Format.fprintf ppf "Segmentation fault (address 0x%x)" a
+  | Wild_pc pc -> Format.fprintf ppf "Illegal program counter %d" pc
+  | Division_by_zero -> Format.fprintf ppf "Division by zero"
+
+let step program ctx space =
+  if ctx.pc < 0 || ctx.pc >= Program.code_size program then Fault (Wild_pc ctx.pc)
+  else begin
+    let i = Program.instr program ctx.pc in
+    ctx.pc <- ctx.pc + 1;
+    let r = ctx.regs in
+    try
+      match i with
+      | Isa.Imm (rd, v) ->
+        r.(rd) <- v;
+        Running
+      | Mov (rd, rs) ->
+        r.(rd) <- r.(rs);
+        Running
+      | Add (rd, a, b) ->
+        r.(rd) <- r.(a) + r.(b);
+        Running
+      | Sub (rd, a, b) ->
+        r.(rd) <- r.(a) - r.(b);
+        Running
+      | Mul (rd, a, b) ->
+        r.(rd) <- r.(a) * r.(b);
+        Running
+      | Div (rd, a, b) ->
+        if r.(b) = 0 then Fault Division_by_zero
+        else begin
+          r.(rd) <- r.(a) / r.(b);
+          Running
+        end
+      | Mod (rd, a, b) ->
+        if r.(b) = 0 then Fault Division_by_zero
+        else begin
+          r.(rd) <- r.(a) mod r.(b);
+          Running
+        end
+      | Addi (rd, rs, v) ->
+        r.(rd) <- r.(rs) + v;
+        Running
+      | Load (rd, rs, off) ->
+        r.(rd) <- As.load_word space (r.(rs) + off);
+        Running
+      | Store (rs, rbase, off) ->
+        As.store_word space (r.(rbase) + off) r.(rs);
+        Running
+      | Push rs ->
+        ctx.sp <- ctx.sp - 8;
+        As.store_word space ctx.sp r.(rs);
+        Running
+      | Pop rd ->
+        r.(rd) <- As.load_word space ctx.sp;
+        ctx.sp <- ctx.sp + 8;
+        Running
+      | Sp rd ->
+        r.(rd) <- ctx.sp;
+        Running
+      | Fp rd ->
+        r.(rd) <- ctx.fp;
+        Running
+      | Jmp t ->
+        ctx.pc <- t;
+        Running
+      | Beq (a, b, t) ->
+        if r.(a) = r.(b) then ctx.pc <- t;
+        Running
+      | Bne (a, b, t) ->
+        if r.(a) <> r.(b) then ctx.pc <- t;
+        Running
+      | Blt (a, b, t) ->
+        if r.(a) < r.(b) then ctx.pc <- t;
+        Running
+      | Bge (a, b, t) ->
+        if r.(a) >= r.(b) then ctx.pc <- t;
+        Running
+      | Call t ->
+        ctx.sp <- ctx.sp - 8;
+        As.store_word space ctx.sp ctx.pc;
+        ctx.pc <- t;
+        Running
+      | Ret ->
+        let ra = As.load_word space ctx.sp in
+        ctx.sp <- ctx.sp + 8;
+        ctx.pc <- ra;
+        Running
+      | Enter n ->
+        (* push fp; fp <- sp; sp <- sp - n: the frame chain is a list of
+           absolute addresses threaded through the stack. *)
+        ctx.sp <- ctx.sp - 8;
+        As.store_word space ctx.sp ctx.fp;
+        ctx.fp <- ctx.sp;
+        ctx.sp <- ctx.sp - n;
+        Running
+      | Leave ->
+        ctx.sp <- ctx.fp;
+        ctx.fp <- As.load_word space ctx.sp;
+        ctx.sp <- ctx.sp + 8;
+        Running
+      | Sys sc -> Syscall sc
+      | Halt -> Halted
+      | Nop -> Running
+    with As.Segfault { addr; _ } -> Fault (Segv addr)
+  end

@@ -1,0 +1,44 @@
+(** The MiniVM interpreter.
+
+    A thread's machine state is a {!context}: sixteen general registers plus
+    [pc], [sp] and [fp]. The stack lives in simulated memory, so [sp] and
+    [fp] are absolute virtual addresses; [pc] is a code index (identical on
+    every node — SPMD).
+
+    [step] executes exactly one instruction. Syscalls are a boundary: the
+    interpreter advances past the [Sys] instruction and returns
+    {!outcome.Syscall}; the runtime (PM2) performs the call, writes results
+    into [r0], and later resumes stepping. This is what makes migration
+    preemptive: between any two instructions the whole thread state is
+    three integers and a register file, all position-independent, plus
+    memory that the iso-address discipline relocates verbatim. *)
+
+type context = {
+  regs : int array; (* length Isa.num_regs *)
+  mutable pc : int;
+  mutable sp : Pm2_vmem.Layout.addr;
+  mutable fp : Pm2_vmem.Layout.addr;
+}
+
+type fault =
+  | Segv of Pm2_vmem.Layout.addr (* access to an unmapped address *)
+  | Wild_pc of int
+  | Division_by_zero
+
+type outcome =
+  | Running
+  | Syscall of Isa.syscall
+  | Halted
+  | Fault of fault
+
+(** [make_context ~entry ~stack_top] is a fresh context: [pc = entry],
+    [sp = fp = stack_top], registers zeroed. *)
+val make_context : entry:int -> stack_top:Pm2_vmem.Layout.addr -> context
+
+val copy_context : context -> context
+
+(** [step program ctx space] executes one instruction. Never raises on
+    guest errors: guest memory faults come back as [Fault (Segv _)]. *)
+val step : Program.t -> context -> Pm2_vmem.Address_space.t -> outcome
+
+val pp_fault : Format.formatter -> fault -> unit

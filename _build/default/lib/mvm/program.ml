@@ -1,0 +1,25 @@
+module Layout = Pm2_vmem.Layout
+module As = Pm2_vmem.Address_space
+
+type t = {
+  code : Isa.instr array;
+  data : Bytes.t;
+  entries : (string * int) list;
+}
+
+let entry t name =
+  match List.assoc_opt name t.entries with
+  | Some pc -> pc
+  | None -> raise Not_found
+
+let instr t pc =
+  if pc < 0 || pc >= Array.length t.code then
+    invalid_arg (Printf.sprintf "Program.instr: wild pc %d" pc);
+  t.code.(pc)
+
+let code_size t = Array.length t.code
+
+let load_data t space =
+  let size = Layout.page_align_up (max Layout.page_size (Bytes.length t.data)) in
+  As.mmap space ~addr:Layout.data_base ~size;
+  As.store_bytes space Layout.data_base t.data

@@ -1,0 +1,25 @@
+(** An assembled SPMD program image.
+
+    The same image is loaded on every node at the same addresses (paper,
+    §3.1, rule 1): code at {!Pm2_vmem.Layout.code_base}, static data at
+    {!Pm2_vmem.Layout.data_base}. Program counters are code {e indices}
+    (one instruction = one code word), so they are trivially
+    position-identical across nodes. *)
+
+type t = {
+  code : Isa.instr array;
+  data : Bytes.t; (* static-data image, loaded at [Layout.data_base] *)
+  entries : (string * int) list; (* named entry points -> pc *)
+}
+
+val entry : t -> string -> int
+(** Program counter of a named entry point. @raise Not_found. *)
+
+val instr : t -> int -> Isa.instr
+(** @raise Invalid_argument on a wild pc (jump outside the code). *)
+
+val code_size : t -> int
+
+(** [load_data t space] maps the data segment into [space] and copies the
+    image. Called once per node at cluster start-up. *)
+val load_data : t -> Pm2_vmem.Address_space.t -> unit

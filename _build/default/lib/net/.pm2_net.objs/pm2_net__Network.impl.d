@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Bytes Pm2_sim

@@ -1,0 +1,1 @@
+lib/net/network.mli: Bytes Pm2_sim

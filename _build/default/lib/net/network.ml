@@ -1,0 +1,62 @@
+type t = {
+  engine : Pm2_sim.Engine.t;
+  cost : Pm2_sim.Cost_model.t;
+  nodes : int;
+  msg_count : int array; (* src * nodes + dst *)
+  byte_count : int array;
+}
+
+let create engine cost ~nodes =
+  if nodes <= 0 then invalid_arg "Network.create: nodes <= 0";
+  {
+    engine;
+    cost;
+    nodes;
+    msg_count = Array.make (nodes * nodes) 0;
+    byte_count = Array.make (nodes * nodes) 0;
+  }
+
+let nodes t = t.nodes
+
+let engine t = t.engine
+
+let cost_model t = t.cost
+
+let check t who = if who < 0 || who >= t.nodes then invalid_arg "Network: bad node id"
+
+let record t ~src ~dst ~bytes =
+  let i = (src * t.nodes) + dst in
+  t.msg_count.(i) <- t.msg_count.(i) + 1;
+  t.byte_count.(i) <- t.byte_count.(i) + bytes
+
+let transfer_time t ~bytes = Pm2_sim.Cost_model.message_cost t.cost ~bytes
+
+let send t ~src ~dst payload k =
+  check t src;
+  check t dst;
+  let bytes = Bytes.length payload in
+  record t ~src ~dst ~bytes;
+  let delay =
+    if src = dst then Pm2_sim.Cost_model.memcpy_cost t.cost ~bytes
+    else transfer_time t ~bytes
+  in
+  Pm2_sim.Engine.schedule_after t.engine ~delay (fun () -> k payload)
+
+let messages_sent t = Array.fold_left ( + ) 0 t.msg_count
+
+let bytes_sent t = Array.fold_left ( + ) 0 t.byte_count
+
+let link_stats t ~src ~dst =
+  check t src;
+  check t dst;
+  let i = (src * t.nodes) + dst in
+  (t.msg_count.(i), t.byte_count.(i))
+
+let reset_stats t =
+  Array.fill t.msg_count 0 (Array.length t.msg_count) 0;
+  Array.fill t.byte_count 0 (Array.length t.byte_count) 0
+
+let record_virtual t ~src ~dst ~bytes =
+  check t src;
+  check t dst;
+  record t ~src ~dst ~bytes

@@ -1,0 +1,43 @@
+(** A simulated cluster interconnect (Myrinet + BIP, as used in the paper's
+    experiments, accessed through a Madeleine-like send interface).
+
+    The network is modelled as full crossbar links with uniform one-way
+    latency and bandwidth taken from {!Pm2_sim.Cost_model}. A message is a
+    byte payload plus a delivery continuation: [send] schedules the
+    continuation on the engine at [now + latency + size/bandwidth].
+    Per-(src,dst) byte and message counters feed the experiment reports. *)
+
+type t
+
+val create : Pm2_sim.Engine.t -> Pm2_sim.Cost_model.t -> nodes:int -> t
+
+val nodes : t -> int
+
+val engine : t -> Pm2_sim.Engine.t
+
+val cost_model : t -> Pm2_sim.Cost_model.t
+
+(** [send t ~src ~dst payload k] ships [payload] from node [src] to node
+    [dst] and runs [k payload] at the modelled arrival time. Self-sends are
+    allowed and modelled as a loop-back with latency 0 plus copy cost.
+    @raise Invalid_argument on a bad node id. *)
+val send : t -> src:int -> dst:int -> Bytes.t -> (Bytes.t -> unit) -> unit
+
+(** [transfer_time t ~bytes] is the modelled one-way time for a message of
+    [bytes] (used by protocols that account time without scheduling a
+    delivery event, e.g. the synchronous-state negotiation). *)
+val transfer_time : t -> bytes:int -> float
+
+(** {1 Statistics} *)
+
+val messages_sent : t -> int
+val bytes_sent : t -> int
+
+(** [link_stats t ~src ~dst] is [(messages, bytes)] for that direction. *)
+val link_stats : t -> src:int -> dst:int -> int * int
+
+val reset_stats : t -> unit
+
+(** [record_virtual t ~src ~dst ~bytes] bumps the counters for traffic that
+    is modelled (time-charged) but not routed through [send]. *)
+val record_virtual : t -> src:int -> dst:int -> bytes:int -> unit

@@ -1,0 +1,58 @@
+type packer = Buffer.t
+
+let packer () = Buffer.create 256
+
+let pack_int p v = Buffer.add_int64_le p (Int64.of_int v)
+
+let pack_float p v = Buffer.add_int64_le p (Int64.bits_of_float v)
+
+let pack_bytes p b =
+  pack_int p (Bytes.length b);
+  Buffer.add_bytes p b
+
+let pack_string p s = pack_bytes p (Bytes.of_string s)
+
+let pack_list p f l =
+  pack_int p (List.length l);
+  List.iter f l
+
+let packed_size p = Buffer.length p
+
+let contents p = Buffer.to_bytes p
+
+type unpacker = {
+  data : Bytes.t;
+  mutable pos : int;
+}
+
+let unpacker data = { data; pos = 0 }
+
+let need u n =
+  if u.pos + n > Bytes.length u.data then invalid_arg "Packet: truncated buffer"
+
+let unpack_int u =
+  need u 8;
+  let v = Int64.to_int (Bytes.get_int64_le u.data u.pos) in
+  u.pos <- u.pos + 8;
+  v
+
+let unpack_float u =
+  need u 8;
+  let v = Int64.float_of_bits (Bytes.get_int64_le u.data u.pos) in
+  u.pos <- u.pos + 8;
+  v
+
+let unpack_bytes u =
+  let len = unpack_int u in
+  need u len;
+  let b = Bytes.sub u.data u.pos len in
+  u.pos <- u.pos + len;
+  b
+
+let unpack_string u = Bytes.to_string (unpack_bytes u)
+
+let unpack_list u f =
+  let n = unpack_int u in
+  List.init n (fun _ -> f ())
+
+let remaining u = Bytes.length u.data - u.pos

@@ -1,0 +1,45 @@
+(** Madeleine-style pack/unpack buffers.
+
+    PM2's migration protocol copies the thread resources into a
+    communication buffer, ships it, and unpacks on the destination (paper,
+    §2). We reproduce that with real byte buffers so that message sizes —
+    which drive the network cost model — are faithful to what is actually
+    packed (descriptor fields, slot headers, live blocks). *)
+
+(** {1 Packing} *)
+
+type packer
+
+val packer : unit -> packer
+
+val pack_int : packer -> int -> unit
+(** 8 bytes, little-endian. *)
+
+val pack_float : packer -> float -> unit
+
+val pack_bytes : packer -> Bytes.t -> unit
+(** Length-prefixed byte block. *)
+
+val pack_string : packer -> string -> unit
+
+val pack_list : packer -> ('a -> unit) -> 'a list -> unit
+(** Length-prefixed list; elements packed by the callback. *)
+
+val packed_size : packer -> int
+
+val contents : packer -> Bytes.t
+
+(** {1 Unpacking} *)
+
+type unpacker
+
+val unpacker : Bytes.t -> unpacker
+
+val unpack_int : unpacker -> int
+val unpack_float : unpacker -> float
+val unpack_bytes : unpacker -> Bytes.t
+val unpack_string : unpacker -> string
+val unpack_list : unpacker -> (unit -> 'a) -> 'a list
+
+val remaining : unpacker -> int
+(** Bytes not yet consumed (0 after a complete unpack). *)

@@ -1,0 +1,1 @@
+lib/programs/figures.ml: Pm2_core Pm2_mvm

@@ -1,0 +1,1 @@
+lib/programs/figures.mli: Pm2_mvm

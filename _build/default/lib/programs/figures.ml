@@ -1,0 +1,353 @@
+open Pm2_mvm.Asm
+module Isa = Pm2_mvm.Isa
+
+(* Register conventions used throughout: r0 = syscall results, r1..r3 =
+   syscall arguments, r4..r7 = scratch, r8..r9 = loop state. *)
+
+let fig7_migrate_at = 100
+
+let pingpong_payload_rounds = 4
+
+(* Fig. 1 — p1: no pointers; the local travels inside the stack slot. *)
+let emit_fig1 b =
+  let fmt = cstring b "value = %d" in
+  proc b "fig1" (fun b ->
+      enter b 16;
+      fp b r4;
+      imm b r5 1;
+      store b r5 r4 (-8); (* int x = 1 *)
+      load b r2 r4 (-8);
+      imm b r1 fmt;
+      sys b Isa.Sys_print;
+      imm b r1 1;
+      sys b Isa.Sys_migrate; (* pm2_migrate(marcel_self(), 1) *)
+      fp b r4;
+      load b r2 r4 (-8);
+      imm b r1 fmt;
+      sys b Isa.Sys_print;
+      leave b;
+      halt b)
+
+(* Fig. 2 — p2: an unregistered pointer to a stack variable. *)
+let emit_fig2 b =
+  let fmt = cstring b "value = %d" in
+  proc b "fig2" (fun b ->
+      enter b 32;
+      fp b r4;
+      imm b r5 1;
+      store b r5 r4 (-8); (* int x = 1 *)
+      addi b r5 r4 (-8);
+      store b r5 r4 (-16); (* int *ptr = &x *)
+      load b r6 r4 (-16);
+      load b r2 r6 0; (* *ptr *)
+      imm b r1 fmt;
+      sys b Isa.Sys_print;
+      imm b r1 1;
+      sys b Isa.Sys_migrate;
+      fp b r4;
+      load b r6 r4 (-16); (* ptr still holds the pre-migration address *)
+      load b r2 r6 0; (* segfaults under the relocating scheme *)
+      imm b r1 fmt;
+      sys b Isa.Sys_print;
+      leave b;
+      halt b)
+
+(* Fig. 3 — p2 with pm2_register_pointer/pm2_unregister_pointer. *)
+let emit_fig3 b =
+  let fmt = cstring b "value = %d" in
+  proc b "fig3" (fun b ->
+      enter b 32;
+      fp b r4;
+      addi b r1 r4 (-16);
+      sys b Isa.Sys_register_ptr; (* key = pm2_register_pointer(&ptr) *)
+      store b r0 r4 (-24);
+      imm b r5 1;
+      store b r5 r4 (-8); (* x = 1 *)
+      addi b r5 r4 (-8);
+      store b r5 r4 (-16); (* ptr = &x *)
+      load b r6 r4 (-16);
+      load b r2 r6 0;
+      imm b r1 fmt;
+      sys b Isa.Sys_print;
+      imm b r1 1;
+      sys b Isa.Sys_migrate;
+      fp b r4;
+      load b r6 r4 (-16); (* the registered cell was patched on arrival *)
+      load b r2 r6 0;
+      imm b r1 fmt;
+      sys b Isa.Sys_print;
+      load b r1 r4 (-24);
+      sys b Isa.Sys_unregister_ptr;
+      leave b;
+      halt b)
+
+(* Fig. 4 — p3: malloc'd data does not follow the thread. *)
+let emit_fig4 b =
+  let fmt = cstring b "value = %d" in
+  proc b "fig4" (fun b ->
+      imm b r1 400;
+      sys b Isa.Sys_malloc; (* t = malloc(100 * sizeof(int)) *)
+      mov b r7 r0;
+      imm b r5 1;
+      store b r5 r7 80; (* t[10] = 1 *)
+      load b r2 r7 80;
+      imm b r1 fmt;
+      sys b Isa.Sys_print;
+      imm b r1 1;
+      sys b Isa.Sys_migrate;
+      load b r2 r7 80; (* the heap block stayed on node 0: segfault *)
+      imm b r1 fmt;
+      sys b Isa.Sys_print;
+      halt b)
+
+(* Figs. 7 and 9 — p4: build a linked list, traverse it, migrating at
+   element [fig7_migrate_at]. The allocator syscall is the only
+   difference between the two figures. *)
+let emit_list_walk b ~name ~alloc =
+  let fmt_self = cstring b "I am thread %p" in
+  let fmt_init = cstring b "Initializing migration from node %d" in
+  let fmt_arr = cstring b "Arrived at node %d" in
+  let fmt_elem = cstring b "Element %d = %d" in
+  proc b name (fun b ->
+      let build = name ^ ".build" and build_done = name ^ ".built" in
+      let trav = name ^ ".trav" and no_mig = name ^ ".nomig" and done_ = name ^ ".done" in
+      mov b r8 r1; (* n elements *)
+      imm b r7 0; (* head = NULL *)
+      imm b r9 0; (* j = 0 *)
+      label b build;
+      bge b r9 r8 build_done;
+      imm b r1 16;
+      sys b alloc; (* ptr = alloc(sizeof(item)) *)
+      (* The list is built by prepending, so element k of the traversal is
+         insertion n-1-k; store (n-1-j)*2+1 so the trace reads
+         "Element 0 = 1, Element 1 = 3, ..." as in Fig. 8. *)
+      sub b r5 r8 r9;
+      addi b r5 r5 (-1);
+      imm b r4 2;
+      mul b r5 r5 r4;
+      addi b r5 r5 1;
+      store b r5 r0 0;
+      store b r7 r0 8; (* ptr->next = head *)
+      mov b r7 r0; (* head = ptr *)
+      addi b r9 r9 1;
+      jmp b build;
+      label b build_done;
+      sys b Isa.Sys_self;
+      mov b r2 r0;
+      imm b r1 fmt_self;
+      sys b Isa.Sys_print;
+      imm b r9 0; (* j = 0 *)
+      mov b r6 r7; (* ptr = head *)
+      label b trav;
+      imm b r4 0;
+      beq b r6 r4 done_;
+      imm b r4 fig7_migrate_at;
+      bne b r9 r4 no_mig;
+      sys b Isa.Sys_node;
+      mov b r2 r0;
+      imm b r1 fmt_init;
+      sys b Isa.Sys_print;
+      imm b r1 1;
+      sys b Isa.Sys_migrate;
+      sys b Isa.Sys_node;
+      mov b r2 r0;
+      imm b r1 fmt_arr;
+      sys b Isa.Sys_print;
+      label b no_mig;
+      load b r3 r6 0; (* ptr->value *)
+      mov b r2 r9;
+      imm b r1 fmt_elem;
+      sys b Isa.Sys_print;
+      load b r6 r6 8; (* ptr = ptr->next *)
+      addi b r9 r9 1;
+      jmp b trav;
+      label b done_;
+      halt b)
+
+let emit_fig7 b = emit_list_walk b ~name:"fig7" ~alloc:Isa.Sys_isomalloc
+
+let emit_fig9 b = emit_list_walk b ~name:"fig9" ~alloc:Isa.Sys_malloc
+
+(* §5 — null-thread ping-pong between nodes 0 and 1. *)
+let emit_pingpong b =
+  proc b "pingpong" (fun b ->
+      mov b r8 r1; (* round trips *)
+      imm b r9 0;
+      label b "pingpong.loop";
+      bge b r9 r8 "pingpong.done";
+      imm b r1 1;
+      sys b Isa.Sys_migrate;
+      imm b r1 0;
+      sys b Isa.Sys_migrate;
+      addi b r9 r9 1;
+      jmp b "pingpong.loop";
+      label b "pingpong.done";
+      halt b)
+
+(* Ping-pong with [arg] bytes of isomalloc'd private data in tow. *)
+let emit_pingpong_payload b =
+  proc b "pingpong_payload" (fun b ->
+      mov b r8 r1;
+      sys b Isa.Sys_isomalloc; (* r1 already holds the size *)
+      mov b r7 r0;
+      imm b r5 0xBEEF;
+      store b r5 r7 0; (* touch both ends of the block *)
+      add b r4 r7 r8;
+      addi b r4 r4 (-8);
+      store b r5 r4 0;
+      imm b r9 0;
+      imm b r6 pingpong_payload_rounds;
+      label b "ppp.loop";
+      bge b r9 r6 "ppp.done";
+      imm b r1 1;
+      sys b Isa.Sys_migrate;
+      imm b r1 0;
+      sys b Isa.Sys_migrate;
+      addi b r9 r9 1;
+      jmp b "ppp.loop";
+      label b "ppp.done";
+      mov b r1 r7;
+      sys b Isa.Sys_isofree;
+      halt b)
+
+(* Deep frame chain: recurse [arg] levels, round-trip at the bottom, then
+   unwind through migrated frames. *)
+let emit_deep_pingpong b =
+  let fmt_ok = cstring b "canary ok after %d frames" in
+  let fmt_bad = cstring b "canary corrupted!" in
+  proc b "deep_pingpong" (fun b ->
+      enter b 16;
+      mov b r8 r1; (* depth *)
+      fp b r4;
+      imm b r5 0xC0FFEE;
+      store b r5 r4 (-8);
+      call b "dp.rec";
+      fp b r4;
+      load b r5 r4 (-8);
+      imm b r6 0xC0FFEE;
+      beq b r5 r6 "dp.ok";
+      imm b r1 fmt_bad;
+      sys b Isa.Sys_print;
+      jmp b "dp.end";
+      label b "dp.ok";
+      mov b r2 r8;
+      imm b r1 fmt_ok;
+      sys b Isa.Sys_print;
+      label b "dp.end";
+      leave b;
+      halt b);
+  label b "dp.rec"; (* r1 = remaining depth *)
+  enter b 16;
+  fp b r4;
+  store b r1 r4 (-8);
+  imm b r5 0;
+  beq b r1 r5 "dp.base";
+  addi b r1 r1 (-1);
+  call b "dp.rec";
+  jmp b "dp.out";
+  label b "dp.base";
+  imm b r1 1;
+  sys b Isa.Sys_migrate; (* migrate under a [depth]-frame stack *)
+  imm b r1 0;
+  sys b Isa.Sys_migrate;
+  label b "dp.out";
+  leave b;
+  ret b
+
+(* A4 workload: [arg] registered pointers, one hop, dereference them all. *)
+let emit_registered_hop b =
+  let fmt = cstring b "sum = %d" in
+  proc b "registered_hop" (fun b ->
+      enter b 8208; (* room for up to 1000 pointer cells *)
+      mov b r8 r1; (* n <= 1000 *)
+      fp b r4;
+      imm b r5 7;
+      store b r5 r4 (-8); (* the target variable *)
+      imm b r9 0;
+      label b "rh.reg";
+      bge b r9 r8 "rh.regdone";
+      imm b r5 8;
+      mul b r5 r9 r5;
+      addi b r7 r4 (-16);
+      sub b r7 r7 r5; (* cell_j = fp - 16 - 8j *)
+      addi b r5 r4 (-8);
+      store b r5 r7 0; (* *cell_j = &target *)
+      mov b r1 r7;
+      sys b Isa.Sys_register_ptr;
+      addi b r9 r9 1;
+      jmp b "rh.reg";
+      label b "rh.regdone";
+      imm b r1 1;
+      sys b Isa.Sys_migrate;
+      fp b r4;
+      imm b r9 0;
+      imm b r6 0; (* sum *)
+      label b "rh.sum";
+      bge b r9 r8 "rh.sumdone";
+      imm b r5 8;
+      mul b r5 r9 r5;
+      addi b r7 r4 (-16);
+      sub b r7 r7 r5;
+      load b r7 r7 0; (* patched pointer *)
+      load b r5 r7 0; (* 7 *)
+      add b r6 r6 r5;
+      addi b r9 r9 1;
+      jmp b "rh.sum";
+      label b "rh.sumdone";
+      mov b r2 r6;
+      imm b r1 fmt;
+      sys b Isa.Sys_print;
+      leave b;
+      halt b)
+
+(* Irregular application: [arg] workers with pseudo-random CPU demands, all
+   born on one node — the load balancer's raw material. *)
+let emit_spawner b =
+  proc b "worker" (fun b ->
+      (* r1 = total workload in µs, burned in 200 µs chunks *)
+      mov b r8 r1;
+      label b "worker.loop";
+      imm b r4 0;
+      beq b r8 r4 "worker.done";
+      imm b r5 200;
+      blt b r8 r5 "worker.small";
+      mov b r6 r5;
+      jmp b "worker.burn";
+      label b "worker.small";
+      mov b r6 r8;
+      label b "worker.burn";
+      mov b r1 r6;
+      sys b Isa.Sys_workload;
+      sub b r8 r8 r6;
+      sys b Isa.Sys_yield;
+      jmp b "worker.loop";
+      label b "worker.done";
+      halt b);
+  proc b "spawner" (fun b ->
+      mov b r8 r1; (* worker count *)
+      imm b r9 0;
+      label b "spawner.loop";
+      bge b r9 r8 "spawner.done";
+      imm b r1 4000;
+      sys b Isa.Sys_rand;
+      addi b r2 r0 1000; (* workload in [1000, 5000) µs *)
+      lea b r1 "worker";
+      sys b Isa.Sys_spawn;
+      addi b r9 r9 1;
+      jmp b "spawner.loop";
+      label b "spawner.done";
+      halt b)
+
+let image () =
+  Pm2_core.Pm2.build (fun b ->
+      emit_fig1 b;
+      emit_fig2 b;
+      emit_fig3 b;
+      emit_fig4 b;
+      emit_fig7 b;
+      emit_fig9 b;
+      emit_pingpong b;
+      emit_pingpong_payload b;
+      emit_deep_pingpong b;
+      emit_registered_hop b;
+      emit_spawner b)

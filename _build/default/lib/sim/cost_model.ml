@@ -1,0 +1,73 @@
+type t = {
+  instr_cost : float;
+  syscall_base : float;
+  page_touch : float;
+  mmap_base : float;
+  mmap_per_page : float;
+  munmap_base : float;
+  munmap_per_page : float;
+  memcpy_per_byte : float;
+  net_latency : float;
+  net_per_byte : float;
+  thread_create : float;
+  context_switch : float;
+  alloc_fixed : float;
+  free_list_step : float;
+  bitmap_scan_per_byte : float;
+  negotiation_base : float;
+  slot_cache_hit : float;
+  pointer_update : float;
+}
+
+let default =
+  {
+    instr_cost = 0.005;
+    syscall_base = 1.5;
+    page_touch = 48.0;
+    mmap_base = 15.0;
+    mmap_per_page = 0.4;
+    munmap_base = 10.0;
+    munmap_per_page = 0.2;
+    memcpy_per_byte = 0.0125;
+    net_latency = 10.0;
+    net_per_byte = 0.009;
+    thread_create = 5.0;
+    context_switch = 1.2;
+    alloc_fixed = 1.0;
+    free_list_step = 0.05;
+    bitmap_scan_per_byte = 0.0008;
+    negotiation_base = 45.0;
+    slot_cache_hit = 2.0;
+    pointer_update = 0.5;
+  }
+
+let zero =
+  {
+    instr_cost = 0.;
+    syscall_base = 0.;
+    page_touch = 0.;
+    mmap_base = 0.;
+    mmap_per_page = 0.;
+    munmap_base = 0.;
+    munmap_per_page = 0.;
+    memcpy_per_byte = 0.;
+    net_latency = 0.;
+    net_per_byte = 0.;
+    thread_create = 0.;
+    context_switch = 0.;
+    alloc_fixed = 0.;
+    free_list_step = 0.;
+    bitmap_scan_per_byte = 0.;
+    negotiation_base = 0.;
+    slot_cache_hit = 0.;
+    pointer_update = 0.;
+  }
+
+let mmap_cost t ~pages =
+  t.mmap_base +. (float_of_int pages *. (t.mmap_per_page +. t.page_touch))
+
+let munmap_cost t ~pages = t.munmap_base +. (float_of_int pages *. t.munmap_per_page)
+
+let memcpy_cost t ~bytes = float_of_int bytes *. t.memcpy_per_byte
+
+let message_cost t ~bytes = t.net_latency +. (float_of_int bytes *. t.net_per_byte)

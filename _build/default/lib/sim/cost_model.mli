@@ -1,0 +1,51 @@
+(** The virtual-time cost model.
+
+    All costs are in microseconds of virtual time, calibrated against the
+    paper's testbed (200 MHz PentiumPro, Linux 2.0.36, Myrinet + BIP; §5):
+
+    - null-thread migration: < 75 µs;
+    - slot negotiation: 255 µs at 2 nodes, +165 µs per extra node;
+    - Fig. 11 slopes: ~6 000 µs to allocate-and-fault 500 KB, ~100 000 µs
+      for 8 MB, i.e. ≈ 48 µs per fresh 4 KB page (zero-fill fault). *)
+
+type t = {
+  instr_cost : float;  (** one MiniVM instruction (≈ 5 ns at 200 MHz) *)
+  syscall_base : float;  (** crossing the runtime-call boundary *)
+  page_touch : float;  (** zero-fill fault of one fresh page *)
+  mmap_base : float;  (** fixed cost of an [mmap] call *)
+  mmap_per_page : float;
+  munmap_base : float;
+  munmap_per_page : float;
+  memcpy_per_byte : float;  (** pack/unpack copy bandwidth *)
+  net_latency : float;  (** one-way message latency (BIP/Myrinet) *)
+  net_per_byte : float;  (** inverse bandwidth (≈ 125 MB/s) *)
+  thread_create : float;
+  context_switch : float;
+  alloc_fixed : float;  (** allocator bookkeeping on the fast path *)
+  free_list_step : float;  (** visiting one free-list entry (first-fit) *)
+  bitmap_scan_per_byte : float;  (** scanning slot bitmaps *)
+  negotiation_base : float;  (** critical-section entry/exit + bookkeeping *)
+  slot_cache_hit : float;  (** reusing a cached, already-mapped slot *)
+  pointer_update : float;
+      (** patching one registered pointer or frame link after an
+          address-relocating migration (legacy scheme baselines) *)
+}
+
+val default : t
+(** Calibrated to the paper's testbed (values in the record above). *)
+
+val zero : t
+(** All-zero model: useful in unit tests where only state, not timing, is
+    under test. *)
+
+(** {1 Derived costs} *)
+
+val mmap_cost : t -> pages:int -> float
+(** Map + zero-fill [pages] fresh pages. *)
+
+val munmap_cost : t -> pages:int -> float
+
+val memcpy_cost : t -> bytes:int -> float
+
+val message_cost : t -> bytes:int -> float
+(** One-way network time for a [bytes]-sized message. *)

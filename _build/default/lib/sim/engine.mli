@@ -1,0 +1,34 @@
+(** Discrete-event simulation engine.
+
+    Virtual time is a [float] count of microseconds since simulation start.
+    Events are closures ordered by (time, insertion sequence): ties are
+    broken FIFO, so the simulation is fully deterministic. *)
+
+type t
+
+type time = float
+(** Microseconds of virtual time. *)
+
+val create : unit -> t
+
+val now : t -> time
+
+(** [schedule t ~at f] runs [f] at absolute virtual time [at].
+    @raise Invalid_argument if [at] is in the past. *)
+val schedule : t -> at:time -> (unit -> unit) -> unit
+
+(** [schedule_after t ~delay f] runs [f] at [now t +. delay]. Negative
+    delays are clamped to 0. *)
+val schedule_after : t -> delay:time -> (unit -> unit) -> unit
+
+(** Number of events waiting to run. *)
+val pending : t -> int
+
+(** [run t] processes events until the queue is empty. Returns the final
+    virtual time. [~until] stops the clock at that time (events scheduled
+    later stay queued). [~max_events] guards against runaway simulations.
+    @raise Failure if [max_events] is exceeded. *)
+val run : ?until:time -> ?max_events:int -> t -> time
+
+(** [step t] runs the single next event; [false] if the queue was empty. *)
+val step : t -> bool

@@ -1,0 +1,32 @@
+type entry = {
+  time : Engine.time;
+  node : int;
+  text : string;
+}
+
+type t = { entries : entry Pm2_util.Vec.t }
+
+let create () = { entries = Pm2_util.Vec.create () }
+
+let emit t ~time ~node text = Pm2_util.Vec.push t.entries { time; node; text }
+
+let entries t = Pm2_util.Vec.to_list t.entries
+
+let render e = Printf.sprintf "[node%d] %s" e.node e.text
+
+let lines t = List.map render (entries t)
+
+let timed_lines t =
+  List.map (fun e -> Printf.sprintf "%10.1f %s" e.time (render e)) (entries t)
+
+let clear t = Pm2_util.Vec.clear t.entries
+
+let contains t sub =
+  let has_sub line =
+    let ls = String.length line and ss = String.length sub in
+    let rec loop i = i + ss <= ls && (String.sub line i ss = sub || loop (i + 1)) in
+    ss = 0 || loop 0
+  in
+  List.exists has_sub (lines t)
+
+let pp ppf t = List.iter (fun l -> Format.fprintf ppf "%s@." l) (lines t)

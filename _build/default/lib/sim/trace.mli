@@ -1,0 +1,33 @@
+(** Execution traces.
+
+    Collects the [pm2_printf]-style output of a simulated run, each line
+    tagged with the emitting node and the virtual time — the format of the
+    paper's execution listings (Figs. 1–4, 8, 9): ["[node0] value = 1"]. *)
+
+type entry = {
+  time : Engine.time;
+  node : int;
+  text : string;
+}
+
+type t
+
+val create : unit -> t
+
+val emit : t -> time:Engine.time -> node:int -> string -> unit
+
+(** Entries in emission order. *)
+val entries : t -> entry list
+
+(** Lines rendered as in the paper: ["[node0] value = 1"]. *)
+val lines : t -> string list
+
+(** Lines with a virtual timestamp prefix, for debugging. *)
+val timed_lines : t -> string list
+
+val clear : t -> unit
+
+(** [contains t sub] is [true] iff some line contains substring [sub]. *)
+val contains : t -> string -> bool
+
+val pp : Format.formatter -> t -> unit

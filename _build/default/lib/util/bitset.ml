@@ -1,0 +1,122 @@
+type t = {
+  bits : int;
+  store : Bytes.t;
+}
+
+let create bits =
+  if bits < 0 then invalid_arg "Bitset.create";
+  { bits; store = Bytes.make ((bits + 7) / 8) '\000' }
+
+let length t = t.bits
+
+let byte_size t = Bytes.length t.store
+
+let check t i =
+  if i < 0 || i >= t.bits then invalid_arg "Bitset: index out of bounds"
+
+let get t i =
+  check t i;
+  Char.code (Bytes.unsafe_get t.store (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i =
+  check t i;
+  let b = i lsr 3 in
+  Bytes.unsafe_set t.store b
+    (Char.chr (Char.code (Bytes.unsafe_get t.store b) lor (1 lsl (i land 7))))
+
+let clear t i =
+  check t i;
+  let b = i lsr 3 in
+  Bytes.unsafe_set t.store b
+    (Char.chr (Char.code (Bytes.unsafe_get t.store b) land lnot (1 lsl (i land 7)) land 0xff))
+
+let assign t i v = if v then set t i else clear t i
+
+let popcount_byte =
+  let tbl = Array.init 256 (fun c ->
+      let rec count c = if c = 0 then 0 else (c land 1) + count (c lsr 1) in
+      count c)
+  in
+  fun c -> tbl.(c)
+
+let count t =
+  let n = ref 0 in
+  for b = 0 to Bytes.length t.store - 1 do
+    n := !n + popcount_byte (Char.code (Bytes.unsafe_get t.store b))
+  done;
+  !n
+
+let first_set_from t start =
+  if start >= t.bits then None
+  else begin
+    let start = max start 0 in
+    let result = ref None in
+    (try
+       (* Scan the partial first byte bit by bit, then whole bytes. *)
+       let b0 = start lsr 3 in
+       for i = start to min t.bits ((b0 + 1) lsl 3) - 1 do
+         if get t i then begin result := Some i; raise Exit end
+       done;
+       for b = b0 + 1 to Bytes.length t.store - 1 do
+         let c = Char.code (Bytes.unsafe_get t.store b) in
+         if c <> 0 then begin
+           let i = ref (b lsl 3) in
+           while !i < t.bits && not (get t !i) do incr i done;
+           if !i < t.bits then begin result := Some !i; raise Exit end
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let first_set t = first_set_from t 0
+
+let find_run t n =
+  if n <= 0 then invalid_arg "Bitset.find_run";
+  let rec search from =
+    match first_set_from t from with
+    | None -> None
+    | Some start ->
+      let rec extend i =
+        if i - start = n then Some start
+        else if i < t.bits && get t i then extend (i + 1)
+        else search (i + 1)
+      in
+      extend start
+  in
+  search 0
+
+let set_range t i n = for j = i to i + n - 1 do set t j done
+
+let clear_range t i n = for j = i to i + n - 1 do clear t j done
+
+let or_into ~into src =
+  if into.bits <> src.bits then invalid_arg "Bitset.or_into: length mismatch";
+  for b = 0 to Bytes.length into.store - 1 do
+    Bytes.unsafe_set into.store b
+      (Char.chr
+         (Char.code (Bytes.unsafe_get into.store b)
+          lor Char.code (Bytes.unsafe_get src.store b)))
+  done
+
+let copy t = { bits = t.bits; store = Bytes.copy t.store }
+
+let equal a b = a.bits = b.bits && Bytes.equal a.store b.store
+
+let iter_set f t =
+  for i = 0 to t.bits - 1 do
+    if get t i then f i
+  done
+
+let intersects a b =
+  if a.bits <> b.bits then invalid_arg "Bitset.intersects: length mismatch";
+  let hit = ref false in
+  for i = 0 to Bytes.length a.store - 1 do
+    if Char.code (Bytes.unsafe_get a.store i) land Char.code (Bytes.unsafe_get b.store i) <> 0
+    then hit := true
+  done;
+  !hit
+
+let to_string t = String.init t.bits (fun i -> if get t i then '1' else '0')
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

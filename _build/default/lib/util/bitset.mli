@@ -1,0 +1,60 @@
+(** Fixed-size bitsets backed by [Bytes].
+
+    This is the data structure behind the per-node slot bitmaps of the
+    isomalloc slot layer (paper, §4.2): a 3.5 GB iso-address area divided
+    into 64 KB slots gives 57 344 bits = 7 168 bytes per node. *)
+
+type t
+
+(** [create n] is a bitset of [n] bits, all cleared. *)
+val create : int -> t
+
+(** Number of bits. *)
+val length : t -> int
+
+(** Backing-store size in bytes (what travels on the wire during a
+    negotiation gather/scatter). *)
+val byte_size : t -> int
+
+val get : t -> int -> bool
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val assign : t -> int -> bool -> unit
+
+(** Number of set bits. *)
+val count : t -> int
+
+(** [first_set t] is the lowest set bit index, or [None]. *)
+val first_set : t -> int option
+
+(** [first_set_from t i] is the lowest set bit index [>= i], or [None]. *)
+val first_set_from : t -> int -> int option
+
+(** [find_run t n] is the start of the lowest run of [n] consecutive set
+    bits, or [None]. First-fit, as in the paper's multi-slot search. *)
+val find_run : t -> int -> int option
+
+(** [set_range t i n] sets bits [i .. i+n-1]; [clear_range] clears them. *)
+val set_range : t -> int -> int -> unit
+
+val clear_range : t -> int -> int -> unit
+
+(** [or_into ~into src] computes [into := into lor src] (the global OR of
+    step 2c of the negotiation protocol). Lengths must match. *)
+val or_into : into:t -> t -> unit
+
+val copy : t -> t
+
+(** [equal a b] is structural equality (same length, same bits). *)
+val equal : t -> t -> bool
+
+(** [iter_set f t] applies [f] to each set bit index in increasing order. *)
+val iter_set : (int -> unit) -> t -> unit
+
+(** [intersects a b] is [true] iff some bit is set in both. Used to check
+    the iso-address invariant that no slot is owned by two nodes. *)
+val intersects : t -> t -> bool
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

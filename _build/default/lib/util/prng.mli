@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    The simulator never uses [Random] so that every experiment is exactly
+    reproducible from its seed. *)
+
+type t
+
+val create : seed:int -> t
+
+(** Next raw 64-bit value (as an OCaml [int], top bit cleared). *)
+val next : t -> int
+
+(** [int t bound] is uniform in [0, bound). @raise Invalid_argument if
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive. *)
+val int_in : t -> int -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** Exponentially distributed float with the given mean. *)
+val exponential : t -> mean:float -> float
+
+(** [shuffle t a] permutes [a] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** Independent stream derived from this one. *)
+val split : t -> t

@@ -1,0 +1,38 @@
+(** Summary statistics for benchmark series (virtual-time measurements). *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p95 : float;
+}
+
+(** [summarize xs] computes the summary of a non-empty list of samples.
+    @raise Invalid_argument on the empty list. *)
+val summarize : float list -> summary
+
+val mean : float list -> float
+val stddev : float list -> float
+
+(** [percentile p xs] for [p] in [0,100], by linear interpolation on the
+    sorted samples. *)
+val percentile : float -> float list -> float
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** Online accumulator (Welford) for long-running experiment counters. *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val n : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+  val total : t -> float
+end

@@ -1,0 +1,21 @@
+(** Column-aligned plain-text tables, used by the benchmark harness to print
+    each paper table/figure as rows on stdout. *)
+
+type align = Left | Right
+
+type t
+
+(** [create headers] starts a table; each header optionally carries an
+    alignment for its column (default [Right] — most columns are numbers). *)
+val create : ?aligns:align list -> string list -> t
+
+(** Append a row. Rows shorter than the header are padded with "". *)
+val add_row : t -> string list -> unit
+
+(** Convenience: row of formatted cells. *)
+val add_rowf : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val render : t -> string
+
+(** [print ~title t] renders with a title banner to stdout. *)
+val print : ?title:string -> t -> unit

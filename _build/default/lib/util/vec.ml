@@ -1,0 +1,78 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create ?(capacity = 8) () = { data = Array.make (max capacity 1) (Obj.magic 0); len = 0 }
+
+let make n x = { data = Array.make (max n 1) x; len = n }
+
+let length v = v.len
+
+let is_empty v = v.len = 0
+
+let check v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec: index out of bounds"
+
+let get v i = check v i; Array.unsafe_get v.data i
+
+let set v i x = check v i; Array.unsafe_set v.data i x
+
+let grow v =
+  let cap = Array.length v.data in
+  let data = Array.make (2 * cap) v.data.(0) in
+  Array.blit v.data 0 data 0 v.len;
+  v.data <- data
+
+let push v x =
+  if v.len = Array.length v.data then begin
+    if v.len = 0 then v.data <- Array.make 8 x else grow v
+  end;
+  Array.unsafe_set v.data v.len x;
+  v.len <- v.len + 1
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec.pop: empty";
+  v.len <- v.len - 1;
+  Array.unsafe_get v.data v.len
+
+let last v =
+  if v.len = 0 then invalid_arg "Vec.last: empty";
+  Array.unsafe_get v.data (v.len - 1)
+
+let clear v = v.len <- 0
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f (Array.unsafe_get v.data i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i (Array.unsafe_get v.data i)
+  done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc (Array.unsafe_get v.data i)
+  done;
+  !acc
+
+let exists p v =
+  let rec loop i = i < v.len && (p (Array.unsafe_get v.data i) || loop (i + 1)) in
+  loop 0
+
+let to_list v = List.init v.len (fun i -> v.data.(i))
+
+let of_list l =
+  let v = create ~capacity:(max 1 (List.length l)) () in
+  List.iter (push v) l;
+  v
+
+let to_array v = Array.init v.len (fun i -> v.data.(i))
+
+let sort cmp v =
+  let a = to_array v in
+  Array.sort cmp a;
+  Array.blit a 0 v.data 0 v.len

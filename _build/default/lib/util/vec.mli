@@ -1,0 +1,44 @@
+(** Growable arrays (OCaml 5.1 has no [Dynarray]; this is the local
+    equivalent, specialised for the simulator's hot paths). *)
+
+type 'a t
+
+(** [create ()] is an empty vector. [capacity] pre-sizes the backing store. *)
+val create : ?capacity:int -> unit -> 'a t
+
+(** [make n x] is a vector of [n] elements all equal to [x]. *)
+val make : int -> 'a -> 'a t
+
+(** Number of elements currently stored. *)
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [get v i] is the [i]-th element. @raise Invalid_argument if out of
+    bounds. *)
+val get : 'a t -> int -> 'a
+
+val set : 'a t -> int -> 'a -> unit
+
+(** Append at the end, growing the backing store as needed. *)
+val push : 'a t -> 'a -> unit
+
+(** Remove and return the last element. @raise Invalid_argument if empty. *)
+val pop : 'a t -> 'a
+
+(** Last element without removing it. *)
+val last : 'a t -> 'a
+
+(** Drop all elements (keeps capacity). *)
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val exists : ('a -> bool) -> 'a t -> bool
+val to_list : 'a t -> 'a list
+val of_list : 'a list -> 'a t
+val to_array : 'a t -> 'a array
+
+(** In-place sort using the given comparison. *)
+val sort : ('a -> 'a -> int) -> 'a t -> unit

@@ -1,0 +1,1 @@
+lib/vmem/address_space.ml: Buffer Bytes Char Hashtbl Int64 Layout Printf

@@ -1,0 +1,148 @@
+type addr = Layout.addr
+
+exception Segfault of { addr : addr; node : int; what : string }
+
+let word_size = 8
+
+type t = {
+  node : int;
+  pages : (int, Bytes.t) Hashtbl.t; (* page index -> page contents *)
+  mutable mmap_calls : int;
+}
+
+let create ~node () = { node; pages = Hashtbl.create 1024; mmap_calls = 0 }
+
+let node t = t.node
+
+let segv t addr what = raise (Segfault { addr; node = t.node; what })
+
+let check_aligned what ~addr ~size =
+  if not (Layout.is_page_aligned addr) || not (Layout.is_page_aligned size) || size <= 0 then
+    invalid_arg (Printf.sprintf "Address_space.%s: unaligned range (0x%x, %d)" what addr size)
+
+let mmap t ~addr ~size =
+  check_aligned "mmap" ~addr ~size;
+  let first = Layout.page_of_addr addr in
+  let n = size / Layout.page_size in
+  for p = first to first + n - 1 do
+    if Hashtbl.mem t.pages p then
+      invalid_arg (Printf.sprintf "Address_space.mmap: page 0x%x already mapped"
+                     (Layout.addr_of_page p))
+  done;
+  for p = first to first + n - 1 do
+    Hashtbl.replace t.pages p (Bytes.make Layout.page_size '\000')
+  done;
+  t.mmap_calls <- t.mmap_calls + 1
+
+let munmap t ~addr ~size =
+  check_aligned "munmap" ~addr ~size;
+  let first = Layout.page_of_addr addr in
+  let n = size / Layout.page_size in
+  for p = first to first + n - 1 do
+    if not (Hashtbl.mem t.pages p) then
+      invalid_arg (Printf.sprintf "Address_space.munmap: page 0x%x not mapped"
+                     (Layout.addr_of_page p))
+  done;
+  for p = first to first + n - 1 do
+    Hashtbl.remove t.pages p
+  done
+
+let is_mapped t a = Hashtbl.mem t.pages (Layout.page_of_addr a)
+
+let range_mapped t ~addr ~size =
+  let first = Layout.page_of_addr addr in
+  let last = Layout.page_of_addr (addr + size - 1) in
+  let rec loop p = p > last || (Hashtbl.mem t.pages p && loop (p + 1)) in
+  size = 0 || loop first
+
+let mapped_pages t = Hashtbl.length t.pages
+
+let mmap_calls t = t.mmap_calls
+
+let page t what a =
+  match Hashtbl.find_opt t.pages (Layout.page_of_addr a) with
+  | Some p -> p
+  | None -> segv t a what
+
+let load_u8 t a = Char.code (Bytes.get (page t "load" a) (a land (Layout.page_size - 1)))
+
+let store_u8 t a v =
+  Bytes.set (page t "store" a) (a land (Layout.page_size - 1)) (Char.chr (v land 0xff))
+
+(* Word accesses are frequent; fast-path the common case where the whole
+   word lies inside one page. *)
+let load_word t a =
+  let off = a land (Layout.page_size - 1) in
+  if off <= Layout.page_size - 8 then begin
+    let p = page t "load" a in
+    Int64.to_int (Bytes.get_int64_le p off)
+  end
+  else begin
+    let v = ref 0 in
+    for i = 7 downto 0 do
+      v := (!v lsl 8) lor load_u8 t (a + i)
+    done;
+    !v
+  end
+
+let store_word t a v =
+  let off = a land (Layout.page_size - 1) in
+  if off <= Layout.page_size - 8 then begin
+    let p = page t "store" a in
+    Bytes.set_int64_le p off (Int64.of_int v)
+  end
+  else
+    for i = 0 to 7 do
+      store_u8 t (a + i) ((v lsr (8 * i)) land 0xff)
+    done
+
+let load_bytes t a len =
+  let out = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let addr = a + !pos in
+    let off = addr land (Layout.page_size - 1) in
+    let chunk = min (len - !pos) (Layout.page_size - off) in
+    let p = page t "load" addr in
+    Bytes.blit p off out !pos chunk;
+    pos := !pos + chunk
+  done;
+  out
+
+let store_bytes t a b =
+  let len = Bytes.length b in
+  let pos = ref 0 in
+  while !pos < len do
+    let addr = a + !pos in
+    let off = addr land (Layout.page_size - 1) in
+    let chunk = min (len - !pos) (Layout.page_size - off) in
+    let p = page t "store" addr in
+    Bytes.blit b !pos p off chunk;
+    pos := !pos + chunk
+  done
+
+let load_string t a len = Bytes.to_string (load_bytes t a len)
+
+let load_cstring t a =
+  let buf = Buffer.create 32 in
+  let rec loop i =
+    if i >= 4096 then Buffer.contents buf
+    else begin
+      let c = load_u8 t (a + i) in
+      if c = 0 then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Char.chr c);
+        loop (i + 1)
+      end
+    end
+  in
+  loop 0
+
+let fill t ~addr ~size byte =
+  store_bytes t addr (Bytes.make size (Char.chr (byte land 0xff)))
+
+let copy_within t ~src ~dst ~size =
+  if size > 0 then store_bytes t dst (load_bytes t src size)
+
+let blit ~src ~src_addr ~dst ~dst_addr ~size =
+  if size > 0 then store_bytes dst dst_addr (load_bytes src src_addr size)

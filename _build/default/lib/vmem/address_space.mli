@@ -1,0 +1,82 @@
+(** A simulated per-node virtual address space.
+
+    Pages are materialised lazily: [mmap] declares a range mapped (and
+    zero-filled), [munmap] unmaps it, and any access to an unmapped address
+    raises {!Segfault} — exactly the failure mode of the paper's Figs. 2, 4
+    and 9 when a migrated thread dereferences a pointer whose target did not
+    follow it.
+
+    All multi-byte accessors are little-endian. Words are 8 bytes: the
+    MiniVM is a 64-bit machine, and all isomalloc headers are stored as
+    words {e inside} this memory so that they are carried verbatim by an
+    iso-address copy (paper, §4.2: slot chaining pointers live in the slot
+    headers and stay valid after migration). *)
+
+type t
+
+type addr = Layout.addr
+
+exception Segfault of { addr : addr; node : int; what : string }
+
+val word_size : int
+(** 8 bytes. *)
+
+(** [create ~node ()] is an empty address space; [node] tags segfault
+    reports. *)
+val create : node:int -> unit -> t
+
+val node : t -> int
+
+(** {1 Mapping} *)
+
+(** [mmap t ~addr ~size] maps (and zero-fills) the page-aligned range.
+    @raise Invalid_argument if the range is not page aligned or any page in
+    it is already mapped (MAP_FIXED without overwrite — the iso-address
+    discipline must guarantee this never happens across nodes). *)
+val mmap : t -> addr:addr -> size:int -> unit
+
+(** [munmap t ~addr ~size] unmaps the range.
+    @raise Invalid_argument if not page aligned or any page is not mapped. *)
+val munmap : t -> addr:addr -> size:int -> unit
+
+val is_mapped : t -> addr -> bool
+
+(** [range_mapped t ~addr ~size] is [true] iff every byte of the range is
+    mapped. *)
+val range_mapped : t -> addr:addr -> size:int -> bool
+
+val mapped_pages : t -> int
+(** Resident page count. *)
+
+val mmap_calls : t -> int
+(** Number of [mmap] invocations so far (feeds the cost model). *)
+
+(** {1 Typed access} *)
+
+val load_u8 : t -> addr -> int
+val store_u8 : t -> addr -> int -> unit
+
+val load_word : t -> addr -> int
+(** 8-byte little-endian load. @raise Segfault on unmapped access. *)
+
+val store_word : t -> addr -> int -> unit
+
+val load_bytes : t -> addr -> int -> Bytes.t
+val store_bytes : t -> addr -> Bytes.t -> unit
+
+val load_string : t -> addr -> int -> string
+
+(** [load_cstring t addr] reads a NUL-terminated string (bounded at 4 KB to
+    keep runaway reads from looping forever). *)
+val load_cstring : t -> addr -> string
+
+(** [fill t ~addr ~size byte] writes [size] copies of [byte]. *)
+val fill : t -> addr:addr -> size:int -> int -> unit
+
+(** [copy_within t ~src ~dst ~size] copies inside one space (no overlap
+    handling needed by callers; implemented via a temporary). *)
+val copy_within : t -> src:addr -> dst:addr -> size:int -> unit
+
+(** [blit ~src ~src_addr ~dst ~dst_addr ~size] copies bytes across spaces —
+    the heart of an iso-address migration when [src_addr = dst_addr]. *)
+val blit : src:t -> src_addr:addr -> dst:t -> dst_addr:addr -> size:int -> unit

@@ -1,0 +1,1 @@
+test/test_balancer.ml: Alcotest List Option Pm2_core Pm2_loadbal Pm2_programs Printf

@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Array Bitset Fun List Option Pm2_util QCheck2 QCheck_alcotest

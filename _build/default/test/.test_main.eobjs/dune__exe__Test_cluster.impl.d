@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Cluster List Negotiation Option Pm2 Pm2_core Pm2_mvm Pm2_programs Pm2_sim Printf Slot_manager String Thread

@@ -1,0 +1,1 @@
+test/test_dlist.ml: Alcotest Dlist List Pm2_util QCheck2 QCheck_alcotest Queue

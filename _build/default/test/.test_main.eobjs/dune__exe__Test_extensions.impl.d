@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Bytes Char Cluster Iso_heap List Negotiation Option Pm2 Pm2_core Pm2_mvm Pm2_sim Pm2_vmem Printf QCheck2 QCheck_alcotest Slot Slot_manager Thread

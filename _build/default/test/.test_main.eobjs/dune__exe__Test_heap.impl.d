@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest List Pm2_heap Pm2_sim Pm2_vmem Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_iso_heap.ml: Alcotest Cluster Distribution Iso_heap List Negotiation Option Pm2 Pm2_core Pm2_sim Pm2_vmem Printf QCheck2 QCheck_alcotest Slot Slot_header Slot_manager Thread

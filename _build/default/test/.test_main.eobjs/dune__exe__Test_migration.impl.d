@@ -1,0 +1,1 @@
+test/test_migration.ml: Alcotest Bytes Char Cluster Iso_heap List Migration Option Pm2 Pm2_core Pm2_mvm Pm2_util Pm2_vmem Printf QCheck2 QCheck_alcotest Slot Slot_manager Thread

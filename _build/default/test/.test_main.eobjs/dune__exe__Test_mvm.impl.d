@@ -1,0 +1,1 @@
+test/test_mvm.ml: Alcotest Array List Pm2_mvm Pm2_vmem

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Bytes List Pm2_net Pm2_sim QCheck2 QCheck_alcotest

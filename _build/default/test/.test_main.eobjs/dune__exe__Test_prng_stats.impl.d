@@ -1,0 +1,1 @@
+test/test_prng_stats.ml: Alcotest Array Fun List Pm2_util Prng QCheck2 QCheck_alcotest Stats String Table Units

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest List Pm2_sim QCheck2 QCheck_alcotest

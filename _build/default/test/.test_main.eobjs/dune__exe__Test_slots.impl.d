@@ -1,0 +1,1 @@
+test/test_slots.ml: Alcotest Array Distribution List Option Pm2_core Pm2_sim Pm2_util Pm2_vmem Printf Slot Slot_header Slot_manager

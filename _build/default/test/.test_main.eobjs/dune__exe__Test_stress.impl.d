@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Cluster Filename List Negotiation Pm2 Pm2_core Pm2_mvm Pm2_sim Pm2_util Printf Slot_manager Thread

@@ -1,0 +1,1 @@
+test/test_sync_hpf.ml: Alcotest Cluster List Pm2 Pm2_core Pm2_hpf Pm2_loadbal Pm2_mvm Pm2_sim Printf String

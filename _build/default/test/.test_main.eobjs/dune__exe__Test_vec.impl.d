@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest List Pm2_util QCheck2 QCheck_alcotest Vec

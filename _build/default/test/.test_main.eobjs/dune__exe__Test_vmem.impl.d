@@ -1,0 +1,1 @@
+test/test_vmem.ml: Alcotest Bytes Char Pm2_vmem QCheck2 QCheck_alcotest

@@ -1,0 +1,181 @@
+open Pm2_util
+
+let test_create_empty () =
+  let b = Bitset.create 100 in
+  Alcotest.(check int) "length" 100 (Bitset.length b);
+  Alcotest.(check int) "byte_size" 13 (Bitset.byte_size b);
+  Alcotest.(check int) "count" 0 (Bitset.count b);
+  Alcotest.(check (option int)) "first_set" None (Bitset.first_set b)
+
+let test_set_get_clear () =
+  let b = Bitset.create 64 in
+  Bitset.set b 0;
+  Bitset.set b 7;
+  Bitset.set b 63;
+  Alcotest.(check bool) "bit 0" true (Bitset.get b 0);
+  Alcotest.(check bool) "bit 7" true (Bitset.get b 7);
+  Alcotest.(check bool) "bit 8" false (Bitset.get b 8);
+  Alcotest.(check bool) "bit 63" true (Bitset.get b 63);
+  Alcotest.(check int) "count" 3 (Bitset.count b);
+  Bitset.clear b 7;
+  Alcotest.(check bool) "cleared" false (Bitset.get b 7);
+  Bitset.assign b 7 true;
+  Alcotest.(check bool) "assigned" true (Bitset.get b 7)
+
+let test_bounds () =
+  let b = Bitset.create 10 in
+  Alcotest.check_raises "negative" (Invalid_argument "Bitset: index out of bounds")
+    (fun () -> ignore (Bitset.get b (-1)));
+  Alcotest.check_raises "too large" (Invalid_argument "Bitset: index out of bounds")
+    (fun () -> Bitset.set b 10)
+
+let test_first_set_from () =
+  let b = Bitset.create 100 in
+  Bitset.set b 13;
+  Bitset.set b 57;
+  Alcotest.(check (option int)) "from 0" (Some 13) (Bitset.first_set_from b 0);
+  Alcotest.(check (option int)) "from 13" (Some 13) (Bitset.first_set_from b 13);
+  Alcotest.(check (option int)) "from 14" (Some 57) (Bitset.first_set_from b 14);
+  Alcotest.(check (option int)) "from 58" None (Bitset.first_set_from b 58);
+  Alcotest.(check (option int)) "past end" None (Bitset.first_set_from b 100)
+
+let test_find_run () =
+  let b = Bitset.create 40 in
+  (* runs: [3,4], [10..14], [20..39] *)
+  Bitset.set_range b 3 2;
+  Bitset.set_range b 10 5;
+  Bitset.set_range b 20 20;
+  Alcotest.(check (option int)) "run 1" (Some 3) (Bitset.find_run b 1);
+  Alcotest.(check (option int)) "run 2" (Some 3) (Bitset.find_run b 2);
+  Alcotest.(check (option int)) "run 3 first-fit" (Some 10) (Bitset.find_run b 3);
+  Alcotest.(check (option int)) "run 5" (Some 10) (Bitset.find_run b 5);
+  Alcotest.(check (option int)) "run 6" (Some 20) (Bitset.find_run b 6);
+  Alcotest.(check (option int)) "run 20" (Some 20) (Bitset.find_run b 20);
+  Alcotest.(check (option int)) "run 21" None (Bitset.find_run b 21)
+
+let test_run_at_end () =
+  let b = Bitset.create 16 in
+  Bitset.set_range b 14 2;
+  Alcotest.(check (option int)) "run touching the end" (Some 14) (Bitset.find_run b 2);
+  Alcotest.(check (option int)) "too long" None (Bitset.find_run b 3)
+
+let test_ranges () =
+  let b = Bitset.create 32 in
+  Bitset.set_range b 4 10;
+  Alcotest.(check int) "count" 10 (Bitset.count b);
+  Bitset.clear_range b 6 3;
+  Alcotest.(check int) "count after clear" 7 (Bitset.count b);
+  Alcotest.(check bool) "bit 5" true (Bitset.get b 5);
+  Alcotest.(check bool) "bit 6" false (Bitset.get b 6);
+  Alcotest.(check bool) "bit 9" true (Bitset.get b 9)
+
+let test_or_into () =
+  let a = Bitset.create 20 and b = Bitset.create 20 in
+  Bitset.set a 1;
+  Bitset.set b 2;
+  Bitset.set b 19;
+  Bitset.or_into ~into:a b;
+  Alcotest.(check int) "count" 3 (Bitset.count a);
+  Alcotest.(check bool) "bit 1" true (Bitset.get a 1);
+  Alcotest.(check bool) "bit 2" true (Bitset.get a 2);
+  Alcotest.(check bool) "bit 19" true (Bitset.get a 19);
+  (* src unchanged *)
+  Alcotest.(check int) "src count" 2 (Bitset.count b)
+
+let test_intersects () =
+  let a = Bitset.create 16 and b = Bitset.create 16 in
+  Bitset.set a 3;
+  Bitset.set b 4;
+  Alcotest.(check bool) "disjoint" false (Bitset.intersects a b);
+  Bitset.set b 3;
+  Alcotest.(check bool) "overlap" true (Bitset.intersects a b)
+
+let test_copy_equal () =
+  let a = Bitset.create 9 in
+  Bitset.set a 8;
+  let b = Bitset.copy a in
+  Alcotest.(check bool) "equal" true (Bitset.equal a b);
+  Bitset.clear b 8;
+  Alcotest.(check bool) "independent" true (Bitset.get a 8);
+  Alcotest.(check bool) "not equal" false (Bitset.equal a b)
+
+let test_iter_set () =
+  let b = Bitset.create 10 in
+  List.iter (Bitset.set b) [ 2; 5; 9 ];
+  let acc = ref [] in
+  Bitset.iter_set (fun i -> acc := i :: !acc) b;
+  Alcotest.(check (list int)) "iter_set ascending" [ 2; 5; 9 ] (List.rev !acc)
+
+let gen_bits = QCheck2.Gen.(list_size (int_range 1 200) bool)
+
+let of_bools l =
+  let b = Bitset.create (List.length l) in
+  List.iteri (fun i v -> if v then Bitset.set b i) l;
+  b
+
+let prop_count =
+  QCheck2.Test.make ~name:"Bitset.count equals the number of set bits" gen_bits (fun l ->
+      Bitset.count (of_bools l) = List.length (List.filter Fun.id l))
+
+let prop_first_set =
+  QCheck2.Test.make ~name:"Bitset.first_set is the least set bit" gen_bits (fun l ->
+      let expected =
+        List.mapi (fun i v -> (i, v)) l
+        |> List.find_opt snd |> Option.map fst
+      in
+      Bitset.first_set (of_bools l) = expected)
+
+let prop_find_run =
+  QCheck2.Test.make ~name:"Bitset.find_run finds the first adequate run"
+    QCheck2.Gen.(pair gen_bits (int_range 1 8))
+    (fun (l, n) ->
+       let b = of_bools l in
+       let naive =
+         let arr = Array.of_list l in
+         let len = Array.length arr in
+         let rec search i =
+           if i + n > len then None
+           else begin
+             let ok = ref true in
+             for j = i to i + n - 1 do
+               if not arr.(j) then ok := false
+             done;
+             if !ok then Some i else search (i + 1)
+           end
+         in
+         search 0
+       in
+       Bitset.find_run b n = naive)
+
+let prop_or =
+  QCheck2.Test.make ~name:"or_into sets exactly the union"
+    QCheck2.Gen.(pair (list_size (return 64) bool) (list_size (return 64) bool))
+    (fun (la, lb) ->
+       let a = of_bools la and b = of_bools lb in
+       Bitset.or_into ~into:a b;
+       let ok = ref true in
+       List.iteri
+         (fun i x ->
+            let y = List.nth lb i in
+            if Bitset.get a i <> (x || y) then ok := false)
+         la;
+       !ok)
+
+let tests =
+  [
+    Alcotest.test_case "create empty" `Quick test_create_empty;
+    Alcotest.test_case "set/get/clear" `Quick test_set_get_clear;
+    Alcotest.test_case "bounds checking" `Quick test_bounds;
+    Alcotest.test_case "first_set_from" `Quick test_first_set_from;
+    Alcotest.test_case "find_run first-fit" `Quick test_find_run;
+    Alcotest.test_case "run at the end" `Quick test_run_at_end;
+    Alcotest.test_case "set/clear ranges" `Quick test_ranges;
+    Alcotest.test_case "or_into" `Quick test_or_into;
+    Alcotest.test_case "intersects" `Quick test_intersects;
+    Alcotest.test_case "copy/equal" `Quick test_copy_equal;
+    Alcotest.test_case "iter_set" `Quick test_iter_set;
+    QCheck_alcotest.to_alcotest prop_count;
+    QCheck_alcotest.to_alcotest prop_first_set;
+    QCheck_alcotest.to_alcotest prop_find_run;
+    QCheck_alcotest.to_alcotest prop_or;
+  ]

@@ -1,0 +1,441 @@
+(* Tests for the extensions beyond the paper's core scheme: thread-
+   initiated preemptive migration, RPC + join (PM2's LRPC model),
+   isorealloc/isocalloc, best-fit placement, and the negotiation
+   extensions of §4.4 (pre-buy, global restructuring). *)
+
+module As = Pm2_vmem.Address_space
+module Isa = Pm2_mvm.Isa
+open Pm2_mvm.Asm
+open Pm2_core
+
+let empty_program = Pm2.build (fun _ -> ())
+
+let setup ?(nodes = 2) ?(fit = Iso_heap.First_fit) () =
+  let config = { (Cluster.default_config ~nodes) with Cluster.fit } in
+  let c = Cluster.create config empty_program in
+  let th = Cluster.host_thread c ~node:0 in
+  (c, Cluster.host_env c 0, th)
+
+(* -- isorealloc -- *)
+
+let test_realloc_shrink_in_place () =
+  let _, env, th = setup () in
+  let a = Option.get (Iso_heap.isomalloc env th 1000) in
+  As.store_word env.Iso_heap.space a 0x5EED;
+  let b = Option.get (Iso_heap.isorealloc env th a 100) in
+  Alcotest.(check int) "shrink stays in place" a b;
+  Alcotest.(check int) "content kept" 0x5EED (As.load_word env.Iso_heap.space b);
+  Alcotest.(check bool) "capacity reduced" true (Iso_heap.usable_size env th b < 1000);
+  Iso_heap.check_invariants env th
+
+let test_realloc_grow_in_place () =
+  let _, env, th = setup () in
+  let a = Option.get (Iso_heap.isomalloc env th 100) in
+  As.store_word env.Iso_heap.space a 0x1234;
+  (* The rest of the slot is one big free block right after [a]. *)
+  let b = Option.get (Iso_heap.isorealloc env th a 5000) in
+  Alcotest.(check int) "grow absorbs the next free block" a b;
+  Alcotest.(check bool) "capacity grown" true (Iso_heap.usable_size env th b >= 5000);
+  Alcotest.(check int) "content kept" 0x1234 (As.load_word env.Iso_heap.space b);
+  Iso_heap.check_invariants env th
+
+let test_realloc_move_copies () =
+  let _, env, th = setup () in
+  let a = Option.get (Iso_heap.isomalloc env th 200) in
+  let blocker = Option.get (Iso_heap.isomalloc env th 200) in
+  (* [blocker] sits right after [a], so growing [a] must move it. *)
+  let data = Bytes.init 200 (fun i -> Char.chr (i mod 256)) in
+  As.store_bytes env.Iso_heap.space a data;
+  let b = Option.get (Iso_heap.isorealloc env th a 10_000) in
+  Alcotest.(check bool) "moved" true (a <> b);
+  Alcotest.(check bytes) "content copied" data (As.load_bytes env.Iso_heap.space b 200);
+  (* The old block was freed: allocating its size lands there again. *)
+  let c = Option.get (Iso_heap.isomalloc env th 200) in
+  Alcotest.(check int) "old spot reusable" a c;
+  ignore blocker;
+  Iso_heap.check_invariants env th
+
+let test_realloc_zero_addr_is_malloc () =
+  let _, env, th = setup () in
+  let a = Option.get (Iso_heap.isorealloc env th 0 64) in
+  Alcotest.(check bool) "allocated" true (Pm2_vmem.Layout.in_iso_area a);
+  Iso_heap.check_invariants env th
+
+let test_realloc_errors () =
+  let _, env, th = setup () in
+  let a = Option.get (Iso_heap.isomalloc env th 64) in
+  Alcotest.(check bool) "bad size" true
+    (try ignore (Iso_heap.isorealloc env th a 0); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "dead block" true
+    (Iso_heap.isofree env th a;
+     try ignore (Iso_heap.isorealloc env th a 10); false with Invalid_argument _ -> true)
+
+let test_calloc_zeroes () =
+  let _, env, th = setup () in
+  (* Dirty a block, free it, then calloc over the same spot. *)
+  let a = Option.get (Iso_heap.isomalloc env th 256) in
+  As.fill env.Iso_heap.space ~addr:a ~size:256 0xff;
+  let keep = Option.get (Iso_heap.isomalloc env th 64) in
+  Iso_heap.isofree env th a;
+  let b = Option.get (Iso_heap.isocalloc env th ~count:32 ~size:8) in
+  Alcotest.(check int) "recycles the dirty block" a b;
+  let all_zero = ref true in
+  for i = 0 to 255 do
+    if As.load_u8 env.Iso_heap.space (b + i) <> 0 then all_zero := false
+  done;
+  Alcotest.(check bool) "zero-filled" true !all_zero;
+  ignore keep;
+  Iso_heap.check_invariants env th
+
+let test_realloc_roundtrip_random =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"random realloc sequences keep invariants" ~count:30
+       QCheck2.Gen.(list_size (int_range 1 40) (int_range 1 100_000))
+       (fun sizes ->
+          let _, env, th = setup () in
+          let addr = ref 0 in
+          List.iter
+            (fun size ->
+               match Iso_heap.isorealloc env th !addr size with
+               | Some a ->
+                 addr := a;
+                 Iso_heap.check_invariants env th
+               | None -> failwith "exhausted")
+            sizes;
+          true))
+
+(* -- best-fit -- *)
+
+let test_best_fit_picks_tightest () =
+  let _, env, th = setup ~fit:Iso_heap.Best_fit () in
+  (* Carve holes of 1000 and 300 bytes (in that list order), then ask for
+     250: best-fit must take the 300 hole, first-fit would take 1000. *)
+  let a = Option.get (Iso_heap.isomalloc env th 1000) in
+  let _k1 = Option.get (Iso_heap.isomalloc env th 64) in
+  let b = Option.get (Iso_heap.isomalloc env th 300) in
+  let _k2 = Option.get (Iso_heap.isomalloc env th 64) in
+  Iso_heap.isofree env th a;
+  Iso_heap.isofree env th b;
+  let c = Option.get (Iso_heap.isomalloc env th 250) in
+  Alcotest.(check int) "tightest hole chosen" b c;
+  Iso_heap.check_invariants env th
+
+let test_first_fit_picks_first () =
+  let _, env, th = setup ~fit:Iso_heap.First_fit () in
+  let a = Option.get (Iso_heap.isomalloc env th 1000) in
+  let _k1 = Option.get (Iso_heap.isomalloc env th 64) in
+  let b = Option.get (Iso_heap.isomalloc env th 300) in
+  let _k2 = Option.get (Iso_heap.isomalloc env th 64) in
+  Iso_heap.isofree env th a;
+  Iso_heap.isofree env th b;
+  (* The free list is LIFO: b's hole is at the head... the observable
+     difference from best-fit is simply which hole serves the request. *)
+  let c = Option.get (Iso_heap.isomalloc env th 250) in
+  Alcotest.(check bool) "one of the holes reused" true (c = a || c = b);
+  Iso_heap.check_invariants env th
+
+let test_stats_and_fragmentation () =
+  let _, env, th = setup () in
+  let a = Option.get (Iso_heap.isomalloc env th 10_000) in
+  let _b = Option.get (Iso_heap.isomalloc env th 10_000) in
+  Iso_heap.isofree env th a;
+  let s = Iso_heap.stats env th in
+  Alcotest.(check int) "slots" 2 s.Iso_heap.slots;
+  Alcotest.(check int) "live blocks" 1 s.Iso_heap.live_blocks;
+  Alcotest.(check int) "live payload" 10_000 s.Iso_heap.live_payload_bytes;
+  Alcotest.(check bool) "free bytes counted" true (s.Iso_heap.free_bytes >= 10_000);
+  Alcotest.(check bool) "largest free" true (s.Iso_heap.largest_free_block >= 10_000);
+  let f = Iso_heap.fragmentation s in
+  Alcotest.(check bool) "fragmentation in (0,1)" true (f > 0. && f < 1.)
+
+(* -- negotiation extensions (§4.4) -- *)
+
+let test_prebuy_buys_extra () =
+  let c, _, _ = setup () in
+  let neg = Cluster.negotiation c in
+  let owned_before = Slot_manager.owned (Cluster.node_mgr c 0) in
+  let r = Negotiation.execute ~prebuy:6 neg ~requester:0 ~n:2 in
+  Alcotest.(check bool) "run found" true (r.Negotiation.start <> None);
+  (* run of 2 (1 foreign under RR) + 6 prebought (3 foreign): node 0 gains
+     the foreign ones. *)
+  Alcotest.(check int) "foreign slots gained" (owned_before + 4)
+    (Slot_manager.owned (Cluster.node_mgr c 0));
+  Negotiation.check_global_invariant neg;
+  (* The prebought slots are contiguous with the run: a local run of 8 now
+     exists, so the next multi-slot allocation needs no negotiation. *)
+  Alcotest.(check bool) "local run of 8 now available" true
+    (Slot_manager.find_local_run (Cluster.node_mgr c 0) 8 <> None)
+
+let test_prebuy_reduces_negotiations () =
+  let count_negs prebuy =
+    let config = { (Cluster.default_config ~nodes:2) with Cluster.prebuy } in
+    let c = Cluster.create config empty_program in
+    let th = Cluster.host_thread c ~node:0 in
+    let env = Cluster.host_env c 0 in
+    for _ = 1 to 10 do
+      ignore (Option.get (Iso_heap.isomalloc env th (3 * 65536)))
+    done;
+    Cluster.check_invariants c;
+    Negotiation.count (Cluster.negotiation c)
+  in
+  let without = count_negs 0 and with_prebuy = count_negs 32 in
+  Alcotest.(check int) "every multi-slot alloc negotiates without prebuy" 10 without;
+  Alcotest.(check bool)
+    (Printf.sprintf "prebuy amortises negotiations (%d < %d)" with_prebuy without)
+    true
+    (with_prebuy <= without / 2)
+
+let test_restructure_groups_free_slots () =
+  let c, _, _ = setup ~nodes:4 () in
+  let neg = Cluster.negotiation c in
+  (* Round-robin over 4 nodes: every node's largest run is 1. *)
+  Alcotest.(check int) "fragmented before" 1 (Negotiation.largest_local_run neg ~node:2);
+  let moved, duration = Negotiation.restructure neg in
+  Alcotest.(check bool) "slots moved" true (moved > 0);
+  Alcotest.(check bool) "costs protocol time" true (duration > 0.);
+  Negotiation.check_global_invariant neg;
+  (* Every node now holds one contiguous range ~ a quarter of the area. *)
+  let g = Cluster.geometry c in
+  List.iter
+    (fun node ->
+       let run = Negotiation.largest_local_run neg ~node in
+       Alcotest.(check bool)
+         (Printf.sprintf "node %d contiguous (run %d)" node run)
+         true
+         (run >= (g.Slot.count / 4) - 2))
+    [ 0; 1; 2; 3 ]
+
+let test_restructure_spares_busy_slots () =
+  let c, env, th = setup ~nodes:2 () in
+  let a = Option.get (Iso_heap.isomalloc env th 100_000) in
+  let slots_before = Iso_heap.slot_list env th in
+  ignore (Negotiation.restructure (Cluster.negotiation c));
+  Negotiation.check_global_invariant (Cluster.negotiation c);
+  (* The thread's memory is untouched and still usable. *)
+  Alcotest.(check (list int)) "thread slots unchanged" slots_before
+    (Iso_heap.slot_list env th);
+  As.store_word env.Iso_heap.space a 42;
+  Alcotest.(check int) "memory usable" 42 (As.load_word env.Iso_heap.space a);
+  Iso_heap.check_invariants env th;
+  Cluster.check_invariants c
+
+let test_restructure_then_local_allocs () =
+  (* After restructuring, multi-slot requests that used to negotiate under
+     round-robin become purely local. *)
+  let c, env, th = setup ~nodes:2 () in
+  ignore (Negotiation.restructure (Cluster.negotiation c));
+  let before = Negotiation.count (Cluster.negotiation c) in
+  for _ = 1 to 5 do
+    ignore (Option.get (Iso_heap.isomalloc env th (4 * 65536)))
+  done;
+  Alcotest.(check int) "no further negotiation" before
+    (Negotiation.count (Cluster.negotiation c));
+  Iso_heap.check_invariants env th
+
+(* -- guest-level: Sys_migrate_thread, Sys_rpc, Sys_join, Sys_isorealloc -- *)
+
+let victim_manager_program =
+  Pm2.build (fun b ->
+      let fmt = cstring b "victim on node %d" in
+      proc b "victim" (fun b ->
+          (* spin in small workload chunks; print location when done *)
+          imm b r8 20;
+          label b "v.loop";
+          imm b r4 0;
+          beq b r8 r4 "v.done";
+          imm b r1 100;
+          sys b Isa.Sys_workload;
+          sys b Isa.Sys_yield;
+          addi b r8 r8 (-1);
+          jmp b "v.loop";
+          label b "v.done";
+          sys b Isa.Sys_node;
+          mov b r2 r0;
+          imm b r1 fmt;
+          sys b Isa.Sys_print;
+          halt b);
+      proc b "manager" (fun b ->
+          (* r1 = victim handle: push it away, then finish *)
+          mov b r8 r1;
+          sys b Isa.Sys_yield;
+          mov b r1 r8;
+          imm b r2 1;
+          sys b Isa.Sys_migrate_thread;
+          halt b))
+
+let test_thread_migrates_another () =
+  let config = Cluster.default_config ~nodes:2 in
+  let cluster = Cluster.create config victim_manager_program in
+  let victim = Cluster.spawn cluster ~node:0 ~entry:"victim" () in
+  let _manager =
+    Cluster.spawn cluster ~node:0 ~entry:"manager" ~arg:(0xeeff0000 + victim.Thread.id) ()
+  in
+  ignore (Cluster.run cluster);
+  Alcotest.(check bool) "victim migrated" true
+    (List.exists
+       (fun m -> m.Cluster.tid = victim.Thread.id)
+       (Cluster.migrations cluster));
+  Alcotest.(check bool) "victim finished on node 1" true
+    (Pm2_sim.Trace.contains (Cluster.trace cluster) "victim on node 1");
+  Cluster.check_invariants cluster
+
+let test_migrate_thread_bad_target () =
+  let prog =
+    Pm2.build (fun b ->
+        let fmt = cstring b "rc = %d" in
+        proc b "m" (fun b ->
+            imm b r1 0x12345678; (* no such thread *)
+            imm b r2 1;
+            sys b Isa.Sys_migrate_thread;
+            mov b r2 r0;
+            imm b r1 fmt;
+            sys b Isa.Sys_print;
+            halt b))
+  in
+  let lines = Pm2.run_to_completion prog ~entry:"m" () in
+  Alcotest.(check (list string)) "error code" [ "[node0] rc = -1" ] lines
+
+let rpc_program =
+  Pm2.build (fun b ->
+      let fmt = cstring b "child on node %d, arg %d" in
+      proc b "child" (fun b ->
+          sys b Isa.Sys_node;
+          mov b r2 r0;
+          mov b r3 r1;
+          push b r1;
+          imm b r1 fmt;
+          sys b Isa.Sys_print;
+          pop b r0;
+          halt b (* exit value = arg *));
+      proc b "parent" (fun b ->
+          imm b r1 1;
+          lea b r2 "child";
+          imm b r3 77;
+          sys b Isa.Sys_rpc;
+          mov b r1 r0;
+          sys b Isa.Sys_join;
+          mov b r2 r0;
+          imm b r1 (cstring b "join returned %d");
+          sys b Isa.Sys_print;
+          halt b))
+
+let test_rpc_and_join () =
+  let lines = Pm2.run_to_completion rpc_program ~entry:"parent" () in
+  Alcotest.(check (list string)) "rpc runs remotely, join returns the exit value"
+    [ "[node1] child on node 1, arg 77"; "[node0] join returned 77" ]
+    lines
+
+let test_join_already_exited () =
+  let prog =
+    Pm2.build (fun b ->
+        proc b "quick" (fun b ->
+            imm b r0 5;
+            halt b);
+        proc b "slow" (fun b ->
+            lea b r1 "quick";
+            imm b r2 0;
+            sys b Isa.Sys_spawn;
+            mov b r8 r0;
+            (* wait long enough for quick to die *)
+            imm b r1 10_000;
+            sys b Isa.Sys_workload;
+            sys b Isa.Sys_yield;
+            mov b r1 r8;
+            sys b Isa.Sys_join;
+            mov b r2 r0;
+            imm b r1 (cstring b "late join = %d");
+            sys b Isa.Sys_print;
+            halt b))
+  in
+  let lines = Pm2.run_to_completion prog ~entry:"slow" () in
+  Alcotest.(check (list string)) "late join returns immediately with the value"
+    [ "[node0] late join = 5" ] lines
+
+let test_join_survives_migration () =
+  (* Joining a thread that migrates before exiting still wakes up. *)
+  let prog =
+    Pm2.build (fun b ->
+        proc b "mover" (fun b ->
+            imm b r1 1;
+            sys b Isa.Sys_migrate;
+            imm b r0 99;
+            halt b);
+        proc b "waiter" (fun b ->
+            lea b r1 "mover";
+            imm b r2 0;
+            sys b Isa.Sys_spawn;
+            mov b r1 r0;
+            sys b Isa.Sys_join;
+            mov b r2 r0;
+            imm b r1 (cstring b "joined mover: %d");
+            sys b Isa.Sys_print;
+            halt b))
+  in
+  let lines = Pm2.run_to_completion prog ~entry:"waiter" () in
+  Alcotest.(check (list string)) "join across migration"
+    [ "[node0] joined mover: 99" ] lines
+
+let test_sys_isorealloc () =
+  let prog =
+    Pm2.build (fun b ->
+        let fmt = cstring b "kept %d, moved %d" in
+        proc b "r" (fun b ->
+            imm b r1 0;
+            imm b r2 64;
+            sys b Isa.Sys_isorealloc; (* fresh *)
+            mov b r7 r0;
+            imm b r5 0xCAFE;
+            store b r5 r7 0;
+            mov b r1 r7;
+            imm b r2 300_000;
+            sys b Isa.Sys_isorealloc; (* forces a move + negotiation *)
+            mov b r8 r0;
+            load b r2 r8 0;
+            sub b r4 r8 r7;
+            imm b r5 0;
+            beq b r4 r5 "same";
+            imm b r3 1;
+            jmp b "pr";
+            label b "same";
+            imm b r3 0;
+            label b "pr";
+            imm b r1 fmt;
+            sys b Isa.Sys_print;
+            halt b))
+  in
+  let cluster = Pm2.launch prog ~spawns:[ (0, "r", 0) ] in
+  ignore (Cluster.run cluster);
+  Alcotest.(check (list string)) "content preserved across guest realloc"
+    [ "[node0] kept 51966, moved 1" ]
+    (Pm2_sim.Trace.lines (Cluster.trace cluster));
+  Alcotest.(check bool) "negotiated" true
+    (Negotiation.count (Cluster.negotiation cluster) >= 1);
+  Cluster.check_invariants cluster
+
+let tests =
+  [
+    Alcotest.test_case "realloc shrinks in place" `Quick test_realloc_shrink_in_place;
+    Alcotest.test_case "realloc grows in place" `Quick test_realloc_grow_in_place;
+    Alcotest.test_case "realloc moves and copies" `Quick test_realloc_move_copies;
+    Alcotest.test_case "realloc of NULL is malloc" `Quick test_realloc_zero_addr_is_malloc;
+    Alcotest.test_case "realloc errors" `Quick test_realloc_errors;
+    Alcotest.test_case "calloc zero-fills" `Quick test_calloc_zeroes;
+    test_realloc_roundtrip_random;
+    Alcotest.test_case "best-fit picks the tightest hole" `Quick test_best_fit_picks_tightest;
+    Alcotest.test_case "first-fit picks a hole" `Quick test_first_fit_picks_first;
+    Alcotest.test_case "heap stats and fragmentation" `Quick test_stats_and_fragmentation;
+    Alcotest.test_case "prebuy buys extra contiguous slots" `Quick test_prebuy_buys_extra;
+    Alcotest.test_case "prebuy amortises negotiations" `Quick test_prebuy_reduces_negotiations;
+    Alcotest.test_case "restructure groups free slots" `Quick
+      test_restructure_groups_free_slots;
+    Alcotest.test_case "restructure spares busy slots" `Quick
+      test_restructure_spares_busy_slots;
+    Alcotest.test_case "restructure makes allocs local" `Quick
+      test_restructure_then_local_allocs;
+    Alcotest.test_case "a thread migrates another thread" `Quick test_thread_migrates_another;
+    Alcotest.test_case "migrate_thread error path" `Quick test_migrate_thread_bad_target;
+    Alcotest.test_case "rpc + join" `Quick test_rpc_and_join;
+    Alcotest.test_case "join on an exited thread" `Quick test_join_already_exited;
+    Alcotest.test_case "join across migration" `Quick test_join_survives_migration;
+    Alcotest.test_case "guest isorealloc" `Quick test_sys_isorealloc;
+  ]

@@ -1,0 +1,26 @@
+(* The full test suite: one Alcotest section per library layer, from the
+   generic containers up to the end-to-end reproduction of the paper's
+   execution traces. *)
+
+let () =
+  Alcotest.run "pm2-isomalloc"
+    [
+      ("util.vec", Test_vec.tests);
+      ("util.bitset", Test_bitset.tests);
+      ("util.dlist", Test_dlist.tests);
+      ("util.prng+stats", Test_prng_stats.tests);
+      ("vmem", Test_vmem.tests);
+      ("sim", Test_sim.tests);
+      ("net", Test_net.tests);
+      ("heap", Test_heap.tests);
+      ("mvm", Test_mvm.tests);
+      ("core.slots", Test_slots.tests);
+      ("core.iso_heap", Test_iso_heap.tests);
+      ("core.negotiation", Test_negotiation.tests);
+      ("core.migration", Test_migration.tests);
+      ("core.cluster", Test_cluster.tests);
+      ("core.extensions", Test_extensions.tests);
+      ("sync+hpf", Test_sync_hpf.tests);
+      ("loadbal", Test_balancer.tests);
+      ("stress", Test_stress.tests);
+    ]

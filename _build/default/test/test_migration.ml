@@ -1,0 +1,332 @@
+module As = Pm2_vmem.Address_space
+module Layout = Pm2_vmem.Layout
+module Interp = Pm2_mvm.Interp
+open Pm2_core
+
+let empty_program = Pm2.build (fun _ -> ())
+
+let cluster ?(packing = Migration.Blocks_only) ?(scheme = Cluster.Iso) () =
+  let config = { (Cluster.default_config ~nodes:2) with Cluster.packing; scheme } in
+  Cluster.create config empty_program
+
+(* Build a thread with recognisable content: a linked chain of blocks in
+   the iso area plus a pattern on its stack. Returns the chain head. *)
+let furnish c th =
+  let env = Cluster.host_env c th.Thread.node in
+  let space = env.Iso_heap.space in
+  let rec build prev n =
+    if n = 0 then prev
+    else begin
+      let a = Option.get (Iso_heap.isomalloc env th (64 + (n * 8))) in
+      As.store_word space a (n * 1000);
+      As.store_word space (a + 8) prev;
+      build a (n - 1)
+    end
+  in
+  let head = build 0 10 in
+  (* A fake frame on the stack containing a pointer to the chain head. *)
+  let ctx = th.Thread.ctx in
+  ctx.Interp.sp <- ctx.Interp.sp - 64;
+  As.store_word space ctx.Interp.sp head;
+  head
+
+let verify_chain c th head =
+  let space = Cluster.node_space c th.Thread.node in
+  let rec walk a n =
+    if a <> 0 then begin
+      Alcotest.(check int) "chain value" (n * 1000) (As.load_word space a);
+      walk (As.load_word space (a + 8)) (n + 1)
+    end
+    else Alcotest.(check int) "chain length" 11 n
+  in
+  walk head 1;
+  Alcotest.(check int) "stack pointer cell" head (As.load_word space th.Thread.ctx.Interp.sp)
+
+let test_roundtrip packing () =
+  let c = cluster ~packing () in
+  let th = Cluster.host_thread c ~node:0 in
+  let head = furnish c th in
+  let slots_before = Iso_heap.slot_list (Cluster.host_env c 0) th in
+  let sp_before = th.Thread.ctx.Interp.sp in
+  Cluster.host_migrate c th ~dest:1;
+  Alcotest.(check int) "thread moved" 1 th.Thread.node;
+  Alcotest.(check int) "sp unchanged (iso!)" sp_before th.Thread.ctx.Interp.sp;
+  (* Source memory is gone. *)
+  Alcotest.(check bool) "source slots unmapped" false
+    (As.is_mapped (Cluster.node_space c 0) (List.hd slots_before));
+  (* Destination has the same chain at the same addresses. *)
+  verify_chain c th head;
+  Alcotest.(check (list int)) "same slot list at destination" slots_before
+    (Iso_heap.slot_list (Cluster.host_env c 1) th);
+  Iso_heap.check_invariants (Cluster.host_env c 1) th;
+  Cluster.check_invariants c
+
+let test_blocks_only_smaller () =
+  (* The §6 optimization: shipping only live blocks beats full slots. *)
+  let size_of packing =
+    let c = cluster ~packing () in
+    let th = Cluster.host_thread c ~node:0 in
+    ignore (furnish c th);
+    Cluster.host_migrate c th ~dest:1;
+    (List.hd (Cluster.migrations c)).Cluster.bytes
+  in
+  let blocks = size_of Migration.Blocks_only in
+  let full = size_of Migration.Full_slots in
+  Alcotest.(check bool)
+    (Printf.sprintf "blocks-only %d << full %d" blocks full)
+    true
+    (blocks * 10 < full)
+
+let test_allocator_usable_after_migration () =
+  let c = cluster () in
+  let th = Cluster.host_thread c ~node:0 in
+  let env0 = Cluster.host_env c 0 in
+  let a = Option.get (Iso_heap.isomalloc env0 th 128) in
+  let b = Option.get (Iso_heap.isomalloc env0 th 128) in
+  Iso_heap.isofree env0 th a;
+  Cluster.host_migrate c th ~dest:1;
+  let env1 = Cluster.host_env c 1 in
+  Iso_heap.check_invariants env1 th;
+  (* The rebuilt free list serves the hole left by [a]. *)
+  let a' = Option.get (Iso_heap.isomalloc env1 th 128) in
+  Alcotest.(check int) "freed hole reused after migration" a a';
+  (* Freeing a block allocated before migration works on the new node. *)
+  Iso_heap.isofree env1 th b;
+  Iso_heap.check_invariants env1 th;
+  Cluster.check_invariants c
+
+let test_slot_released_to_visited_node () =
+  (* Fig. 6 step 4: slots released after migration go to the destination
+     node, which may end up owning slots it never had initially. *)
+  let c = cluster () in
+  let th = Cluster.host_thread c ~node:0 in
+  let env0 = Cluster.host_env c 0 in
+  let a = Option.get (Iso_heap.isomalloc env0 th 128) in
+  let slot = Slot.index (Cluster.geometry c) a in
+  Alcotest.(check int) "slot initially node 0's (round-robin even)" 0 (slot mod 2);
+  Cluster.host_migrate c th ~dest:1;
+  Iso_heap.isofree (Cluster.host_env c 1) th a;
+  Alcotest.(check bool) "destination node now owns an even slot" true
+    (Slot_manager.owns_free (Cluster.node_mgr c 1) slot);
+  Alcotest.(check bool) "origin node does not" false
+    (Slot_manager.owns_free (Cluster.node_mgr c 0) slot);
+  Cluster.check_invariants c
+
+let test_migration_back_and_forth () =
+  let c = cluster () in
+  let th = Cluster.host_thread c ~node:0 in
+  let head = furnish c th in
+  for _ = 1 to 5 do
+    Cluster.host_migrate c th ~dest:1;
+    verify_chain c th head;
+    Cluster.host_migrate c th ~dest:0;
+    verify_chain c th head
+  done;
+  Alcotest.(check int) "10 migrations recorded" 10 (List.length (Cluster.migrations c));
+  Cluster.check_invariants c
+
+let test_registry_travels () =
+  let c = cluster () in
+  let th = Cluster.host_thread c ~node:0 in
+  let cell = th.Thread.ctx.Interp.sp - 8 in
+  let key = Thread.register_ptr th cell in
+  Cluster.host_migrate c th ~dest:1;
+  Alcotest.(check (list int)) "registry restored from the wire" [ cell ]
+    (Thread.registered_cells th);
+  Thread.unregister_ptr th key;
+  Alcotest.(check (list int)) "unregister works after migration" []
+    (Thread.registered_cells th)
+
+let test_merged_slot_migrates () =
+  let c = cluster () in
+  let th = Cluster.host_thread c ~node:0 in
+  let env0 = Cluster.host_env c 0 in
+  let size = 5 * 65536 in
+  let a = Option.get (Iso_heap.isomalloc env0 th size) in
+  let space0 = Cluster.node_space c 0 in
+  As.store_word space0 (a + size - 8) 0xFEED;
+  Cluster.host_migrate c th ~dest:1;
+  let space1 = Cluster.node_space c 1 in
+  Alcotest.(check int) "big block content intact" 0xFEED (As.load_word space1 (a + size - 8));
+  Iso_heap.check_invariants (Cluster.host_env c 1) th;
+  Iso_heap.isofree (Cluster.host_env c 1) th a;
+  Cluster.check_invariants c
+
+let test_null_thread_wire_size () =
+  (* A null thread ships its descriptor + the live stack region only; the
+     wire image must be far below the 64 KB slot size. *)
+  let c = cluster () in
+  let th = Cluster.host_thread c ~node:0 in
+  Cluster.host_migrate c th ~dest:1;
+  let m = List.hd (Cluster.migrations c) in
+  Alcotest.(check bool)
+    (Printf.sprintf "wire size %d < 1 KB" m.Cluster.bytes)
+    true (m.Cluster.bytes < 1024)
+
+(* -- relocation (legacy scheme) unit behaviour -- *)
+
+let test_relocation_moves_stack () =
+  let c = cluster ~scheme:Cluster.Relocating () in
+  let th = Cluster.host_thread c ~node:0 in
+  let space0 = Cluster.node_space c 0 in
+  let old_base = th.Thread.stack_slot in
+  (* A local variable on the stack... *)
+  let ctx = th.Thread.ctx in
+  ctx.Interp.sp <- ctx.Interp.sp - 32;
+  As.store_word space0 ctx.Interp.sp 4242;
+  let old_sp = ctx.Interp.sp in
+  Cluster.host_migrate c th ~dest:1;
+  let space1 = Cluster.node_space c 1 in
+  Alcotest.(check bool) "stack base changed" true (th.Thread.stack_slot <> old_base);
+  Alcotest.(check bool) "sp rebased" true (th.Thread.ctx.Interp.sp <> old_sp);
+  Alcotest.(check int) "local variable copied" 4242
+    (As.load_word space1 th.Thread.ctx.Interp.sp);
+  Cluster.check_invariants c
+
+let test_relocation_patches_registered () =
+  let c = cluster ~scheme:Cluster.Relocating () in
+  let th = Cluster.host_thread c ~node:0 in
+  let space0 = Cluster.node_space c 0 in
+  let ctx = th.Thread.ctx in
+  (* target at sp-8, pointer cell at sp-16, registered *)
+  ctx.Interp.sp <- ctx.Interp.sp - 32;
+  let target = ctx.Interp.sp + 16 and cell = ctx.Interp.sp + 8 in
+  As.store_word space0 target 7;
+  As.store_word space0 cell target;
+  ignore (Thread.register_ptr th cell);
+  Cluster.host_migrate c th ~dest:1;
+  let space1 = Cluster.node_space c 1 in
+  let cell' = List.hd (Thread.registered_cells th) in
+  Alcotest.(check bool) "cell address rebased" true (cell' <> cell);
+  let ptr = As.load_word space1 cell' in
+  Alcotest.(check int) "patched pointer dereferences" 7 (As.load_word space1 ptr)
+
+let test_relocation_rejects_data_slots () =
+  let c = cluster ~scheme:Cluster.Relocating () in
+  let th = Cluster.host_thread c ~node:0 in
+  ignore (Option.get (Iso_heap.isomalloc (Cluster.host_env c 0) th 100));
+  Alcotest.(check bool) "legacy scheme cannot carry data slots" true
+    (try Cluster.host_migrate c th ~dest:1; false with Failure _ -> true)
+
+let test_relocation_releases_source_slot () =
+  let c = cluster ~scheme:Cluster.Relocating () in
+  let th = Cluster.host_thread c ~node:0 in
+  let old_slot = Slot.index (Cluster.geometry c) th.Thread.stack_slot in
+  Cluster.host_migrate c th ~dest:1;
+  Alcotest.(check bool) "old stack slot back to node 0" true
+    (Slot_manager.owns_free (Cluster.node_mgr c 0) old_slot)
+
+let prop_iso_migration_preserves_blocks =
+  QCheck2.Test.make ~name:"iso migration preserves every live block bit for bit" ~count:25
+    QCheck2.Gen.(pair bool (list_size (int_range 1 20) (int_range 1 150_000)))
+    (fun (full, sizes) ->
+       let packing = if full then Migration.Full_slots else Migration.Blocks_only in
+       let c = cluster ~packing () in
+       let th = Cluster.host_thread c ~node:0 in
+       let env0 = Cluster.host_env c 0 in
+       let space0 = Cluster.node_space c 0 in
+       let prng = Pm2_util.Prng.create ~seed:7 in
+       let blocks =
+         List.map
+           (fun size ->
+              let a = Option.get (Iso_heap.isomalloc env0 th size) in
+              let data = Bytes.init (min size 4096) (fun _ -> Char.chr (Pm2_util.Prng.int prng 256)) in
+              As.store_bytes space0 a data;
+              (a, data))
+           sizes
+       in
+       Cluster.host_migrate c th ~dest:1;
+       let space1 = Cluster.node_space c 1 in
+       Iso_heap.check_invariants (Cluster.host_env c 1) th;
+       Cluster.check_invariants c;
+       List.for_all
+         (fun (a, data) -> Bytes.equal data (As.load_bytes space1 a (Bytes.length data)))
+         blocks)
+
+(* The full life cycle under fire: random allocs, frees, reallocs and
+   migrations interleaved, with every live block's content verified after
+   every step. *)
+let prop_mixed_ops_with_migrations =
+  let op_gen =
+    QCheck2.Gen.(
+      oneof
+        [
+          map (fun s -> `Alloc s) (int_range 1 120_000);
+          return `Free;
+          map (fun s -> `Realloc s) (int_range 1 120_000);
+          map (fun d -> `Migrate d) (int_range 0 2);
+        ])
+  in
+  QCheck2.Test.make ~name:"alloc/free/realloc/migrate interleavings" ~count:25
+    QCheck2.Gen.(list_size (int_range 1 50) op_gen)
+    (fun ops ->
+       let config = Cluster.default_config ~nodes:3 in
+       let c = Cluster.create config empty_program in
+       let th = Cluster.host_thread c ~node:0 in
+       let env () = Cluster.host_env c th.Thread.node in
+       let space () = Cluster.node_space c th.Thread.node in
+       let fill a size seed =
+         As.store_bytes (space ()) a
+           (Bytes.init (min size 512) (fun i -> Char.chr ((seed + i) land 0xff)))
+       in
+       let verify (a, size, seed) =
+         let data = As.load_bytes (space ()) a (min size 512) in
+         let ok = ref true in
+         Bytes.iteri (fun i c -> if Char.code c <> (seed + i) land 0xff then ok := false) data;
+         if not !ok then failwith "content corrupted"
+       in
+       let live = ref [] in
+       let seed = ref 0 in
+       List.iter
+         (fun op ->
+            (match op with
+             | `Alloc size ->
+               incr seed;
+               let a = Option.get (Iso_heap.isomalloc (env ()) th size) in
+               fill a size !seed;
+               live := (a, size, !seed) :: !live
+             | `Free ->
+               (match !live with
+                | (a, _, _) :: rest ->
+                  Iso_heap.isofree (env ()) th a;
+                  live := rest
+                | [] -> ())
+             | `Realloc size ->
+               (match !live with
+                | (a, _, _) :: rest ->
+                  incr seed;
+                  let a' = Option.get (Iso_heap.isorealloc (env ()) th a size) in
+                  fill a' size !seed;
+                  live := (a', size, !seed) :: rest
+                | [] -> ())
+             | `Migrate dest ->
+               if dest <> th.Thread.node then Cluster.host_migrate c th ~dest);
+            List.iter verify !live;
+            Iso_heap.check_invariants (env ()) th)
+         ops;
+       Cluster.check_invariants c;
+       true)
+
+let tests =
+  [
+    Alcotest.test_case "roundtrip (blocks-only)" `Quick (test_roundtrip Migration.Blocks_only);
+    Alcotest.test_case "roundtrip (full slots)" `Quick (test_roundtrip Migration.Full_slots);
+    Alcotest.test_case "blocks-only ships less" `Quick test_blocks_only_smaller;
+    Alcotest.test_case "allocator usable after migration" `Quick
+      test_allocator_usable_after_migration;
+    Alcotest.test_case "slots released to the visited node" `Quick
+      test_slot_released_to_visited_node;
+    Alcotest.test_case "repeated back and forth" `Quick test_migration_back_and_forth;
+    Alcotest.test_case "pointer registry travels" `Quick test_registry_travels;
+    Alcotest.test_case "merged slot migrates" `Quick test_merged_slot_migrates;
+    Alcotest.test_case "null-thread wire size" `Quick test_null_thread_wire_size;
+    Alcotest.test_case "relocation moves the stack" `Quick test_relocation_moves_stack;
+    Alcotest.test_case "relocation patches registered pointers" `Quick
+      test_relocation_patches_registered;
+    Alcotest.test_case "relocation rejects data slots" `Quick
+      test_relocation_rejects_data_slots;
+    Alcotest.test_case "relocation releases the source slot" `Quick
+      test_relocation_releases_source_slot;
+    QCheck_alcotest.to_alcotest prop_iso_migration_preserves_blocks;
+    QCheck_alcotest.to_alcotest prop_mixed_ops_with_migrations;
+  ]

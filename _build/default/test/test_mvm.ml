@@ -1,0 +1,293 @@
+module As = Pm2_vmem.Address_space
+module Layout = Pm2_vmem.Layout
+module Isa = Pm2_mvm.Isa
+module Asm = Pm2_mvm.Asm
+module Program = Pm2_mvm.Program
+module Interp = Pm2_mvm.Interp
+open Asm
+
+(* Minimal harness: run a program on a bare space with a 64 KB stack; a
+   syscall handler may be supplied (default: fail the test). *)
+let stack_base = 0x100000
+
+let run ?(entry = "main") ?(on_syscall = fun _ _ -> failwith "unexpected syscall") ?(fuel = 100_000)
+    build =
+  let b = create () in
+  build b;
+  let program = assemble b in
+  let sp = As.create ~node:0 () in
+  Program.load_data program sp;
+  As.mmap sp ~addr:stack_base ~size:65536;
+  let ctx = Interp.make_context ~entry:(Program.entry program entry) ~stack_top:(stack_base + 65536) in
+  let rec loop fuel =
+    if fuel = 0 then failwith "out of fuel";
+    match Interp.step program ctx sp with
+    | Interp.Running -> loop (fuel - 1)
+    | Interp.Syscall sc ->
+      on_syscall ctx sc;
+      loop (fuel - 1)
+    | Interp.Halted -> `Halted
+    | Interp.Fault f -> `Fault f
+  in
+  let outcome = loop fuel in
+  (outcome, ctx, sp)
+
+let check_halted_r0 ?on_syscall name expected build =
+  let outcome, ctx, _ = run ?on_syscall build in
+  Alcotest.(check bool) (name ^ " halts") true (outcome = `Halted);
+  Alcotest.(check int) name expected ctx.Interp.regs.(0)
+
+let test_arith () =
+  check_halted_r0 "arithmetic" ((((7 + 3) * 4) - 5) / 5 * 10 + ((17 mod 5) * 100)) (fun b ->
+      proc b "main" (fun b ->
+          imm b r1 7;
+          imm b r2 3;
+          add b r3 r1 r2; (* 10 *)
+          imm b r2 4;
+          mul b r3 r3 r2; (* 40 *)
+          imm b r2 5;
+          sub b r3 r3 r2; (* 35 *)
+          div b r3 r3 r2; (* 7 *)
+          imm b r2 10;
+          mul b r3 r3 r2; (* 70 *)
+          imm b r1 17;
+          imm b r2 5;
+          mod_ b r4 r1 r2; (* 2 *)
+          imm b r2 100;
+          mul b r4 r4 r2; (* 200 *)
+          add b r0 r3 r4; (* 270 *)
+          halt b))
+
+let test_branches () =
+  (* Compute sum of 1..10 with a loop. *)
+  check_halted_r0 "loop sum" 55 (fun b ->
+      proc b "main" (fun b ->
+          imm b r0 0;
+          imm b r4 1;
+          imm b r5 11;
+          label b "loop";
+          bge b r4 r5 "done";
+          add b r0 r0 r4;
+          addi b r4 r4 1;
+          jmp b "loop";
+          label b "done";
+          halt b))
+
+let test_branch_kinds () =
+  check_halted_r0 "branch kinds" 0b1111 (fun b ->
+      proc b "main" (fun b ->
+          imm b r0 0;
+          imm b r4 3;
+          imm b r5 3;
+          imm b r6 7;
+          beq b r4 r5 "t1";
+          halt b;
+          label b "t1";
+          addi b r0 r0 1;
+          bne b r4 r6 "t2";
+          halt b;
+          label b "t2";
+          addi b r0 r0 2;
+          blt b r4 r6 "t3";
+          halt b;
+          label b "t3";
+          addi b r0 r0 4;
+          bge b r6 r4 "t4";
+          halt b;
+          label b "t4";
+          addi b r0 r0 8;
+          halt b))
+
+let test_memory () =
+  check_halted_r0 "load/store" 99 (fun b ->
+      proc b "main" (fun b ->
+          imm b r4 stack_base;
+          imm b r5 99;
+          store b r5 r4 128;
+          load b r0 r4 128;
+          halt b))
+
+let test_push_pop () =
+  check_halted_r0 "push/pop" 21 (fun b ->
+      proc b "main" (fun b ->
+          imm b r4 1;
+          push b r4;
+          imm b r4 20;
+          push b r4;
+          pop b r5;
+          pop b r6;
+          add b r0 r5 r6;
+          halt b))
+
+let test_call_ret () =
+  check_halted_r0 "call/ret" 42 (fun b ->
+      proc b "main" (fun b ->
+          imm b r1 21;
+          call b "double";
+          halt b);
+      label b "double";
+      add b r0 r1 r1;
+      ret b)
+
+let test_frames () =
+  (* Recursion with stack frames: factorial 6 via frame-saved locals. *)
+  check_halted_r0 "recursive factorial" 720 (fun b ->
+      proc b "main" (fun b ->
+          imm b r1 6;
+          call b "fact";
+          halt b);
+      label b "fact";
+      enter b 16;
+      fp b r4;
+      store b r1 r4 (-8);
+      imm b r5 1;
+      bge b r5 r1 "base";
+      addi b r1 r1 (-1);
+      call b "fact";
+      fp b r4; (* restore after callee clobbered r4 *)
+      load b r5 r4 (-8);
+      mul b r0 r0 r5;
+      jmp b "out";
+      label b "base";
+      imm b r0 1;
+      label b "out";
+      leave b;
+      ret b)
+
+let test_enter_leave_chain () =
+  (* Enter must thread absolute frame pointers through the stack. *)
+  let outcome, ctx, sp =
+    run (fun b ->
+        proc b "main" (fun b ->
+            enter b 32;
+            enter b 16;
+            fp b r4;
+            halt b))
+  in
+  Alcotest.(check bool) "halts" true (outcome = `Halted);
+  let fp1 = ctx.Interp.regs.(4) in
+  let saved = As.load_word sp fp1 in
+  Alcotest.(check bool) "frame chain points into the stack" true
+    (saved > fp1 && saved <= stack_base + 65536)
+
+let test_div_by_zero () =
+  let outcome, _, _ =
+    run (fun b ->
+        proc b "main" (fun b ->
+            imm b r1 1;
+            imm b r2 0;
+            div b r3 r1 r2;
+            halt b))
+  in
+  Alcotest.(check bool) "faults" true (outcome = `Fault Interp.Division_by_zero)
+
+let test_segv () =
+  let outcome, _, _ =
+    run (fun b ->
+        proc b "main" (fun b ->
+            imm b r4 0x666000;
+            load b r0 r4 0;
+            halt b))
+  in
+  match outcome with
+  | `Fault (Interp.Segv a) -> Alcotest.(check int) "fault address" 0x666000 a
+  | _ -> Alcotest.fail "expected a segfault"
+
+let test_wild_jump_faults () =
+  let b = create () in
+  proc b "main" (fun b -> jmp b "main"; halt b);
+  let program = assemble b in
+  let sp = As.create ~node:0 () in
+  As.mmap sp ~addr:stack_base ~size:65536;
+  let ctx = Interp.make_context ~entry:9999 ~stack_top:(stack_base + 65536) in
+  (match Interp.step program ctx sp with
+   | Interp.Fault (Interp.Wild_pc 9999) -> ()
+   | _ -> Alcotest.fail "expected wild pc fault")
+
+let test_syscall_boundary () =
+  let calls = ref [] in
+  let outcome, _, _ =
+    run
+      ~on_syscall:(fun ctx sc ->
+        calls := sc :: !calls;
+        ctx.Interp.regs.(0) <- 1234)
+      (fun b ->
+        proc b "main" (fun b ->
+            imm b r1 7;
+            sys b Isa.Sys_self;
+            mov b r5 r0;
+            sys b Isa.Sys_yield;
+            add b r0 r5 r0;
+            halt b))
+  in
+  Alcotest.(check bool) "halts" true (outcome = `Halted);
+  Alcotest.(check int) "two syscalls" 2 (List.length !calls);
+  Alcotest.(check bool) "order" true (!calls = [ Isa.Sys_yield; Isa.Sys_self ])
+
+let test_data_segment () =
+  let b = create () in
+  let s1 = cstring b "hello" in
+  let s2 = cstring b "world!" in
+  let s1' = cstring b "hello" in
+  Alcotest.(check int) "interned" s1 s1';
+  Alcotest.(check bool) "distinct strings distinct addrs" true (s1 <> s2);
+  let w = words b 4 in
+  Alcotest.(check int) "aligned" 0 (w land 7);
+  proc b "main" (fun b -> halt b);
+  let program = assemble b in
+  let sp = As.create ~node:0 () in
+  Program.load_data program sp;
+  Alcotest.(check string) "string 1" "hello" (As.load_cstring sp s1);
+  Alcotest.(check string) "string 2" "world!" (As.load_cstring sp s2);
+  Alcotest.(check int) "words zeroed" 0 (As.load_word sp w)
+
+let test_undefined_label () =
+  let b = create () in
+  proc b "main" (fun b -> jmp b "nowhere");
+  Alcotest.(check bool) "undefined label rejected" true
+    (try ignore (assemble b); false with Failure _ -> true)
+
+let test_duplicate_label () =
+  let b = create () in
+  label b "x";
+  Alcotest.(check bool) "duplicate label rejected" true
+    (try label b "x"; false with Failure _ -> true)
+
+let test_lea () =
+  check_halted_r0 "lea loads a pc" 3 (fun b ->
+      proc b "main" (fun b ->
+          lea b r0 "target";
+          halt b);
+      nop b;
+      label b "target";
+      nop b)
+    ~on_syscall:(fun _ _ -> ())
+
+let test_context_copy () =
+  let ctx = Interp.make_context ~entry:5 ~stack_top:1000 in
+  ctx.Interp.regs.(3) <- 77;
+  let c2 = Interp.copy_context ctx in
+  c2.Interp.regs.(3) <- 0;
+  Alcotest.(check int) "registers are deep-copied" 77 ctx.Interp.regs.(3);
+  Alcotest.(check int) "pc copied" 5 c2.Interp.pc
+
+let tests =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "loop with branches" `Quick test_branches;
+    Alcotest.test_case "all branch kinds" `Quick test_branch_kinds;
+    Alcotest.test_case "load/store" `Quick test_memory;
+    Alcotest.test_case "push/pop" `Quick test_push_pop;
+    Alcotest.test_case "call/ret" `Quick test_call_ret;
+    Alcotest.test_case "recursion with frames" `Quick test_frames;
+    Alcotest.test_case "frame chain in memory" `Quick test_enter_leave_chain;
+    Alcotest.test_case "division by zero" `Quick test_div_by_zero;
+    Alcotest.test_case "guest segfault" `Quick test_segv;
+    Alcotest.test_case "wild pc" `Quick test_wild_jump_faults;
+    Alcotest.test_case "syscall boundary" `Quick test_syscall_boundary;
+    Alcotest.test_case "data segment" `Quick test_data_segment;
+    Alcotest.test_case "undefined label" `Quick test_undefined_label;
+    Alcotest.test_case "duplicate label" `Quick test_duplicate_label;
+    Alcotest.test_case "lea" `Quick test_lea;
+    Alcotest.test_case "context copy" `Quick test_context_copy;
+  ]

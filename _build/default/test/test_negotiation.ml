@@ -1,0 +1,148 @@
+module Cm = Pm2_sim.Cost_model
+module Bitset = Pm2_util.Bitset
+open Pm2_core
+
+let empty_program = Pm2.build (fun _ -> ())
+
+let cluster ?(nodes = 2) ?(distribution = Distribution.Round_robin) () =
+  let config = { (Cluster.default_config ~nodes) with Cluster.distribution } in
+  Cluster.create config empty_program
+
+let test_buy_moves_ownership () =
+  let c = cluster () in
+  let neg = Cluster.negotiation c in
+  let mgr0 = Cluster.node_mgr c 0 and mgr1 = Cluster.node_mgr c 1 in
+  let owned0 = Slot_manager.owned mgr0 and owned1 = Slot_manager.owned mgr1 in
+  (* Node 0 asks for 4 contiguous slots; under round-robin it owns slots
+     0,2,4,... so it must buy 1 and 3 from node 1 (run [0..3]). *)
+  let r = Negotiation.execute neg ~requester:0 ~n:4 in
+  Alcotest.(check (option int)) "first-fit run" (Some 0) r.Negotiation.start;
+  Alcotest.(check int) "bought the two odd slots" 2 r.Negotiation.bought;
+  Alcotest.(check int) "node 0 gained" (owned0 + 2) (Slot_manager.owned mgr0);
+  Alcotest.(check int) "node 1 lost" (owned1 - 2) (Slot_manager.owned mgr1);
+  List.iter
+    (fun i ->
+       Alcotest.(check bool) (Printf.sprintf "slot %d now node 0's" i) true
+         (Slot_manager.owns_free mgr0 i))
+    [ 0; 1; 2; 3 ];
+  Negotiation.check_global_invariant neg;
+  Alcotest.(check int) "counted" 1 (Negotiation.count neg)
+
+let test_failure_still_costs () =
+  let c = cluster () in
+  let neg = Cluster.negotiation c in
+  let g = Cluster.geometry c in
+  let r = Negotiation.execute neg ~requester:0 ~n:(g.Slot.count + 1) in
+  Alcotest.(check (option int)) "no run" None r.Negotiation.start;
+  Alcotest.(check bool) "full protocol time" true (r.Negotiation.duration > 200.);
+  Negotiation.check_global_invariant neg
+
+let test_duration_matches_paper () =
+  (* §5: 255 us at 2 nodes, +165 us per extra node, on BIP/Myrinet. *)
+  let c = cluster ~nodes:16 () in
+  let neg = Cluster.negotiation c in
+  let d2 = Negotiation.duration_model neg ~nodes:2 in
+  Alcotest.(check bool) (Printf.sprintf "2 nodes: %.1f in [230,280]" d2) true
+    (d2 > 230. && d2 < 280.);
+  let per_node = Negotiation.duration_model neg ~nodes:3 -. d2 in
+  Alcotest.(check bool) (Printf.sprintf "per extra node: %.1f in [150,180]" per_node) true
+    (per_node > 150. && per_node < 180.);
+  (* Linearity in the node count. *)
+  let d16 = Negotiation.duration_model neg ~nodes:16 in
+  Alcotest.(check (float 1e-6)) "linear extrapolation" (d2 +. (14. *. per_node)) d16
+
+let test_duration_recorded () =
+  let c = cluster () in
+  let neg = Cluster.negotiation c in
+  ignore (Negotiation.execute neg ~requester:1 ~n:2);
+  ignore (Negotiation.execute neg ~requester:1 ~n:2);
+  Alcotest.(check int) "two samples" 2 (Pm2_util.Stats.Acc.n (Negotiation.durations neg))
+
+let test_traffic_recorded () =
+  let c = cluster ~nodes:4 () in
+  let neg = Cluster.negotiation c in
+  let net = Cluster.network c in
+  Pm2_net.Network.reset_stats net;
+  ignore (Negotiation.execute neg ~requester:2 ~n:8);
+  (* lock req+grant+release (3) + per remote node: request + 2 bitmaps (9) *)
+  Alcotest.(check int) "message count" 12 (Pm2_net.Network.messages_sent net);
+  let bitmap = Slot.bitmap_bytes (Cluster.geometry c) in
+  Alcotest.(check int) "byte count" ((3 * 64) + (3 * (64 + (2 * bitmap))))
+    (Pm2_net.Network.bytes_sent net)
+
+let test_requester_keeps_own_slots () =
+  (* With block-cyclic(2) on 2 nodes, node 0 owns [0;1], [4;5], ... A run
+     of 3 starting at 0 buys only slot 2. *)
+  let c = cluster ~distribution:(Distribution.Block_cyclic 2) () in
+  let neg = Cluster.negotiation c in
+  let r = Negotiation.execute neg ~requester:0 ~n:3 in
+  Alcotest.(check (option int)) "run at 0" (Some 0) r.Negotiation.start;
+  Alcotest.(check int) "bought only the foreign slot" 1 r.Negotiation.bought;
+  Negotiation.check_global_invariant neg
+
+let test_lock_serialises () =
+  let c = cluster () in
+  let neg = Cluster.negotiation c in
+  let f1 = Negotiation.acquire_slot_lock neg ~now:100. ~duration:50. in
+  Alcotest.(check (float 1e-9)) "first holder" 150. f1;
+  let f2 = Negotiation.acquire_slot_lock neg ~now:120. ~duration:50. in
+  Alcotest.(check (float 1e-9)) "second queues FIFO" 200. f2;
+  let f3 = Negotiation.acquire_slot_lock neg ~now:500. ~duration:10. in
+  Alcotest.(check (float 1e-9)) "idle lock starts immediately" 510. f3
+
+let test_sold_cached_slot_unmapped () =
+  (* If the seller had the slot in its mmap cache, the sale must unmap it,
+     otherwise the buyer's thread could not map it at the same address. *)
+  let c = cluster () in
+  let env1 = Cluster.host_env c 1 in
+  let th1 = Cluster.host_thread c ~node:1 in
+  (* Cycle a slot through node 1's cache. *)
+  let a = Option.get (Iso_heap.isomalloc env1 th1 100) in
+  let sold = Slot.index (Cluster.geometry c) a in
+  Iso_heap.isofree env1 th1 a;
+  Alcotest.(check bool) "slot cached on node 1" true
+    (Pm2_vmem.Address_space.is_mapped (Cluster.node_space c 1)
+       (Slot.base (Cluster.geometry c) sold));
+  (* Node 0 buys a run containing it. *)
+  let neg = Cluster.negotiation c in
+  let n = 3 in
+  let r = Negotiation.execute neg ~requester:0 ~n in
+  Alcotest.(check bool) "run covers the cached slot" true
+    (match r.Negotiation.start with Some s -> s <= sold && sold < s + n | None -> false);
+  Alcotest.(check bool) "seller unmapped it" false
+    (Pm2_vmem.Address_space.is_mapped (Cluster.node_space c 1)
+       (Slot.base (Cluster.geometry c) sold));
+  Negotiation.check_global_invariant neg;
+  Slot_manager.check_invariants (Cluster.node_mgr c 1)
+
+let prop_invariant_under_random_negotiations =
+  QCheck2.Test.make ~name:"bitmaps stay disjoint under random negotiations" ~count:20
+    QCheck2.Gen.(list_size (int_range 1 15) (pair (int_range 0 3) (int_range 1 40)))
+    (fun reqs ->
+       let c = cluster ~nodes:4 () in
+       let neg = Cluster.negotiation c in
+       List.iter
+         (fun (requester, n) ->
+            ignore (Negotiation.execute neg ~requester ~n);
+            Negotiation.check_global_invariant neg)
+         reqs;
+       (* Total owned slots never changes: negotiation only moves them. *)
+       let total =
+         List.fold_left
+           (fun acc i -> acc + Slot_manager.owned (Cluster.node_mgr c i))
+           0 [ 0; 1; 2; 3 ]
+       in
+       total = (Cluster.geometry c).Slot.count)
+
+let tests =
+  [
+    Alcotest.test_case "buy moves ownership" `Quick test_buy_moves_ownership;
+    Alcotest.test_case "failed search still costs" `Quick test_failure_still_costs;
+    Alcotest.test_case "duration matches the paper" `Quick test_duration_matches_paper;
+    Alcotest.test_case "durations recorded" `Quick test_duration_recorded;
+    Alcotest.test_case "protocol traffic recorded" `Quick test_traffic_recorded;
+    Alcotest.test_case "requester keeps its own slots" `Quick test_requester_keeps_own_slots;
+    Alcotest.test_case "critical section serialises FIFO" `Quick test_lock_serialises;
+    Alcotest.test_case "sold cached slot gets unmapped" `Quick test_sold_cached_slot_unmapped;
+    QCheck_alcotest.to_alcotest prop_invariant_under_random_negotiations;
+  ]

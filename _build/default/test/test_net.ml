@@ -1,0 +1,119 @@
+module Engine = Pm2_sim.Engine
+module Cm = Pm2_sim.Cost_model
+module Pk = Pm2_net.Packet
+module Network = Pm2_net.Network
+
+(* -- Packet -- *)
+
+let test_packet_roundtrip () =
+  let p = Pk.packer () in
+  Pk.pack_int p 42;
+  Pk.pack_int p (-7);
+  Pk.pack_float p 3.25;
+  Pk.pack_string p "hello";
+  Pk.pack_bytes p (Bytes.of_string "\000\001\002");
+  Pk.pack_list p (Pk.pack_int p) [ 1; 2; 3 ];
+  let u = Pk.unpacker (Pk.contents p) in
+  Alcotest.(check int) "int" 42 (Pk.unpack_int u);
+  Alcotest.(check int) "negative int" (-7) (Pk.unpack_int u);
+  Alcotest.(check (float 0.)) "float" 3.25 (Pk.unpack_float u);
+  Alcotest.(check string) "string" "hello" (Pk.unpack_string u);
+  Alcotest.(check bytes) "bytes" (Bytes.of_string "\000\001\002") (Pk.unpack_bytes u);
+  Alcotest.(check (list int)) "list" [ 1; 2; 3 ] (Pk.unpack_list u (fun () -> Pk.unpack_int u));
+  Alcotest.(check int) "fully consumed" 0 (Pk.remaining u)
+
+let test_packet_sizes () =
+  let p = Pk.packer () in
+  Alcotest.(check int) "empty" 0 (Pk.packed_size p);
+  Pk.pack_int p 1;
+  Alcotest.(check int) "int is 8 bytes" 8 (Pk.packed_size p);
+  Pk.pack_string p "abc";
+  Alcotest.(check int) "string is length-prefixed" (8 + 8 + 3) (Pk.packed_size p)
+
+let test_packet_truncated () =
+  let p = Pk.packer () in
+  Pk.pack_int p 1;
+  let data = Pk.contents p in
+  let u = Pk.unpacker (Bytes.sub data 0 4) in
+  Alcotest.(check bool) "truncated rejected" true
+    (try ignore (Pk.unpack_int u); false with Invalid_argument _ -> true)
+
+let prop_packet_ints =
+  QCheck2.Test.make ~name:"packet roundtrips any int list"
+    QCheck2.Gen.(list int)
+    (fun l ->
+       let p = Pk.packer () in
+       Pk.pack_list p (Pk.pack_int p) l;
+       let u = Pk.unpacker (Pk.contents p) in
+       Pk.unpack_list u (fun () -> Pk.unpack_int u) = l && Pk.remaining u = 0)
+
+(* -- Network -- *)
+
+let make () =
+  let e = Engine.create () in
+  (e, Network.create e Cm.default ~nodes:3)
+
+let test_send_delivery_time () =
+  let e, net = make () in
+  let payload = Bytes.make 1000 'x' in
+  let arrival = ref 0. in
+  Network.send net ~src:0 ~dst:1 payload (fun b ->
+      Alcotest.(check int) "payload intact" 1000 (Bytes.length b);
+      arrival := Engine.now e);
+  ignore (Engine.run e);
+  let cm = Cm.default in
+  Alcotest.(check (float 1e-6)) "latency + size/bandwidth"
+    (cm.Cm.net_latency +. (1000. *. cm.Cm.net_per_byte))
+    !arrival
+
+let test_self_send () =
+  let e, net = make () in
+  let delivered = ref false in
+  Network.send net ~src:2 ~dst:2 (Bytes.create 64) (fun _ -> delivered := true);
+  ignore (Engine.run e);
+  Alcotest.(check bool) "self-send delivered" true !delivered
+
+let test_stats () =
+  let e, net = make () in
+  Network.send net ~src:0 ~dst:1 (Bytes.create 100) ignore;
+  Network.send net ~src:0 ~dst:1 (Bytes.create 50) ignore;
+  Network.send net ~src:1 ~dst:0 (Bytes.create 10) ignore;
+  ignore (Engine.run e);
+  Alcotest.(check int) "messages" 3 (Network.messages_sent net);
+  Alcotest.(check int) "bytes" 160 (Network.bytes_sent net);
+  Alcotest.(check (pair int int)) "link 0->1" (2, 150) (Network.link_stats net ~src:0 ~dst:1);
+  Alcotest.(check (pair int int)) "link 1->0" (1, 10) (Network.link_stats net ~src:1 ~dst:0);
+  Network.record_virtual net ~src:2 ~dst:0 ~bytes:999;
+  Alcotest.(check (pair int int)) "virtual traffic" (1, 999)
+    (Network.link_stats net ~src:2 ~dst:0);
+  Network.reset_stats net;
+  Alcotest.(check int) "reset" 0 (Network.messages_sent net)
+
+let test_bad_node () =
+  let _, net = make () in
+  Alcotest.(check bool) "bad dst" true
+    (try Network.send net ~src:0 ~dst:9 Bytes.empty ignore; false
+     with Invalid_argument _ -> true)
+
+let test_ordering_by_size () =
+  (* A small message sent after a big one still arrives earlier: the model
+     is per-message latency, not a shared serial link (full crossbar). *)
+  let e, net = make () in
+  let log = ref [] in
+  Network.send net ~src:0 ~dst:1 (Bytes.create 100_000) (fun _ -> log := "big" :: !log);
+  Network.send net ~src:0 ~dst:1 (Bytes.create 10) (fun _ -> log := "small" :: !log);
+  ignore (Engine.run e);
+  Alcotest.(check (list string)) "small overtakes big" [ "small"; "big" ] (List.rev !log)
+
+let tests =
+  [
+    Alcotest.test_case "packet roundtrip" `Quick test_packet_roundtrip;
+    Alcotest.test_case "packet sizes" `Quick test_packet_sizes;
+    Alcotest.test_case "packet truncation" `Quick test_packet_truncated;
+    QCheck_alcotest.to_alcotest prop_packet_ints;
+    Alcotest.test_case "delivery time model" `Quick test_send_delivery_time;
+    Alcotest.test_case "self send" `Quick test_self_send;
+    Alcotest.test_case "traffic statistics" `Quick test_stats;
+    Alcotest.test_case "bad node rejected" `Quick test_bad_node;
+    Alcotest.test_case "crossbar semantics" `Quick test_ordering_by_size;
+  ]

@@ -1,0 +1,137 @@
+module Engine = Pm2_sim.Engine
+module Cm = Pm2_sim.Cost_model
+module Trace = Pm2_sim.Trace
+
+let test_event_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~at:5. (fun () -> log := 'b' :: !log);
+  Engine.schedule e ~at:1. (fun () -> log := 'a' :: !log);
+  Engine.schedule e ~at:9. (fun () -> log := 'c' :: !log);
+  let t = Engine.run e in
+  Alcotest.(check (list char)) "time order" [ 'a'; 'b'; 'c' ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "final clock" 9. t
+
+let test_fifo_ties () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Engine.schedule e ~at:1. (fun () -> log := i :: !log)
+  done;
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "ties are FIFO" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !log)
+
+let test_nested_scheduling () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~at:1. (fun () ->
+      log := "first" :: !log;
+      Engine.schedule_after e ~delay:2. (fun () -> log := "nested" :: !log));
+  ignore (Engine.run e);
+  Alcotest.(check (list string)) "nested event ran" [ "first"; "nested" ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock advanced" 3. (Engine.now e)
+
+let test_past_rejected () =
+  let e = Engine.create () in
+  Engine.schedule e ~at:5. (fun () -> ());
+  ignore (Engine.run e);
+  Alcotest.(check bool) "scheduling in the past rejected" true
+    (try Engine.schedule e ~at:1. (fun () -> ()); false with Invalid_argument _ -> true)
+
+let test_until () =
+  let e = Engine.create () in
+  let ran = ref 0 in
+  Engine.schedule e ~at:1. (fun () -> incr ran);
+  Engine.schedule e ~at:10. (fun () -> incr ran);
+  let t = Engine.run ~until:5. e in
+  Alcotest.(check int) "only early event ran" 1 !ran;
+  Alcotest.(check (float 1e-9)) "clock parked at until" 5. t;
+  Alcotest.(check int) "late event still queued" 1 (Engine.pending e);
+  ignore (Engine.run e);
+  Alcotest.(check int) "late event ran after resume" 2 !ran
+
+let test_step () =
+  let e = Engine.create () in
+  Alcotest.(check bool) "step on empty" false (Engine.step e);
+  Engine.schedule e ~at:2. (fun () -> ());
+  Alcotest.(check bool) "step runs one" true (Engine.step e);
+  Alcotest.(check int) "queue drained" 0 (Engine.pending e)
+
+let test_max_events () =
+  let e = Engine.create () in
+  let rec forever () = Engine.schedule_after e ~delay:1. forever in
+  forever ();
+  Alcotest.(check bool) "max_events guard" true
+    (try ignore (Engine.run ~max_events:100 e); false with Failure _ -> true)
+
+let test_negative_delay_clamped () =
+  let e = Engine.create () in
+  let ran = ref false in
+  Engine.schedule_after e ~delay:(-5.) (fun () -> ran := true);
+  ignore (Engine.run e);
+  Alcotest.(check bool) "clamped to now" true !ran
+
+let prop_many_events_ordered =
+  QCheck2.Test.make ~name:"events always fire in nondecreasing time order"
+    QCheck2.Gen.(list_size (int_range 1 200) (float_range 0. 1000.))
+    (fun times ->
+       let e = Engine.create () in
+       let fired = ref [] in
+       List.iter (fun t -> Engine.schedule e ~at:t (fun () -> fired := t :: !fired)) times;
+       ignore (Engine.run e);
+       let fired = List.rev !fired in
+       List.length fired = List.length times
+       && fst
+            (List.fold_left
+               (fun (ok, prev) t -> (ok && t >= prev, t))
+               (true, neg_infinity) fired))
+
+(* -- Cost model -- *)
+
+let test_cost_derived () =
+  let cm = Cm.default in
+  Alcotest.(check (float 1e-9)) "mmap cost"
+    (cm.Cm.mmap_base +. (16. *. (cm.Cm.mmap_per_page +. cm.Cm.page_touch)))
+    (Cm.mmap_cost cm ~pages:16);
+  Alcotest.(check (float 1e-9)) "memcpy"
+    (1024. *. cm.Cm.memcpy_per_byte)
+    (Cm.memcpy_cost cm ~bytes:1024);
+  Alcotest.(check (float 1e-9)) "message"
+    (cm.Cm.net_latency +. (100. *. cm.Cm.net_per_byte))
+    (Cm.message_cost cm ~bytes:100)
+
+let test_cost_zero () =
+  Alcotest.(check (float 0.)) "zero model" 0. (Cm.mmap_cost Cm.zero ~pages:100);
+  Alcotest.(check (float 0.)) "zero message" 0. (Cm.message_cost Cm.zero ~bytes:1000)
+
+(* -- Trace -- *)
+
+let test_trace () =
+  let tr = Trace.create () in
+  Trace.emit tr ~time:1. ~node:0 "value = 1";
+  Trace.emit tr ~time:2. ~node:1 "value = 2";
+  Alcotest.(check (list string)) "paper-style lines"
+    [ "[node0] value = 1"; "[node1] value = 2" ]
+    (Trace.lines tr);
+  Alcotest.(check bool) "contains" true (Trace.contains tr "value = 2");
+  Alcotest.(check bool) "not contains" false (Trace.contains tr "value = 3");
+  Alcotest.(check int) "timed lines" 2 (List.length (Trace.timed_lines tr));
+  Trace.clear tr;
+  Alcotest.(check (list string)) "cleared" [] (Trace.lines tr)
+
+let tests =
+  [
+    Alcotest.test_case "events in time order" `Quick test_event_order;
+    Alcotest.test_case "ties are FIFO" `Quick test_fifo_ties;
+    Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+    Alcotest.test_case "past scheduling rejected" `Quick test_past_rejected;
+    Alcotest.test_case "run ~until" `Quick test_until;
+    Alcotest.test_case "single step" `Quick test_step;
+    Alcotest.test_case "max_events guard" `Quick test_max_events;
+    Alcotest.test_case "negative delay clamped" `Quick test_negative_delay_clamped;
+    QCheck_alcotest.to_alcotest prop_many_events_ordered;
+    Alcotest.test_case "cost model derived costs" `Quick test_cost_derived;
+    Alcotest.test_case "cost model zero" `Quick test_cost_zero;
+    Alcotest.test_case "trace collection" `Quick test_trace;
+  ]

@@ -1,0 +1,229 @@
+(* Chaos testing: threads continuously build, verify and free pointer-rich
+   structures in the iso-address area while the host randomly migrates
+   them (and each other) mid-flight. Any pointer invalidated by a
+   migration, any byte lost in packing, any allocator-metadata corruption
+   surfaces as a guest-visible checksum mismatch or a segfault. *)
+
+module Isa = Pm2_mvm.Isa
+module Trace = Pm2_sim.Trace
+module Engine = Pm2_sim.Engine
+module Prng = Pm2_util.Prng
+open Pm2_mvm.Asm
+open Pm2_core
+
+(* shaker: r1 = id. For each of 4 rounds: build a 40-element linked list
+   (value, next) with values id*1000 + round*100 + i, plus one large
+   canary block spanning several slots; traverse and checksum; verify the
+   canaries; free everything. Prints "shaker <id> round <r> ok" or
+   "CORRUPT". Registers: r12 id, r11 round, r10 head, r9 i, r8 expected,
+   r7 big block, r6 sum, r5/r4 scratch. *)
+let shaker_program =
+  Pm2.build (fun b ->
+      let fmt_ok = cstring b "shaker %d round %d ok" in
+      let fmt_bad = cstring b "CORRUPT shaker %d round %d" in
+      let elems = 40 in
+      proc b "shaker" (fun b ->
+          mov b r12 r1;
+          imm b r11 0;
+          label b "s.round";
+          imm b r4 4;
+          bge b r11 r4 "s.exit";
+          (* big canary block: 150 KB spanning three slots *)
+          imm b r1 150_000;
+          sys b Isa.Sys_isomalloc;
+          mov b r7 r0;
+          imm b r5 0xABCD;
+          store b r5 r7 0;
+          add b r4 r7 r5; (* somewhere in the middle *)
+          store b r5 r4 0;
+          imm b r4 150_000;
+          add b r4 r7 r4;
+          addi b r4 r4 (-8);
+          store b r5 r4 0;
+          (* build the list *)
+          imm b r10 0;
+          imm b r9 0;
+          imm b r8 0; (* expected sum *)
+          label b "s.build";
+          imm b r4 elems;
+          bge b r9 r4 "s.built";
+          imm b r1 16;
+          sys b Isa.Sys_isomalloc;
+          imm b r4 1000;
+          mul b r5 r12 r4;
+          imm b r4 100;
+          mul b r4 r11 r4;
+          add b r5 r5 r4;
+          add b r5 r5 r9; (* value = id*1000 + round*100 + i *)
+          store b r5 r0 0;
+          store b r10 r0 8;
+          mov b r10 r0;
+          add b r8 r8 r5;
+          addi b r9 r9 1;
+          jmp b "s.build";
+          label b "s.built";
+          (* traverse and checksum *)
+          imm b r6 0;
+          mov b r5 r10;
+          label b "s.walk";
+          imm b r4 0;
+          beq b r5 r4 "s.walked";
+          load b r4 r5 0;
+          add b r6 r6 r4;
+          load b r5 r5 8;
+          jmp b "s.walk";
+          label b "s.walked";
+          bne b r6 r8 "s.bad";
+          (* verify the canaries *)
+          imm b r5 0xABCD;
+          load b r4 r7 0;
+          bne b r4 r5 "s.bad";
+          add b r4 r7 r5;
+          load b r4 r4 0;
+          bne b r4 r5 "s.bad";
+          imm b r4 150_000;
+          add b r4 r7 r4;
+          addi b r4 r4 (-8);
+          load b r4 r4 0;
+          bne b r4 r5 "s.bad";
+          (* free the list, then the canary block *)
+          mov b r5 r10;
+          label b "s.free";
+          imm b r4 0;
+          beq b r5 r4 "s.freed";
+          load b r4 r5 8; (* next, before the node dies *)
+          mov b r1 r5;
+          sys b Isa.Sys_isofree;
+          mov b r5 r4;
+          jmp b "s.free";
+          label b "s.freed";
+          mov b r1 r7;
+          sys b Isa.Sys_isofree;
+          mov b r2 r12;
+          mov b r3 r11;
+          imm b r1 fmt_ok;
+          sys b Isa.Sys_print;
+          addi b r11 r11 1;
+          jmp b "s.round";
+          label b "s.bad";
+          mov b r2 r12;
+          mov b r3 r11;
+          imm b r1 fmt_bad;
+          sys b Isa.Sys_print;
+          halt b;
+          label b "s.exit";
+          halt b))
+
+let chaos ~nodes ~threads ~period ~seed =
+  let config = Cluster.default_config ~nodes in
+  let cluster = Cluster.create config shaker_program in
+  let spawned =
+    List.init threads (fun i ->
+        Cluster.spawn cluster ~node:(i mod nodes) ~entry:"shaker" ~arg:i ())
+  in
+  (* The chaos monkey: every [period] µs, push one random live thread to a
+     random node. *)
+  let prng = Prng.create ~seed in
+  let engine = Cluster.engine cluster in
+  let rec monkey () =
+    if Cluster.live_threads cluster > 0 then begin
+      let live = List.filter (fun th -> not (Thread.is_exited th)) spawned in
+      (match live with
+       | [] -> ()
+       | l ->
+         let th = List.nth l (Prng.int prng (List.length l)) in
+         Cluster.request_migration cluster th ~dest:(Prng.int prng nodes));
+      Engine.schedule_after engine ~delay:period monkey
+    end
+  in
+  Engine.schedule_after engine ~delay:period monkey;
+  ignore (Cluster.run cluster);
+  (cluster, spawned)
+
+let check_all_ok cluster spawned ~threads =
+  let tr = Cluster.trace cluster in
+  Alcotest.(check bool) "no corruption detected" false (Trace.contains tr "CORRUPT");
+  Alcotest.(check bool) "no segfault" false (Trace.contains tr "Segmentation fault");
+  List.iteri
+    (fun i th ->
+       Alcotest.(check bool) (Printf.sprintf "shaker %d finished cleanly" i) true
+         (th.Thread.state = Thread.Exited Thread.Halted))
+    spawned;
+  let ok_lines =
+    List.length (List.filter (fun l -> Filename.check_suffix l "ok") (Trace.lines tr))
+  in
+  Alcotest.(check int) "every round of every shaker verified" (threads * 4) ok_lines;
+  Cluster.check_invariants cluster
+
+let test_chaos_frequent () =
+  let threads = 6 in
+  let cluster, spawned = chaos ~nodes:3 ~threads ~period:150. ~seed:1 in
+  check_all_ok cluster spawned ~threads;
+  (* the monkey must actually have caused migrations *)
+  Alcotest.(check bool) "plenty of migrations" true
+    (List.length (Cluster.migrations cluster) > 10)
+
+let test_chaos_many_nodes () =
+  let threads = 8 in
+  let cluster, spawned = chaos ~nodes:6 ~threads ~period:300. ~seed:2 in
+  check_all_ok cluster spawned ~threads
+
+let test_chaos_seeds () =
+  (* A sweep of seeds: determinism plus robustness across interleavings. *)
+  List.iter
+    (fun seed ->
+       let threads = 4 in
+       let cluster, spawned = chaos ~nodes:2 ~threads ~period:200. ~seed in
+       check_all_ok cluster spawned ~threads)
+    [ 3; 4; 5; 6 ]
+
+let test_chaos_deterministic () =
+  let run () =
+    let cluster, _ = chaos ~nodes:3 ~threads:5 ~period:250. ~seed:42 in
+    (Trace.lines (Cluster.trace cluster), List.length (Cluster.migrations cluster))
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical traces across runs" true (a = b)
+
+let test_thousands_of_threads () =
+  (* §2: "each such process may contain tens of thousands of threads" and
+     creation must be cheap and local. 3000 short-lived threads: thread
+     creation never negotiates (one slot each, always locally available)
+     and every slot comes back. *)
+  let prog =
+    Pm2_core.Pm2.build (fun b ->
+        Pm2_mvm.Asm.proc b "tiny" (fun b ->
+            Pm2_mvm.Asm.imm b Pm2_mvm.Asm.r1 5;
+            Pm2_mvm.Asm.sys b Isa.Sys_workload;
+            Pm2_mvm.Asm.halt b))
+  in
+  let nodes = 4 in
+  let config = Cluster.default_config ~nodes in
+  let cluster = Cluster.create config prog in
+  let owned_before =
+    List.init nodes (fun i -> Slot_manager.owned (Cluster.node_mgr cluster i))
+  in
+  for i = 0 to 2999 do
+    ignore (Cluster.spawn cluster ~node:(i mod nodes) ~entry:"tiny" ())
+  done;
+  ignore (Cluster.run cluster);
+  Alcotest.(check int) "all 3000 exited" 0 (Cluster.live_threads cluster);
+  Alcotest.(check int) "thread creation never negotiated" 0
+    (Negotiation.count (Cluster.negotiation cluster));
+  List.iteri
+    (fun i before ->
+       Alcotest.(check int)
+         (Printf.sprintf "node %d slots all returned" i)
+         before
+         (Slot_manager.owned (Cluster.node_mgr cluster i)))
+    owned_before;
+  Cluster.check_invariants cluster
+
+let tests =
+  [
+    Alcotest.test_case "3000 threads on 4 nodes" `Quick test_thousands_of_threads;
+    Alcotest.test_case "chaos: frequent random migrations" `Quick test_chaos_frequent;
+    Alcotest.test_case "chaos: six nodes" `Quick test_chaos_many_nodes;
+    Alcotest.test_case "chaos: seed sweep" `Quick test_chaos_seeds;
+    Alcotest.test_case "chaos: fully deterministic" `Quick test_chaos_deterministic;
+  ]

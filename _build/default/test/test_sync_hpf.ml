@@ -1,0 +1,294 @@
+(* Synchronisation syscalls (semaphores, sleep, barriers) and the HPF
+   virtual-processor layer built on them. *)
+
+module Isa = Pm2_mvm.Isa
+module Trace = Pm2_sim.Trace
+open Pm2_mvm.Asm
+open Pm2_core
+module Vp = Pm2_hpf.Virtual_processor
+module Balancer = Pm2_loadbal.Balancer
+
+(* -- semaphores -- *)
+
+let producer_consumer_program =
+  Pm2.build (fun b ->
+      let fmt = cstring b "consumed %d" in
+      (* consumer: r1 = semaphore handle *)
+      proc b "consumer" (fun b ->
+          mov b r8 r1;
+          imm b r9 0;
+          label b "c.loop";
+          imm b r4 3;
+          bge b r9 r4 "c.done";
+          mov b r1 r8;
+          sys b Isa.Sys_sem_p; (* wait for a token *)
+          mov b r2 r9;
+          imm b r1 fmt;
+          sys b Isa.Sys_print;
+          addi b r9 r9 1;
+          jmp b "c.loop";
+          label b "c.done";
+          halt b);
+      (* producer: creates the semaphore, spawns the consumer, releases
+         three tokens with pauses *)
+      proc b "producer" (fun b ->
+          imm b r1 0;
+          sys b Isa.Sys_sem_create;
+          mov b r8 r0;
+          lea b r1 "consumer";
+          mov b r2 r8;
+          sys b Isa.Sys_spawn;
+          imm b r9 0;
+          label b "p.loop";
+          imm b r4 3;
+          bge b r9 r4 "p.done";
+          imm b r1 500;
+          sys b Isa.Sys_sleep;
+          mov b r1 r8;
+          sys b Isa.Sys_sem_v;
+          addi b r9 r9 1;
+          jmp b "p.loop";
+          label b "p.done";
+          halt b))
+
+let test_producer_consumer () =
+  let cluster = Pm2.launch producer_consumer_program ~spawns:[ (0, "producer", 0) ] in
+  let finish = Cluster.run cluster in
+  Alcotest.(check (list string)) "all tokens consumed in order"
+    [ "[node0] consumed 0"; "[node0] consumed 1"; "[node0] consumed 2" ]
+    (Trace.lines (Cluster.trace cluster));
+  (* Each token is gated by a 500 us sleep. *)
+  Alcotest.(check bool) "consumption paced by the producer" true (finish >= 1500.);
+  Alcotest.(check int) "no thread left behind" 0 (Cluster.live_threads cluster)
+
+let test_sem_counts () =
+  (* A semaphore created with capacity 2 admits two P's without blocking. *)
+  let prog =
+    Pm2.build (fun b ->
+        let fmt = cstring b "past %d" in
+        proc b "m" (fun b ->
+            imm b r1 2;
+            sys b Isa.Sys_sem_create;
+            mov b r8 r0;
+            mov b r1 r8;
+            sys b Isa.Sys_sem_p;
+            imm b r2 1;
+            imm b r1 fmt;
+            sys b Isa.Sys_print;
+            mov b r1 r8;
+            sys b Isa.Sys_sem_p;
+            imm b r2 2;
+            imm b r1 fmt;
+            sys b Isa.Sys_print;
+            halt b))
+  in
+  Alcotest.(check (list string)) "two immediate P's"
+    [ "[node0] past 1"; "[node0] past 2" ]
+    (Pm2.run_to_completion prog ~entry:"m" ())
+
+let test_sem_foreign_node_rejected () =
+  (* Marcel semaphores are process-local: P after migrating returns -1. *)
+  let prog =
+    Pm2.build (fun b ->
+        let fmt = cstring b "rc = %d" in
+        proc b "m" (fun b ->
+            imm b r1 1;
+            sys b Isa.Sys_sem_create;
+            mov b r8 r0;
+            imm b r1 1;
+            sys b Isa.Sys_migrate;
+            mov b r1 r8;
+            sys b Isa.Sys_sem_p;
+            mov b r2 r0;
+            imm b r1 fmt;
+            sys b Isa.Sys_print;
+            halt b))
+  in
+  Alcotest.(check (list string)) "foreign semaphore rejected" [ "[node1] rc = -1" ]
+    (Pm2.run_to_completion prog ~entry:"m" ())
+
+let test_unknown_sem () =
+  let prog =
+    Pm2.build (fun b ->
+        let fmt = cstring b "rc = %d" in
+        proc b "m" (fun b ->
+            imm b r1 999;
+            sys b Isa.Sys_sem_v;
+            mov b r2 r0;
+            imm b r1 fmt;
+            sys b Isa.Sys_print;
+            halt b))
+  in
+  Alcotest.(check (list string)) "unknown handle" [ "[node0] rc = -1" ]
+    (Pm2.run_to_completion prog ~entry:"m" ())
+
+(* -- sleep -- *)
+
+let test_sleep_advances_time () =
+  let prog =
+    Pm2.build (fun b ->
+        proc b "m" (fun b ->
+            imm b r1 12_345;
+            sys b Isa.Sys_sleep;
+            halt b))
+  in
+  let cluster = Pm2.launch prog ~spawns:[ (0, "m", 0) ] in
+  let finish = Cluster.run cluster in
+  Alcotest.(check bool) (Printf.sprintf "finish %.0f >= 12345" finish) true
+    (finish >= 12_345.);
+  Alcotest.(check int) "completed" 0 (Cluster.live_threads cluster)
+
+let test_sleepers_interleave () =
+  (* A sleeping thread does not hold the CPU: a second thread runs. *)
+  let prog =
+    Pm2.build (fun b ->
+        let fmt = cstring b "%s" in
+        proc b "sleeper" (fun b ->
+            imm b r1 5_000;
+            sys b Isa.Sys_sleep;
+            imm b r2 (cstring b "late");
+            imm b r1 fmt;
+            sys b Isa.Sys_print;
+            halt b);
+        proc b "quick" (fun b ->
+            imm b r2 (cstring b "early");
+            imm b r1 fmt;
+            sys b Isa.Sys_print;
+            halt b))
+  in
+  let cluster = Pm2.launch prog ~spawns:[ (0, "sleeper", 0); (0, "quick", 0) ] in
+  ignore (Cluster.run cluster);
+  Alcotest.(check (list string)) "quick ran during the sleep"
+    [ "[node0] early"; "[node0] late" ]
+    (Trace.lines (Cluster.trace cluster))
+
+(* -- barriers -- *)
+
+let barrier_program =
+  Pm2.build (fun b ->
+      let fmt = cstring b "phase %d by %d" in
+      proc b "party" (fun b ->
+          (* r1 = barrier * 256 + my id *)
+          imm b r4 256;
+          mod_ b r12 r1 r4;
+          div b r10 r1 r4;
+          imm b r9 0;
+          label b "b.loop";
+          imm b r4 2;
+          bge b r9 r4 "b.done";
+          (* stagger arrival by id-dependent work *)
+          addi b r1 r12 1;
+          imm b r4 1000;
+          mul b r1 r1 r4;
+          sys b Isa.Sys_workload;
+          mov b r1 r10;
+          sys b Isa.Sys_barrier;
+          mov b r2 r9;
+          mov b r3 r12;
+          imm b r1 fmt;
+          sys b Isa.Sys_print;
+          addi b r9 r9 1;
+          jmp b "b.loop";
+          label b "b.done";
+          halt b))
+
+let test_barrier_phases () =
+  let config = Cluster.default_config ~nodes:2 in
+  let cluster = Cluster.create config barrier_program in
+  let bar = Cluster.create_barrier cluster ~participants:3 in
+  for id = 0 to 2 do
+    ignore (Cluster.spawn cluster ~node:(id mod 2) ~entry:"party" ~arg:((bar * 256) + id) ())
+  done;
+  ignore (Cluster.run cluster);
+  let lines = Trace.lines (Cluster.trace cluster) in
+  Alcotest.(check int) "six phase lines" 6 (List.length lines);
+  (* No phase-1 line may precede any phase-0 line: the barrier is a
+     barrier. *)
+  let phase_of l = if String.length l > 14 && l.[14] = '0' then 0 else 1 in
+  let phases = List.map phase_of lines in
+  Alcotest.(check (list int)) "all of phase 0 before phase 1" [ 0; 0; 0; 1; 1; 1 ] phases;
+  Alcotest.(check int) "all exited" 0 (Cluster.live_threads cluster)
+
+let test_barrier_unknown () =
+  let prog =
+    Pm2.build (fun b ->
+        let fmt = cstring b "rc = %d" in
+        proc b "m" (fun b ->
+            imm b r1 42;
+            sys b Isa.Sys_barrier;
+            mov b r2 r0;
+            imm b r1 fmt;
+            sys b Isa.Sys_print;
+            halt b))
+  in
+  Alcotest.(check (list string)) "unknown barrier" [ "[node0] rc = -1" ]
+    (Pm2.run_to_completion prog ~entry:"m" ())
+
+(* -- the HPF virtual-processor layer -- *)
+
+let small =
+  {
+    Vp.default_config with
+    Vp.vps = 6;
+    elements_per_vp = 16;
+    iterations = 3;
+    nodes = 3;
+  }
+
+let test_vp_checksums () =
+  let r = Vp.run small in
+  Alcotest.(check bool) "checksums" true r.Vp.checksums_ok;
+  Alcotest.(check int) "no migrations without a balancer" 0 r.Vp.migrations;
+  Alcotest.(check bool) "finished" true (r.Vp.makespan > 0.)
+
+let test_vp_balancing_speedup_and_integrity () =
+  let baseline = Vp.run small in
+  let balanced = Vp.run { small with Vp.policy = Some Balancer.Least_loaded } in
+  Alcotest.(check bool) "migrations happened" true (balanced.Vp.migrations > 0);
+  Alcotest.(check bool) "chunks intact across VP migrations" true
+    balanced.Vp.checksums_ok;
+  Alcotest.(check bool)
+    (Printf.sprintf "faster with balancing (%.0f < %.0f)" balanced.Vp.makespan
+       baseline.Vp.makespan)
+    true
+    (balanced.Vp.makespan < baseline.Vp.makespan);
+  Alcotest.(check bool) "imbalance reduced" true
+    (balanced.Vp.final_imbalance < small.Vp.vps)
+
+let test_vp_block_placement () =
+  let r = Vp.run { small with Vp.placement = Vp.Block } in
+  Alcotest.(check bool) "checksums" true r.Vp.checksums_ok;
+  Alcotest.(check int) "balanced start stays put" 0 r.Vp.final_imbalance
+
+let test_vp_expected_checksum_formula () =
+  (* 16 elements of vp 2: 20 + (62 + 7i) mod 100, i = 0..15 *)
+  let cfg = small in
+  let manual = ref 0 in
+  for i = 0 to cfg.Vp.elements_per_vp - 1 do
+    manual := !manual + cfg.Vp.cost_min + (((31 * 2) + (7 * i)) mod cfg.Vp.cost_range)
+  done;
+  Alcotest.(check int) "formula" !manual (Vp.expected_checksum cfg 2)
+
+let test_vp_validation () =
+  Alcotest.(check bool) "bad vps" true
+    (try ignore (Vp.run { small with Vp.vps = 0 }); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad nodes" true
+    (try ignore (Vp.run { small with Vp.nodes = 1 }); false with Invalid_argument _ -> true)
+
+let tests =
+  [
+    Alcotest.test_case "semaphore producer/consumer" `Quick test_producer_consumer;
+    Alcotest.test_case "semaphore initial count" `Quick test_sem_counts;
+    Alcotest.test_case "semaphores are node-local" `Quick test_sem_foreign_node_rejected;
+    Alcotest.test_case "unknown semaphore handle" `Quick test_unknown_sem;
+    Alcotest.test_case "sleep advances virtual time" `Quick test_sleep_advances_time;
+    Alcotest.test_case "sleepers release the CPU" `Quick test_sleepers_interleave;
+    Alcotest.test_case "barrier separates phases" `Quick test_barrier_phases;
+    Alcotest.test_case "unknown barrier handle" `Quick test_barrier_unknown;
+    Alcotest.test_case "VP checksums without balancing" `Quick test_vp_checksums;
+    Alcotest.test_case "VP balancing: speedup + integrity" `Quick
+      test_vp_balancing_speedup_and_integrity;
+    Alcotest.test_case "VP block placement" `Quick test_vp_block_placement;
+    Alcotest.test_case "VP checksum formula" `Quick test_vp_expected_checksum_formula;
+    Alcotest.test_case "VP config validation" `Quick test_vp_validation;
+  ]

@@ -1,0 +1,97 @@
+open Pm2_util
+
+let check = Alcotest.(check int)
+
+let test_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v (i * i)
+  done;
+  check "length" 100 (Vec.length v);
+  for i = 0 to 99 do
+    check "get" (i * i) (Vec.get v i)
+  done
+
+let test_empty () =
+  let v = Vec.create () in
+  Alcotest.(check bool) "is_empty" true (Vec.is_empty v);
+  check "length" 0 (Vec.length v);
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop: empty") (fun () ->
+      ignore (Vec.pop v));
+  Alcotest.check_raises "last empty" (Invalid_argument "Vec.last: empty") (fun () ->
+      ignore (Vec.last v))
+
+let test_pop_lifo () =
+  let v = Vec.create () in
+  List.iter (Vec.push v) [ 1; 2; 3 ];
+  check "pop" 3 (Vec.pop v);
+  check "pop" 2 (Vec.pop v);
+  check "last" 1 (Vec.last v);
+  check "length" 1 (Vec.length v)
+
+let test_set_bounds () =
+  let v = Vec.of_list [ 10; 20 ] in
+  Vec.set v 1 99;
+  check "set" 99 (Vec.get v 1);
+  Alcotest.check_raises "out of bounds" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (Vec.get v 2))
+
+let test_make () =
+  let v = Vec.make 5 7 in
+  check "length" 5 (Vec.length v);
+  check "fill" 7 (Vec.get v 4)
+
+let test_clear_reuse () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Vec.clear v;
+  check "cleared" 0 (Vec.length v);
+  Vec.push v 9;
+  check "reused" 9 (Vec.get v 0)
+
+let test_iter_fold () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  check "fold sum" 10 (Vec.fold_left ( + ) 0 v);
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  Alcotest.(check (list (pair int int)))
+    "iteri" [ (0, 1); (1, 2); (2, 3); (3, 4) ] (List.rev !acc);
+  Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x = 3) v);
+  Alcotest.(check bool) "not exists" false (Vec.exists (fun x -> x = 7) v)
+
+let test_sort () =
+  let v = Vec.of_list [ 5; 1; 4; 2; 3 ] in
+  Vec.sort compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] (Vec.to_list v)
+
+let test_to_array () =
+  let v = Vec.of_list [ 1; 2 ] in
+  Alcotest.(check (array int)) "to_array" [| 1; 2 |] (Vec.to_array v)
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"Vec.of_list |> to_list is the identity"
+    QCheck2.Gen.(list int)
+    (fun l -> Vec.to_list (Vec.of_list l) = l)
+
+let prop_push_pop =
+  QCheck2.Test.make ~name:"Vec push then pop returns the pushed values in reverse"
+    QCheck2.Gen.(list small_int)
+    (fun l ->
+       let v = Vec.create () in
+       List.iter (Vec.push v) l;
+       let out = List.rev_map (fun _ -> Vec.pop v) l in
+       out = l && Vec.is_empty v)
+
+let tests =
+  [
+    Alcotest.test_case "push/get" `Quick test_push_get;
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "pop is LIFO" `Quick test_pop_lifo;
+    Alcotest.test_case "set and bounds" `Quick test_set_bounds;
+    Alcotest.test_case "make" `Quick test_make;
+    Alcotest.test_case "clear and reuse" `Quick test_clear_reuse;
+    Alcotest.test_case "iter/fold/exists" `Quick test_iter_fold;
+    Alcotest.test_case "sort" `Quick test_sort;
+    Alcotest.test_case "to_array" `Quick test_to_array;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_push_pop;
+  ]
