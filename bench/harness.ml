@@ -59,6 +59,26 @@ let run_guest ?nodes ?slot_size ?scheme ?packing ~entry ~arg () =
   ignore (Cluster.run c);
   c
 
+(* Attach a metrics registry to the cluster's event collector; the run's
+   event counts and latency histograms accumulate into it. *)
+let attach_metrics c =
+  let m = Pm2_obs.Metrics.create () in
+  Pm2_obs.Collector.attach (Cluster.obs c) (Pm2_obs.Metrics.sink m);
+  m
+
+(* Like [run_guest], with a metrics registry attached before the run. *)
+let run_guest_observed ?nodes ?slot_size ?scheme ?packing ~entry ~arg () =
+  let c = cluster ?nodes ?slot_size ?scheme ?packing () in
+  let m = attach_metrics c in
+  ignore (Cluster.spawn c ~node:0 ~entry ~arg ());
+  ignore (Cluster.run c);
+  (c, m)
+
+(* One machine-readable line: per-node event counters and histogram
+   quantiles, greppable as `; metrics <experiment> {...}`. *)
+let metrics_json ~experiment m =
+  Printf.printf "; metrics %s %s\n" experiment (Pm2_obs.Metrics.to_json m)
+
 let migration_latencies c =
   List.map (fun m -> m.Cluster.resumed -. m.Cluster.started) (Cluster.migrations c)
 

@@ -12,7 +12,7 @@ let active_threads_reference_us = 150.
 let null_thread () =
   Harness.section "T1: null-thread migration (ping-pong, 2 nodes)";
   let rounds = 500 in
-  let c = Harness.run_guest ~entry:"pingpong" ~arg:rounds () in
+  let c, metrics = Harness.run_guest_observed ~entry:"pingpong" ~arg:rounds () in
   let lat = Harness.migration_latencies c in
   let s = Stats.summarize lat in
   let wire = (List.hd (Cluster.migrations c)).Cluster.bytes in
@@ -30,7 +30,8 @@ let null_thread () =
   Harness.note
     "no post-migration processing of any kind: the iso-address copy is enough";
   if s.Stats.mean >= 75. then
-    Harness.note "WARNING: mean latency exceeds the paper's 75 us bound!"
+    Harness.note "WARNING: mean latency exceeds the paper's 75 us bound!";
+  Harness.metrics_json ~experiment:"t-migration" metrics
 
 let payload_sweep () =
   Harness.section "T1b: migration latency vs private data carried (pm2_isomalloc'd)";

@@ -1,0 +1,57 @@
+(* Validator for the `--trace-json` output: parses the file with the
+   in-tree JSON reader and checks the trace_event structure that
+   chrome://tracing / Perfetto expect. Exits non-zero on any violation,
+   which is what the @obs-smoke alias keys off. *)
+
+module Json = Pm2_obs.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("check_trace: " ^ s); exit 1) fmt
+
+let read_file path =
+  let ic = try open_in_bin path with Sys_error e -> fail "%s" e in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let str_field name obj =
+  Option.bind (Json.member name obj) Json.to_string_val
+
+let num_field name obj =
+  Option.bind (Json.member name obj) Json.to_float
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else fail "usage: check_trace FILE" in
+  let json =
+    match Json.parse (read_file path) with
+    | Ok j -> j
+    | Error e -> fail "%s: invalid JSON: %s" path e
+  in
+  let events =
+    match Option.bind (Json.member "traceEvents" json) Json.to_list with
+    | Some l -> l
+    | None -> fail "%s: no traceEvents array" path
+  in
+  if events = [] then fail "%s: empty traceEvents" path;
+  let spans = ref 0 and migrate_spans = ref 0 in
+  List.iter
+    (fun e ->
+       let name = match str_field "name" e with
+         | Some n -> n
+         | None -> fail "event without name" in
+       (match str_field "ph" e with
+        | Some "X" ->
+          incr spans;
+          if num_field "dur" e = None then fail "span %s without dur" name;
+          if String.length name > 8 && String.sub name 0 8 = "migrate:" then
+            incr migrate_spans
+        | Some ("i" | "M") -> ()
+        | Some ph -> fail "unexpected phase %S on %s" ph name
+        | None -> fail "event %s without ph" name);
+       match str_field "ph" e with
+       | Some "M" -> ()
+       | _ -> if num_field "ts" e = None then fail "event %s without ts" name)
+    events;
+  if !migrate_spans = 0 then fail "%s: no migrate:* spans recorded" path;
+  Printf.printf "check_trace: %s ok (%d events, %d spans, %d migration phases)\n"
+    path (List.length events) !spans !migrate_spans

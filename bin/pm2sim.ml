@@ -65,6 +65,51 @@ let slot_size_arg =
 let timed_arg =
   Arg.(value & flag & info [ "timed" ] ~doc:"Prefix output lines with virtual timestamps.")
 
+let trace_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-json" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace_event JSON file of the run (open in \
+              chrome://tracing or Perfetto).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the per-node metrics report (event counters and \
+              p50/p95/p99 histograms) after the run.")
+
+(* Attach the requested sinks to the cluster's collector; returns a
+   finaliser that writes / prints them once the run is over. *)
+let setup_obs cluster ~trace_json ~metrics =
+  let obs = Cluster.obs cluster in
+  let chrome =
+    Option.map
+      (fun file ->
+         let c = Pm2_obs.Chrome.create () in
+         Pm2_obs.Collector.attach obs (Pm2_obs.Chrome.sink c);
+         (c, file))
+      trace_json
+  in
+  let registry =
+    if metrics then begin
+      let m = Pm2_obs.Metrics.create () in
+      Pm2_obs.Collector.attach obs (Pm2_obs.Metrics.sink m);
+      Some m
+    end
+    else None
+  in
+  fun () ->
+    Option.iter
+      (fun (c, file) ->
+         (try Pm2_obs.Chrome.write_file c file with Sys_error e ->
+            Printf.eprintf "pm2sim: cannot write trace: %s\n" e;
+            exit 1);
+         Printf.printf "; chrome trace: %s (%d events)\n" file (Pm2_obs.Chrome.length c))
+      chrome;
+    Option.iter (fun m -> print_string (Pm2_obs.Metrics.report m)) registry
+
 let config ~nodes ~scheme ~distribution ~slot_size =
   {
     (Cluster.default_config ~nodes:(max nodes 2)) with
@@ -85,7 +130,7 @@ let run_cmd =
   let arg_arg =
     Arg.(value & opt int 0 & info [ "arg" ] ~docv:"N" ~doc:"Integer argument (register r1).")
   in
-  let run entry arg nodes scheme distribution slot_size timed =
+  let run entry arg nodes scheme distribution slot_size timed trace_json metrics =
     if not (List.mem entry (entries ())) then begin
       Printf.eprintf "unknown entry %S; try: %s\n" entry (String.concat " " (entries ()));
       exit 2
@@ -93,6 +138,7 @@ let run_cmd =
     let cluster =
       Cluster.create (config ~nodes ~scheme ~distribution ~slot_size) program
     in
+    let finish_obs = setup_obs cluster ~trace_json ~metrics in
     ignore (Cluster.spawn cluster ~node:0 ~entry ~arg ());
     let finish = Cluster.run cluster in
     let tr = Cluster.trace cluster in
@@ -105,13 +151,14 @@ let run_cmd =
     (match Pm2.mean_migration_latency cluster with
      | Some us -> Printf.printf "; mean one-way migration latency: %.1f us\n" us
      | None -> ());
+    finish_obs ();
     Cluster.check_invariants cluster
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one of the paper's example programs on a simulated cluster.")
     Term.(
       const run $ entry_arg $ arg_arg $ nodes_arg $ scheme_arg $ distribution_arg
-      $ slot_size_arg $ timed_arg)
+      $ slot_size_arg $ timed_arg $ trace_json_arg $ metrics_arg)
 
 (* -- balance -- *)
 
@@ -143,8 +190,9 @@ let balance_cmd =
           ~doc:"Balancing policy: $(b,least-loaded), $(b,spread) or \
                 $(b,threshold:HIGH:LOW). Omit for no balancing.")
   in
-  let run workers nodes policy =
+  let run workers nodes policy trace_json metrics =
     let cluster = Cluster.create (Cluster.default_config ~nodes:(max nodes 2)) program in
+    let finish_obs = setup_obs cluster ~trace_json ~metrics in
     ignore (Cluster.spawn cluster ~node:0 ~entry:"spawner" ~arg:workers ());
     let balancer =
       Option.map (fun p -> Pm2_loadbal.Balancer.attach cluster ~policy:p ~period:400.) policy
@@ -159,12 +207,13 @@ let balance_cmd =
          s.Pm2_loadbal.Balancer.decisions s.Pm2_loadbal.Balancer.migrations_requested
          (List.length (Cluster.migrations cluster))
      | None -> print_endline "balancer: none (baseline)");
+    finish_obs ();
     Cluster.check_invariants cluster
   in
   Cmd.v
     (Cmd.info "balance"
        ~doc:"Run the irregular-workers demo, optionally with a load balancer.")
-    Term.(const run $ workers_arg $ nodes_arg $ policy_arg)
+    Term.(const run $ workers_arg $ nodes_arg $ policy_arg $ trace_json_arg $ metrics_arg)
 
 (* -- hpf -- *)
 

@@ -10,6 +10,7 @@ module Malloc = Pm2_heap.Malloc
 module Dlist = Pm2_util.Dlist
 module Vec = Pm2_util.Vec
 module Prng = Pm2_util.Prng
+module Obs = Pm2_obs
 
 type scheme =
   | Iso
@@ -71,6 +72,7 @@ type t = {
   engine : Engine.t;
   net : Network.t;
   trace : Trace.t;
+  obs : Obs.Collector.t;
   program : Program.t;
   nodes : Node.t array;
   neg : Negotiation.t;
@@ -94,14 +96,19 @@ let create (config : config) program =
   if config.quantum <= 0 then invalid_arg "Cluster.create: quantum <= 0";
   let geometry = Slot.make ~slot_size:config.slot_size in
   let engine = Engine.create () in
-  let net = Network.create engine config.cost ~nodes:config.nodes in
+  let trace = Trace.create () in
+  (* The collector is always live inside a cluster: the legacy trace is one
+     of its sinks, so pm2_printf output flows through the event pipeline. *)
+  let obs = Obs.Collector.create ~now:(fun () -> Engine.now engine) () in
+  Obs.Collector.attach obs (Trace.sink trace);
+  let net = Network.create ~obs engine config.cost ~nodes:config.nodes in
   let bitmaps =
     Distribution.populate config.distribution ~geometry ~nodes:config.nodes
   in
   let nodes =
     Array.init config.nodes (fun id ->
-        Node.create ~id ~cost:config.cost ~geometry ~bitmap:bitmaps.(id)
-          ~cache_capacity:config.cache_capacity ~seed:config.seed)
+        Node.create ~obs ~id ~cost:config.cost ~geometry ~bitmap:bitmaps.(id)
+          ~cache_capacity:config.cache_capacity ~seed:config.seed ())
   in
   Array.iter (fun n -> Program.load_data program n.Node.space) nodes;
   {
@@ -109,10 +116,14 @@ let create (config : config) program =
     geometry;
     engine;
     net;
-    trace = Trace.create ();
+    trace;
+    obs;
     program;
     nodes;
-    neg = Negotiation.create ~geometry ~mgrs:(Array.map (fun n -> n.Node.mgr) nodes) ~net;
+    neg =
+      Negotiation.create ~obs ~geometry
+        ~mgrs:(Array.map (fun n -> n.Node.mgr) nodes)
+        ~net ();
     threads = Hashtbl.create 64;
     waiters = Hashtbl.create 16;
     semaphores = Hashtbl.create 16;
@@ -130,6 +141,7 @@ let config t = t.config
 let engine t = t.engine
 let network t = t.net
 let trace t = t.trace
+let obs t = t.obs
 let geometry t = t.geometry
 let negotiation t = t.neg
 let program t = t.program
@@ -170,6 +182,7 @@ let host_env t node_id =
          let r = Negotiation.execute ~prebuy:t.config.prebuy t.neg ~requester:node_id ~n in
          Node.charge node r.Negotiation.duration;
          r.Negotiation.start);
+    obs = t.obs;
   }
 
 (* In syscall context a negotiation parks the calling thread for the
@@ -191,6 +204,7 @@ let syscall_env t node_id =
          in
          t.pending_block <- Some finish;
          r.Negotiation.start);
+    obs = t.obs;
   }
 
 let take_pending_block t =
@@ -358,10 +372,13 @@ and dispatch t node (th : Thread.t) sc =
       let fmt = As.load_cstring node.Node.space r.(1) in
       let text = format_guest node.Node.space fmt [ r.(2); r.(3) ] in
       Node.charge node (0.02 *. float_of_int (String.length text));
+      (* pm2_printf flows through the event pipeline; the trace sink
+         attached at creation renders it in the legacy format. *)
       List.iter
         (fun line ->
            if line <> "" then
-             Trace.emit t.trace ~time:(Engine.now t.engine) ~node:node.Node.id line)
+             Obs.Collector.emit t.obs ~node:node.Node.id
+               (Obs.Event.Thread_printf { tid = th.Thread.id; text = line }))
         (String.split_on_char '\n' text);
       `Continue
     | Isa.Sys_self ->
@@ -580,16 +597,16 @@ and start_migration t node (th : Thread.t) ~dest =
     match t.config.scheme with
     | Iso ->
       let p =
-        Migration.pack ~geometry:t.geometry ~cost:t.config.cost ~space:node.Node.space
-          ~packing:t.config.packing th
+        Migration.pack ~obs:t.obs ~node:src ~geometry:t.geometry ~cost:t.config.cost
+          ~space:node.Node.space ~packing:t.config.packing th
       in
-      Ok (p.Migration.buffer, p.Migration.pack_cost)
+      Ok (p.Migration.buffer, p.Migration.pack_cost, p.Migration.slots)
     | Relocating ->
       (match
          Relocation.pack ~geometry:t.geometry ~cost:t.config.cost ~space:node.Node.space
            ~mgr:node.Node.mgr th
        with
-       | p -> Ok (p.Relocation.buffer, p.Relocation.pack_cost)
+       | p -> Ok (p.Relocation.buffer, p.Relocation.pack_cost, 1)
        | exception Failure msg -> Error msg)
   with
   | Error msg ->
@@ -601,23 +618,38 @@ and start_migration t node (th : Thread.t) ~dest =
       (Printf.sprintf "migration of thread %x aborted: %s" (handle_of_tid th.Thread.id)
          msg);
     enqueue t th
-  | Ok (buffer, pack_cost) ->
+  | Ok (buffer, pack_cost, slots) ->
     let extra = node.Node.charged -. before in
     node.Node.charged <- before;
     let pack_total = pack_cost +. extra in
     Node.charge node pack_total;
+    let bytes = Bytes.length buffer in
+    if Obs.Collector.enabled t.obs then
+      Obs.Collector.emit_at t.obs ~time:started ~node:src
+        (Obs.Event.Migration_phase
+           { tid = th.Thread.id; phase = Obs.Event.Pack; bytes; slots; dur = pack_total });
     Engine.schedule_after t.engine ~delay:pack_total (fun () ->
+        if Obs.Collector.enabled t.obs then
+          Obs.Collector.emit t.obs ~node:src
+            (Obs.Event.Migration_phase
+               {
+                 tid = th.Thread.id;
+                 phase = Obs.Event.Send;
+                 bytes;
+                 slots;
+                 dur = Network.transfer_time t.net ~bytes;
+               });
         Network.send t.net ~src ~dst:dest buffer (fun buffer ->
-            deliver t th ~src ~dest ~started buffer))
+            deliver t th ~src ~dest ~started ~slots buffer))
 
-and deliver t (th : Thread.t) ~src ~dest ~started buffer =
+and deliver t (th : Thread.t) ~src ~dest ~started ~slots buffer =
   let dnode = t.nodes.(dest) in
   let before = dnode.Node.charged in
   let unpack_cost =
     match t.config.scheme with
     | Iso ->
-      Migration.unpack ~geometry:t.geometry ~cost:t.config.cost ~space:dnode.Node.space th
-        buffer
+      Migration.unpack ~obs:t.obs ~node:dest ~geometry:t.geometry ~cost:t.config.cost
+        ~space:dnode.Node.space th buffer
     | Relocating ->
       Relocation.unpack ~geometry:t.geometry ~cost:t.config.cost ~space:dnode.Node.space
         ~mgr:dnode.Node.mgr th buffer
@@ -627,7 +659,16 @@ and deliver t (th : Thread.t) ~src ~dest ~started buffer =
   let resume_delay = unpack_cost +. extra in
   Node.charge dnode resume_delay;
   th.Thread.node <- dest;
+  let bytes = Bytes.length buffer in
+  if Obs.Collector.enabled t.obs then
+    Obs.Collector.emit t.obs ~node:dest
+      (Obs.Event.Migration_phase
+         { tid = th.Thread.id; phase = Obs.Event.Remap; bytes; slots; dur = resume_delay });
   Engine.schedule_after t.engine ~delay:resume_delay (fun () ->
+      if Obs.Collector.enabled t.obs then
+        Obs.Collector.emit t.obs ~node:dest
+          (Obs.Event.Migration_phase
+             { tid = th.Thread.id; phase = Obs.Event.Restart; bytes; slots; dur = 0. });
       Vec.push t.migrations
         {
           tid = th.Thread.id;
@@ -635,7 +676,7 @@ and deliver t (th : Thread.t) ~src ~dest ~started buffer =
           dst = dest;
           started;
           resumed = Engine.now t.engine;
-          bytes = Bytes.length buffer;
+          bytes;
         };
       enqueue t th)
 
@@ -722,20 +763,20 @@ let host_migrate t (th : Thread.t) ~dest =
     let snode = t.nodes.(src) and dnode = t.nodes.(dest) in
     let started = Engine.now t.engine in
     let before = snode.Node.charged in
-    let buffer, pack_cost =
+    let buffer, pack_cost, slots =
       match t.config.scheme with
       | Iso ->
         let p =
-          Migration.pack ~geometry:t.geometry ~cost:t.config.cost ~space:snode.Node.space
-            ~packing:t.config.packing th
+          Migration.pack ~obs:t.obs ~node:src ~geometry:t.geometry ~cost:t.config.cost
+            ~space:snode.Node.space ~packing:t.config.packing th
         in
-        (p.Migration.buffer, p.Migration.pack_cost)
+        (p.Migration.buffer, p.Migration.pack_cost, p.Migration.slots)
       | Relocating ->
         let p =
           Relocation.pack ~geometry:t.geometry ~cost:t.config.cost
             ~space:snode.Node.space ~mgr:snode.Node.mgr th
         in
-        (p.Relocation.buffer, p.Relocation.pack_cost)
+        (p.Relocation.buffer, p.Relocation.pack_cost, 1)
     in
     let pack_total = pack_cost +. (snode.Node.charged -. before) in
     snode.Node.charged <- before;
@@ -746,8 +787,8 @@ let host_migrate t (th : Thread.t) ~dest =
     let unpack_cost =
       match t.config.scheme with
       | Iso ->
-        Migration.unpack ~geometry:t.geometry ~cost:t.config.cost ~space:dnode.Node.space
-          th buffer
+        Migration.unpack ~obs:t.obs ~node:dest ~geometry:t.geometry ~cost:t.config.cost
+          ~space:dnode.Node.space th buffer
       | Relocating ->
         Relocation.unpack ~geometry:t.geometry ~cost:t.config.cost
           ~space:dnode.Node.space ~mgr:dnode.Node.mgr th buffer
@@ -756,7 +797,22 @@ let host_migrate t (th : Thread.t) ~dest =
     dnode.Node.charged <- before;
     Node.charge dnode unpack_total;
     th.Thread.node <- dest;
-    let latency = pack_total +. Network.transfer_time t.net ~bytes +. unpack_total in
+    let transfer = Network.transfer_time t.net ~bytes in
+    let latency = pack_total +. transfer +. unpack_total in
+    (* Host-mode migration is synchronous against the simulator; the four
+       phases are stamped at the virtual instants they model. *)
+    if Obs.Collector.enabled t.obs then begin
+      let tid = th.Thread.id in
+      let ph phase ~time ~node ~dur =
+        Obs.Collector.emit_at t.obs ~time ~node
+          (Obs.Event.Migration_phase { tid; phase; bytes; slots; dur })
+      in
+      ph Obs.Event.Pack ~time:started ~node:src ~dur:pack_total;
+      ph Obs.Event.Send ~time:(started +. pack_total) ~node:src ~dur:transfer;
+      ph Obs.Event.Remap ~time:(started +. pack_total +. transfer) ~node:dest
+        ~dur:unpack_total;
+      ph Obs.Event.Restart ~time:(started +. latency) ~node:dest ~dur:0.
+    end;
     Vec.push t.migrations
       { tid = th.Thread.id; src; dst = dest; started; resumed = started +. latency; bytes }
   end

@@ -50,6 +50,12 @@ val config : t -> config
 val engine : t -> Pm2_sim.Engine.t
 val network : t -> Pm2_net.Network.t
 val trace : t -> Pm2_sim.Trace.t
+
+(** The cluster's event collector. Always enabled with the legacy trace as
+    its first sink (pm2_printf flows through it); attach further sinks
+    ({!Pm2_obs.Ring.sink}, {!Pm2_obs.Metrics.sink}, {!Pm2_obs.Chrome}) to
+    observe slot, heap, migration, negotiation and network events. *)
+val obs : t -> Pm2_obs.Collector.t
 val geometry : t -> Slot.t
 val negotiation : t -> Negotiation.t
 val program : t -> Pm2_mvm.Program.t

@@ -2,6 +2,7 @@ module As = Pm2_vmem.Address_space
 module Cm = Pm2_sim.Cost_model
 module B = Pm2_heap.Blockfmt
 module Sh = Slot_header
+module Obs = Pm2_obs
 
 type fit =
   | First_fit
@@ -16,7 +17,10 @@ type env = {
   charge : float -> unit;
   fit : fit;
   negotiate : n:int -> int option;
+  obs : Obs.Collector.t;
 }
+
+let emit env ev = Obs.Collector.emit env.obs ~node:(Slot_manager.node env.mgr) ev
 
 let slot_capacity g = g.Slot.slot_size - Sh.size_of_header
 
@@ -126,7 +130,10 @@ let place env slot b need =
     let rest = b + need in
     B.write_tags env.space rest ~size:(bsize - need) ~used:false;
     sl_link_front env slot rest;
-    B.write_tags env.space b ~size:need ~used:true
+    B.write_tags env.space b ~size:need ~used:true;
+    if Obs.Collector.enabled env.obs then
+      emit env
+        (Obs.Event.Block_split { heap = Obs.Event.Iso; addr = rest; bytes = bsize - need })
   end
   else B.write_tags env.space b ~size:bsize ~used:true;
   B.payload_addr b
@@ -136,15 +143,22 @@ let isomalloc env th size =
   env.charge env.cost.Cm.alloc_fixed;
   let g = geometry env in
   let need = B.block_size_for ~payload:size in
-  match find_fit env th need with
-  | Some (slot, b) -> Some (place env slot b need)
-  | None ->
-    let slots = Slot.slots_for g (need + Sh.size_of_header) in
-    (match new_data_slot env th ~slots ~kind:Sh.Data with
-     | None -> None
-     | Some base ->
-       (* The fresh slot holds a single free block that surely fits. *)
-       Some (place env base (Sh.read_free_head env.space base) need))
+  let result =
+    match find_fit env th need with
+    | Some (slot, b) -> Some (place env slot b need)
+    | None ->
+      let slots = Slot.slots_for g (need + Sh.size_of_header) in
+      (match new_data_slot env th ~slots ~kind:Sh.Data with
+       | None -> None
+       | Some base ->
+         (* The fresh slot holds a single free block that surely fits. *)
+         Some (place env base (Sh.read_free_head env.space base) need))
+  in
+  (match result with
+   | Some addr when Obs.Collector.enabled env.obs ->
+     emit env (Obs.Event.Block_alloc { heap = Obs.Event.Iso; addr; bytes = size })
+   | _ -> ());
+  result
 
 (* -- deallocation -- *)
 
@@ -199,7 +213,11 @@ let isofree env th payload =
     (match validate_block env slot payload with
      | None ->
        invalid_arg (Printf.sprintf "Iso_heap.isofree: 0x%x is not a live block" payload)
-     | Some _ ->
+     | Some bsize ->
+       if Obs.Collector.enabled env.obs then
+         emit env
+           (Obs.Event.Block_free
+              { heap = Obs.Event.Iso; addr = payload; bytes = B.payload_of_block bsize });
        let slot_size = Sh.read_size env.space slot in
        let blocks_base = Sh.blocks_base slot in
        let limit = slot + slot_size in
@@ -221,6 +239,8 @@ let isofree env th payload =
        end;
        B.write_tags env.space !b ~size:!size ~used:false;
        sl_link_front env slot !b;
+       if !size <> bsize && Obs.Collector.enabled env.obs then
+         emit env (Obs.Event.Block_coalesce { heap = Obs.Event.Iso; addr = !b; bytes = !size });
        (* A fully free slot goes back to the node currently visited. *)
        if !b = blocks_base && !size = slot_size - Sh.size_of_header then
          release_slot env th slot)

@@ -27,6 +27,9 @@ type env = {
       (* acquire [n] contiguous slots for this node via the global
          negotiation protocol; ownership changes are applied before it
          returns. [None] = the whole iso-address area has no such run. *)
+  obs : Pm2_obs.Collector.t;
+      (* receives [Block_alloc]/[Block_free]/[Block_split]/[Block_coalesce],
+         attributed to the visited node. *)
 }
 
 val fit_to_string : fit -> string

@@ -5,6 +5,7 @@ module B = Pm2_heap.Blockfmt
 module Sh = Slot_header
 module Pk = Pm2_net.Packet
 module Interp = Pm2_mvm.Interp
+module Obs = Pm2_obs
 
 type packing =
   | Blocks_only
@@ -13,6 +14,7 @@ type packing =
 type packed = {
   buffer : Bytes.t;
   pack_cost : float;
+  slots : int;
 }
 
 let packing_to_string = function
@@ -156,13 +158,22 @@ let unpack_slot space u =
     (slot, size)
   end
 
-let pack ~geometry ~cost ~space ~packing (th : Thread.t) =
+let pack ?(obs = Obs.Collector.null) ?(node = 0) ~geometry ~cost ~space ~packing
+    (th : Thread.t) =
   ignore geometry;
   let slots = Sh.chain_to_list space ~head:th.slots_head in
   let p = Pk.packer () in
   pack_descriptor p th;
   Pk.pack_int p (List.length slots);
-  List.iter (fun slot -> pack_slot space packing p th slot) slots;
+  List.iter
+    (fun slot ->
+       let before = Pk.packed_size p in
+       pack_slot space packing p th slot;
+       if Obs.Collector.enabled obs then
+         Obs.Collector.emit obs ~node
+           (Obs.Event.Pack_slot
+              { tid = th.Thread.id; slot; bytes = Pk.packed_size p - before }))
+    slots;
   (* Free the source memory: the slots stay owned by the thread (bitmaps
      untouched), but their pages leave this node. *)
   let munmap_total = ref 0. in
@@ -178,16 +189,21 @@ let pack ~geometry ~cost ~space ~packing (th : Thread.t) =
     +. Cm.memcpy_cost cost ~bytes:(Bytes.length buffer)
     +. !munmap_total
   in
-  { buffer; pack_cost }
+  { buffer; pack_cost; slots = List.length slots }
 
-let unpack ~geometry ~cost ~space (th : Thread.t) buffer =
+let unpack ?(obs = Obs.Collector.null) ?(node = 0) ~geometry ~cost ~space (th : Thread.t)
+    buffer =
   ignore geometry;
   let u = Pk.unpacker buffer in
   unpack_descriptor u th;
   let nslots = Pk.unpack_int u in
   let mmap_total = ref 0. in
   for _ = 1 to nslots do
-    let _slot, size = unpack_slot space u in
+    let before = Pk.remaining u in
+    let slot, size = unpack_slot space u in
+    if Obs.Collector.enabled obs then
+      Obs.Collector.emit obs ~node
+        (Obs.Event.Unpack_slot { tid = th.Thread.id; slot; bytes = before - Pk.remaining u });
     (* Mapping cost without the zero-fill term: every useful page is
        populated by the copy-in, which is charged as memcpy. *)
     mmap_total :=

@@ -21,12 +21,17 @@ type packing =
 type packed = {
   buffer : Bytes.t; (* what travels on the wire *)
   pack_cost : float; (* freeze + copy-out + unmapping, µs *)
+  slots : int; (* chain entries shipped (stack slot included) *)
 }
 
 (** [pack ~geometry ~cost ~space ~packing thread] freezes [thread], packs
     its resources, and unmaps its slots from [space]. After this the
-    thread's memory exists only in the buffer. *)
+    thread's memory exists only in the buffer. [?obs] receives one
+    [Pack_slot] event per chain entry (packed wire bytes), attributed to
+    [?node] (default 0). *)
 val pack :
+  ?obs:Pm2_obs.Collector.t ->
+  ?node:int ->
   geometry:Slot.t ->
   cost:Pm2_sim.Cost_model.t ->
   space:Pm2_vmem.Address_space.t ->
@@ -37,11 +42,14 @@ val pack :
 (** [unpack ~geometry ~cost ~space thread buffer] maps every packed slot at
     its original address in [space], restores the contents, and overwrites
     [thread]'s descriptor fields (context, slot list head, registered
-    pointers) from the wire image. Returns the unpack cost in µs.
+    pointers) from the wire image. Returns the unpack cost in µs. [?obs]
+    receives one [Unpack_slot] event per slot (wire bytes consumed).
     @raise Invalid_argument on a corrupt buffer.
     @raise Invalid_argument if some target page is already mapped — i.e.
     the iso-address discipline was violated. *)
 val unpack :
+  ?obs:Pm2_obs.Collector.t ->
+  ?node:int ->
   geometry:Slot.t ->
   cost:Pm2_sim.Cost_model.t ->
   space:Pm2_vmem.Address_space.t ->

@@ -1,6 +1,7 @@
 module Bitset = Pm2_util.Bitset
 module Cm = Pm2_sim.Cost_model
 module Network = Pm2_net.Network
+module Obs = Pm2_obs
 
 type t = {
   geometry : Slot.t;
@@ -9,6 +10,7 @@ type t = {
   mutable lock_free_at : float; (* system-wide critical section (FIFO) *)
   mutable count : int;
   durations : Pm2_util.Stats.Acc.t;
+  obs : Obs.Collector.t;
 }
 
 type result = {
@@ -17,7 +19,7 @@ type result = {
   bought : int;
 }
 
-let create ~geometry ~mgrs ~net =
+let create ?(obs = Obs.Collector.null) ~geometry ~mgrs ~net () =
   {
     geometry;
     mgrs;
@@ -25,7 +27,10 @@ let create ~geometry ~mgrs ~net =
     lock_free_at = 0.;
     count = 0;
     durations = Pm2_util.Stats.Acc.create ();
+    obs;
   }
+
+let emit t ~node ev = Obs.Collector.emit t.obs ~node ev
 
 let lock_msg_bytes = 64
 
@@ -56,7 +61,11 @@ let record_protocol_traffic t ~requester =
     if n <> requester then begin
       Network.record_virtual t.net ~src:requester ~dst:n ~bytes:lock_msg_bytes;
       Network.record_virtual t.net ~src:n ~dst:requester ~bytes:bitmap_bytes;
-      Network.record_virtual t.net ~src:requester ~dst:n ~bytes:bitmap_bytes
+      Network.record_virtual t.net ~src:requester ~dst:n ~bytes:bitmap_bytes;
+      if Obs.Collector.enabled t.obs then
+        emit t ~node:requester
+          (Obs.Event.Neg_round
+             { requester; peer = n; bytes = lock_msg_bytes + (2 * bitmap_bytes) })
     end
   done;
   Network.record_virtual t.net ~src:requester ~dst:0 ~bytes:lock_msg_bytes
@@ -73,6 +82,9 @@ let transfer t ~requester slot =
     if !owner < 0 then failwith "Negotiation: free slot with no owner";
     Slot_manager.steal t.mgrs.(!owner) slot;
     Slot_manager.grant t.mgrs.(requester) slot;
+    if Obs.Collector.enabled t.obs then
+      emit t ~node:requester
+        (Obs.Event.Slot_transfer { slot; seller = !owner; buyer = requester });
     true
   end
 
@@ -92,11 +104,16 @@ let execute ?(prebuy = 0) t ~requester ~n =
   let duration = duration_model t ~nodes in
   t.count <- t.count + 1;
   Pm2_util.Stats.Acc.add t.durations duration;
+  if Obs.Collector.enabled t.obs then
+    emit t ~node:requester (Obs.Event.Neg_request { requester; n });
   record_protocol_traffic t ~requester;
   (* Global OR of all bitmaps (step 2c). *)
   let global = global_or t in
   match Bitset.find_run global n with
-  | None -> { start = None; duration; bought = 0 }
+  | None ->
+    if Obs.Collector.enabled t.obs then
+      emit t ~node:requester (Obs.Event.Neg_deny { requester; n; dur = duration });
+    { start = None; duration; bought = 0 }
   | Some start ->
     (* Buy the non-local slots of the run (step 2d). *)
     let bought = ref 0 in
@@ -112,6 +129,9 @@ let execute ?(prebuy = 0) t ~requester ~n =
       incr extra;
       incr slot
     done;
+    if Obs.Collector.enabled t.obs then
+      emit t ~node:requester
+        (Obs.Event.Neg_grant { requester; start; n; bought = !bought; dur = duration });
     { start = Some start; duration; bought = !bought }
 
 let restructure t =

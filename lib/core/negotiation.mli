@@ -29,7 +29,15 @@ type result = {
   bought : int; (* slots whose ownership moved to the requester *)
 }
 
-val create : geometry:Slot.t -> mgrs:Slot_manager.t array -> net:Pm2_net.Network.t -> t
+(** [?obs] receives [Neg_request] / [Neg_round] / [Neg_grant] / [Neg_deny]
+    and [Slot_transfer] events, attributed to the requesting node. *)
+val create :
+  ?obs:Pm2_obs.Collector.t ->
+  geometry:Slot.t ->
+  mgrs:Slot_manager.t array ->
+  net:Pm2_net.Network.t ->
+  unit ->
+  t
 
 (** [execute t ~requester ~n] runs one negotiation on behalf of node
     [requester] for [n] contiguous slots. Ownership changes are applied

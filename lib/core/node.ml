@@ -9,17 +9,18 @@ type t = {
   prng : Pm2_util.Prng.t;
 }
 
-let create ~id ~cost ~geometry ~bitmap ~cache_capacity ~seed =
+let create ?(obs = Pm2_obs.Collector.null) ~id ~cost ~geometry ~bitmap ~cache_capacity
+    ~seed () =
   let space = Pm2_vmem.Address_space.create ~node:id () in
   let rec node =
     lazy
       {
         id;
         space;
-        heap = Pm2_heap.Malloc.create space cost ~charge;
+        heap = Pm2_heap.Malloc.create ~obs ~node:id space cost ~charge;
         mgr =
-          Slot_manager.create ~node:id ~geometry ~space ~cost ~charge ~bitmap
-            ~cache_capacity;
+          Slot_manager.create ~obs ~node:id ~geometry ~space ~cost ~charge ~bitmap
+            ~cache_capacity ();
         queue = Pm2_util.Dlist.create ();
         tick_scheduled = false;
         charged = 0.;

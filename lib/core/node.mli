@@ -17,13 +17,17 @@ type t = {
   prng : Pm2_util.Prng.t;
 }
 
+(** [?obs] is handed down to the heap and the slot manager (events are
+    attributed to [id]). *)
 val create :
+  ?obs:Pm2_obs.Collector.t ->
   id:int ->
   cost:Pm2_sim.Cost_model.t ->
   geometry:Slot.t ->
   bitmap:Pm2_util.Bitset.t ->
   cache_capacity:int ->
   seed:int ->
+  unit ->
   t
 
 (** Add virtual CPU time to the node's accumulator. *)

@@ -2,6 +2,7 @@ module As = Pm2_vmem.Address_space
 module Cm = Pm2_sim.Cost_model
 module Bitset = Pm2_util.Bitset
 module Vec = Pm2_util.Vec
+module Obs = Pm2_obs
 
 type stats = {
   mutable acquires : int;
@@ -24,9 +25,11 @@ type t = {
   cache_set : (int, unit) Hashtbl.t;
   cache_capacity : int;
   stats : stats;
+  obs : Obs.Collector.t;
 }
 
-let create ~node ~geometry ~space ~cost ~charge ~bitmap ~cache_capacity =
+let create ?(obs = Obs.Collector.null) ~node ~geometry ~space ~cost ~charge ~bitmap
+    ~cache_capacity () =
   if Bitset.length bitmap <> geometry.Slot.count then
     invalid_arg "Slot_manager.create: bitmap size mismatch";
   {
@@ -39,6 +42,7 @@ let create ~node ~geometry ~space ~cost ~charge ~bitmap ~cache_capacity =
     cache = Vec.create ();
     cache_set = Hashtbl.create 16;
     cache_capacity;
+    obs;
     stats =
       {
         acquires = 0;
@@ -88,6 +92,11 @@ let cache_push t i =
   Vec.push t.cache i;
   Hashtbl.replace t.cache_set i ()
 
+let emit_reserve t ~slot ~n ~cache_hit =
+  if Obs.Collector.enabled t.obs then
+    Obs.Collector.emit t.obs ~node:t.node
+      (Obs.Event.Slot_reserve { slot; n; cache_hit })
+
 let acquire_local t =
   t.stats.acquires <- t.stats.acquires + 1;
   match cache_pop t with
@@ -96,6 +105,7 @@ let acquire_local t =
     Bitset.clear t.bitmap i;
     t.stats.cache_hits <- t.stats.cache_hits + 1;
     t.charge t.cost.Cm.slot_cache_hit;
+    emit_reserve t ~slot:i ~n:1 ~cache_hit:true;
     Some i
   | None ->
     (match Bitset.first_set t.bitmap with
@@ -103,6 +113,7 @@ let acquire_local t =
      | Some i ->
        Bitset.clear t.bitmap i;
        mmap_slot_range t ~start:i ~n:1;
+       emit_reserve t ~slot:i ~n:1 ~cache_hit:false;
        Some i)
 
 let find_local_run t n =
@@ -130,15 +141,18 @@ let acquire_run t ~start ~n =
       while !i < start + n && not (cache_member t !i) do incr i done;
       mmap_slot_range t ~start:first ~n:(!i - first)
     end
-  done
+  done;
+  emit_reserve t ~slot:start ~n ~cache_hit:false
 
 let release t i =
   if Bitset.get t.bitmap i then
     invalid_arg (Printf.sprintf "Slot_manager.release: slot %d already free here" i);
   t.stats.releases <- t.stats.releases + 1;
   Bitset.set t.bitmap i;
-  if Hashtbl.length t.cache_set < t.cache_capacity then cache_push t i
-  else munmap_slot t i
+  let cached = Hashtbl.length t.cache_set < t.cache_capacity in
+  if cached then cache_push t i else munmap_slot t i;
+  if Obs.Collector.enabled t.obs then
+    Obs.Collector.emit t.obs ~node:t.node (Obs.Event.Slot_release { slot = i; cached })
 
 let release_run t ~start ~n =
   for i = start to start + n - 1 do

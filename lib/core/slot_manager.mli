@@ -28,11 +28,13 @@ type stats = {
   mutable grants : int; (* slots bought from other nodes *)
 }
 
-(** [create ~node ~geometry ~space ~cost ~charge ~bitmap ~cache_capacity].
+(** [create ~node ~geometry ~space ~cost ~charge ~bitmap ~cache_capacity ()].
     [bitmap] is this node's share of the initial distribution (ownership is
     taken over, not copied). [charge] receives virtual-time costs.
-    [cache_capacity = 0] disables the slot cache. *)
+    [cache_capacity = 0] disables the slot cache. [?obs] receives
+    [Slot_reserve] / [Slot_release] events. *)
 val create :
+  ?obs:Pm2_obs.Collector.t ->
   node:int ->
   geometry:Slot.t ->
   space:Pm2_vmem.Address_space.t ->
@@ -40,6 +42,7 @@ val create :
   charge:(float -> unit) ->
   bitmap:Pm2_util.Bitset.t ->
   cache_capacity:int ->
+  unit ->
   t
 
 val node : t -> int

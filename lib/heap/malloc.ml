@@ -3,6 +3,8 @@ module Layout = Pm2_vmem.Layout
 module Cm = Pm2_sim.Cost_model
 module B = Blockfmt
 
+module Obs = Pm2_obs
+
 type addr = Layout.addr
 
 exception Out_of_memory
@@ -15,9 +17,11 @@ type t = {
   mutable free_head : addr; (* 0 = nil *)
   live : (addr, int) Hashtbl.t; (* payload addr -> block size *)
   mutable live_bytes : int;
+  obs : Obs.Collector.t;
+  node : int;
 }
 
-let create space cost ~charge =
+let create ?(obs = Obs.Collector.null) ?(node = 0) space cost ~charge =
   {
     space;
     cost;
@@ -26,7 +30,11 @@ let create space cost ~charge =
     free_head = 0;
     live = Hashtbl.create 64;
     live_bytes = 0;
+    obs;
+    node;
   }
+
+let emit t ev = Obs.Collector.emit t.obs ~node:t.node ev
 
 let nil = 0
 
@@ -89,7 +97,9 @@ let place t b need =
     let rest = b + need in
     B.write_tags t.space rest ~size:(bsize - need) ~used:false;
     link_front t rest;
-    B.write_tags t.space b ~size:need ~used:true
+    B.write_tags t.space b ~size:need ~used:true;
+    if Obs.Collector.enabled t.obs then
+      emit t (Obs.Event.Block_split { heap = Obs.Event.Local; addr = rest; bytes = bsize - need })
   end
   else B.write_tags t.space b ~size:bsize ~used:true;
   let payload = B.payload_addr b in
@@ -101,13 +111,18 @@ let malloc t size =
   if size <= 0 then invalid_arg "Malloc.malloc: size <= 0";
   t.charge t.cost.Cm.alloc_fixed;
   let need = B.block_size_for ~payload:size in
-  match find_first_fit t need with
-  | Some b -> place t b need
-  | None ->
-    extend t need;
-    (match find_first_fit t need with
-     | Some b -> place t b need
-     | None -> raise Out_of_memory)
+  let payload =
+    match find_first_fit t need with
+    | Some b -> place t b need
+    | None ->
+      extend t need;
+      (match find_first_fit t need with
+       | Some b -> place t b need
+       | None -> raise Out_of_memory)
+  in
+  if Obs.Collector.enabled t.obs then
+    emit t (Obs.Event.Block_alloc { heap = Obs.Event.Local; addr = payload; bytes = size });
+  payload
 
 let validate_live t p =
   match Hashtbl.find_opt t.live p with
@@ -121,6 +136,11 @@ let free t p =
   let b = ref (B.block_of_payload p) in
   let size = ref (B.read_size t.space !b) in
   t.live_bytes <- t.live_bytes - B.payload_of_block !size;
+  if Obs.Collector.enabled t.obs then
+    emit t
+      (Obs.Event.Block_free
+         { heap = Obs.Event.Local; addr = p; bytes = B.payload_of_block !size });
+  let freed_size = !size in
   (* Coalesce with the next block. *)
   let next = !b + !size in
   if next < t.brk && not (B.read_used t.space next) then begin
@@ -136,7 +156,9 @@ let free t p =
     size := !size + psize
   end;
   B.write_tags t.space !b ~size:!size ~used:false;
-  link_front t !b
+  link_front t !b;
+  if !size <> freed_size && Obs.Collector.enabled t.obs then
+    emit t (Obs.Event.Block_coalesce { heap = Obs.Event.Local; addr = !b; bytes = !size })
 
 let usable_size t p = B.payload_of_block (validate_live t p)
 

@@ -18,8 +18,12 @@ type addr = Pm2_vmem.Layout.addr
 exception Out_of_memory
 
 (** [create space cost ~charge] sets up an empty heap in [space]'s
-    local-heap segment. [charge] receives virtual-time costs. *)
+    local-heap segment. [charge] receives virtual-time costs. [?obs]
+    receives [Block_alloc]/[Block_free]/[Block_split]/[Block_coalesce]
+    events (heap kind [Local]) attributed to [?node]. *)
 val create :
+  ?obs:Pm2_obs.Collector.t ->
+  ?node:int ->
   Pm2_vmem.Address_space.t ->
   Pm2_sim.Cost_model.t ->
   charge:(float -> unit) ->

@@ -1,12 +1,15 @@
+module Obs = Pm2_obs
+
 type t = {
   engine : Pm2_sim.Engine.t;
   cost : Pm2_sim.Cost_model.t;
   nodes : int;
   msg_count : int array; (* src * nodes + dst *)
   byte_count : int array;
+  obs : Obs.Collector.t;
 }
 
-let create engine cost ~nodes =
+let create ?(obs = Obs.Collector.null) engine cost ~nodes =
   if nodes <= 0 then invalid_arg "Network.create: nodes <= 0";
   {
     engine;
@@ -14,6 +17,7 @@ let create engine cost ~nodes =
     nodes;
     msg_count = Array.make (nodes * nodes) 0;
     byte_count = Array.make (nodes * nodes) 0;
+    obs;
   }
 
 let nodes t = t.nodes
@@ -36,11 +40,16 @@ let send t ~src ~dst payload k =
   check t dst;
   let bytes = Bytes.length payload in
   record t ~src ~dst ~bytes;
+  if Obs.Collector.enabled t.obs then
+    Obs.Collector.emit t.obs ~node:src (Obs.Event.Packet_send { src; dst; bytes });
   let delay =
     if src = dst then Pm2_sim.Cost_model.memcpy_cost t.cost ~bytes
     else transfer_time t ~bytes
   in
-  Pm2_sim.Engine.schedule_after t.engine ~delay (fun () -> k payload)
+  Pm2_sim.Engine.schedule_after t.engine ~delay (fun () ->
+      if Obs.Collector.enabled t.obs then
+        Obs.Collector.emit t.obs ~node:dst (Obs.Event.Packet_deliver { src; dst; bytes });
+      k payload)
 
 let messages_sent t = Array.fold_left ( + ) 0 t.msg_count
 
@@ -59,4 +68,6 @@ let reset_stats t =
 let record_virtual t ~src ~dst ~bytes =
   check t src;
   check t dst;
-  record t ~src ~dst ~bytes
+  record t ~src ~dst ~bytes;
+  if Obs.Collector.enabled t.obs then
+    Obs.Collector.emit t.obs ~node:src (Obs.Event.Packet_send { src; dst; bytes })

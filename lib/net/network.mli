@@ -9,7 +9,12 @@
 
 type t
 
-val create : Pm2_sim.Engine.t -> Pm2_sim.Cost_model.t -> nodes:int -> t
+(** [?obs] receives [Packet_send] at the emission time and
+    [Packet_deliver] at the modelled arrival time for every {!send};
+    {!record_virtual} traffic emits [Packet_send] only (it has no
+    scheduled delivery). *)
+val create :
+  ?obs:Pm2_obs.Collector.t -> Pm2_sim.Engine.t -> Pm2_sim.Cost_model.t -> nodes:int -> t
 
 val nodes : t -> int
 

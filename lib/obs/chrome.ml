@@ -1,0 +1,126 @@
+module Vec = Pm2_util.Vec
+
+type t = { records : (float * int * Event.t) Vec.t }
+
+let create () = { records = Vec.create () }
+
+let length t = Vec.length t.records
+
+let clear t = Vec.clear t.records
+
+let sink t =
+  Sink.make ~name:"chrome" (fun ~time ~node ev -> Vec.push t.records (time, node, ev))
+
+(* -- JSON string escaping (control chars, quotes, backslash) -- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* One trace_event object. Durations ("X" complete events) get their span;
+   everything else is an instant event. [ts] is in µs, which is exactly
+   the simulator's virtual-time unit. *)
+let add_event buf ~time ~node ev =
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let complete ~name ~cat ~tid ~dur ~args =
+    addf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{%s}}"
+      (escape name) cat time dur node tid args
+  in
+  let instant ~name ~cat ~args =
+    addf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":%d,\"tid\":0,\"s\":\"p\",\"args\":{%s}}"
+      (escape name) cat time node args
+  in
+  match (ev : Event.t) with
+  | Migration_phase { tid; phase; bytes; slots; dur } ->
+    complete
+      ~name:("migrate:" ^ Event.phase_name phase)
+      ~cat:"migration" ~tid
+      ~dur
+      ~args:(Printf.sprintf "\"bytes\":%d,\"slots\":%d" bytes slots)
+  | Neg_grant { requester; start; n; bought; dur } ->
+    complete ~name:"negotiation" ~cat:"negotiation" ~tid:0 ~dur
+      ~args:
+        (Printf.sprintf "\"requester\":%d,\"start\":%d,\"n\":%d,\"bought\":%d" requester
+           start n bought)
+  | Neg_deny { requester; n; dur } ->
+    complete ~name:"negotiation:deny" ~cat:"negotiation" ~tid:0 ~dur
+      ~args:(Printf.sprintf "\"requester\":%d,\"n\":%d" requester n)
+  | Slot_reserve { slot; n; cache_hit } ->
+    instant ~name:"slot.reserve" ~cat:"slot"
+      ~args:
+        (Printf.sprintf "\"slot\":%d,\"n\":%d,\"cache_hit\":%b" slot n cache_hit)
+  | Slot_release { slot; cached } ->
+    instant ~name:"slot.release" ~cat:"slot"
+      ~args:(Printf.sprintf "\"slot\":%d,\"cached\":%b" slot cached)
+  | Slot_transfer { slot; seller; buyer } ->
+    instant ~name:"slot.transfer" ~cat:"slot"
+      ~args:(Printf.sprintf "\"slot\":%d,\"seller\":%d,\"buyer\":%d" slot seller buyer)
+  | Block_alloc { addr; bytes; _ } | Block_free { addr; bytes; _ }
+  | Block_split { addr; bytes; _ } | Block_coalesce { addr; bytes; _ } ->
+    instant ~name:(Event.name ev) ~cat:"heap"
+      ~args:(Printf.sprintf "\"addr\":%d,\"bytes\":%d" addr bytes)
+  | Pack_slot { tid; slot; bytes } | Unpack_slot { tid; slot; bytes } ->
+    instant ~name:(Event.name ev) ~cat:"migration"
+      ~args:(Printf.sprintf "\"tid\":%d,\"slot\":%d,\"bytes\":%d" tid slot bytes)
+  | Neg_request { requester; n } ->
+    instant ~name:"negotiation.request" ~cat:"negotiation"
+      ~args:(Printf.sprintf "\"requester\":%d,\"n\":%d" requester n)
+  | Neg_round { requester; peer; bytes } ->
+    instant ~name:"negotiation.round" ~cat:"negotiation"
+      ~args:(Printf.sprintf "\"requester\":%d,\"peer\":%d,\"bytes\":%d" requester peer bytes)
+  | Packet_send { src; dst; bytes } ->
+    instant ~name:"net.send" ~cat:"net"
+      ~args:(Printf.sprintf "\"src\":%d,\"dst\":%d,\"bytes\":%d" src dst bytes)
+  | Packet_deliver { src; dst; bytes } ->
+    instant ~name:"net.deliver" ~cat:"net"
+      ~args:(Printf.sprintf "\"src\":%d,\"dst\":%d,\"bytes\":%d" src dst bytes)
+  | Thread_printf { tid; text } ->
+    instant ~name:"pm2_printf" ~cat:"guest"
+      ~args:(Printf.sprintf "\"tid\":%d,\"text\":\"%s\"" tid (escape text))
+
+let to_buffer t buf =
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "{\"traceEvents\":[";
+  let first = ref true in
+  let comma () = if !first then first := false else Buffer.add_char buf ',' in
+  (* Process-name metadata so chrome://tracing labels each pid "node N". *)
+  let pids = Hashtbl.create 8 in
+  Vec.iter (fun (_, node, _) -> Hashtbl.replace pids node ()) t.records;
+  Hashtbl.fold (fun pid () acc -> pid :: acc) pids []
+  |> List.sort compare
+  |> List.iter (fun pid ->
+      comma ();
+      addf "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"name\":\"node %d\"}}"
+        pid pid);
+  Vec.iter
+    (fun (time, node, ev) ->
+       comma ();
+       add_event buf ~time ~node ev)
+    t.records;
+  addf "],\"displayTimeUnit\":\"ms\"}"
+
+let to_string t =
+  let buf = Buffer.create (256 * (1 + Vec.length t.records)) in
+  to_buffer t buf;
+  Buffer.contents buf
+
+let write_channel t oc =
+  let buf = Buffer.create (256 * (1 + Vec.length t.records)) in
+  to_buffer t buf;
+  Buffer.output_buffer oc buf
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel t oc)

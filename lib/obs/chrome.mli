@@ -1,0 +1,33 @@
+(** Chrome [trace_event]-format JSON exporter.
+
+    Records every event and renders the run as a JSON object with a
+    [traceEvents] array, loadable in [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto}. The mapping:
+
+    - [Migration_phase] → complete ("X") spans named [migrate:pack],
+      [migrate:send], [migrate:remap], [migrate:restart], with pid = node,
+      tid = thread id and the byte/slot counts in [args];
+    - [Neg_grant] / [Neg_deny] → complete spans covering the modelled
+      protocol time;
+    - every other event → an instant ("i") event on its node.
+
+    Timestamps are virtual microseconds, which is natively what the
+    [ts]/[dur] fields expect. *)
+
+type t
+
+val create : unit -> t
+
+(** Events recorded so far. *)
+val length : t -> int
+
+val clear : t -> unit
+
+val sink : t -> Sink.t
+
+(** JSON-escape a string (quotes, backslash, control characters). *)
+val escape : string -> string
+
+val to_string : t -> string
+val write_channel : t -> out_channel -> unit
+val write_file : t -> string -> unit

@@ -1,0 +1,100 @@
+type heap_kind =
+  | Local
+  | Iso
+
+type migration_phase =
+  | Pack
+  | Send
+  | Remap
+  | Restart
+
+type t =
+  | Slot_reserve of { slot : int; n : int; cache_hit : bool }
+  | Slot_release of { slot : int; cached : bool }
+  | Slot_transfer of { slot : int; seller : int; buyer : int }
+  | Block_alloc of { heap : heap_kind; addr : int; bytes : int }
+  | Block_free of { heap : heap_kind; addr : int; bytes : int }
+  | Block_split of { heap : heap_kind; addr : int; bytes : int }
+  | Block_coalesce of { heap : heap_kind; addr : int; bytes : int }
+  | Migration_phase of {
+      tid : int;
+      phase : migration_phase;
+      bytes : int;
+      slots : int;
+      dur : float;
+    }
+  | Pack_slot of { tid : int; slot : int; bytes : int }
+  | Unpack_slot of { tid : int; slot : int; bytes : int }
+  | Neg_request of { requester : int; n : int }
+  | Neg_round of { requester : int; peer : int; bytes : int }
+  | Neg_grant of { requester : int; start : int; n : int; bought : int; dur : float }
+  | Neg_deny of { requester : int; n : int; dur : float }
+  | Packet_send of { src : int; dst : int; bytes : int }
+  | Packet_deliver of { src : int; dst : int; bytes : int }
+  | Thread_printf of { tid : int; text : string }
+
+let heap_name = function Local -> "local" | Iso -> "iso"
+
+let phase_name = function
+  | Pack -> "pack"
+  | Send -> "send"
+  | Remap -> "remap"
+  | Restart -> "restart"
+
+let name = function
+  | Slot_reserve _ -> "slot.reserve"
+  | Slot_release _ -> "slot.release"
+  | Slot_transfer _ -> "slot.transfer"
+  | Block_alloc { heap; _ } -> "heap." ^ heap_name heap ^ ".alloc"
+  | Block_free { heap; _ } -> "heap." ^ heap_name heap ^ ".free"
+  | Block_split { heap; _ } -> "heap." ^ heap_name heap ^ ".split"
+  | Block_coalesce { heap; _ } -> "heap." ^ heap_name heap ^ ".coalesce"
+  | Migration_phase { phase; _ } -> "migration." ^ phase_name phase
+  | Pack_slot _ -> "migration.pack_slot"
+  | Unpack_slot _ -> "migration.unpack_slot"
+  | Neg_request _ -> "negotiation.request"
+  | Neg_round _ -> "negotiation.round"
+  | Neg_grant _ -> "negotiation.grant"
+  | Neg_deny _ -> "negotiation.deny"
+  | Packet_send _ -> "net.send"
+  | Packet_deliver _ -> "net.deliver"
+  | Thread_printf _ -> "thread.printf"
+
+let pp ppf ev =
+  match ev with
+  | Slot_reserve { slot; n; cache_hit } ->
+    Format.fprintf ppf "slot.reserve slot=%d n=%d%s" slot n
+      (if cache_hit then " (cached)" else "")
+  | Slot_release { slot; cached } ->
+    Format.fprintf ppf "slot.release slot=%d%s" slot (if cached then " (cached)" else "")
+  | Slot_transfer { slot; seller; buyer } ->
+    Format.fprintf ppf "slot.transfer slot=%d node%d->node%d" slot seller buyer
+  | Block_alloc { heap; addr; bytes } ->
+    Format.fprintf ppf "heap.%s.alloc 0x%x %dB" (heap_name heap) addr bytes
+  | Block_free { heap; addr; bytes } ->
+    Format.fprintf ppf "heap.%s.free 0x%x %dB" (heap_name heap) addr bytes
+  | Block_split { heap; addr; bytes } ->
+    Format.fprintf ppf "heap.%s.split 0x%x %dB" (heap_name heap) addr bytes
+  | Block_coalesce { heap; addr; bytes } ->
+    Format.fprintf ppf "heap.%s.coalesce 0x%x %dB" (heap_name heap) addr bytes
+  | Migration_phase { tid; phase; bytes; slots; dur } ->
+    Format.fprintf ppf "migration.%s tid=%d %dB %d slots %.1fus" (phase_name phase) tid
+      bytes slots dur
+  | Pack_slot { tid; slot; bytes } ->
+    Format.fprintf ppf "migration.pack_slot tid=%d 0x%x %dB" tid slot bytes
+  | Unpack_slot { tid; slot; bytes } ->
+    Format.fprintf ppf "migration.unpack_slot tid=%d 0x%x %dB" tid slot bytes
+  | Neg_request { requester; n } ->
+    Format.fprintf ppf "negotiation.request node%d n=%d" requester n
+  | Neg_round { requester; peer; bytes } ->
+    Format.fprintf ppf "negotiation.round node%d<->node%d %dB" requester peer bytes
+  | Neg_grant { requester; start; n; bought; dur } ->
+    Format.fprintf ppf "negotiation.grant node%d start=%d n=%d bought=%d %.1fus"
+      requester start n bought dur
+  | Neg_deny { requester; n; dur } ->
+    Format.fprintf ppf "negotiation.deny node%d n=%d %.1fus" requester n dur
+  | Packet_send { src; dst; bytes } ->
+    Format.fprintf ppf "net.send node%d->node%d %dB" src dst bytes
+  | Packet_deliver { src; dst; bytes } ->
+    Format.fprintf ppf "net.deliver node%d->node%d %dB" src dst bytes
+  | Thread_printf { tid; text } -> Format.fprintf ppf "thread.printf tid=%d %S" tid text

@@ -1,0 +1,66 @@
+(** The typed event taxonomy of the observability layer.
+
+    Every instrumented operation of the runtime — slot bookkeeping, block
+    allocation (both the node-local [malloc] heap and the migratable
+    iso-address heap), the four migration phases, the slot-negotiation
+    protocol and the network — is described by one variant. Events are
+    stamped with virtual time and the emitting node by the
+    {!Collector}; the payloads below carry everything else a sink needs
+    (byte counts, slot counts, modelled durations in µs). *)
+
+type heap_kind =
+  | Local (* the node-local malloc heap (does not migrate) *)
+  | Iso (* the iso-address block layer (migrates with the thread) *)
+
+(** The decomposition of one migration, in order: freeze + copy-out
+    ([Pack]), wire transfer ([Send]), mmap + copy-in at the destination
+    ([Remap]), re-enqueue ([Restart]). *)
+type migration_phase =
+  | Pack
+  | Send
+  | Remap
+  | Restart
+
+type t =
+  | Slot_reserve of { slot : int; n : int; cache_hit : bool }
+      (** A node handed [n] contiguous slots starting at [slot] to a
+          thread. [cache_hit]: served from the mmap cache. *)
+  | Slot_release of { slot : int; cached : bool }
+      (** A thread returned [slot] to the visited node; [cached]: kept
+          mapped in the slot cache. *)
+  | Slot_transfer of { slot : int; seller : int; buyer : int }
+      (** Negotiation moved ownership of free [slot] between nodes. *)
+  | Block_alloc of { heap : heap_kind; addr : int; bytes : int }
+  | Block_free of { heap : heap_kind; addr : int; bytes : int }
+  | Block_split of { heap : heap_kind; addr : int; bytes : int }
+      (** A free block was split; [addr]/[bytes] describe the remainder. *)
+  | Block_coalesce of { heap : heap_kind; addr : int; bytes : int }
+      (** Two free blocks merged; [addr]/[bytes] describe the result. *)
+  | Migration_phase of {
+      tid : int;
+      phase : migration_phase;
+      bytes : int; (* wire image size *)
+      slots : int; (* slots carried by the thread *)
+      dur : float; (* modelled phase duration, µs *)
+    }
+  | Pack_slot of { tid : int; slot : int; bytes : int }
+      (** One slot copied into the wire image ([bytes] = its share). *)
+  | Unpack_slot of { tid : int; slot : int; bytes : int }
+  | Neg_request of { requester : int; n : int }
+  | Neg_round of { requester : int; peer : int; bytes : int }
+      (** One gather/scatter exchange with [peer] inside a negotiation. *)
+  | Neg_grant of { requester : int; start : int; n : int; bought : int; dur : float }
+  | Neg_deny of { requester : int; n : int; dur : float }
+  | Packet_send of { src : int; dst : int; bytes : int }
+  | Packet_deliver of { src : int; dst : int; bytes : int }
+  | Thread_printf of { tid : int; text : string }
+      (** One [pm2_printf] output line (the legacy trace format). *)
+
+val heap_name : heap_kind -> string
+val phase_name : migration_phase -> string
+
+(** Dot-separated taxonomy key, e.g. ["migration.pack"] — the metric name
+    used by the {!Metrics} registry. *)
+val name : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+(** A minimal JSON parser — just enough to validate and round-trip the
+    exporters' output (the toolchain ships no JSON library, and the smoke
+    tests must not invent a dependency). Numbers are floats; \u escapes
+    are decoded for the BMP only. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** Whole-input parse: trailing non-whitespace is an error. *)
+val parse : string -> (t, string) result
+
+(** @raise Failure on malformed input. *)
+val parse_exn : string -> t
+
+(** Object field lookup ([None] on non-objects and absent keys). *)
+val member : string -> t -> t option
+
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_string_val : t -> string option

@@ -1,0 +1,205 @@
+module H = Pm2_util.Stats.Histogram
+
+type node_registry = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  histograms : (string, H.t) Hashtbl.t;
+}
+
+type t = {
+  nodes : (int, node_registry) Hashtbl.t;
+  bounds : float array;
+}
+
+let create ?(bounds = H.default_bounds) () = { nodes = Hashtbl.create 8; bounds }
+
+let registry t node =
+  match Hashtbl.find_opt t.nodes node with
+  | Some r -> r
+  | None ->
+    let r =
+      {
+        counters = Hashtbl.create 16;
+        gauges = Hashtbl.create 8;
+        histograms = Hashtbl.create 16;
+      }
+    in
+    Hashtbl.replace t.nodes node r;
+    r
+
+let incr t ~node ?(by = 1) name =
+  let r = registry t node in
+  match Hashtbl.find_opt r.counters name with
+  | Some c -> c := !c + by
+  | None -> Hashtbl.replace r.counters name (ref by)
+
+let set_gauge t ~node name v =
+  let r = registry t node in
+  match Hashtbl.find_opt r.gauges name with
+  | Some g -> g := v
+  | None -> Hashtbl.replace r.gauges name (ref v)
+
+let observe t ~node name v =
+  let r = registry t node in
+  let h =
+    match Hashtbl.find_opt r.histograms name with
+    | Some h -> h
+    | None ->
+      let h = H.create ~bounds:t.bounds () in
+      Hashtbl.replace r.histograms name h;
+      h
+  in
+  H.add h v
+
+let counter t ~node name =
+  match Hashtbl.find_opt t.nodes node with
+  | None -> 0
+  | Some r ->
+    (match Hashtbl.find_opt r.counters name with Some c -> !c | None -> 0)
+
+let gauge t ~node name =
+  Option.bind (Hashtbl.find_opt t.nodes node) (fun r ->
+      Option.map ( ! ) (Hashtbl.find_opt r.gauges name))
+
+let histogram t ~node name =
+  Option.bind (Hashtbl.find_opt t.nodes node) (fun r ->
+      Hashtbl.find_opt r.histograms name)
+
+let node_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.nodes [] |> List.sort compare
+
+let total_counter t name =
+  Hashtbl.fold
+    (fun _ r acc ->
+       match Hashtbl.find_opt r.counters name with Some c -> acc + !c | None -> acc)
+    t.nodes 0
+
+let merged_histogram t name =
+  Hashtbl.fold
+    (fun _ r acc ->
+       match Hashtbl.find_opt r.histograms name with
+       | None -> acc
+       | Some h ->
+         (match acc with None -> Some h | Some m -> Some (H.merge m h)))
+    t.nodes None
+
+(* -- the sink: event -> counters / histograms -- *)
+
+let on_event t ~node (ev : Event.t) =
+  let key = Event.name ev in
+  match ev with
+  | Slot_reserve { n; cache_hit; _ } ->
+    incr t ~node key;
+    incr t ~node ~by:n "slot.reserved_slots";
+    if cache_hit then incr t ~node "slot.cache_hit"
+  | Slot_release { cached; _ } ->
+    incr t ~node key;
+    if cached then incr t ~node "slot.release_cached"
+  | Slot_transfer { seller; buyer; _ } ->
+    incr t ~node:seller "slot.sold";
+    incr t ~node:buyer "slot.bought"
+  | Block_alloc { bytes; _ } | Block_free { bytes; _ } ->
+    incr t ~node key;
+    observe t ~node (key ^ "_bytes") (float_of_int bytes)
+  | Block_split _ | Block_coalesce _ -> incr t ~node key
+  | Migration_phase { phase; bytes; slots; dur; _ } ->
+    incr t ~node key;
+    observe t ~node (key ^ "_us") dur;
+    (match phase with
+     | Event.Pack ->
+       observe t ~node "migration.bytes" (float_of_int bytes);
+       observe t ~node "migration.slots" (float_of_int slots)
+     | _ -> ())
+  | Pack_slot { bytes; _ } | Unpack_slot { bytes; _ } ->
+    incr t ~node key;
+    observe t ~node (key ^ "_bytes") (float_of_int bytes)
+  | Neg_request _ | Neg_round _ -> incr t ~node key
+  | Neg_grant { bought; dur; _ } ->
+    incr t ~node key;
+    incr t ~node ~by:bought "negotiation.slots_bought";
+    observe t ~node "negotiation.us" dur
+  | Neg_deny { dur; _ } ->
+    incr t ~node key;
+    observe t ~node "negotiation.us" dur
+  | Packet_send { bytes; _ } ->
+    incr t ~node key;
+    incr t ~node ~by:bytes "net.send_bytes";
+    observe t ~node "net.packet_bytes" (float_of_int bytes)
+  | Packet_deliver _ -> incr t ~node key
+  | Thread_printf _ -> incr t ~node key
+
+let sink t = Sink.make ~name:"metrics" (fun ~time:_ ~node ev -> on_event t ~node ev)
+
+(* -- rendering -- *)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let pct h p = match H.percentile h p with Some v -> v | None -> 0.
+
+let report t =
+  let buf = Buffer.create 1024 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (match node_ids t with
+   | [] -> addf "metrics: no events recorded\n"
+   | ids ->
+     List.iter
+       (fun id ->
+          let r = registry t id in
+          addf "node %d:\n" id;
+          if Hashtbl.length r.counters > 0 then begin
+            addf "  counters:\n";
+            List.iter (fun (k, c) -> addf "    %-32s %d\n" k !c) (sorted_bindings r.counters)
+          end;
+          if Hashtbl.length r.gauges > 0 then begin
+            addf "  gauges:\n";
+            List.iter (fun (k, g) -> addf "    %-32s %g\n" k !g) (sorted_bindings r.gauges)
+          end;
+          if Hashtbl.length r.histograms > 0 then begin
+            addf "  histograms:                        n      p50      p95      p99      max\n";
+            List.iter
+              (fun (k, h) ->
+                 addf "    %-30s %5d %8.1f %8.1f %8.1f %8.1f\n" k (H.count h)
+                   (pct h 50.) (pct h 95.) (pct h 99.) (H.max_value h))
+              (sorted_bindings r.histograms)
+          end)
+       ids);
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let sep = ref "" in
+  addf "{";
+  List.iter
+    (fun id ->
+       let r = registry t id in
+       addf "%s\"node%d\":{" !sep id;
+       sep := ",";
+       addf "\"counters\":{";
+       let s = ref "" in
+       List.iter
+         (fun (k, c) ->
+            addf "%s\"%s\":%d" !s k !c;
+            s := ",")
+         (sorted_bindings r.counters);
+       addf "},\"gauges\":{";
+       let s = ref "" in
+       List.iter
+         (fun (k, g) ->
+            addf "%s\"%s\":%g" !s k !g;
+            s := ",")
+         (sorted_bindings r.gauges);
+       addf "},\"histograms\":{";
+       let s = ref "" in
+       List.iter
+         (fun (k, h) ->
+            addf "%s\"%s\":{\"n\":%d,\"mean\":%g,\"p50\":%g,\"p95\":%g,\"p99\":%g,\"max\":%g}"
+              !s k (H.count h) (H.mean h) (pct h 50.) (pct h 95.) (pct h 99.)
+              (if H.count h = 0 then 0. else H.max_value h);
+            s := ",")
+         (sorted_bindings r.histograms);
+       addf "}}")
+    (node_ids t);
+  addf "}";
+  Buffer.contents buf

@@ -1,0 +1,48 @@
+type record = {
+  time : float;
+  node : int;
+  event : Event.t;
+}
+
+type t = {
+  data : record option array;
+  mutable head : int; (* next write position *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity <= 0";
+  { data = Array.make capacity None; head = 0; len = 0; dropped = 0 }
+
+let capacity t = Array.length t.data
+
+let length t = t.len
+
+let dropped t = t.dropped
+
+let push t r =
+  let cap = Array.length t.data in
+  t.data.(t.head) <- Some r;
+  t.head <- (t.head + 1) mod cap;
+  if t.len < cap then t.len <- t.len + 1 else t.dropped <- t.dropped + 1
+
+let clear t =
+  Array.fill t.data 0 (Array.length t.data) None;
+  t.head <- 0;
+  t.len <- 0;
+  t.dropped <- 0
+
+(* Oldest first. *)
+let to_list t =
+  let cap = Array.length t.data in
+  let start = (t.head - t.len + cap) mod cap in
+  List.init t.len (fun i ->
+      match t.data.((start + i) mod cap) with
+      | Some r -> r
+      | None -> assert false)
+
+let iter f t = List.iter f (to_list t)
+
+let sink t =
+  Sink.make ~name:"ring" (fun ~time ~node event -> push t { time; node; event })

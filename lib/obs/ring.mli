@@ -1,0 +1,34 @@
+(** A bounded ring buffer of stamped events — the "flight recorder" sink.
+
+    Constant memory: once full, each push overwrites the oldest record
+    (counted in {!dropped}). *)
+
+type record = {
+  time : float;
+  node : int;
+  event : Event.t;
+}
+
+type t
+
+val create : capacity:int -> t
+
+val capacity : t -> int
+
+(** Records currently held (≤ capacity). *)
+val length : t -> int
+
+(** Records overwritten since creation / {!clear}. *)
+val dropped : t -> int
+
+val push : t -> record -> unit
+
+val clear : t -> unit
+
+(** Oldest first. *)
+val to_list : t -> record list
+
+val iter : (record -> unit) -> t -> unit
+
+(** The sink feeding this buffer. *)
+val sink : t -> Sink.t

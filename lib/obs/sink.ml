@@ -1,0 +1,10 @@
+type t = {
+  name : string;
+  emit : time:float -> node:int -> Event.t -> unit;
+}
+
+let make ~name emit = { name; emit }
+
+let name t = t.name
+
+let emit t ~time ~node ev = t.emit ~time ~node ev

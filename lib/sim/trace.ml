@@ -30,3 +30,12 @@ let contains t sub =
   List.exists has_sub (lines t)
 
 let pp ppf t = List.iter (fun l -> Format.fprintf ppf "%s@." l) (lines t)
+
+(* The legacy trace as an observability sink: [pm2_printf] output now
+   travels the event pipeline as [Thread_printf] and is rendered back
+   into the historical "[node0] ..." line format here. *)
+let sink t =
+  Pm2_obs.Sink.make ~name:"trace" (fun ~time ~node ev ->
+      match ev with
+      | Pm2_obs.Event.Thread_printf { text; _ } -> emit t ~time ~node text
+      | _ -> ())

@@ -31,3 +31,9 @@ val clear : t -> unit
 val contains : t -> string -> bool
 
 val pp : Format.formatter -> t -> unit
+
+(** [sink t] renders [Thread_printf] events into [t] in the legacy
+    ["[node0] ..."] line format (and ignores every other event), so the
+    paper-listing output keeps flowing when [pm2_printf] is routed
+    through the observability pipeline. *)
+val sink : t -> Pm2_obs.Sink.t

@@ -19,6 +19,7 @@ let () =
       ("core.negotiation", Test_negotiation.tests);
       ("core.migration", Test_migration.tests);
       ("core.cluster", Test_cluster.tests);
+      ("obs", Test_obs.tests);
       ("core.extensions", Test_extensions.tests);
       ("sync+hpf", Test_sync_hpf.tests);
       ("loadbal", Test_balancer.tests);

@@ -1,0 +1,285 @@
+(* The observability subsystem: collector semantics, sink behaviour, the
+   migration phase timeline, and the Chrome trace_event exporter. *)
+
+module Obs = Pm2_obs
+module Engine = Pm2_sim.Engine
+open Pm2_core
+
+let empty_program = Pm2.build (fun _ -> ())
+
+let cluster () = Cluster.create (Cluster.default_config ~nodes:2) empty_program
+
+(* A thread holding a data slot in addition to its stack slot. *)
+let two_slot_thread c =
+  let th = Cluster.host_thread c ~node:0 in
+  ignore (Option.get (Iso_heap.isomalloc (Cluster.host_env c 0) th 256));
+  Alcotest.(check int) "two-slot thread" 2
+    (List.length (Iso_heap.slot_list (Cluster.host_env c 0) th));
+  th
+
+let attach_ring c =
+  let ring = Obs.Ring.create ~capacity:65536 in
+  Obs.Collector.attach (Cluster.obs c) (Obs.Ring.sink ring);
+  ring
+
+(* -- collector -- *)
+
+let test_stamps_match_virtual_time () =
+  let engine = Engine.create () in
+  let obs = Obs.Collector.create ~now:(fun () -> Engine.now engine) () in
+  let ring = Obs.Ring.create ~capacity:16 in
+  Obs.Collector.attach obs (Obs.Ring.sink ring);
+  (* Emissions scheduled out of order arrive stamped with the virtual
+     instant the engine delivered them at. *)
+  List.iter
+    (fun at ->
+       Engine.schedule engine ~at (fun () ->
+           Obs.Collector.emit obs ~node:0
+             (Obs.Event.Thread_printf { tid = 1; text = "tick" })))
+    [ 30.; 10.; 20. ];
+  ignore (Engine.run engine);
+  Alcotest.(check (list (float 1e-9)))
+    "stamps = virtual delivery times" [ 10.; 20.; 30. ]
+    (List.map (fun r -> r.Obs.Ring.time) (Obs.Ring.to_list ring));
+  Alcotest.(check int) "emitted counter" 3 (Obs.Collector.emitted obs)
+
+let test_cluster_events_time_ordered () =
+  let program = Pm2_programs.Figures.image () in
+  let c = Cluster.create (Cluster.default_config ~nodes:2) program in
+  let ring = attach_ring c in
+  ignore (Cluster.spawn c ~node:0 ~entry:"pingpong" ~arg:4 ());
+  ignore (Cluster.run c);
+  let ts = List.map (fun r -> r.Obs.Ring.time) (Obs.Ring.to_list ring) in
+  Alcotest.(check bool) "events recorded" true (List.length ts > 10);
+  Alcotest.(check int) "nothing dropped" 0 (Obs.Ring.dropped ring);
+  Alcotest.(check (list (float 1e-9))) "stamps non-decreasing" (List.sort compare ts) ts
+
+let test_disabled_collector_emits_nothing () =
+  let c = cluster () in
+  let th = two_slot_thread c in
+  let ring = attach_ring c in
+  Obs.Collector.set_enabled (Cluster.obs c) false;
+  Cluster.host_migrate c th ~dest:1;
+  Iso_heap.isofree (Cluster.host_env c 1) th
+    (List.hd (Iso_heap.live_blocks (Cluster.host_env c 1) th));
+  Alcotest.(check int) "ring empty" 0 (Obs.Ring.length ring);
+  (* The null collector shared by default arguments is permanently off. *)
+  Alcotest.(check bool) "null disabled" false (Obs.Collector.enabled Obs.Collector.null);
+  Obs.Collector.emit Obs.Collector.null ~node:0
+    (Obs.Event.Slot_reserve { slot = 0; n = 1; cache_hit = false });
+  Alcotest.(check int) "null swallows" 0 (Obs.Collector.emitted Obs.Collector.null)
+
+let test_ring_overwrites_oldest () =
+  let ring = Obs.Ring.create ~capacity:2 in
+  let push i =
+    Obs.Ring.push ring
+      { Obs.Ring.time = float_of_int i; node = 0;
+        event = Obs.Event.Thread_printf { tid = i; text = "" } }
+  in
+  List.iter push [ 1; 2; 3 ];
+  Alcotest.(check int) "bounded" 2 (Obs.Ring.length ring);
+  Alcotest.(check int) "one dropped" 1 (Obs.Ring.dropped ring);
+  Alcotest.(check (list (float 1e-9))) "oldest gone" [ 2.; 3. ]
+    (List.map (fun r -> r.Obs.Ring.time) (Obs.Ring.to_list ring))
+
+(* -- the migration phase timeline -- *)
+
+let migration_phases ring =
+  List.filter_map
+    (fun r ->
+       match r.Obs.Ring.event with
+       | Obs.Event.Migration_phase { tid; phase; bytes; slots; dur } ->
+         Some (r.Obs.Ring.time, tid, phase, bytes, slots, dur)
+       | _ -> None)
+    (Obs.Ring.to_list ring)
+
+let check_phase_sequence ~tid ~wire_bytes ~slots:expect_slots phases =
+  match phases with
+  | [
+    (t1, id1, Obs.Event.Pack, b1, s1, d1);
+    (t2, id2, Obs.Event.Send, b2, s2, d2);
+    (t3, id3, Obs.Event.Remap, b3, s3, d3);
+    (t4, id4, Obs.Event.Restart, b4, s4, d4);
+  ] ->
+    List.iter (fun id -> Alcotest.(check int) "phase tid" tid id) [ id1; id2; id3; id4 ];
+    List.iter
+      (fun b -> Alcotest.(check int) "phase bytes = wire image" wire_bytes b)
+      [ b1; b2; b3; b4 ];
+    List.iter
+      (fun s -> Alcotest.(check int) "phase slots" expect_slots s)
+      [ s1; s2; s3; s4 ];
+    (* The spans tile the migration: each phase starts where the previous
+       one ends, and restart is an instant. *)
+    Alcotest.(check (float 1e-6)) "send starts at pack end" (t1 +. d1) t2;
+    Alcotest.(check (float 1e-6)) "remap starts at send end" (t2 +. d2) t3;
+    Alcotest.(check (float 1e-6)) "restart at remap end" (t3 +. d3) t4;
+    Alcotest.(check (float 1e-9)) "restart instantaneous" 0. d4;
+    Alcotest.(check bool) "pack and remap cost time" true (d1 > 0. && d3 > 0.)
+  | l -> Alcotest.failf "expected pack/send/remap/restart, got %d phases" (List.length l)
+
+let test_host_migration_phase_events () =
+  let c = cluster () in
+  let th = two_slot_thread c in
+  let ring = attach_ring c in
+  Cluster.host_migrate c th ~dest:1;
+  let m = List.hd (Cluster.migrations c) in
+  check_phase_sequence ~tid:th.Thread.id ~wire_bytes:m.Cluster.bytes ~slots:2
+    (migration_phases ring);
+  (* One pack + one unpack event per slot, with plausible wire shares. *)
+  let slot_bytes ctor =
+    List.filter_map
+      (fun r ->
+         match (r.Obs.Ring.event, ctor) with
+         | Obs.Event.Pack_slot { bytes; _ }, `Pack -> Some bytes
+         | Obs.Event.Unpack_slot { bytes; _ }, `Unpack -> Some bytes
+         | _ -> None)
+      (Obs.Ring.to_list ring)
+  in
+  let packed = slot_bytes `Pack and unpacked = slot_bytes `Unpack in
+  Alcotest.(check int) "one pack_slot per slot" 2 (List.length packed);
+  Alcotest.(check int) "one unpack_slot per slot" 2 (List.length unpacked);
+  let sum = List.fold_left ( + ) 0 in
+  Alcotest.(check int) "pack and unpack agree" (sum packed) (sum unpacked);
+  Alcotest.(check bool) "slot payloads within the wire image" true
+    (sum packed > 0 && sum packed < m.Cluster.bytes)
+
+let test_engine_migration_phase_events () =
+  (* The asynchronous path (guest Sys_migrate through the scheduler and the
+     modelled network) produces the same tiled four-phase timeline. *)
+  let program = Pm2_programs.Figures.image () in
+  let c = Cluster.create (Cluster.default_config ~nodes:2) program in
+  let ring = attach_ring c in
+  ignore (Cluster.spawn c ~node:0 ~entry:"pingpong" ~arg:1 ());
+  ignore (Cluster.run c);
+  let phases = migration_phases ring in
+  let n_migr = List.length (Cluster.migrations c) in
+  Alcotest.(check bool) "migrations happened" true (n_migr > 0);
+  Alcotest.(check int) "four phases per migration" (4 * n_migr) (List.length phases);
+  let m = List.hd (Cluster.migrations c) in
+  let first_four = List.filteri (fun i _ -> i < 4) phases in
+  check_phase_sequence
+    ~tid:m.Cluster.tid ~wire_bytes:m.Cluster.bytes ~slots:1 first_four;
+  (* The phase stamps reproduce the migration record's interval. *)
+  (match (first_four, List.nth_opt first_four 3) with
+   | (t_pack, _, _, _, _, _) :: _, Some (t_restart, _, _, _, _, _) ->
+     Alcotest.(check (float 1e-6)) "pack at start" m.Cluster.started t_pack;
+     Alcotest.(check (float 1e-6)) "restart at resume" m.Cluster.resumed t_restart
+   | _ -> Alcotest.fail "missing phases")
+
+(* -- metrics sink -- *)
+
+let test_metrics_sink () =
+  let c = cluster () in
+  let th = two_slot_thread c in
+  let m = Pm2_obs.Metrics.create () in
+  Obs.Collector.attach (Cluster.obs c) (Obs.Metrics.sink m);
+  Cluster.host_migrate c th ~dest:1;
+  let wire = (List.hd (Cluster.migrations c)).Cluster.bytes in
+  Alcotest.(check int) "pack counted on source" 1 (Obs.Metrics.counter m ~node:0 "migration.pack");
+  Alcotest.(check int) "remap counted on destination" 1
+    (Obs.Metrics.counter m ~node:1 "migration.remap");
+  Alcotest.(check int) "restart counted" 1 (Obs.Metrics.total_counter m "migration.restart");
+  (match Obs.Metrics.merged_histogram m "migration.bytes" with
+   | None -> Alcotest.fail "no migration.bytes histogram"
+   | Some h ->
+     Alcotest.(check int) "one sample" 1 (Pm2_util.Stats.Histogram.count h);
+     Alcotest.(check (float 1e-9)) "wire bytes observed" (float_of_int wire)
+       (Pm2_util.Stats.Histogram.max_value h));
+  (match Obs.Metrics.histogram m ~node:0 "migration.pack_us" with
+   | None -> Alcotest.fail "no pack_us histogram"
+   | Some h ->
+     (match Pm2_util.Stats.Histogram.percentile h 50. with
+      | Some p50 -> Alcotest.(check bool) "p50 positive" true (p50 > 0.)
+      | None -> Alcotest.fail "empty pack_us histogram"));
+  (* The report renders every node that recorded something. *)
+  Alcotest.(check bool) "report non-empty" true
+    (String.length (Obs.Metrics.report m) > 0);
+  Alcotest.(check (list int)) "both nodes recorded" [ 0; 1 ] (Obs.Metrics.node_ids m)
+
+(* -- Chrome exporter -- *)
+
+let find_events ~name events =
+  List.filter
+    (fun e ->
+       match Obs.Json.member "name" e with
+       | Some v -> Obs.Json.to_string_val v = Some name
+       | None -> false)
+    events
+
+let test_chrome_roundtrip () =
+  let c = cluster () in
+  let th = two_slot_thread c in
+  let chrome = Obs.Chrome.create () in
+  Obs.Collector.attach (Cluster.obs c) (Obs.Chrome.sink chrome);
+  Cluster.host_migrate c th ~dest:1;
+  let json = Obs.Json.parse_exn (Obs.Chrome.to_string chrome) in
+  let events =
+    Option.get (Obs.Json.to_list (Option.get (Obs.Json.member "traceEvents" json)))
+  in
+  Alcotest.(check bool) "trace has events" true (List.length events > 4);
+  (* Every migration phase is a complete ("X") span carrying the wire size. *)
+  let wire = float_of_int (List.hd (Cluster.migrations c)).Cluster.bytes in
+  List.iter
+    (fun phase ->
+       match find_events ~name:("migrate:" ^ phase) events with
+       | [ e ] ->
+         Alcotest.(check (option string)) (phase ^ " is a span") (Some "X")
+           (Option.bind (Obs.Json.member "ph" e) Obs.Json.to_string_val);
+         let arg key =
+           Option.bind (Obs.Json.member "args" e) (fun a ->
+               Option.bind (Obs.Json.member key a) Obs.Json.to_float)
+         in
+         Alcotest.(check (option (float 1e-9))) (phase ^ " bytes") (Some wire) (arg "bytes");
+         Alcotest.(check (option (float 1e-9))) (phase ^ " slots") (Some 2.) (arg "slots")
+       | l -> Alcotest.failf "expected one %s span, found %d" phase (List.length l))
+    [ "pack"; "send"; "remap"; "restart" ];
+  (* Process-name metadata labels both nodes. *)
+  Alcotest.(check int) "process_name records" 2
+    (List.length (find_events ~name:"process_name" events))
+
+let test_chrome_escaping () =
+  let chrome = Obs.Chrome.create () in
+  let text = "quote \" backslash \\ newline \n tab \t bell \007 done" in
+  Obs.Sink.emit (Obs.Chrome.sink chrome) ~time:1. ~node:0
+    (Obs.Event.Thread_printf { tid = 3; text });
+  let json = Obs.Json.parse_exn (Obs.Chrome.to_string chrome) in
+  let events =
+    Option.get (Obs.Json.to_list (Option.get (Obs.Json.member "traceEvents" json)))
+  in
+  match find_events ~name:"pm2_printf" events with
+  | [ e ] ->
+    let got =
+      Option.bind (Obs.Json.member "args" e) (fun a ->
+          Option.bind (Obs.Json.member "text" a) Obs.Json.to_string_val)
+    in
+    Alcotest.(check (option string)) "text round-trips" (Some text) got
+  | l -> Alcotest.failf "expected one printf event, found %d" (List.length l)
+
+(* -- the legacy trace as a sink -- *)
+
+let test_trace_sink_renders_printf () =
+  let trace = Pm2_sim.Trace.create () in
+  let sink = Pm2_sim.Trace.sink trace in
+  Obs.Sink.emit sink ~time:3. ~node:0
+    (Obs.Event.Thread_printf { tid = 32; text = "Hello from thread eeff0020" });
+  (* Non-printf events do not leak into the guest-visible listing. *)
+  Obs.Sink.emit sink ~time:4. ~node:1
+    (Obs.Event.Slot_reserve { slot = 7; n = 1; cache_hit = false });
+  Alcotest.(check (list string)) "paper-style listing"
+    [ "[node0] Hello from thread eeff0020" ]
+    (Pm2_sim.Trace.lines trace)
+
+let tests =
+  [
+    Alcotest.test_case "stamps match virtual time" `Quick test_stamps_match_virtual_time;
+    Alcotest.test_case "cluster events time-ordered" `Quick test_cluster_events_time_ordered;
+    Alcotest.test_case "disabled collector is silent" `Quick
+      test_disabled_collector_emits_nothing;
+    Alcotest.test_case "ring overwrites oldest" `Quick test_ring_overwrites_oldest;
+    Alcotest.test_case "host migration phases" `Quick test_host_migration_phase_events;
+    Alcotest.test_case "engine migration phases" `Quick test_engine_migration_phase_events;
+    Alcotest.test_case "metrics sink" `Quick test_metrics_sink;
+    Alcotest.test_case "chrome trace round-trip" `Quick test_chrome_roundtrip;
+    Alcotest.test_case "chrome escaping" `Quick test_chrome_escaping;
+    Alcotest.test_case "trace sink renders printf" `Quick test_trace_sink_renders_printf;
+  ]

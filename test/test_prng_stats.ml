@@ -122,6 +122,79 @@ let prop_acc_welford =
        abs_float (Stats.Acc.mean acc -. Stats.mean xs) < 1e-6
        && abs_float (Stats.Acc.stddev acc -. Stats.stddev xs) < 1e-6)
 
+(* -- Stats.Histogram -- *)
+
+module H = Stats.Histogram
+
+let test_hist_bucket_boundaries () =
+  (* Buckets are (prev, bound]: a value equal to a bound lands in that
+     bound's bucket, the next representable value above it in the next. *)
+  let h = H.create ~bounds:[| 1.; 2.; 5. |] () in
+  List.iter (H.add h) [ 0.5; 1.0; 1.5; 2.0; 4.9; 5.0; 5.1; 100. ];
+  Alcotest.(check int) "buckets incl. overflow" 4 (H.num_buckets h);
+  Alcotest.(check (list int)) "per-bucket counts" [ 2; 2; 2; 2 ]
+    (List.init 4 (H.bucket_count h));
+  feq "bucket uppers" 1. (H.bucket_upper h 0);
+  feq "middle upper" 2. (H.bucket_upper h 1);
+  feq "overflow reports observed max" 100. (H.bucket_upper h 3);
+  Alcotest.(check int) "count" 8 (H.count h);
+  feq "min" 0.5 (H.min_value h);
+  feq "max" 100. (H.max_value h)
+
+let test_hist_empty () =
+  let h = H.create () in
+  Alcotest.(check int) "count" 0 (H.count h);
+  feq "sum" 0. (H.sum h);
+  feq "mean" 0. (H.mean h);
+  feq "min" infinity (H.min_value h);
+  feq "max" neg_infinity (H.max_value h);
+  Alcotest.(check (option (float 1e-9))) "p50 of nothing" None (H.percentile h 50.);
+  Alcotest.(check (option (float 1e-9))) "p100 of nothing" None (H.percentile h 100.);
+  Alcotest.check_raises "no bounds" (Invalid_argument "Histogram.create: no bounds")
+    (fun () -> ignore (H.create ~bounds:[||] ()));
+  Alcotest.check_raises "unsorted bounds"
+    (Invalid_argument "Histogram.create: bounds not strictly increasing") (fun () ->
+        ignore (H.create ~bounds:[| 1.; 1. |] ()))
+
+let test_hist_percentile () =
+  let h = H.create () in
+  for i = 1 to 100 do
+    H.add h (float_of_int i)
+  done;
+  (* Quantiles are bucket uppers clamped to the observed extrema, so they
+     are monotone in p and exact at the ends. *)
+  feq "p0 = min" 1. (Option.get (H.percentile h 0.));
+  feq "p100 = max" 100. (Option.get (H.percentile h 100.));
+  let prev = ref 0. in
+  List.iter
+    (fun p ->
+       let v = Option.get (H.percentile h p) in
+       Alcotest.(check bool) "monotone" true (v >= !prev);
+       Alcotest.(check bool) "clamped to range" true (v >= 1. && v <= 100.);
+       prev := v)
+    [ 10.; 25.; 50.; 75.; 90.; 95.; 99. ];
+  feq "p50 bucket upper" 50. (Option.get (H.percentile h 50.))
+
+let test_hist_merge () =
+  let bounds = [| 10.; 100. |] in
+  let a = H.create ~bounds () and b = H.create ~bounds () in
+  List.iter (H.add a) [ 1.; 50. ];
+  List.iter (H.add b) [ 5.; 500. ];
+  let m = H.merge a b in
+  Alcotest.(check int) "merged count" 4 (H.count m);
+  feq "merged sum" 556. (H.sum m);
+  feq "merged min" 1. (H.min_value m);
+  feq "merged max" 500. (H.max_value m);
+  Alcotest.(check (list int)) "merged buckets" [ 2; 1; 1 ]
+    (List.init 3 (H.bucket_count m));
+  (* Merging must not alias its inputs. *)
+  H.add m 7.;
+  Alcotest.(check int) "inputs untouched" 2 (H.count a);
+  let other = H.create ~bounds:[| 1.; 2. |] () in
+  Alcotest.check_raises "incompatible bounds"
+    (Invalid_argument "Histogram.merge: bounds differ") (fun () ->
+        ignore (H.merge a other))
+
 (* -- Units / Table -- *)
 
 let test_units () =
@@ -158,6 +231,10 @@ let tests =
     Alcotest.test_case "stats summarize" `Quick test_summarize;
     Alcotest.test_case "stats online acc" `Quick test_acc_matches_batch;
     QCheck_alcotest.to_alcotest prop_acc_welford;
+    Alcotest.test_case "histogram bucket boundaries" `Quick test_hist_bucket_boundaries;
+    Alcotest.test_case "histogram empty" `Quick test_hist_empty;
+    Alcotest.test_case "histogram percentile" `Quick test_hist_percentile;
+    Alcotest.test_case "histogram merge" `Quick test_hist_merge;
     Alcotest.test_case "units rendering" `Quick test_units;
     Alcotest.test_case "table rendering" `Quick test_table_render;
   ]

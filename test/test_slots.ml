@@ -155,7 +155,7 @@ let manager ?(cache = 4) ?(owned = [ 0; 1; 2; 5; 6; 7 ]) () =
   let mgr =
     Slot_manager.create ~node:0 ~geometry:g ~space:sp ~cost:Cm.default
       ~charge:(fun c -> charged := !charged +. c)
-      ~bitmap ~cache_capacity:cache
+      ~bitmap ~cache_capacity:cache ()
   in
   (mgr, sp, g, charged)
 
