@@ -28,6 +28,7 @@ let experiments =
     ("a-prebuy", "ablation: pre-buying slots in negotiations", Ablations.prebuy);
     ("a-restructure", "ablation: global slot restructuring", Ablations.restructure);
     ("hpf", "motivating application: VP load balancing", Hpf_bench.run);
+    ("fault-sweep", "robustness: seeded fault sweep over pingpong", Fault_sweep.run);
     ("bechamel", "host wall-clock microbenchmarks", Bechamel_suite.run_suite);
   ]
 

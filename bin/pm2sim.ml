@@ -80,6 +80,55 @@ let metrics_arg =
         ~doc:"Print the per-node metrics report (event counters and \
               p50/p95/p99 histograms) after the run.")
 
+let faults_conv =
+  let parse s =
+    match Pm2_fault.Plan.spec_of_string s with
+    | Ok spec -> Ok spec
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf spec ->
+      Format.pp_print_string ppf (Pm2_fault.Plan.spec_to_string spec))
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some faults_conv) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:"Enable fault injection and the failure-hardened protocols. \
+              SPEC is a comma list of $(b,loss=P), $(b,dup=P), \
+              $(b,corrupt=P), $(b,reorder=P), $(b,delay=US), \
+              $(b,part=A-B\\@T0-T1) and $(b,kill=N\\@T[-T1]); the empty \
+              string enables the hardened protocols without injecting \
+              anything.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"Seed for the fault plan's random stream (with $(b,--faults)); \
+              same seed and spec reproduce the same failures and the same \
+              trace.")
+
+let plan_of ~faults ~seed =
+  match faults with
+  | None -> Pm2_fault.Plan.none
+  | Some spec -> Pm2_fault.Plan.create ~seed spec
+
+(* Printed only when a plan is live, so fault-free output is unchanged. *)
+let report_faults cluster =
+  let plan = Cluster.faults cluster in
+  if Pm2_fault.Plan.enabled plan then begin
+    let rel = Cluster.reliable cluster in
+    Printf.printf "; faults: %s\n" (Pm2_fault.Plan.summary plan);
+    Printf.printf
+      "; recovery: %d retransmissions, %d duplicates suppressed, %d give-ups, \
+       %d migrations aborted\n"
+      (Pm2_net.Reliable.retransmits rel)
+      (Pm2_net.Reliable.duplicates_suppressed rel)
+      (Pm2_net.Reliable.give_ups rel)
+      (Cluster.aborted_migrations cluster)
+  end
+
 (* Attach the requested sinks to the cluster's collector; returns a
    finaliser that writes / prints them once the run is over. *)
 let setup_obs cluster ~trace_json ~metrics =
@@ -110,12 +159,13 @@ let setup_obs cluster ~trace_json ~metrics =
       chrome;
     Option.iter (fun m -> print_string (Pm2_obs.Metrics.report m)) registry
 
-let config ~nodes ~scheme ~distribution ~slot_size =
+let config ~nodes ~scheme ~distribution ~slot_size ~faults =
   {
     (Cluster.default_config ~nodes:(max nodes 2)) with
     Cluster.scheme;
     distribution;
     slot_size;
+    faults;
   }
 
 (* -- run -- *)
@@ -130,13 +180,15 @@ let run_cmd =
   let arg_arg =
     Arg.(value & opt int 0 & info [ "arg" ] ~docv:"N" ~doc:"Integer argument (register r1).")
   in
-  let run entry arg nodes scheme distribution slot_size timed trace_json metrics =
+  let run entry arg nodes scheme distribution slot_size timed trace_json metrics faults
+      seed =
     if not (List.mem entry (entries ())) then begin
       Printf.eprintf "unknown entry %S; try: %s\n" entry (String.concat " " (entries ()));
       exit 2
     end;
+    let faults = plan_of ~faults ~seed in
     let cluster =
-      Cluster.create (config ~nodes ~scheme ~distribution ~slot_size) program
+      Cluster.create (config ~nodes ~scheme ~distribution ~slot_size ~faults) program
     in
     let finish_obs = setup_obs cluster ~trace_json ~metrics in
     ignore (Cluster.spawn cluster ~node:0 ~entry ~arg ());
@@ -151,6 +203,7 @@ let run_cmd =
     (match Pm2.mean_migration_latency cluster with
      | Some us -> Printf.printf "; mean one-way migration latency: %.1f us\n" us
      | None -> ());
+    report_faults cluster;
     finish_obs ();
     Cluster.check_invariants cluster
   in
@@ -158,7 +211,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one of the paper's example programs on a simulated cluster.")
     Term.(
       const run $ entry_arg $ arg_arg $ nodes_arg $ scheme_arg $ distribution_arg
-      $ slot_size_arg $ timed_arg $ trace_json_arg $ metrics_arg)
+      $ slot_size_arg $ timed_arg $ trace_json_arg $ metrics_arg $ faults_arg $ seed_arg)
 
 (* -- balance -- *)
 
@@ -190,8 +243,15 @@ let balance_cmd =
           ~doc:"Balancing policy: $(b,least-loaded), $(b,spread) or \
                 $(b,threshold:HIGH:LOW). Omit for no balancing.")
   in
-  let run workers nodes policy trace_json metrics =
-    let cluster = Cluster.create (Cluster.default_config ~nodes:(max nodes 2)) program in
+  let run workers nodes policy trace_json metrics faults seed =
+    let cluster =
+      Cluster.create
+        {
+          (Cluster.default_config ~nodes:(max nodes 2)) with
+          Cluster.faults = plan_of ~faults ~seed;
+        }
+        program
+    in
     let finish_obs = setup_obs cluster ~trace_json ~metrics in
     ignore (Cluster.spawn cluster ~node:0 ~entry:"spawner" ~arg:workers ());
     let balancer =
@@ -203,17 +263,25 @@ let balance_cmd =
     (match balancer with
      | Some b ->
        let s = Pm2_loadbal.Balancer.stats b in
-       Printf.printf "balancer: %d rounds acted, %d migrations requested, %d completed\n"
-         s.Pm2_loadbal.Balancer.decisions s.Pm2_loadbal.Balancer.migrations_requested
+       let retried =
+         if Pm2_fault.Plan.enabled (Cluster.faults cluster) then
+           Printf.sprintf "%d retried, " s.Pm2_loadbal.Balancer.retries
+         else ""
+       in
+       Printf.printf "balancer: %d rounds acted, %d migrations requested, %s%d completed\n"
+         s.Pm2_loadbal.Balancer.decisions s.Pm2_loadbal.Balancer.migrations_requested retried
          (List.length (Cluster.migrations cluster))
      | None -> print_endline "balancer: none (baseline)");
+    report_faults cluster;
     finish_obs ();
     Cluster.check_invariants cluster
   in
   Cmd.v
     (Cmd.info "balance"
        ~doc:"Run the irregular-workers demo, optionally with a load balancer.")
-    Term.(const run $ workers_arg $ nodes_arg $ policy_arg $ trace_json_arg $ metrics_arg)
+    Term.(
+      const run $ workers_arg $ nodes_arg $ policy_arg $ trace_json_arg $ metrics_arg
+      $ faults_arg $ seed_arg)
 
 (* -- hpf -- *)
 

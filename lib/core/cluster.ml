@@ -3,6 +3,8 @@ module Cm = Pm2_sim.Cost_model
 module Engine = Pm2_sim.Engine
 module Trace = Pm2_sim.Trace
 module Network = Pm2_net.Network
+module Reliable = Pm2_net.Reliable
+module Fault = Pm2_fault
 module Interp = Pm2_mvm.Interp
 module Isa = Pm2_mvm.Isa
 module Program = Pm2_mvm.Program
@@ -28,6 +30,7 @@ type config = {
   prebuy : int;
   cost : Cm.t;
   seed : int;
+  faults : Fault.Plan.t;
 }
 
 let default_config ~nodes =
@@ -43,6 +46,7 @@ let default_config ~nodes =
     prebuy = 0;
     cost = Cm.default;
     seed = 42;
+    faults = Fault.Plan.none;
   }
 
 type migration_record = {
@@ -71,6 +75,7 @@ type t = {
   geometry : Slot.t;
   engine : Engine.t;
   net : Network.t;
+  rel : Reliable.t;
   trace : Trace.t;
   obs : Obs.Collector.t;
   program : Program.t;
@@ -89,6 +94,9 @@ type t = {
   mutable pending_block : float option;
       (* set by a blocking negotiation inside a syscall; consumed by the
          dispatcher, which parks the thread until that absolute time *)
+  mutable aborted_migrations : int;
+  mutable on_migration_abort : (Thread.t -> failed:int -> unit) option;
+      (* load balancer hook: retry an aborted migration elsewhere *)
 }
 
 let create (config : config) program =
@@ -101,7 +109,7 @@ let create (config : config) program =
      of its sinks, so pm2_printf output flows through the event pipeline. *)
   let obs = Obs.Collector.create ~now:(fun () -> Engine.now engine) () in
   Obs.Collector.attach obs (Trace.sink trace);
-  let net = Network.create ~obs engine config.cost ~nodes:config.nodes in
+  let net = Network.create ~obs ~faults:config.faults engine config.cost ~nodes:config.nodes in
   let bitmaps =
     Distribution.populate config.distribution ~geometry ~nodes:config.nodes
   in
@@ -111,17 +119,35 @@ let create (config : config) program =
           ~cache_capacity:config.cache_capacity ~seed:config.seed ())
   in
   Array.iter (fun n -> Program.load_data program n.Node.space) nodes;
+  (* Under a live plan, mark every scheduled interface death/rebirth in
+     the event stream so traces and metrics show the failure timeline. *)
+  if Fault.Plan.enabled config.faults then
+    List.iter
+      (fun (k : Fault.Plan.kill) ->
+        if k.victim >= 0 && k.victim < config.nodes then begin
+          Engine.schedule engine ~at:k.at (fun () ->
+              Obs.Collector.emit obs ~node:k.victim
+                (Obs.Event.Node_kill { node = k.victim }));
+          Option.iter
+            (fun r ->
+              Engine.schedule engine ~at:r (fun () ->
+                  Obs.Collector.emit obs ~node:k.victim
+                    (Obs.Event.Node_restart { node = k.victim })))
+            k.restart
+        end)
+      (Fault.Plan.spec config.faults).kills;
   {
     config;
     geometry;
     engine;
     net;
+    rel = Reliable.create ~obs net;
     trace;
     obs;
     program;
     nodes;
     neg =
-      Negotiation.create ~obs ~geometry
+      Negotiation.create ~obs ~faults:config.faults ~geometry
         ~mgrs:(Array.map (fun n -> n.Node.mgr) nodes)
         ~net ();
     threads = Hashtbl.create 64;
@@ -135,6 +161,8 @@ let create (config : config) program =
     isomalloc_count = 0;
     malloc_count = 0;
     pending_block = None;
+    aborted_migrations = 0;
+    on_migration_abort = None;
   }
 
 let config t = t.config
@@ -167,6 +195,14 @@ let migrations t = Vec.to_list t.migrations
 let isomalloc_calls t = t.isomalloc_count
 let malloc_calls t = t.malloc_count
 
+let faults t = t.config.faults
+let reliable t = t.rel
+let aborted_migrations t = t.aborted_migrations
+let set_migration_abort_handler t f = t.on_migration_abort <- Some f
+
+let node_alive t i =
+  Fault.Plan.node_alive t.config.faults ~node:i ~now:(Engine.now t.engine)
+
 (* -- environments for the block layer -- *)
 
 let host_env t node_id =
@@ -198,12 +234,21 @@ let syscall_env t node_id =
     negotiate =
       (fun ~n ->
          let r = Negotiation.execute ~prebuy:t.config.prebuy t.neg ~requester:node_id ~n in
-         let finish =
-           Negotiation.acquire_slot_lock t.neg ~now:(Engine.now t.engine)
-             ~duration:r.Negotiation.duration
-         in
-         t.pending_block <- Some finish;
-         r.Negotiation.start);
+         if r.Negotiation.aborted then begin
+           (* The requester died holding the critical section; its lock
+              lease was already pushed out by [execute]. The guest (if it
+              ever resumes) just blocks out the lease window. *)
+           t.pending_block <- Some (Engine.now t.engine +. r.Negotiation.duration);
+           r.Negotiation.start
+         end
+         else begin
+           let finish =
+             Negotiation.acquire_slot_lock t.neg ~now:(Engine.now t.engine)
+               ~duration:r.Negotiation.duration
+           in
+           t.pending_block <- Some finish;
+           r.Negotiation.start
+         end);
     obs = t.obs;
   }
 
@@ -588,6 +633,15 @@ and guest_fault_ret t node th fault =
   `Dead
 
 and start_migration t node (th : Thread.t) ~dest =
+  (* Under a live fault plan the iso scheme runs the two-phase protocol:
+     the destination must accept the thread's slot ranges before the
+     source unmaps anything, and every control/data message is carried by
+     the retransmitting layer. *)
+  if Fault.Plan.enabled t.config.faults && t.config.scheme = Iso then
+    start_migration_hardened t node th ~dest
+  else start_migration_direct t node th ~dest
+
+and start_migration_direct t node (th : Thread.t) ~dest =
   th.Thread.state <- Thread.Migrating;
   let started = Engine.now t.engine in
   let src = node.Node.id in
@@ -607,7 +661,7 @@ and start_migration t node (th : Thread.t) ~dest =
            ~mgr:node.Node.mgr th
        with
        | p -> Ok (p.Relocation.buffer, p.Relocation.pack_cost, 1)
-       | exception Failure msg -> Error msg)
+       | exception Relocation.Error { reason; _ } -> Error reason)
   with
   | Error msg ->
     (* The legacy scheme cannot pack this thread (e.g. it holds dynamic
@@ -680,6 +734,126 @@ and deliver t (th : Thread.t) ~src ~dest ~started ~slots buffer =
         };
       enqueue t th)
 
+(* ----- the failure-hardened (two-phase) migration path ----- *)
+
+and start_migration_hardened t node (th : Thread.t) ~dest =
+  th.Thread.state <- Thread.Migrating;
+  let src = node.Node.id in
+  let started = Engine.now t.engine in
+  let tid = th.Thread.id in
+  let ranges = Migration.slot_ranges node.Node.space th in
+  Reliable.send t.rel ~src ~dst:dest
+    (Migration.probe_message ~tid ~ranges)
+    ~on_delivered:(fun probe ->
+      (* Destination side: validate that every slot range is mappable
+         before the source gives anything up. *)
+      match Migration.parse_probe probe with
+      | None -> abort_migration t th ~src ~dest ~reason:"malformed probe"
+      | Some (_, ranges) ->
+        let dspace = t.nodes.(dest).Node.space in
+        let ok =
+          List.for_all (fun (addr, size) -> As.range_unmapped dspace ~addr ~size) ranges
+        in
+        let reason = if ok then "" else "destination cannot map the thread's slots" in
+        Reliable.send t.rel ~src:dest ~dst:src
+          (Migration.verdict_message ~tid ~ok ~reason)
+          ~on_delivered:(fun verdict ->
+            (* Source side: act on the verdict. *)
+            match Migration.parse_verdict verdict with
+            | Some (_, true, _) -> hardened_transfer t th ~src ~dest ~started ~ranges
+            | Some (_, false, reason) ->
+              abort_migration t th ~src ~dest ~reason:("rejected: " ^ reason)
+            | None -> abort_migration t th ~src ~dest ~reason:"malformed verdict")
+          ~on_failed:(fun ~reason ->
+            abort_migration t th ~src ~dest ~reason:("verdict undeliverable: " ^ reason)))
+    ~on_failed:(fun ~reason ->
+      abort_migration t th ~src ~dest ~reason:("probe undeliverable: " ^ reason))
+
+and hardened_transfer t (th : Thread.t) ~src ~dest ~started ~ranges =
+  let node = t.nodes.(src) in
+  let tid = th.Thread.id in
+  let before = node.Node.charged in
+  let p =
+    Migration.pack ~obs:t.obs ~node:src ~geometry:t.geometry ~cost:t.config.cost
+      ~space:node.Node.space ~packing:t.config.packing th
+  in
+  let extra = node.Node.charged -. before in
+  node.Node.charged <- before;
+  let pack_total = p.Migration.pack_cost +. extra in
+  Node.charge node pack_total;
+  let buffer = p.Migration.buffer in
+  let bytes = Bytes.length buffer in
+  let slots = p.Migration.slots in
+  if Obs.Collector.enabled t.obs then
+    Obs.Collector.emit t.obs ~node:src
+      (Obs.Event.Migration_phase
+         { tid; phase = Obs.Event.Pack; bytes; slots; dur = pack_total });
+  Engine.schedule_after t.engine ~delay:pack_total (fun () ->
+      if Obs.Collector.enabled t.obs then
+        Obs.Collector.emit t.obs ~node:src
+          (Obs.Event.Migration_phase
+             {
+               tid;
+               phase = Obs.Event.Send;
+               bytes;
+               slots;
+               dur = Network.transfer_time t.net ~bytes;
+             });
+      Reliable.send t.rel ~src ~dst:dest
+        (Migration.transfer_message ~tid ~ranges ~buffer)
+        ~on_delivered:(fun msg ->
+          match Migration.parse_transfer msg with
+          | Error reason ->
+            (* Checksum mismatch below the reliable layer's own check can
+               only mean a deliberate corruption test, but the nack path
+               is the same either way: the source still owns the image. *)
+            rollback_migration t th ~src ~dest ~buffer ~slots ~reason
+          | Ok (_, ranges, buffer) -> (
+            match deliver t th ~src ~dest ~started ~slots buffer with
+            | () -> ()
+            | exception (Invalid_argument _ | Failure _ | As.Segfault _) ->
+              (* The destination could not apply the image (a collision
+                 appeared after the probe, or the image is inconsistent):
+                 scrub the partial mapping and hand the thread back. *)
+              let dspace = t.nodes.(dest).Node.space in
+              List.iter
+                (fun (addr, size) -> ignore (As.scrub_range dspace ~addr ~size))
+                ranges;
+              rollback_migration t th ~src ~dest ~buffer ~slots
+                ~reason:"destination failed to unpack the image"))
+        ~on_failed:(fun ~reason -> rollback_migration t th ~src ~dest ~buffer ~slots ~reason))
+
+and rollback_migration t (th : Thread.t) ~src ~dest ~buffer ~slots ~reason =
+  (* The thread's memory exists only in [buffer]; remap it into the
+     source's own space — iso-addressing guarantees the addresses are
+     still free there — and resume locally. *)
+  let node = t.nodes.(src) in
+  let before = node.Node.charged in
+  let cost =
+    Migration.unpack ~obs:t.obs ~node:src ~geometry:t.geometry ~cost:t.config.cost
+      ~space:node.Node.space th buffer
+  in
+  let extra = node.Node.charged -. before in
+  node.Node.charged <- before;
+  Node.charge node (cost +. extra);
+  if Obs.Collector.enabled t.obs then
+    Obs.Collector.emit t.obs ~node:src
+      (Obs.Event.Migration_rollback { tid = th.Thread.id; node = src; slots });
+  abort_migration t th ~src ~dest ~reason
+
+and abort_migration t (th : Thread.t) ~src ~dest ~reason =
+  t.aborted_migrations <- t.aborted_migrations + 1;
+  Trace.emit t.trace ~time:(Engine.now t.engine) ~node:src
+    (Printf.sprintf "migration of thread %x to node %d aborted: %s"
+       (handle_of_tid th.Thread.id) dest reason);
+  if Obs.Collector.enabled t.obs then
+    Obs.Collector.emit t.obs ~node:src
+      (Obs.Event.Migration_abort { tid = th.Thread.id; src; dst = dest; reason });
+  enqueue t th;
+  match t.on_migration_abort with
+  | Some retry -> retry th ~failed:dest
+  | None -> ()
+
 and spawn_pc t ~node:node_id ~pc ~arg =
   let node = t.nodes.(node_id) in
   let tid = t.next_tid in
@@ -710,16 +884,25 @@ and rpc t ~src ~dest ~pc ~arg =
   th.Thread.state <- Thread.Blocked;
   Hashtbl.replace t.threads tid th;
   let request = Bytes.create 96 (* entry + argument + protocol header *) in
-  Network.send t.net ~src ~dst:dest request (fun _ ->
-      let dnode = t.nodes.(dest) in
-      Node.charge dnode t.config.cost.Cm.thread_create;
-      match Iso_heap.acquire_stack_slot (host_env t dest) th with
-      | Some stack_top ->
-        let ctx = Interp.make_context ~entry:pc ~stack_top in
-        ctx.Interp.regs.(1) <- arg;
-        th.Thread.ctx <- ctx;
-        enqueue t th
-      | None -> exit_thread t dnode th (Thread.Faulted (Interp.Segv 0)));
+  let on_arrival _ =
+    let dnode = t.nodes.(dest) in
+    Node.charge dnode t.config.cost.Cm.thread_create;
+    match Iso_heap.acquire_stack_slot (host_env t dest) th with
+    | Some stack_top ->
+      let ctx = Interp.make_context ~entry:pc ~stack_top in
+      ctx.Interp.regs.(1) <- arg;
+      th.Thread.ctx <- ctx;
+      enqueue t th
+    | None -> exit_thread t t.nodes.(dest) th (Thread.Faulted (Interp.Segv 0))
+  in
+  if Fault.Plan.enabled t.config.faults then
+    (* A lost request would strand the remote thread forever in Blocked;
+       the reliable layer retransmits, and on give-up the thread faults so
+       any joiner wakes. *)
+    Reliable.send t.rel ~src ~dst:dest request ~on_delivered:on_arrival
+      ~on_failed:(fun ~reason:_ ->
+        exit_thread t t.nodes.(dest) th (Thread.Faulted (Interp.Segv 0)))
+  else Network.send t.net ~src ~dst:dest request on_arrival;
   th
 
 let spawn t ~node ~entry ?(arg = 0) () =

@@ -25,11 +25,13 @@ type config = {
   prebuy : int; (* extra slots bought per negotiation (paper 4.4 remark) *)
   cost : Pm2_sim.Cost_model.t;
   seed : int;
+  faults : Pm2_fault.Plan.t; (* fault plan; [Plan.none] = pristine network *)
 }
 
 val default_config : nodes:int -> config
 (** 64 KB slots, round-robin distribution (the paper's experimental setup),
-    iso scheme with blocks-only packing, slot cache of 16, quantum 200. *)
+    iso scheme with blocks-only packing, slot cache of 16, quantum 200, no
+    faults. *)
 
 type migration_record = {
   tid : int;
@@ -142,6 +144,34 @@ val migrations : t -> migration_record list
 
 val isomalloc_calls : t -> int
 val malloc_calls : t -> int
+
+(** {1 Faults and failure handling}
+
+    Active only when the configured {!Pm2_fault.Plan.t} is live. Under a
+    live plan the iso scheme migrates through a two-phase protocol
+    (probe/verdict before the source unmaps, checksummed transfer after)
+    carried by {!Pm2_net.Reliable}; any rejection or undeliverable phase
+    rolls the thread back onto its source node and resumes it locally. *)
+
+val faults : t -> Pm2_fault.Plan.t
+
+(** The retransmitting delivery layer carrying migration, negotiation and
+    LRPC traffic under a live plan. *)
+val reliable : t -> Pm2_net.Reliable.t
+
+val aborted_migrations : t -> int
+(** Migrations aborted (destination rejection, unreachable peer, checksum
+    failure) and rolled back; the thread resumed on its source node. *)
+
+(** [node_alive t i] — false while node [i]'s network interface is down
+    under the fault plan (local compute continues; packets to or from the
+    node are dropped). *)
+val node_alive : t -> int -> bool
+
+(** [set_migration_abort_handler t f] installs a hook called after every
+    aborted migration with the thread and the failed destination — the
+    load balancer uses it to retry on the next-best node. *)
+val set_migration_abort_handler : t -> (Thread.t -> failed:int -> unit) -> unit
 
 (** Cross-node invariant sweep: bitmap disjointness, per-node slot-manager
     coherence, and full [Iso_heap] checks on every live thread.

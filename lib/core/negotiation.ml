@@ -2,6 +2,12 @@ module Bitset = Pm2_util.Bitset
 module Cm = Pm2_sim.Cost_model
 module Network = Pm2_net.Network
 module Obs = Pm2_obs
+module Fault = Pm2_fault
+
+(* Grace period after which a dead requester's hold on the critical
+   section expires: a few multiples of the 2-node protocol time (255 µs
+   on BIP/Myrinet), so a live system never trips it. *)
+let default_lease = 1_000.
 
 type t = {
   geometry : Slot.t;
@@ -11,15 +17,20 @@ type t = {
   mutable count : int;
   durations : Pm2_util.Stats.Acc.t;
   obs : Obs.Collector.t;
+  faults : Fault.Plan.t;
+  lease : float;
+  mutable aborted : int;
 }
 
 type result = {
   start : int option;
   duration : float;
   bought : int;
+  aborted : bool;
 }
 
-let create ?(obs = Obs.Collector.null) ~geometry ~mgrs ~net () =
+let create ?(obs = Obs.Collector.null) ?(faults = Fault.Plan.none)
+    ?(lease = default_lease) ~geometry ~mgrs ~net () =
   {
     geometry;
     mgrs;
@@ -28,6 +39,9 @@ let create ?(obs = Obs.Collector.null) ~geometry ~mgrs ~net () =
     count = 0;
     durations = Pm2_util.Stats.Acc.create ();
     obs;
+    faults;
+    lease;
+    aborted = 0;
   }
 
 let emit t ~node ev = Obs.Collector.emit t.obs ~node ev
@@ -96,43 +110,76 @@ let global_or t =
   done;
   global
 
+(* When the fault plan is live, a requester whose interface dies inside
+   the critical-section window cannot complete the protocol: no transfer
+   is applied (so the bitmap-disjointness invariant is untouched) and the
+   lock it held expires [lease] after the death instant, at which point
+   queued negotiations proceed. *)
+let aborted_by_kill t ~requester ~duration =
+  if not (Fault.Plan.enabled t.faults) then None
+  else begin
+    let now = Pm2_sim.Engine.now (Network.engine t.net) in
+    let cs_start = Float.max now t.lock_free_at in
+    match
+      Fault.Plan.killed_during t.faults ~node:requester ~from_:cs_start
+        ~until:(cs_start +. duration)
+    with
+    | None -> None
+    | Some dead_at -> Some (now, dead_at)
+  end
+
 let execute ?(prebuy = 0) t ~requester ~n =
   if n <= 0 then invalid_arg "Negotiation.execute: n <= 0";
   if prebuy < 0 then invalid_arg "Negotiation.execute: prebuy < 0";
   let nodes = Array.length t.mgrs in
   if requester < 0 || requester >= nodes then invalid_arg "Negotiation.execute: bad node";
   let duration = duration_model t ~nodes in
-  t.count <- t.count + 1;
-  Pm2_util.Stats.Acc.add t.durations duration;
-  if Obs.Collector.enabled t.obs then
-    emit t ~node:requester (Obs.Event.Neg_request { requester; n });
-  record_protocol_traffic t ~requester;
-  (* Global OR of all bitmaps (step 2c). *)
-  let global = global_or t in
-  match Bitset.find_run global n with
+  match aborted_by_kill t ~requester ~duration with
+  | Some (now, dead_at) ->
+    t.count <- t.count + 1;
+    t.aborted <- t.aborted + 1;
+    let lease_until = dead_at +. t.lease in
+    t.lock_free_at <- Float.max t.lock_free_at lease_until;
+    if Obs.Collector.enabled t.obs then begin
+      emit t ~node:requester (Obs.Event.Neg_request { requester; n });
+      emit t ~node:requester (Obs.Event.Neg_abort { requester; n; lease_until })
+    end;
+    (* [duration] here is how long the requester (if it ever resumes) and
+       the lock stay tied up, measured from [now]. *)
+    { start = None; duration = Float.max 0. (lease_until -. now); bought = 0;
+      aborted = true }
   | None ->
+    t.count <- t.count + 1;
+    Pm2_util.Stats.Acc.add t.durations duration;
     if Obs.Collector.enabled t.obs then
-      emit t ~node:requester (Obs.Event.Neg_deny { requester; n; dur = duration });
-    { start = None; duration; bought = 0 }
-  | Some start ->
-    (* Buy the non-local slots of the run (step 2d). *)
-    let bought = ref 0 in
-    for slot = start to start + n - 1 do
-      if transfer t ~requester slot then incr bought
-    done;
-    (* Pre-buy: extend the run forward over free slots while they last
-       (the critical section is already paid for). *)
-    let extra = ref 0 in
-    let slot = ref (start + n) in
-    while !extra < prebuy && !slot < Bitset.length global && Bitset.get global !slot do
-      if transfer t ~requester !slot then incr bought;
-      incr extra;
-      incr slot
-    done;
-    if Obs.Collector.enabled t.obs then
-      emit t ~node:requester
-        (Obs.Event.Neg_grant { requester; start; n; bought = !bought; dur = duration });
-    { start = Some start; duration; bought = !bought }
+      emit t ~node:requester (Obs.Event.Neg_request { requester; n });
+    record_protocol_traffic t ~requester;
+    (* Global OR of all bitmaps (step 2c). *)
+    let global = global_or t in
+    (match Bitset.find_run global n with
+     | None ->
+       if Obs.Collector.enabled t.obs then
+         emit t ~node:requester (Obs.Event.Neg_deny { requester; n; dur = duration });
+       { start = None; duration; bought = 0; aborted = false }
+     | Some start ->
+       (* Buy the non-local slots of the run (step 2d). *)
+       let bought = ref 0 in
+       for slot = start to start + n - 1 do
+         if transfer t ~requester slot then incr bought
+       done;
+       (* Pre-buy: extend the run forward over free slots while they last
+          (the critical section is already paid for). *)
+       let extra = ref 0 in
+       let slot = ref (start + n) in
+       while !extra < prebuy && !slot < Bitset.length global && Bitset.get global !slot do
+         if transfer t ~requester !slot then incr bought;
+         incr extra;
+         incr slot
+       done;
+       if Obs.Collector.enabled t.obs then
+         emit t ~node:requester
+           (Obs.Event.Neg_grant { requester; start; n; bought = !bought; dur = duration });
+       { start = Some start; duration; bought = !bought; aborted = false })
 
 let restructure t =
   let nodes = Array.length t.mgrs in
@@ -185,6 +232,10 @@ let acquire_slot_lock t ~now ~duration =
   finish
 
 let count t = t.count
+
+let aborted (t : t) = t.aborted
+
+let lease t = t.lease
 
 let durations t = t.durations
 

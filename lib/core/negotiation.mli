@@ -27,12 +27,23 @@ type result = {
   start : int option; (* first slot of the purchased run; None = no run *)
   duration : float; (* modelled protocol time, µs *)
   bought : int; (* slots whose ownership moved to the requester *)
+  aborted : bool; (* requester died in the critical section; see below *)
 }
 
 (** [?obs] receives [Neg_request] / [Neg_round] / [Neg_grant] / [Neg_deny]
-    and [Slot_transfer] events, attributed to the requesting node. *)
+    / [Neg_abort] and [Slot_transfer] events, attributed to the
+    requesting node.
+
+    [?faults] arms the lease on the critical section: if the plan says
+    the requester's interface dies inside its critical-section window,
+    the negotiation aborts — no ownership changes, [start = None],
+    [aborted = true] — and the system-wide lock is released [?lease] µs
+    (default 1000) after the death instant instead of being wedged
+    forever. {!check_global_invariant} holds across every abort. *)
 val create :
   ?obs:Pm2_obs.Collector.t ->
+  ?faults:Pm2_fault.Plan.t ->
+  ?lease:float ->
   geometry:Slot.t ->
   mgrs:Slot_manager.t array ->
   net:Pm2_net.Network.t ->
@@ -80,6 +91,14 @@ val acquire_slot_lock : t -> now:float -> duration:float -> float
 (** {1 Statistics} *)
 
 val count : t -> int
+
+(** Negotiations that aborted because the requester died holding the
+    critical section. *)
+val aborted : t -> int
+
+(** The configured lease duration, µs. *)
+val lease : t -> float
+
 val durations : t -> Pm2_util.Stats.Acc.t
 
 (** The iso-address discipline: no slot may appear in two nodes' bitmaps

@@ -9,18 +9,39 @@ type packed = {
   pack_cost : float;
 }
 
+type stage =
+  | Pack
+  | Unpack
+
+exception Error of { tid : int; slot : int; stage : stage; reason : string }
+
+let stage_name = function Pack -> "pack" | Unpack -> "unpack"
+
+let error ~tid ~slot ~stage reason = raise (Error { tid; slot; stage; reason })
+
+let () =
+  Printexc.register_printer (function
+    | Error { tid; slot; stage; reason } ->
+      Some
+        (Printf.sprintf "Relocation.Error (tid=%d, slot=0x%x, %s): %s" tid slot
+           (stage_name stage) reason)
+    | _ -> None)
+
 let wire_magic = 0x52454c4f (* "RELO" *)
 
 let pack ~geometry ~cost ~space ~mgr (th : Thread.t) =
   let slots = Sh.chain_to_list space ~head:th.slots_head in
   (match slots with
    | [ s ] when s = th.stack_slot -> ()
-   | _ -> failwith "Relocation.pack: the legacy scheme only migrates stack-only threads");
+   | _ ->
+     error ~tid:th.id ~slot:th.slots_head ~stage:Pack
+       "the legacy scheme only migrates stack-only threads");
   let base = th.stack_slot in
   let size = Sh.read_size space base in
   let sp = th.ctx.Interp.sp in
   if sp < base + Sh.size_of_header || sp > base + size then
-    failwith "Relocation.pack: stack pointer outside stack slot";
+    error ~tid:th.id ~slot:base ~stage:Pack
+      (Printf.sprintf "stack pointer 0x%x outside stack slot" sp);
   let p = Pk.packer () in
   Pk.pack_int p wire_magic;
   Pk.pack_int p th.id;
@@ -47,8 +68,10 @@ let pack ~geometry ~cost ~space ~mgr (th : Thread.t) =
 
 let unpack ~geometry ~cost ~space ~mgr (th : Thread.t) buffer =
   let u = Pk.unpacker buffer in
-  if Pk.unpack_int u <> wire_magic then invalid_arg "Relocation.unpack: bad magic";
-  if Pk.unpack_int u <> th.Thread.id then invalid_arg "Relocation.unpack: id mismatch";
+  if Pk.unpack_int u <> wire_magic then
+    error ~tid:th.Thread.id ~slot:0 ~stage:Unpack "bad wire magic";
+  if Pk.unpack_int u <> th.Thread.id then
+    error ~tid:th.Thread.id ~slot:0 ~stage:Unpack "thread id mismatch";
   let pc = Pk.unpack_int u in
   let old_sp = Pk.unpack_int u in
   let old_fp = Pk.unpack_int u in
@@ -67,11 +90,14 @@ let unpack ~geometry ~cost ~space ~mgr (th : Thread.t) buffer =
   let index =
     match Slot_manager.acquire_local mgr with
     | Some i -> i
-    | None -> failwith "Relocation.unpack: destination node has no free slot"
+    | None ->
+      error ~tid:th.Thread.id ~slot:old_base ~stage:Unpack
+        "destination node has no free slot"
   in
   let new_base = Slot.base geometry index in
   let new_size = geometry.Slot.slot_size in
-  if new_size < old_size then failwith "Relocation.unpack: slot size shrank";
+  if new_size < old_size then
+    error ~tid:th.Thread.id ~slot:new_base ~stage:Unpack "slot size shrank";
   Sh.init space new_base ~size:new_size ~kind:Sh.Stack ~owner:th.Thread.id;
   let delta = new_base - old_base in
   let in_old a = a >= old_base && a <= old_base + old_size in

@@ -1,0 +1,263 @@
+module Prng = Pm2_util.Prng
+
+type partition = { pa : int; pb : int; from_t : float; until_t : float }
+
+type kill = { victim : int; at : float; restart : float option }
+
+type spec = {
+  loss : float;
+  dup : float;
+  corrupt : float;
+  delay : float;
+  reorder : float;
+  partitions : partition list;
+  kills : kill list;
+}
+
+let default_spec =
+  {
+    loss = 0.;
+    dup = 0.;
+    corrupt = 0.;
+    delay = 0.;
+    reorder = 0.;
+    partitions = [];
+    kills = [];
+  }
+
+(* [%g]-style printing without trailing zeros, so the canonical form of a
+   parsed spec parses back to itself. *)
+let fstr v =
+  let s = Printf.sprintf "%.12g" v in
+  s
+
+let spec_to_string s =
+  let items = ref [] in
+  let add fmt = Printf.ksprintf (fun x -> items := x :: !items) fmt in
+  List.iter
+    (fun k ->
+      match k.restart with
+      | None -> add "kill=%d@%s" k.victim (fstr k.at)
+      | Some r -> add "kill=%d@%s-%s" k.victim (fstr k.at) (fstr r))
+    (List.rev s.kills);
+  List.iter
+    (fun p -> add "part=%d-%d@%s-%s" p.pa p.pb (fstr p.from_t) (fstr p.until_t))
+    (List.rev s.partitions);
+  if s.reorder > 0. then add "reorder=%s" (fstr s.reorder);
+  if s.delay > 0. then add "delay=%s" (fstr s.delay);
+  if s.corrupt > 0. then add "corrupt=%s" (fstr s.corrupt);
+  if s.dup > 0. then add "dup=%s" (fstr s.dup);
+  if s.loss > 0. then add "loss=%s" (fstr s.loss);
+  String.concat "," !items
+
+let parse_prob key v =
+  match float_of_string_opt v with
+  | Some p when p >= 0. && p <= 1. -> Ok p
+  | Some _ -> Error (Printf.sprintf "%s: probability must be in 0..1, got %s" key v)
+  | None -> Error (Printf.sprintf "%s: not a number: %s" key v)
+
+let parse_time key v =
+  match float_of_string_opt v with
+  | Some d when d >= 0. -> Ok d
+  | Some _ -> Error (Printf.sprintf "%s: time must be >= 0, got %s" key v)
+  | None -> Error (Printf.sprintf "%s: not a number: %s" key v)
+
+let parse_node key v =
+  match int_of_string_opt v with
+  | Some n when n >= 0 -> Ok n
+  | _ -> Error (Printf.sprintf "%s: not a node id: %s" key v)
+
+let split2 sep s =
+  match String.index_opt s sep with
+  | None -> None
+  | Some i ->
+      Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let ( let* ) = Result.bind
+
+let parse_kill v =
+  match split2 '@' v with
+  | None -> Error (Printf.sprintf "kill: expected N@T or N@T0-T1, got %s" v)
+  | Some (node, times) -> (
+      let* victim = parse_node "kill" node in
+      match split2 '-' times with
+      | None ->
+          let* at = parse_time "kill" times in
+          Ok { victim; at; restart = None }
+      | Some (t0, t1) ->
+          let* at = parse_time "kill" t0 in
+          let* r = parse_time "kill" t1 in
+          if r <= at then Error "kill: restart time must follow the kill time"
+          else Ok { victim; at; restart = Some r })
+
+let parse_part v =
+  match split2 '@' v with
+  | None -> Error (Printf.sprintf "part: expected A-B@T0-T1, got %s" v)
+  | Some (link, times) -> (
+      match (split2 '-' link, split2 '-' times) with
+      | Some (a, b), Some (t0, t1) ->
+          let* pa = parse_node "part" a in
+          let* pb = parse_node "part" b in
+          let* from_t = parse_time "part" t0 in
+          let* until_t = parse_time "part" t1 in
+          if until_t <= from_t then Error "part: window must be non-empty"
+          else Ok { pa; pb; from_t; until_t }
+      | _ -> Error (Printf.sprintf "part: expected A-B@T0-T1, got %s" v))
+
+let spec_of_string str =
+  let str = String.trim str in
+  if str = "" then Ok default_spec
+  else
+    let items = String.split_on_char ',' str in
+    List.fold_left
+      (fun acc item ->
+        let* s = acc in
+        match split2 '=' (String.trim item) with
+        | None -> Error (Printf.sprintf "expected key=value, got %s" item)
+        | Some (key, v) -> (
+            match key with
+            | "loss" ->
+                let* p = parse_prob key v in
+                Ok { s with loss = p }
+            | "dup" ->
+                let* p = parse_prob key v in
+                Ok { s with dup = p }
+            | "corrupt" ->
+                let* p = parse_prob key v in
+                Ok { s with corrupt = p }
+            | "reorder" ->
+                let* p = parse_prob key v in
+                Ok { s with reorder = p }
+            | "delay" ->
+                let* d = parse_time key v in
+                Ok { s with delay = d }
+            | "kill" ->
+                let* k = parse_kill v in
+                Ok { s with kills = s.kills @ [ k ] }
+            | "part" ->
+                let* p = parse_part v in
+                Ok { s with partitions = s.partitions @ [ p ] }
+            | _ ->
+                Error
+                  (Printf.sprintf
+                     "unknown fault key %s (expected \
+                      loss/dup/corrupt/reorder/delay/part/kill)"
+                     key)))
+      (Ok default_spec) items
+
+type stats = {
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable corrupted : int;
+  mutable reordered : int;
+}
+
+type t = {
+  live : bool;
+  sp : spec;
+  sd : int;
+  prng : Prng.t;
+  st : stats;
+}
+
+let fresh_stats () = { dropped = 0; duplicated = 0; corrupted = 0; reordered = 0 }
+
+let none =
+  {
+    live = false;
+    sp = default_spec;
+    sd = 0;
+    prng = Prng.create ~seed:0;
+    st = fresh_stats ();
+  }
+
+let create ?(seed = 42) sp =
+  { live = true; sp; sd = seed; prng = Prng.create ~seed; st = fresh_stats () }
+
+let enabled t = t.live
+
+let spec t = t.sp
+
+let seed t = t.sd
+
+let stats t = t.st
+
+let note_drop t = t.st.dropped <- t.st.dropped + 1
+
+let note_duplicate t = t.st.duplicated <- t.st.duplicated + 1
+
+let note_corrupt t = t.st.corrupted <- t.st.corrupted + 1
+
+let note_reorder t = t.st.reordered <- t.st.reordered + 1
+
+let summary t =
+  Printf.sprintf "seed=%d dropped=%d duplicated=%d corrupted=%d reordered=%d"
+    t.sd t.st.dropped t.st.duplicated t.st.corrupted t.st.reordered
+
+let node_alive t ~node ~now =
+  (not t.live)
+  || List.for_all
+       (fun k ->
+         k.victim <> node || now < k.at
+         || match k.restart with Some r -> now >= r | None -> false)
+       t.sp.kills
+
+let killed_during t ~node ~from_ ~until =
+  if not t.live then None
+  else if not (node_alive t ~node ~now:from_) then Some from_
+  else
+    List.fold_left
+      (fun acc k ->
+        if k.victim = node && k.at >= from_ && k.at < until then
+          match acc with Some a when a <= k.at -> acc | _ -> Some k.at
+        else acc)
+      None t.sp.kills
+
+let partitioned t ~now ~src ~dst =
+  List.exists
+    (fun p ->
+      ((p.pa = src && p.pb = dst) || (p.pa = dst && p.pb = src))
+      && now >= p.from_t && now < p.until_t)
+    t.sp.partitions
+
+type drop_reason = Loss | Partitioned | Node_down of int
+
+type delivery = { extra_delay : float; corrupted : bool }
+
+type routed = Deliver of delivery list | Dropped of drop_reason
+
+(* Mean of the "large" delay a reordered message suffers; a few typical
+   message flight times, enough to overtake later traffic. *)
+let reorder_mean = 250.
+
+let route t ~now ~src ~dst =
+  if not (node_alive t ~node:src ~now) then Dropped (Node_down src)
+  else if not (node_alive t ~node:dst ~now) then Dropped (Node_down dst)
+  else if partitioned t ~now ~src ~dst then Dropped Partitioned
+  else if t.sp.loss > 0. && Prng.float t.prng < t.sp.loss then Dropped Loss
+  else
+    let copies = if t.sp.dup > 0. && Prng.float t.prng < t.sp.dup then 2 else 1 in
+    let copy () =
+      let jitter =
+        if t.sp.delay > 0. then Prng.exponential t.prng ~mean:t.sp.delay else 0.
+      in
+      let extra_delay =
+        if t.sp.reorder > 0. && Prng.float t.prng < t.sp.reorder then (
+          note_reorder t;
+          jitter +. Prng.exponential t.prng ~mean:reorder_mean)
+        else jitter
+      in
+      let corrupted = t.sp.corrupt > 0. && Prng.float t.prng < t.sp.corrupt in
+      { extra_delay; corrupted }
+    in
+    Deliver (List.init copies (fun _ -> copy ()))
+
+let corrupt_copy t payload =
+  let b = Bytes.copy payload in
+  let len = Bytes.length b in
+  if len > 0 then begin
+    let pos = Prng.int t.prng len in
+    let mask = 1 + Prng.int t.prng 255 in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor mask))
+  end;
+  b

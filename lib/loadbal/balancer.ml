@@ -10,6 +10,7 @@ type policy =
 type stats = {
   mutable decisions : int;
   mutable migrations_requested : int;
+  mutable retries : int;
 }
 
 type t = {
@@ -31,15 +32,22 @@ let imbalance cluster =
   let l = loads cluster in
   Array.fold_left max 0 l - Array.fold_left min max_int l
 
-let argmax a =
-  let best = ref 0 in
-  Array.iteri (fun i v -> if v > a.(!best) then best := i) a;
-  !best
+(* A node whose interface is down (fault plan) is invisible to the
+   balancer: its threads keep running locally, but nothing can migrate in
+   or out, so it is neither a source nor a destination. *)
+let alive cluster =
+  Array.init (Cluster.node_count cluster) (fun i -> Cluster.node_alive cluster i)
 
-let argmin a =
-  let best = ref 0 in
-  Array.iteri (fun i v -> if v < a.(!best) then best := i) a;
-  !best
+(* Index of the max/min load among alive nodes; [None] if none qualify. *)
+let argmax_alive a ok =
+  let best = ref (-1) in
+  Array.iteri (fun i v -> if ok.(i) && (!best < 0 || v > a.(!best)) then best := i) a;
+  if !best < 0 then None else Some !best
+
+let argmin_alive a ok =
+  let best = ref (-1) in
+  Array.iteri (fun i v -> if ok.(i) && (!best < 0 || v < a.(!best)) then best := i) a;
+  if !best < 0 then None else Some !best
 
 (* Runnable threads currently placed on [node] (ready in its queue). *)
 let movable_threads cluster node =
@@ -57,6 +65,7 @@ let request t th ~dest =
 (* One balancing round; [true] if at least one migration was requested. *)
 let balance_once t =
   let l = loads t.cluster in
+  let ok = alive t.cluster in
   let nodes = Array.length l in
   if nodes < 2 then false
   else begin
@@ -65,53 +74,77 @@ let balance_once t =
      | Threshold { high; low } ->
        Array.iteri
          (fun src load ->
-            if load > high then begin
+            if ok.(src) && load > high then begin
               let excess = ref (load - high) in
               let victims = movable_threads t.cluster src in
               List.iter
                 (fun th ->
-                   if !excess > 0 then begin
-                     let dst = argmin l in
-                     if dst <> src && l.(dst) < low then begin
+                   if !excess > 0 then
+                     match argmin_alive l ok with
+                     | Some dst when dst <> src && l.(dst) < low ->
                        request t th ~dest:dst;
                        l.(dst) <- l.(dst) + 1;
                        l.(src) <- l.(src) - 1;
                        decr excess;
                        incr requested
-                     end
-                   end)
+                     | _ -> ())
                 victims
             end)
          l
      | Least_loaded ->
-       let src = argmax l and dst = argmin l in
-       if src <> dst && l.(src) - l.(dst) > 1 then begin
-         match movable_threads t.cluster src with
-         | th :: _ ->
-           request t th ~dest:dst;
-           incr requested
-         | [] -> ()
-       end
+       (match argmax_alive l ok, argmin_alive l ok with
+        | Some src, Some dst when src <> dst && l.(src) - l.(dst) > 1 ->
+          (match movable_threads t.cluster src with
+           | th :: _ ->
+             request t th ~dest:dst;
+             incr requested
+           | [] -> ())
+        | _ -> ())
      | Round_robin_spread ->
-       let src = argmax l in
-       if l.(src) > 1 then begin
-         let victims = movable_threads t.cluster src in
-         List.iteri
-           (fun i th ->
-              let dst = i mod nodes in
-              if dst <> src then begin
-                request t th ~dest:dst;
-                incr requested
-              end)
-           victims
-       end);
+       (match argmax_alive l ok with
+        | Some src when l.(src) > 1 ->
+          let victims = movable_threads t.cluster src in
+          List.iteri
+            (fun i th ->
+               let dst = i mod nodes in
+               if dst <> src && ok.(dst) then begin
+                 request t th ~dest:dst;
+                 incr requested
+               end)
+            victims
+        | _ -> ()));
     if !requested > 0 then t.stats.decisions <- t.stats.decisions + 1;
     !requested > 0
   end
 
+(* An aborted migration (destination rejected, died, or the transfer was
+   undeliverable) hands the thread back: retry it on the next-best alive
+   node — excluding the failed one and its own — if that still improves
+   the balance. *)
+let retry_elsewhere t (th : Thread.t) ~failed =
+  let l = loads t.cluster in
+  let ok = alive t.cluster in
+  let src = th.Thread.node in
+  if failed >= 0 && failed < Array.length ok then ok.(failed) <- false;
+  if src >= 0 && src < Array.length ok then ok.(src) <- false;
+  match argmin_alive l ok with
+  | Some dst when l.(dst) + 1 < l.(src) ->
+    request t th ~dest:dst;
+    t.stats.retries <- t.stats.retries + 1
+  | _ -> ()
+
 let attach cluster ~policy ~period =
   if period <= 0. then invalid_arg "Balancer.attach: period <= 0";
-  let t = { cluster; policy; period; stats = { decisions = 0; migrations_requested = 0 } } in
+  let t =
+    {
+      cluster;
+      policy;
+      period;
+      stats = { decisions = 0; migrations_requested = 0; retries = 0 };
+    }
+  in
+  Cluster.set_migration_abort_handler cluster (fun th ~failed ->
+      retry_elsewhere t th ~failed);
   let engine = Cluster.engine cluster in
   let rec wake () =
     if Cluster.live_threads cluster > 0 then begin

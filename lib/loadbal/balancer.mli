@@ -23,13 +23,21 @@ type policy =
 type stats = {
   mutable decisions : int; (* balancing rounds that migrated something *)
   mutable migrations_requested : int;
+  mutable retries : int;
+      (* aborted migrations re-requested towards another node *)
 }
 
 type t
 
 (** [attach cluster ~policy ~period] installs a balancer that wakes every
     [period] virtual µs while the cluster has live threads. Returns the
-    balancer handle (for stats). *)
+    balancer handle (for stats).
+
+    Fault awareness: nodes whose interface is down (see
+    {!Pm2_core.Cluster.node_alive}) are excluded as both sources and
+    destinations, and the balancer registers itself as the cluster's
+    migration-abort handler — a migration that fails mid-flight is retried
+    towards the next-best alive node when that still improves balance. *)
 val attach : Pm2_core.Cluster.t -> policy:policy -> period:float -> t
 
 val stats : t -> stats

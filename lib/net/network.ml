@@ -1,4 +1,5 @@
 module Obs = Pm2_obs
+module Fault = Pm2_fault
 
 type t = {
   engine : Pm2_sim.Engine.t;
@@ -7,9 +8,10 @@ type t = {
   msg_count : int array; (* src * nodes + dst *)
   byte_count : int array;
   obs : Obs.Collector.t;
+  faults : Fault.Plan.t;
 }
 
-let create ?(obs = Obs.Collector.null) engine cost ~nodes =
+let create ?(obs = Obs.Collector.null) ?(faults = Fault.Plan.none) engine cost ~nodes =
   if nodes <= 0 then invalid_arg "Network.create: nodes <= 0";
   {
     engine;
@@ -18,6 +20,7 @@ let create ?(obs = Obs.Collector.null) engine cost ~nodes =
     msg_count = Array.make (nodes * nodes) 0;
     byte_count = Array.make (nodes * nodes) 0;
     obs;
+    faults;
   }
 
 let nodes t = t.nodes
@@ -25,6 +28,8 @@ let nodes t = t.nodes
 let engine t = t.engine
 
 let cost_model t = t.cost
+
+let faults t = t.faults
 
 let check t who = if who < 0 || who >= t.nodes then invalid_arg "Network: bad node id"
 
@@ -34,6 +39,58 @@ let record t ~src ~dst ~bytes =
   t.byte_count.(i) <- t.byte_count.(i) + bytes
 
 let transfer_time t ~bytes = Pm2_sim.Cost_model.message_cost t.cost ~bytes
+
+(* One copy travelling through a faulty network: the destination interface
+   may have died while the message was in flight. *)
+let deliver_faulty t ~src ~dst ~bytes ~delay payload k =
+  Pm2_sim.Engine.schedule_after t.engine ~delay (fun () ->
+      let now = Pm2_sim.Engine.now t.engine in
+      if not (Fault.Plan.node_alive t.faults ~node:dst ~now) then begin
+        Fault.Plan.note_drop t.faults;
+        if Obs.Collector.enabled t.obs then
+          Obs.Collector.emit t.obs ~node:dst
+            (Obs.Event.Fault_inject { kind = Obs.Event.Drop_dead; src; dst; bytes })
+      end
+      else begin
+        if Obs.Collector.enabled t.obs then
+          Obs.Collector.emit t.obs ~node:dst (Obs.Event.Packet_deliver { src; dst; bytes });
+        k payload
+      end)
+
+let send_faulty t ~src ~dst ~bytes ~delay payload k =
+  match Fault.Plan.route t.faults ~now:(Pm2_sim.Engine.now t.engine) ~src ~dst with
+  | Fault.Plan.Dropped reason ->
+    Fault.Plan.note_drop t.faults;
+    if Obs.Collector.enabled t.obs then begin
+      let kind =
+        match reason with
+        | Fault.Plan.Loss -> Obs.Event.Drop_loss
+        | Fault.Plan.Partitioned -> Obs.Event.Drop_partition
+        | Fault.Plan.Node_down _ -> Obs.Event.Drop_dead
+      in
+      Obs.Collector.emit t.obs ~node:src (Obs.Event.Fault_inject { kind; src; dst; bytes })
+    end
+  | Fault.Plan.Deliver copies ->
+    List.iteri
+      (fun i { Fault.Plan.extra_delay; corrupted } ->
+        if i > 0 then begin
+          Fault.Plan.note_duplicate t.faults;
+          if Obs.Collector.enabled t.obs then
+            Obs.Collector.emit t.obs ~node:src
+              (Obs.Event.Fault_inject { kind = Obs.Event.Duplicate; src; dst; bytes })
+        end;
+        let payload =
+          if corrupted then begin
+            Fault.Plan.note_corrupt t.faults;
+            if Obs.Collector.enabled t.obs then
+              Obs.Collector.emit t.obs ~node:src
+                (Obs.Event.Fault_inject { kind = Obs.Event.Corrupt; src; dst; bytes });
+            Fault.Plan.corrupt_copy t.faults payload
+          end
+          else payload
+        in
+        deliver_faulty t ~src ~dst ~bytes ~delay:(delay +. extra_delay) payload k)
+      copies
 
 let send t ~src ~dst payload k =
   check t src;
@@ -46,10 +103,15 @@ let send t ~src ~dst payload k =
     if src = dst then Pm2_sim.Cost_model.memcpy_cost t.cost ~bytes
     else transfer_time t ~bytes
   in
-  Pm2_sim.Engine.schedule_after t.engine ~delay (fun () ->
-      if Obs.Collector.enabled t.obs then
-        Obs.Collector.emit t.obs ~node:dst (Obs.Event.Packet_deliver { src; dst; bytes });
-      k payload)
+  (* Loop-back traffic never touches the interconnect, so the fault plan
+     does not apply to self-sends; with the plan disabled this branch is
+     the exact pre-fault code path. *)
+  if (not (Fault.Plan.enabled t.faults)) || src = dst then
+    Pm2_sim.Engine.schedule_after t.engine ~delay (fun () ->
+        if Obs.Collector.enabled t.obs then
+          Obs.Collector.emit t.obs ~node:dst (Obs.Event.Packet_deliver { src; dst; bytes });
+        k payload)
+  else send_faulty t ~src ~dst ~bytes ~delay payload k
 
 let messages_sent t = Array.fold_left ( + ) 0 t.msg_count
 
@@ -69,5 +131,10 @@ let record_virtual t ~src ~dst ~bytes =
   check t src;
   check t dst;
   record t ~src ~dst ~bytes;
-  if Obs.Collector.enabled t.obs then
-    Obs.Collector.emit t.obs ~node:src (Obs.Event.Packet_send { src; dst; bytes })
+  if Obs.Collector.enabled t.obs then begin
+    Obs.Collector.emit t.obs ~node:src (Obs.Event.Packet_send { src; dst; bytes });
+    (* Symmetric with [send]: virtual traffic is considered delivered at
+       the instant it is recorded, so per-node deliver counters balance
+       send counters. *)
+    Obs.Collector.emit t.obs ~node:dst (Obs.Event.Packet_deliver { src; dst; bytes })
+  end

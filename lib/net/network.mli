@@ -11,16 +11,31 @@ type t
 
 (** [?obs] receives [Packet_send] at the emission time and
     [Packet_deliver] at the modelled arrival time for every {!send};
-    {!record_virtual} traffic emits [Packet_send] only (it has no
-    scheduled delivery). *)
+    {!record_virtual} traffic emits both at the recording instant.
+
+    [?faults] threads a {!Pm2_fault.Plan} into every [send]: messages may
+    then be dropped (loss, partition, dead interface), duplicated,
+    delayed, reordered or corrupted, per the plan's seeded draws. With
+    the default {!Pm2_fault.Plan.none} the send path is exactly the
+    fault-free code. *)
 val create :
-  ?obs:Pm2_obs.Collector.t -> Pm2_sim.Engine.t -> Pm2_sim.Cost_model.t -> nodes:int -> t
+  ?obs:Pm2_obs.Collector.t ->
+  ?faults:Pm2_fault.Plan.t ->
+  Pm2_sim.Engine.t ->
+  Pm2_sim.Cost_model.t ->
+  nodes:int ->
+  t
 
 val nodes : t -> int
 
 val engine : t -> Pm2_sim.Engine.t
 
 val cost_model : t -> Pm2_sim.Cost_model.t
+
+(** The fault plan this network was created with ({!Pm2_fault.Plan.none}
+    by default). Protocol layers use it to decide whether the hardened
+    (two-phase, retransmitting) code paths are active. *)
+val faults : t -> Pm2_fault.Plan.t
 
 (** [send t ~src ~dst payload k] ships [payload] from node [src] to node
     [dst] and runs [k payload] at the modelled arrival time. Self-sends are

@@ -56,3 +56,13 @@ let unpack_list u f =
   List.init n (fun _ -> f ())
 
 let remaining u = Bytes.length u.data - u.pos
+
+(* FNV-1a 64, folded to a non-negative OCaml int, for end-to-end wire
+   integrity checks (reliable delivery, migration transfer). *)
+let checksum b =
+  let h = ref 0xcbf29ce484222325L in
+  Bytes.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    b;
+  Int64.to_int (Int64.logand !h 0x3FFFFFFFFFFFFFFFL)

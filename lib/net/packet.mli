@@ -43,3 +43,10 @@ val unpack_list : unpacker -> (unit -> 'a) -> 'a list
 
 val remaining : unpacker -> int
 (** Bytes not yet consumed (0 after a complete unpack). *)
+
+(** {1 Integrity} *)
+
+val checksum : Bytes.t -> int
+(** FNV-1a 64-bit hash folded to a non-negative OCaml [int]. Used by the
+    reliable-delivery layer and the two-phase migration protocol to
+    detect corrupted wire buffers. *)

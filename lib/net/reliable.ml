@@ -1,0 +1,175 @@
+module Obs = Pm2_obs
+module Fault = Pm2_fault
+module Engine = Pm2_sim.Engine
+
+let data_magic = 0x52454C44 (* "RELD" *)
+
+let ack_magic = 0x52454C41 (* "RELA" *)
+
+type t = {
+  net : Network.t;
+  obs : Obs.Collector.t;
+  max_attempts : int;
+  mutable next_seq : int;
+  (* seqs whose payload ran its delivery continuation (or whose session
+     was torn down): any further copy is suppressed *)
+  delivered : (int, unit) Hashtbl.t;
+  (* seqs awaiting an ack -> sender-side completion *)
+  pending : (int, unit -> unit) Hashtbl.t;
+  mutable retransmits : int;
+  mutable dups : int;
+  mutable give_ups : int;
+}
+
+let create ?(obs = Obs.Collector.null) ?(max_attempts = 12) net =
+  {
+    net;
+    obs;
+    max_attempts;
+    next_seq = 0;
+    delivered = Hashtbl.create 64;
+    pending = Hashtbl.create 16;
+    retransmits = 0;
+    dups = 0;
+    give_ups = 0;
+  }
+
+let network t = t.net
+
+let retransmits t = t.retransmits
+
+let duplicates_suppressed t = t.dups
+
+let give_ups t = t.give_ups
+
+(* Frames are [magic][checksum(inner)][inner]; the checksum covers the
+   sequence number as well as the payload, so a bit-flip anywhere in the
+   frame makes the receiver discard it (and retransmission recovers). *)
+let frame ~magic inner =
+  let p = Packet.packer () in
+  Packet.pack_int p magic;
+  Packet.pack_int p (Packet.checksum inner);
+  Packet.pack_bytes p inner;
+  Packet.contents p
+
+let parse_frame b =
+  match
+    let u = Packet.unpacker b in
+    let magic = Packet.unpack_int u in
+    let ck = Packet.unpack_int u in
+    let inner = Packet.unpack_bytes u in
+    if Packet.remaining u <> 0 || Packet.checksum inner <> ck then None
+    else Some (magic, inner)
+  with
+  | exception Invalid_argument _ -> None
+  | v -> v
+
+let data_frame ~seq payload =
+  let p = Packet.packer () in
+  Packet.pack_int p seq;
+  Packet.pack_bytes p payload;
+  frame ~magic:data_magic (Packet.contents p)
+
+let ack_frame ~seq =
+  let p = Packet.packer () in
+  Packet.pack_int p seq;
+  frame ~magic:ack_magic (Packet.contents p)
+
+let handle_ack t b =
+  match parse_frame b with
+  | Some (magic, inner) when magic = ack_magic -> (
+    match
+      let u = Packet.unpacker inner in
+      Packet.unpack_int u
+    with
+    | exception Invalid_argument _ -> ()
+    | seq -> (
+      match Hashtbl.find_opt t.pending seq with
+      | Some complete -> complete ()
+      | None -> () (* late or duplicate ack *)))
+  | Some _ | None -> ()
+
+let handle_data t ~src ~dst ~on_delivered b =
+  match parse_frame b with
+  | Some (magic, inner) when magic = data_magic -> (
+    match
+      let u = Packet.unpacker inner in
+      let seq = Packet.unpack_int u in
+      let payload = Packet.unpack_bytes u in
+      (seq, payload)
+    with
+    | exception Invalid_argument _ -> ()
+    | seq, payload ->
+      (* Acknowledge every intact copy: earlier acks may have been lost. *)
+      Network.send t.net ~src:dst ~dst:src (ack_frame ~seq) (handle_ack t);
+      if Hashtbl.mem t.delivered seq then begin
+        t.dups <- t.dups + 1;
+        if Obs.Collector.enabled t.obs then
+          Obs.Collector.emit t.obs ~node:dst (Obs.Event.Net_dup_suppress { src; dst; seq })
+      end
+      else begin
+        Hashtbl.replace t.delivered seq ();
+        on_delivered payload
+      end)
+  | Some _ | None -> () (* corrupt or foreign frame: retransmission covers it *)
+
+let send t ~src ~dst payload ~on_delivered ~on_failed =
+  let faults = Network.faults t.net in
+  if (not (Fault.Plan.enabled faults)) || src = dst then
+    (* Fault-free network (or loop-back): plain delivery, no header. *)
+    Network.send t.net ~src ~dst payload on_delivered
+  else begin
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    let wire = data_frame ~seq payload in
+    let bytes = Bytes.length wire in
+    let engine = Network.engine t.net in
+    let acked = ref false in
+    Hashtbl.replace t.pending seq (fun () ->
+        acked := true;
+        Hashtbl.remove t.pending seq);
+    let rtt =
+      Network.transfer_time t.net ~bytes
+      +. Network.transfer_time t.net ~bytes:(Bytes.length (ack_frame ~seq:0))
+    in
+    (* Generous initial timeout: jittered copies routinely exceed the
+       modelled RTT, and a spurious retransmit only costs a suppressed
+       duplicate. *)
+    let base_timeout = (2. *. rtt) +. 50. in
+    let rec attempt n =
+      if !acked then ()
+      else if n > t.max_attempts then begin
+        Hashtbl.remove t.pending seq;
+        if Hashtbl.mem t.delivered seq then
+          (* The data arrived but every ack was lost. The bounded-attempt
+             session teardown is modelled as reliable, so this counts as
+             delivered — crucially, never as a duplicate. *)
+          ()
+        else begin
+          (* Poison the seq so a straggling copy still in flight cannot
+             deliver after the failure continuation has run. *)
+          Hashtbl.replace t.delivered seq ();
+          t.give_ups <- t.give_ups + 1;
+          if Obs.Collector.enabled t.obs then
+            Obs.Collector.emit t.obs ~node:src
+              (Obs.Event.Net_give_up { src; dst; seq; attempts = t.max_attempts });
+          on_failed
+            ~reason:
+              (Printf.sprintf "no ack from node %d after %d attempts" dst t.max_attempts)
+        end
+      end
+      else begin
+        if n > 1 then begin
+          t.retransmits <- t.retransmits + 1;
+          if Obs.Collector.enabled t.obs then
+            Obs.Collector.emit t.obs ~node:src
+              (Obs.Event.Net_retransmit { src; dst; seq; attempt = n; bytes })
+        end;
+        Network.send t.net ~src ~dst wire (handle_data t ~src ~dst ~on_delivered);
+        let timeout = base_timeout *. (2. ** float_of_int (min (n - 1) 6)) in
+        Engine.schedule_after engine ~delay:timeout (fun () ->
+            if not !acked then attempt (n + 1))
+      end
+    in
+    attempt 1
+  end

@@ -1,0 +1,49 @@
+(** Reliable delivery over the lossy {!Network}.
+
+    BIP/Myrinet gave the original PM2 a reliable transport for free; once
+    the fault plan can drop, duplicate or corrupt messages, the protocols
+    that carry thread state need these guarantees back. This layer
+    provides at-most-once delivery with best-effort retransmission:
+
+    - every message carries a sequence number and an FNV checksum;
+    - the receiver acknowledges each copy, suppresses duplicates (a
+      per-connection dedup table) and silently discards corrupt frames;
+    - the sender retransmits on an RTT-derived timeout with exponential
+      backoff, up to a bounded number of attempts, then gives up and runs
+      the failure continuation.
+
+    Retransmissions, duplicate suppressions and give-ups are emitted
+    through the observability taxonomy ([Net_retransmit],
+    [Net_dup_suppress], [Net_give_up]).
+
+    When the network's fault plan is disabled — or for self-sends — the
+    layer degrades to a plain {!Network.send} with no header, no acks and
+    no timers, so fault-free runs are unchanged. *)
+
+type t
+
+val create : ?obs:Pm2_obs.Collector.t -> ?max_attempts:int -> Network.t -> t
+
+val network : t -> Network.t
+
+(** [send t ~src ~dst payload ~on_delivered ~on_failed] ships [payload]
+    with retransmission. [on_delivered payload] runs at the destination
+    the first time an intact copy arrives; [on_failed ~reason] runs at
+    the sender when the attempt budget is exhausted without the message
+    ever reaching [dst]. Exactly one of the two continuations runs. *)
+val send :
+  t ->
+  src:int ->
+  dst:int ->
+  Bytes.t ->
+  on_delivered:(Bytes.t -> unit) ->
+  on_failed:(reason:string -> unit) ->
+  unit
+
+(** {1 Statistics} *)
+
+val retransmits : t -> int
+
+val duplicates_suppressed : t -> int
+
+val give_ups : t -> int

@@ -86,6 +86,41 @@ let add_event buf ~time ~node ev =
   | Packet_deliver { src; dst; bytes } ->
     instant ~name:"net.deliver" ~cat:"net"
       ~args:(Printf.sprintf "\"src\":%d,\"dst\":%d,\"bytes\":%d" src dst bytes)
+  | Fault_inject { kind; src; dst; bytes } ->
+    instant
+      ~name:("fault." ^ Event.fault_name kind)
+      ~cat:"fault"
+      ~args:(Printf.sprintf "\"src\":%d,\"dst\":%d,\"bytes\":%d" src dst bytes)
+  | Node_kill { node } ->
+    instant ~name:"node.kill" ~cat:"fault" ~args:(Printf.sprintf "\"node\":%d" node)
+  | Node_restart { node } ->
+    instant ~name:"node.restart" ~cat:"fault" ~args:(Printf.sprintf "\"node\":%d" node)
+  | Net_retransmit { src; dst; seq; attempt; bytes } ->
+    instant ~name:"net.retransmit" ~cat:"net"
+      ~args:
+        (Printf.sprintf "\"src\":%d,\"dst\":%d,\"seq\":%d,\"attempt\":%d,\"bytes\":%d"
+           src dst seq attempt bytes)
+  | Net_dup_suppress { src; dst; seq } ->
+    instant ~name:"net.dup_suppress" ~cat:"net"
+      ~args:(Printf.sprintf "\"src\":%d,\"dst\":%d,\"seq\":%d" src dst seq)
+  | Net_give_up { src; dst; seq; attempts } ->
+    instant ~name:"net.give_up" ~cat:"net"
+      ~args:
+        (Printf.sprintf "\"src\":%d,\"dst\":%d,\"seq\":%d,\"attempts\":%d" src dst seq
+           attempts)
+  | Migration_abort { tid; src; dst; reason } ->
+    instant ~name:"migration.abort" ~cat:"migration"
+      ~args:
+        (Printf.sprintf "\"tid\":%d,\"src\":%d,\"dst\":%d,\"reason\":\"%s\"" tid src dst
+           (escape reason))
+  | Migration_rollback { tid; node; slots } ->
+    instant ~name:"migration.rollback" ~cat:"migration"
+      ~args:(Printf.sprintf "\"tid\":%d,\"node\":%d,\"slots\":%d" tid node slots)
+  | Neg_abort { requester; n; lease_until } ->
+    instant ~name:"negotiation.abort" ~cat:"negotiation"
+      ~args:
+        (Printf.sprintf "\"requester\":%d,\"n\":%d,\"lease_until\":%.3f" requester n
+           lease_until)
   | Thread_printf { tid; text } ->
     instant ~name:"pm2_printf" ~cat:"guest"
       ~args:(Printf.sprintf "\"tid\":%d,\"text\":\"%s\"" tid (escape text))

@@ -31,9 +31,32 @@ type t =
   | Neg_deny of { requester : int; n : int; dur : float }
   | Packet_send of { src : int; dst : int; bytes : int }
   | Packet_deliver of { src : int; dst : int; bytes : int }
+  | Fault_inject of { kind : fault_kind; src : int; dst : int; bytes : int }
+  | Node_kill of { node : int }
+  | Node_restart of { node : int }
+  | Net_retransmit of { src : int; dst : int; seq : int; attempt : int; bytes : int }
+  | Net_dup_suppress of { src : int; dst : int; seq : int }
+  | Net_give_up of { src : int; dst : int; seq : int; attempts : int }
+  | Migration_abort of { tid : int; src : int; dst : int; reason : string }
+  | Migration_rollback of { tid : int; node : int; slots : int }
+  | Neg_abort of { requester : int; n : int; lease_until : float }
   | Thread_printf of { tid : int; text : string }
 
+and fault_kind =
+  | Drop_loss
+  | Drop_partition
+  | Drop_dead
+  | Duplicate
+  | Corrupt
+
 let heap_name = function Local -> "local" | Iso -> "iso"
+
+let fault_name = function
+  | Drop_loss -> "drop.loss"
+  | Drop_partition -> "drop.partition"
+  | Drop_dead -> "drop.dead"
+  | Duplicate -> "dup"
+  | Corrupt -> "corrupt"
 
 let phase_name = function
   | Pack -> "pack"
@@ -58,6 +81,15 @@ let name = function
   | Neg_deny _ -> "negotiation.deny"
   | Packet_send _ -> "net.send"
   | Packet_deliver _ -> "net.deliver"
+  | Fault_inject { kind; _ } -> "fault." ^ fault_name kind
+  | Node_kill _ -> "node.kill"
+  | Node_restart _ -> "node.restart"
+  | Net_retransmit _ -> "net.retransmit"
+  | Net_dup_suppress _ -> "net.dup_suppress"
+  | Net_give_up _ -> "net.give_up"
+  | Migration_abort _ -> "migration.abort"
+  | Migration_rollback _ -> "migration.rollback"
+  | Neg_abort _ -> "negotiation.abort"
   | Thread_printf _ -> "thread.printf"
 
 let pp ppf ev =
@@ -97,4 +129,23 @@ let pp ppf ev =
     Format.fprintf ppf "net.send node%d->node%d %dB" src dst bytes
   | Packet_deliver { src; dst; bytes } ->
     Format.fprintf ppf "net.deliver node%d->node%d %dB" src dst bytes
+  | Fault_inject { kind; src; dst; bytes } ->
+    Format.fprintf ppf "fault.%s node%d->node%d %dB" (fault_name kind) src dst bytes
+  | Node_kill { node } -> Format.fprintf ppf "node.kill node%d" node
+  | Node_restart { node } -> Format.fprintf ppf "node.restart node%d" node
+  | Net_retransmit { src; dst; seq; attempt; bytes } ->
+    Format.fprintf ppf "net.retransmit node%d->node%d seq=%d attempt=%d %dB" src dst seq
+      attempt bytes
+  | Net_dup_suppress { src; dst; seq } ->
+    Format.fprintf ppf "net.dup_suppress node%d->node%d seq=%d" src dst seq
+  | Net_give_up { src; dst; seq; attempts } ->
+    Format.fprintf ppf "net.give_up node%d->node%d seq=%d after %d attempts" src dst seq
+      attempts
+  | Migration_abort { tid; src; dst; reason } ->
+    Format.fprintf ppf "migration.abort tid=%d node%d->node%d: %s" tid src dst reason
+  | Migration_rollback { tid; node; slots } ->
+    Format.fprintf ppf "migration.rollback tid=%d node%d %d slots" tid node slots
+  | Neg_abort { requester; n; lease_until } ->
+    Format.fprintf ppf "negotiation.abort node%d n=%d lease expires %.1fus" requester n
+      lease_until
   | Thread_printf { tid; text } -> Format.fprintf ppf "thread.printf tid=%d %S" tid text

@@ -53,11 +53,40 @@ type t =
   | Neg_deny of { requester : int; n : int; dur : float }
   | Packet_send of { src : int; dst : int; bytes : int }
   | Packet_deliver of { src : int; dst : int; bytes : int }
+  | Fault_inject of { kind : fault_kind; src : int; dst : int; bytes : int }
+      (** The fault plan struck one message (emitted by the network). *)
+  | Node_kill of { node : int }
+      (** [node]'s network interface died (fail-stop fault model). *)
+  | Node_restart of { node : int }
+  | Net_retransmit of { src : int; dst : int; seq : int; attempt : int; bytes : int }
+      (** The reliable layer resent message [seq]; [attempt] counts from 2. *)
+  | Net_dup_suppress of { src : int; dst : int; seq : int }
+      (** A duplicate copy of [seq] reached the receiver and was ignored. *)
+  | Net_give_up of { src : int; dst : int; seq : int; attempts : int }
+      (** Retransmission exhausted its attempt budget; the sender's
+          failure continuation runs. *)
+  | Migration_abort of { tid : int; src : int; dst : int; reason : string }
+      (** Two-phase migration gave up; the thread resumes on [src]. *)
+  | Migration_rollback of { tid : int; node : int; slots : int }
+      (** The packed image was remapped into the source's own space after
+          a post-pack failure. *)
+  | Neg_abort of { requester : int; n : int; lease_until : float }
+      (** The requester died inside the negotiation critical section; its
+          lock lease expires at [lease_until]. *)
   | Thread_printf of { tid : int; text : string }
       (** One [pm2_printf] output line (the legacy trace format). *)
 
+(** How the fault plan interfered with a message. *)
+and fault_kind =
+  | Drop_loss
+  | Drop_partition
+  | Drop_dead
+  | Duplicate
+  | Corrupt
+
 val heap_name : heap_kind -> string
 val phase_name : migration_phase -> string
+val fault_name : fault_kind -> string
 
 (** Dot-separated taxonomy key, e.g. ["migration.pack"] — the metric name
     used by the {!Metrics} registry. *)

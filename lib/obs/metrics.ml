@@ -126,6 +126,20 @@ let on_event t ~node (ev : Event.t) =
     incr t ~node ~by:bytes "net.send_bytes";
     observe t ~node "net.packet_bytes" (float_of_int bytes)
   | Packet_deliver _ -> incr t ~node key
+  | Fault_inject { bytes; _ } ->
+    incr t ~node key;
+    incr t ~node "fault.injected";
+    incr t ~node ~by:bytes "fault.affected_bytes"
+  | Node_kill _ | Node_restart _ -> incr t ~node key
+  | Net_retransmit { bytes; _ } ->
+    incr t ~node key;
+    incr t ~node ~by:bytes "net.retransmit_bytes"
+  | Net_dup_suppress _ | Net_give_up _ -> incr t ~node key
+  | Migration_abort _ -> incr t ~node key
+  | Migration_rollback { slots; _ } ->
+    incr t ~node key;
+    incr t ~node ~by:slots "migration.rollback_slots"
+  | Neg_abort _ -> incr t ~node key
   | Thread_printf _ -> incr t ~node key
 
 let sink t = Sink.make ~name:"metrics" (fun ~time:_ ~node ev -> on_event t ~node ev)

@@ -55,6 +55,25 @@ let range_mapped t ~addr ~size =
   let rec loop p = p > last || (Hashtbl.mem t.pages p && loop (p + 1)) in
   size = 0 || loop first
 
+let range_unmapped t ~addr ~size =
+  let first = Layout.page_of_addr addr in
+  let last = Layout.page_of_addr (addr + size - 1) in
+  let rec loop p = p > last || ((not (Hashtbl.mem t.pages p)) && loop (p + 1)) in
+  size = 0 || loop first
+
+let scrub_range t ~addr ~size =
+  let first = Layout.page_of_addr addr in
+  let last = Layout.page_of_addr (addr + size - 1) in
+  let n = ref 0 in
+  if size > 0 then
+    for p = first to last do
+      if Hashtbl.mem t.pages p then begin
+        Hashtbl.remove t.pages p;
+        incr n
+      end
+    done;
+  !n
+
 let mapped_pages t = Hashtbl.length t.pages
 
 let mmap_calls t = t.mmap_calls

@@ -45,6 +45,17 @@ val is_mapped : t -> addr -> bool
     mapped. *)
 val range_mapped : t -> addr:addr -> size:int -> bool
 
+(** [range_unmapped t ~addr ~size] is [true] iff no page of the range is
+    mapped — the test a migration destination runs before accepting a
+    thread (two-phase protocol): [mmap] at those addresses will succeed. *)
+val range_unmapped : t -> addr:addr -> size:int -> bool
+
+(** [scrub_range t ~addr ~size] unmaps whatever pages of the range happen
+    to be mapped and returns how many were dropped. Unlike {!munmap} it
+    tolerates holes: it is the cleanup path after a partially applied
+    migration unpack is abandoned. *)
+val scrub_range : t -> addr:addr -> size:int -> int
+
 val mapped_pages : t -> int
 (** Resident page count. *)
 

@@ -1,0 +1,284 @@
+(* The fault-injection subsystem and the failure-hardened protocols on
+   top of it: spec grammar, deterministic routing, reliable delivery
+   under loss / corruption / dead peers, two-phase migration
+   abort→rollback→local-resume, negotiation leases, and the end-to-end
+   guarantee that a seeded fault load changes no guest-visible output. *)
+
+module Engine = Pm2_sim.Engine
+module Cm = Pm2_sim.Cost_model
+module As = Pm2_vmem.Address_space
+module Layout = Pm2_vmem.Layout
+module Plan = Pm2_fault.Plan
+module Network = Pm2_net.Network
+module Reliable = Pm2_net.Reliable
+open Pm2_core
+
+let program = Pm2_programs.Figures.image ()
+
+let spec_of s =
+  match Plan.spec_of_string s with
+  | Ok sp -> sp
+  | Error e -> Alcotest.failf "spec %S rejected: %s" s e
+
+(* -- the --faults grammar -- *)
+
+let test_spec_parse () =
+  let sp = spec_of "loss=0.1,dup=0.01,kill=2@5000" in
+  Alcotest.(check (float 0.)) "loss" 0.1 sp.Plan.loss;
+  Alcotest.(check (float 0.)) "dup" 0.01 sp.Plan.dup;
+  (match sp.Plan.kills with
+   | [ { Plan.victim = 2; at = 5000.; restart = None } ] -> ()
+   | _ -> Alcotest.fail "kill=2@5000 parsed wrong");
+  (match (spec_of "kill=1@100-200").Plan.kills with
+   | [ { Plan.victim = 1; at = 100.; restart = Some 200. } ] -> ()
+   | _ -> Alcotest.fail "kill with restart parsed wrong");
+  (match (spec_of "part=0-1@10-20").Plan.partitions with
+   | [ { Plan.pa = 0; pb = 1; from_t = 10.; until_t = 20. } ] -> ()
+   | _ -> Alcotest.fail "part parsed wrong");
+  Alcotest.(check bool) "empty spec is default" true (spec_of "" = Plan.default_spec)
+
+let test_spec_errors () =
+  let rejected s =
+    match Plan.spec_of_string s with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "probability > 1" true (rejected "loss=1.5");
+  Alcotest.(check bool) "not a number" true (rejected "loss=high");
+  Alcotest.(check bool) "unknown key" true (rejected "fire=1");
+  Alcotest.(check bool) "bare word" true (rejected "chaos");
+  Alcotest.(check bool) "restart before kill" true (rejected "kill=1@200-100");
+  Alcotest.(check bool) "empty partition window" true (rejected "part=0-1@20-20")
+
+let test_spec_roundtrip () =
+  let s = "loss=0.2,dup=0.05,corrupt=0.01,reorder=0.1,delay=40,part=0-2@10-90,kill=1@500-900" in
+  let sp = spec_of s in
+  let sp' = spec_of (Plan.spec_to_string sp) in
+  Alcotest.(check bool) "canonical form parses back to itself" true (sp = sp')
+
+(* -- deterministic routing -- *)
+
+let test_route_determinism () =
+  let sp = spec_of "loss=0.3,dup=0.1,corrupt=0.05,reorder=0.1,delay=25" in
+  let draws plan =
+    List.init 300 (fun i -> Plan.route plan ~now:(float_of_int i) ~src:(i mod 3) ~dst:2)
+  in
+  Alcotest.(check bool) "same seed, same fate for every message" true
+    (draws (Plan.create ~seed:9 sp) = draws (Plan.create ~seed:9 sp));
+  Alcotest.(check bool) "different seed diverges" true
+    (draws (Plan.create ~seed:9 sp) <> draws (Plan.create ~seed:10 sp))
+
+let test_route_partitions_and_kills () =
+  let plan = Plan.create ~seed:1 (spec_of "part=0-1@10-20,kill=2@50-60") in
+  let dropped r = match r with Plan.Dropped _ -> true | Plan.Deliver _ -> false in
+  Alcotest.(check bool) "link severed inside the window" true
+    (Plan.route plan ~now:15. ~src:0 ~dst:1 = Plan.Dropped Plan.Partitioned);
+  Alcotest.(check bool) "severed both ways" true
+    (Plan.route plan ~now:15. ~src:1 ~dst:0 = Plan.Dropped Plan.Partitioned);
+  Alcotest.(check bool) "other links unaffected" false
+    (dropped (Plan.route plan ~now:15. ~src:0 ~dst:2));
+  Alcotest.(check bool) "healed after the window" false
+    (dropped (Plan.route plan ~now:25. ~src:0 ~dst:1));
+  Alcotest.(check bool) "dead node drops inbound" true
+    (Plan.route plan ~now:55. ~src:0 ~dst:2 = Plan.Dropped (Plan.Node_down 2));
+  Alcotest.(check bool) "dead node drops outbound" true
+    (Plan.route plan ~now:55. ~src:2 ~dst:0 = Plan.Dropped (Plan.Node_down 2));
+  Alcotest.(check bool) "alive before the kill" true (Plan.node_alive plan ~node:2 ~now:49.);
+  Alcotest.(check bool) "dead inside the window" false
+    (Plan.node_alive plan ~node:2 ~now:50.);
+  Alcotest.(check bool) "alive after restart" true (Plan.node_alive plan ~node:2 ~now:60.);
+  Alcotest.(check bool) "the disabled plan never kills" true
+    (Plan.node_alive Plan.none ~node:2 ~now:55.)
+
+(* -- reliable delivery -- *)
+
+let make_rel spec_s ~seed =
+  let e = Engine.create () in
+  let net = Network.create ~faults:(Plan.create ~seed (spec_of spec_s)) e Cm.default ~nodes:3 in
+  (e, Reliable.create net)
+
+let test_reliable_under_loss () =
+  let e, rel = make_rel "loss=0.3" ~seed:5 in
+  let n = 200 in
+  let delivered = Hashtbl.create n and failures = ref 0 in
+  for i = 0 to n - 1 do
+    let payload = Bytes.of_string (Printf.sprintf "msg-%04d" i) in
+    Reliable.send rel ~src:0 ~dst:1 payload
+      ~on_delivered:(fun b ->
+        let got = Bytes.to_string b in
+        Hashtbl.replace delivered got (1 + Option.value ~default:0 (Hashtbl.find_opt delivered got)))
+      ~on_failed:(fun ~reason:_ -> incr failures)
+  done;
+  ignore (Engine.run e);
+  Alcotest.(check int) "no give-ups at 30% loss" 0 !failures;
+  Alcotest.(check int) "every message delivered" n (Hashtbl.length delivered);
+  Hashtbl.iter
+    (fun k c -> if c <> 1 then Alcotest.failf "%s delivered %d times" k c)
+    delivered;
+  Alcotest.(check bool) "losses actually recovered" true (Reliable.retransmits rel > 0)
+
+let test_reliable_gives_up_on_dead_peer () =
+  let e, rel = make_rel "kill=1@0" ~seed:5 in
+  let outcome = ref "pending" in
+  Reliable.send rel ~src:0 ~dst:1 (Bytes.of_string "into the void")
+    ~on_delivered:(fun _ -> outcome := "delivered")
+    ~on_failed:(fun ~reason:_ -> outcome := "failed");
+  ignore (Engine.run e);
+  Alcotest.(check string) "failure continuation ran" "failed" !outcome;
+  Alcotest.(check int) "one give-up" 1 (Reliable.give_ups rel)
+
+let test_reliable_rejects_corruption () =
+  (* Every copy is corrupted: the checksum catches each one, the receiver
+     never acks, and the sender eventually reports failure rather than
+     delivering mutated bytes. *)
+  let e, rel = make_rel "corrupt=1.0" ~seed:5 in
+  let outcome = ref "pending" in
+  Reliable.send rel ~src:0 ~dst:1 (Bytes.of_string "precious")
+    ~on_delivered:(fun _ -> outcome := "delivered")
+    ~on_failed:(fun ~reason:_ -> outcome := "failed");
+  ignore (Engine.run e);
+  Alcotest.(check string) "never delivered corrupt" "failed" !outcome
+
+(* -- guest programs under faults -- *)
+
+let run_faulty ?(nodes = 2) ?faults ?seed ~entry ~arg () =
+  let faults =
+    match faults with
+    | None -> Plan.none
+    | Some s -> Plan.create ?seed (spec_of s)
+  in
+  let config = { (Cluster.default_config ~nodes) with Cluster.faults } in
+  let c = Cluster.create config program in
+  ignore (Cluster.spawn c ~node:0 ~entry ~arg ());
+  ignore (Cluster.run c);
+  Cluster.check_invariants c;
+  c
+
+let test_guest_output_unchanged_under_loss () =
+  (* fig7 prints 100+ lines around a migration; 20% loss plus duplication
+     must change none of them. *)
+  let lines c = Pm2_sim.Trace.lines (Cluster.trace c) in
+  let clean = lines (run_faulty ~entry:"fig7" ~arg:105 ()) in
+  let faulty =
+    lines (run_faulty ~faults:"loss=0.2,dup=0.05" ~seed:11 ~entry:"fig7" ~arg:105 ())
+  in
+  Alcotest.(check (list string)) "guest-visible trace identical" clean faulty
+
+let test_end_to_end_determinism () =
+  let timed () =
+    let c =
+      run_faulty ~faults:"loss=0.2,dup=0.05,delay=30" ~seed:23 ~entry:"pingpong" ~arg:6 ()
+    in
+    ( Pm2_sim.Trace.timed_lines (Cluster.trace c),
+      Engine.now (Cluster.engine c),
+      Reliable.retransmits (Cluster.reliable c) )
+  in
+  let a = timed () and b = timed () in
+  Alcotest.(check bool) "same seed reproduces the run to the microsecond" true (a = b)
+
+let test_migration_abort_rollback_local_resume () =
+  (* The empty spec arms the hardened protocols with zero fault rates;
+     the collision is planted by hand: one page of the thread's stack
+     slot range is already mapped at the destination, so the probe is
+     rejected and the source must roll back. *)
+  let faults = Plan.create ~seed:1 (spec_of "") in
+  let config = { (Cluster.default_config ~nodes:2) with Cluster.faults } in
+  let c = Cluster.create config program in
+  let th = Cluster.spawn c ~node:0 ~entry:"pingpong" ~arg:3 () in
+  As.mmap (Cluster.node_space c 1) ~addr:th.Thread.stack_slot ~size:Layout.page_size;
+  ignore (Cluster.run c);
+  Alcotest.(check bool) "thread completed" true
+    (th.Thread.state = Thread.Exited Thread.Halted);
+  Alcotest.(check int) "resumed locally on its source" 0 th.Thread.node;
+  Alcotest.(check int) "every attempt aborted" 3 (Cluster.aborted_migrations c);
+  Alcotest.(check int) "no migration completed" 0 (List.length (Cluster.migrations c));
+  Cluster.check_invariants c
+
+let test_migration_aborts_to_dead_destination () =
+  (* Node 1 is dead from the start: the probe exhausts its retransmission
+     budget, the migration aborts before anything was unmapped, and the
+     thread finishes at home. *)
+  let c = run_faulty ~faults:"kill=1@0" ~seed:2 ~entry:"pingpong" ~arg:1 () in
+  let th = List.hd (Cluster.threads c) in
+  Alcotest.(check bool) "thread completed" true
+    (th.Thread.state = Thread.Exited Thread.Halted);
+  Alcotest.(check int) "finished at home" 0 th.Thread.node;
+  Alcotest.(check int) "abort recorded" 1 (Cluster.aborted_migrations c);
+  Alcotest.(check bool) "probe gave up" true
+    (Reliable.give_ups (Cluster.reliable c) >= 1)
+
+let test_negotiation_lease_expires () =
+  (* Requester 0's interface dies inside its critical-section window: the
+     negotiation aborts with no ownership change and the system-wide lock
+     frees at death + lease, so a surviving requester gets through. *)
+  let faults = Plan.create ~seed:3 (spec_of "kill=0@100") in
+  let config = { (Cluster.default_config ~nodes:2) with Cluster.faults } in
+  let c = Cluster.create config program in
+  let neg = Cluster.negotiation c in
+  let r = Negotiation.execute neg ~requester:0 ~n:1 in
+  Alcotest.(check bool) "negotiation aborted" true r.Negotiation.aborted;
+  Alcotest.(check bool) "nothing bought" true
+    (r.Negotiation.start = None && r.Negotiation.bought = 0);
+  Alcotest.(check (float 1e-6)) "blocked until the lease expires"
+    (100. +. Negotiation.lease neg) r.Negotiation.duration;
+  Alcotest.(check int) "abort counted" 1 (Negotiation.aborted neg);
+  Negotiation.check_global_invariant neg;
+  let r2 = Negotiation.execute neg ~requester:1 ~n:1 in
+  Alcotest.(check bool) "survivor not aborted" false r2.Negotiation.aborted;
+  Alcotest.(check bool) "survivor served after the lease" true
+    (r2.Negotiation.start <> None);
+  Negotiation.check_global_invariant neg
+
+let test_acceptance_loss_and_kill () =
+  (* The issue's acceptance scenario: a balanced irregular workload on 3
+     nodes under 15% loss with one mid-run interface kill (and restart).
+     Every thread must finish normally — none lost, none duplicated — and
+     the cross-node invariants must hold at the end. *)
+  let faults = Plan.create ~seed:7 (spec_of "loss=0.15,kill=2@2000-5000") in
+  let config = { (Cluster.default_config ~nodes:3) with Cluster.faults } in
+  let c = Cluster.create config program in
+  let m = Pm2_obs.Metrics.create () in
+  Pm2_obs.Collector.attach (Cluster.obs c) (Pm2_obs.Metrics.sink m);
+  ignore (Cluster.spawn c ~node:0 ~entry:"spawner" ~arg:9 ());
+  let _ = Pm2_loadbal.Balancer.attach c ~policy:Pm2_loadbal.Balancer.Least_loaded
+      ~period:400. in
+  ignore (Cluster.run c);
+  Alcotest.(check int) "no thread stranded" 0 (Cluster.live_threads c);
+  let all = Cluster.threads c in
+  Alcotest.(check int) "spawner + 9 workers" 10 (List.length all);
+  List.iter
+    (fun (th : Thread.t) ->
+       if th.Thread.state <> Thread.Exited Thread.Halted then
+         Alcotest.failf "thread %d did not halt normally" th.Thread.id)
+    all;
+  let ids = List.sort_uniq compare (List.map (fun (th : Thread.t) -> th.Thread.id) all) in
+  Alcotest.(check int) "no thread duplicated" 10 (List.length ids);
+  Alcotest.(check int) "kill marker in metrics" 1 (Pm2_obs.Metrics.total_counter m "node.kill");
+  Alcotest.(check int) "restart marker in metrics" 1
+    (Pm2_obs.Metrics.total_counter m "node.restart");
+  Alcotest.(check bool) "losses were injected" true
+    ((Plan.stats faults).Plan.dropped > 0);
+  Cluster.check_invariants c
+
+let tests =
+  [
+    Alcotest.test_case "spec grammar" `Quick test_spec_parse;
+    Alcotest.test_case "spec errors" `Quick test_spec_errors;
+    Alcotest.test_case "spec round-trip" `Quick test_spec_roundtrip;
+    Alcotest.test_case "seeded routing is deterministic" `Quick test_route_determinism;
+    Alcotest.test_case "partitions and kills" `Quick test_route_partitions_and_kills;
+    Alcotest.test_case "reliable: exactly-once under 30% loss" `Quick
+      test_reliable_under_loss;
+    Alcotest.test_case "reliable: give-up on dead peer" `Quick
+      test_reliable_gives_up_on_dead_peer;
+    Alcotest.test_case "reliable: corruption never delivered" `Quick
+      test_reliable_rejects_corruption;
+    Alcotest.test_case "guest output unchanged under loss" `Quick
+      test_guest_output_unchanged_under_loss;
+    Alcotest.test_case "end-to-end determinism" `Quick test_end_to_end_determinism;
+    Alcotest.test_case "migration abort, rollback, local resume" `Quick
+      test_migration_abort_rollback_local_resume;
+    Alcotest.test_case "migration to dead node aborts" `Quick
+      test_migration_aborts_to_dead_destination;
+    Alcotest.test_case "negotiation lease expiry" `Quick test_negotiation_lease_expires;
+    Alcotest.test_case "acceptance: loss + mid-run kill" `Quick
+      test_acceptance_loss_and_kill;
+  ]

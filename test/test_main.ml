@@ -12,6 +12,7 @@ let () =
       ("vmem", Test_vmem.tests);
       ("sim", Test_sim.tests);
       ("net", Test_net.tests);
+      ("fault", Test_fault.tests);
       ("heap", Test_heap.tests);
       ("mvm", Test_mvm.tests);
       ("core.slots", Test_slots.tests);

@@ -205,8 +205,13 @@ let test_relocation_rejects_data_slots () =
   let c = cluster ~scheme:Cluster.Relocating () in
   let th = Cluster.host_thread c ~node:0 in
   ignore (Option.get (Iso_heap.isomalloc (Cluster.host_env c 0) th 100));
-  Alcotest.(check bool) "legacy scheme cannot carry data slots" true
-    (try Cluster.host_migrate c th ~dest:1; false with Failure _ -> true)
+  (* The failure is a typed error carrying the thread and stage, not a
+     bare Failure: callers can match on it. *)
+  match Cluster.host_migrate c th ~dest:1 with
+  | () -> Alcotest.fail "legacy scheme accepted a thread with data slots"
+  | exception Relocation.Error { tid; stage; _ } ->
+    Alcotest.(check int) "error names the thread" th.Thread.id tid;
+    Alcotest.(check string) "failed while packing" "pack" (Relocation.stage_name stage)
 
 let test_relocation_releases_source_slot () =
   let c = cluster ~scheme:Cluster.Relocating () in

@@ -89,6 +89,48 @@ let test_stats () =
   Network.reset_stats net;
   Alcotest.(check int) "reset" 0 (Network.messages_sent net)
 
+(* record_virtual models traffic that never travels as a packet object
+   (e.g. host-mode migration): it must book-keep exactly like a real
+   send — counters on the link, and a symmetric Packet_send /
+   Packet_deliver pair in the event stream. *)
+let test_record_virtual_events () =
+  let e = Engine.create () in
+  let obs = Pm2_obs.Collector.create ~now:(fun () -> Engine.now e) () in
+  let ring = Pm2_obs.Ring.create ~capacity:16 in
+  Pm2_obs.Collector.attach obs (Pm2_obs.Ring.sink ring);
+  let net = Network.create ~obs e Cm.default ~nodes:3 in
+  Network.record_virtual net ~src:2 ~dst:0 ~bytes:777;
+  let events =
+    List.map (fun r -> (r.Pm2_obs.Ring.node, r.Pm2_obs.Ring.event))
+      (Pm2_obs.Ring.to_list ring)
+  in
+  Alcotest.(check int) "two events" 2 (List.length events);
+  (match events with
+   | [ (n1, Pm2_obs.Event.Packet_send { src; dst; bytes });
+       (n2, Pm2_obs.Event.Packet_deliver { src = src'; dst = dst'; bytes = bytes' }) ] ->
+     Alcotest.(check int) "send attributed to src" 2 n1;
+     Alcotest.(check int) "deliver attributed to dst" 0 n2;
+     Alcotest.(check (triple int int int)) "send payload" (2, 0, 777) (src, dst, bytes);
+     Alcotest.(check (triple int int int)) "deliver payload" (2, 0, 777) (src', dst', bytes')
+   | _ -> Alcotest.fail "expected a Packet_send / Packet_deliver pair");
+  Alcotest.(check (pair int int)) "link counters" (1, 777)
+    (Network.link_stats net ~src:2 ~dst:0)
+
+let test_link_stats_reset () =
+  let e, net = make () in
+  Network.send net ~src:0 ~dst:1 (Bytes.create 100) ignore;
+  Network.record_virtual net ~src:0 ~dst:1 ~bytes:20;
+  ignore (Engine.run e);
+  Alcotest.(check (pair int int)) "real + virtual on one link" (2, 120)
+    (Network.link_stats net ~src:0 ~dst:1);
+  Alcotest.(check (pair int int)) "untouched link" (0, 0)
+    (Network.link_stats net ~src:1 ~dst:0);
+  Network.reset_stats net;
+  Alcotest.(check (pair int int)) "link zeroed" (0, 0)
+    (Network.link_stats net ~src:0 ~dst:1);
+  Alcotest.(check int) "messages zeroed" 0 (Network.messages_sent net);
+  Alcotest.(check int) "bytes zeroed" 0 (Network.bytes_sent net)
+
 let test_bad_node () =
   let _, net = make () in
   Alcotest.(check bool) "bad dst" true
@@ -114,6 +156,9 @@ let tests =
     Alcotest.test_case "delivery time model" `Quick test_send_delivery_time;
     Alcotest.test_case "self send" `Quick test_self_send;
     Alcotest.test_case "traffic statistics" `Quick test_stats;
+    Alcotest.test_case "record_virtual emits send+deliver" `Quick
+      test_record_virtual_events;
+    Alcotest.test_case "link stats and reset" `Quick test_link_stats_reset;
     Alcotest.test_case "bad node rejected" `Quick test_bad_node;
     Alcotest.test_case "crossbar semantics" `Quick test_ordering_by_size;
   ]
