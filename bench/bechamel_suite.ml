@@ -2,6 +2,9 @@
    paths themselves (Bechamel, monotonic clock) — one [Test.make] per
    paper table/figure:
 
+   - B1/B2: the word-level bitmap scans against the bit-by-bit reference
+     model (the paper-geometry 57 344-bit slot bitmap, worst-case
+     patterns);
    - F11a: the sub-slot isomalloc fast path vs the malloc baseline;
    - F11b: multi-slot isomalloc (negotiation + merged slot) vs malloc;
    - T1:  a full pack/transfer/unpack migration round trip;
@@ -9,14 +12,60 @@
 
    These complement the virtual-time figures: virtual time tells you what
    the modelled 1999 cluster would measure; these tell you what the OCaml
-   implementation costs on the host today. *)
+   implementation costs on the host today. Results are recorded into
+   {!Report} (suite "bechamel" / "bitset") for BENCH_results.json. *)
 
 open Bechamel
 open Toolkit
 open Pm2_core
+module Bitset = Pm2_util.Bitset
+module Bitset_ref = Pm2_util.Bitset_ref
 
 (* Each staged function allocates and frees (or migrates back and forth),
    so the simulated state is in steady state across samples. *)
+
+(* -- bitset scans, paper geometry (57 344 slots) -- *)
+
+let bitset_bits = 57344
+
+(* Worst case for [first_set_from 0]: every bit clear except the last. *)
+let mk_sparse set = set (bitset_bits - 1)
+
+(* Worst case for [find_run 8]: short runs of 4 scattered every 64 bits
+   (each one a false candidate), with the only adequate run at the end. *)
+let mk_scattered set =
+  let i = ref 0 in
+  while !i < bitset_bits - 64 do
+    for j = !i to !i + 3 do set j done;
+    i := !i + 64
+  done;
+  for j = bitset_bits - 9 to bitset_bits - 1 do set j done
+
+let test_bitset_first_set () =
+  let w = Bitset.create bitset_bits in
+  mk_sparse (Bitset.set w);
+  Test.make ~name:"B1: Bitset.first_set_from, sparse 57344b (word)"
+    (Staged.stage (fun () -> ignore (Bitset.first_set_from w 0)))
+
+let test_bitset_first_set_ref () =
+  let r = Bitset_ref.create bitset_bits in
+  mk_sparse (Bitset_ref.set r);
+  Test.make ~name:"B1: Bitset.first_set_from, sparse 57344b (ref)"
+    (Staged.stage (fun () -> ignore (Bitset_ref.first_set_from r 0)))
+
+let test_bitset_find_run () =
+  let w = Bitset.create bitset_bits in
+  mk_scattered (Bitset.set w);
+  Test.make ~name:"B2: Bitset.find_run 8, scattered 57344b (word)"
+    (Staged.stage (fun () -> ignore (Bitset.find_run w 8)))
+
+let test_bitset_find_run_ref () =
+  let r = Bitset_ref.create bitset_bits in
+  mk_scattered (Bitset_ref.set r);
+  Test.make ~name:"B2: Bitset.find_run 8, scattered 57344b (ref)"
+    (Staged.stage (fun () -> ignore (Bitset_ref.find_run r 8)))
+
+(* -- allocator / migration / negotiation round trips -- *)
 
 let test_f11a_isomalloc () =
   let c = Harness.cluster () in
@@ -69,19 +118,10 @@ let test_t2_negotiation () =
   Test.make ~name:"T2: negotiation protocol (4 nodes)"
     (Staged.stage (fun () -> ignore (Negotiation.execute neg ~requester:0 ~n:4)))
 
-let run_suite () =
-  Harness.section "Bechamel: host wall-clock cost of the implementation paths";
-  let tests =
-    [
-      test_f11a_malloc ();
-      test_f11a_isomalloc ();
-      test_f11b_malloc ();
-      test_f11b_isomalloc ();
-      test_t1_migration ();
-      test_t2_negotiation ();
-    ]
-  in
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~kde:None () in
+(* Run [tests] under bechamel and return [(name, ns_per_op, r2)] rows,
+   sorted by name. *)
+let measure ~quota tests =
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second quota) ~kde:None () in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -91,18 +131,94 @@ let run_suite () =
   let results =
     Analyze.merge ols instances (List.map (fun i -> Analyze.all ols i raw) instances)
   in
+  match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
+  | None -> []
+  | Some per_test ->
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) per_test []
+    |> List.sort compare
+    |> List.map (fun (name, ols) ->
+        let est =
+          match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
+        in
+        let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
+        (name, est, r2))
+
+let find_ns rows needle =
+  List.find_map
+    (fun (name, ns, _) ->
+       (* bechamel prefixes group names; match on the test's own label *)
+       let contains =
+         let nl = String.length needle and hl = String.length name in
+         let rec go i = i + nl <= hl && (String.sub name i nl = needle || go (i + 1)) in
+         go 0
+       in
+       if contains then Some ns else None)
+    rows
+
+(* Record the rows and the word-vs-ref speedups into the report. *)
+let record_rows rows =
+  List.iter
+    (fun (name, ns, r2) ->
+       Report.record ~suite:"bechamel" ~name [ ("ns_per_op", ns); ("r_square", r2) ])
+    rows;
+  List.iter
+    (fun (label, tag) ->
+       match
+         ( find_ns rows (Printf.sprintf "%s (word)" label),
+           find_ns rows (Printf.sprintf "%s (ref)" label) )
+       with
+       | Some w, Some r when w > 0. ->
+         Report.record ~suite:"bitset" ~name:tag
+           ~params:[ ("bits", string_of_int bitset_bits) ]
+           [ ("word_ns_per_op", w); ("ref_ns_per_op", r); ("speedup_vs_ref", r /. w) ]
+       | _ -> ())
+    [
+      ("B1: Bitset.first_set_from, sparse 57344b", "first_set_from");
+      ("B2: Bitset.find_run 8, scattered 57344b", "find_run");
+    ]
+
+let print_rows rows =
   let t = Pm2_util.Table.create [ "benchmark"; "ns/op (host)"; "r^2" ] in
-  (match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
-   | None -> ()
-   | Some per_test ->
-     Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) per_test []
-     |> List.sort compare
-     |> List.iter (fun (name, ols) ->
-         let est =
-           match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
-         in
-         let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
-         Pm2_util.Table.add_rowf t "%s|%.0f|%.3f" name est r2));
-  Pm2_util.Table.print t;
+  List.iter (fun (name, ns, r2) -> Pm2_util.Table.add_rowf t "%s|%.0f|%.3f" name ns r2) rows;
+  Pm2_util.Table.print t
+
+let full_tests () =
+  [
+    test_bitset_first_set ();
+    test_bitset_first_set_ref ();
+    test_bitset_find_run ();
+    test_bitset_find_run_ref ();
+    test_f11a_malloc ();
+    test_f11a_isomalloc ();
+    test_f11b_malloc ();
+    test_f11b_isomalloc ();
+    test_t1_migration ();
+    test_t2_negotiation ();
+  ]
+
+let run_suite () =
+  Harness.section "Bechamel: host wall-clock cost of the implementation paths";
+  let rows = measure ~quota:0.4 (full_tests ()) in
+  print_rows rows;
+  record_rows rows;
   Harness.note "host wall-clock of the same code paths the virtual-time figures model;";
   Harness.note "they measure this OCaml implementation, not the 1999 testbed"
+
+(* Trimmed variant for the @perf-smoke alias: the bitset pair (the
+   speedup entries the trajectory tracks) plus the F11a fast path, under
+   a short quota. *)
+let run_smoke () =
+  Harness.section "Bechamel (smoke): trimmed wall-clock suite";
+  let rows =
+    measure ~quota:0.1
+      [
+        test_bitset_first_set ();
+        test_bitset_first_set_ref ();
+        test_bitset_find_run ();
+        test_bitset_find_run_ref ();
+        test_f11a_malloc ();
+        test_f11a_isomalloc ();
+      ]
+  in
+  print_rows rows;
+  record_rows rows

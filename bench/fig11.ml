@@ -11,7 +11,7 @@
 open Pm2_core
 module Table = Pm2_util.Table
 
-let series ~title ~sizes ~iters =
+let series ~id ~title ~sizes ~iters =
   Harness.section title;
   let t =
     Table.create
@@ -22,12 +22,20 @@ let series ~title ~sizes ~iters =
        let m, _ = Harness.avg_alloc_time Harness.Malloc ~size ~iters in
        let i, c = Harness.avg_alloc_time Harness.Isomalloc ~size ~iters in
        let negs = Negotiation.count (Cluster.negotiation c) in
+       Report.record ~suite:id ~name:(Printf.sprintf "alloc %d B" size)
+         ~params:[ ("size", string_of_int size); ("iters", string_of_int iters) ]
+         [
+           ("malloc_us", m);
+           ("isomalloc_us", i);
+           ("negotiations", float_of_int negs);
+         ];
        Table.add_rowf t "%d|%.1f|%.1f|%+.1f%%|%d" size m i ((i -. m) /. m *. 100.) negs)
     sizes;
   Table.print t
 
 let small () =
-  series ~title:"Fig. 11 (top): small requests, 0-500 KB, 2 nodes, round-robin slots"
+  series ~id:"f11-small"
+    ~title:"Fig. 11 (top): small requests, 0-500 KB, 2 nodes, round-robin slots"
     ~sizes:
       [
         1_024; 4_096; 16_384; 50_000; 65_536; 100_000; 150_000; 200_000; 250_000;
@@ -49,7 +57,8 @@ let small () =
   Harness.note "that don't divide the 64 KB slot leave a paid-for tail)"
 
 let large () =
-  series ~title:"Fig. 11 (bottom): large requests, 1-8 MB, 2 nodes, round-robin slots"
+  series ~id:"f11-large"
+    ~title:"Fig. 11 (bottom): large requests, 1-8 MB, 2 nodes, round-robin slots"
     ~sizes:(List.init 8 (fun k -> (k + 1) * 1024 * 1024))
     ~iters:10;
   Harness.note "paper: ~100000 us at 8 MB; the negotiation overhead is";

@@ -8,7 +8,8 @@ module Units = Pm2_util.Units
 let program = lazy (Pm2_programs.Figures.image ())
 
 let cluster ?(nodes = 2) ?(distribution = Distribution.Round_robin) ?(cache = 16)
-    ?(slot_size = 64 * 1024) ?(scheme = Cluster.Iso) ?(packing = Migration.Blocks_only) () =
+    ?(slot_size = 64 * 1024) ?(scheme = Cluster.Iso) ?(packing = Migration.Blocks_only)
+    ?(allocator_policy = Pm2_heap.Malloc.First_fit) () =
   let config =
     {
       (Cluster.default_config ~nodes) with
@@ -17,6 +18,7 @@ let cluster ?(nodes = 2) ?(distribution = Distribution.Round_robin) ?(cache = 16
       slot_size;
       scheme;
       packing;
+      allocator_policy;
     }
   in
   Cluster.create config (Lazy.force program)

@@ -4,8 +4,14 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- <ids>   -- run selected experiments
 
+   `--json PATH` additionally writes the machine-readable perf trajectory
+   (schema "pm2-bench/1": virtual-time stats and host wall-clock numbers
+   per experiment) to PATH — the BENCH_results.json that future PRs diff
+   against.
+
    Experiment ids: e-figs f11-small f11-large t-migration t-negotiation
-   a-distribution a-packing a-slotcache a-pointers a-slotsize bechamel *)
+   a-distribution a-packing a-slotcache a-pointers a-slotsize a-allocator
+   bechamel perf-smoke *)
 
 let experiments =
   [
@@ -27,16 +33,31 @@ let experiments =
     ("a-fit", "ablation: first-fit vs best-fit placement", Ablations.fit_strategy);
     ("a-prebuy", "ablation: pre-buying slots in negotiations", Ablations.prebuy);
     ("a-restructure", "ablation: global slot restructuring", Ablations.restructure);
+    ("a-allocator", "ablation: local-heap first-fit vs segregated bins", Ablations.allocator_policy);
     ("hpf", "motivating application: VP load balancing", Hpf_bench.run);
     ("fault-sweep", "robustness: seeded fault sweep over pingpong", Fault_sweep.run);
     ("bechamel", "host wall-clock microbenchmarks", Bechamel_suite.run_suite);
+    ("perf-smoke", "trimmed bechamel suite (the @perf-smoke alias)", Bechamel_suite.run_smoke);
   ]
 
 let () =
+  let rec parse ids json = function
+    | "--json" :: path :: rest -> parse ids (Some path) rest
+    | [ "--json" ] ->
+      prerr_endline "--json requires a PATH argument";
+      exit 2
+    | id :: rest -> parse (id :: ids) json rest
+    | [] -> (List.rev ids, json)
+  in
+  let ids, json_path = parse [] None (List.tl (Array.to_list Sys.argv)) in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as ids) -> ids
-    | _ -> List.map (fun (id, _, _) -> id) experiments
+    match ids with
+    | [] ->
+      (* Everything except the smoke alias for the default full run. *)
+      List.filter_map
+        (fun (id, _, _) -> if id = "perf-smoke" then None else Some id)
+        experiments
+    | ids -> ids
   in
   print_endline "PM2 isomalloc reproduction - benchmark suite";
   print_endline "(virtual times model the paper's testbed: 200 MHz PentiumPro,";
@@ -44,9 +65,18 @@ let () =
   List.iter
     (fun id ->
        match List.find_opt (fun (id', _, _) -> id = id') experiments with
-       | Some (_, _, f) -> f ()
+       | Some (_, _, f) ->
+         let t0 = Unix.gettimeofday () in
+         f ();
+         Report.record ~suite:"experiment" ~name:id
+           [ ("wall_s", Unix.gettimeofday () -. t0) ]
        | None ->
          Printf.eprintf "unknown experiment %S; available:\n" id;
          List.iter (fun (id, doc, _) -> Printf.eprintf "  %-22s %s\n" id doc) experiments;
          exit 2)
-    requested
+    requested;
+  match json_path with
+  | None -> ()
+  | Some path ->
+    Report.write path;
+    Printf.printf "\nwrote %s (%d entries, schema pm2-bench/1)\n" path (Report.count ())

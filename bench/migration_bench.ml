@@ -27,6 +27,13 @@ let null_thread () =
   Table.add_rowf t "speedup vs Active Threads|%.2fx"
     (active_threads_reference_us /. s.Stats.mean);
   Table.print t;
+  Report.record ~suite:"migration" ~name:"null-thread ping-pong"
+    ~params:[ ("rounds", string_of_int rounds); ("nodes", "2") ]
+    [
+      ("mean_us", s.Stats.mean);
+      ("median_us", s.Stats.median);
+      ("wire_bytes", float_of_int wire);
+    ];
   Harness.note
     "no post-migration processing of any kind: the iso-address copy is enough";
   if s.Stats.mean >= 75. then
@@ -45,6 +52,9 @@ let payload_sweep () =
        let lat = Harness.migration_latencies c in
        let s = Stats.summarize lat in
        let wire = (List.hd (Cluster.migrations c)).Cluster.bytes in
+       Report.record ~suite:"migration" ~name:"payload ping-pong"
+         ~params:[ ("payload", string_of_int bytes) ]
+         [ ("mean_us", s.Stats.mean); ("wire_bytes", float_of_int wire) ];
        Table.add_rowf t "%s|%.1f|%d|%s"
          (Pm2_util.Units.bytes_to_string bytes)
          s.Stats.mean wire

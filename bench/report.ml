@@ -1,0 +1,92 @@
+(* The machine-readable perf trajectory: every experiment that wants to
+   be tracked across PRs records entries here, and main.ml dumps them as
+   BENCH_results.json when invoked with --json PATH.
+
+   Schema ("pm2-bench/1"):
+
+     { "schema": "pm2-bench/1",
+       "results": [
+         { "suite": "bitset",
+           "name": "first_set_from",
+           "params": { "bits": "57344" },
+           "metrics": { "ns_per_op": 41.0, "speedup_vs_ref": 120.0 } },
+         ... ] }
+
+   [params] values are strings (experiment configuration); [metrics]
+   values are finite numbers — virtual-time stats (microseconds) and host
+   wall-clock figures (ns/op, seconds) side by side, so future PRs can
+   diff both dimensions against this one. Parseable by lib/obs/json.ml,
+   which is what bin/check_bench.ml (the @perf-smoke alias) verifies. *)
+
+type entry = {
+  suite : string;
+  name : string;
+  params : (string * string) list;
+  metrics : (string * float) list;
+}
+
+let entries : entry list ref = ref []
+
+let record ~suite ~name ?(params = []) metrics =
+  let metrics = List.filter (fun (_, v) -> Float.is_finite v) metrics in
+  entries := { suite; name; params; metrics } :: !entries
+
+let count () = List.length !entries
+
+(* -- JSON writer (no library dependency; mirrors lib/obs/chrome.ml) -- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let add_num buf v =
+  (* %.17g round-trips doubles; JSON has no Infinity/NaN (filtered in
+     [record]). *)
+  let s = Printf.sprintf "%.17g" v in
+  Buffer.add_string buf s
+
+let add_entry buf e =
+  Buffer.add_string buf "    { \"suite\": \"";
+  Buffer.add_string buf (escape e.suite);
+  Buffer.add_string buf "\", \"name\": \"";
+  Buffer.add_string buf (escape e.name);
+  Buffer.add_string buf "\",\n      \"params\": {";
+  List.iteri
+    (fun i (k, v) ->
+       if i > 0 then Buffer.add_string buf ", ";
+       Buffer.add_string buf (Printf.sprintf "\"%s\": \"%s\"" (escape k) (escape v)))
+    e.params;
+  Buffer.add_string buf "},\n      \"metrics\": {";
+  List.iteri
+    (fun i (k, v) ->
+       if i > 0 then Buffer.add_string buf ", ";
+       Buffer.add_string buf (Printf.sprintf "\"%s\": " (escape k));
+       add_num buf v)
+    e.metrics;
+  Buffer.add_string buf "} }"
+
+let to_string () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{ \"schema\": \"pm2-bench/1\",\n  \"results\": [\n";
+  List.iteri
+    (fun i e ->
+       if i > 0 then Buffer.add_string buf ",\n";
+       add_entry buf e)
+    (List.rev !entries);
+  Buffer.add_string buf "\n  ] }\n";
+  Buffer.contents buf
+
+let write path =
+  let oc = open_out path in
+  output_string oc (to_string ());
+  close_out oc

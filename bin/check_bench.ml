@@ -1,0 +1,60 @@
+(* Validator for the `--json` perf trajectory: parses BENCH_results.json
+   with the in-tree JSON reader and checks the "pm2-bench/1" schema —
+   every entry needs a suite, a name, and at least one finite numeric
+   metric. Exits non-zero on any violation, which is what the
+   @perf-smoke alias keys off. *)
+
+module Json = Pm2_obs.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("check_bench: " ^ s); exit 1) fmt
+
+let read_file path =
+  let ic = try open_in_bin path with Sys_error e -> fail "%s" e in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let str_field name obj = Option.bind (Json.member name obj) Json.to_string_val
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else fail "usage: check_bench FILE"
+  in
+  let json =
+    match Json.parse (read_file path) with
+    | Ok j -> j
+    | Error e -> fail "%s: invalid JSON: %s" path e
+  in
+  (match str_field "schema" json with
+   | Some "pm2-bench/1" -> ()
+   | Some s -> fail "%s: unexpected schema %S" path s
+   | None -> fail "%s: no schema field" path);
+  let results =
+    match Option.bind (Json.member "results" json) Json.to_list with
+    | Some l -> l
+    | None -> fail "%s: no results array" path
+  in
+  if results = [] then fail "%s: empty results" path;
+  let metrics_total = ref 0 in
+  List.iter
+    (fun e ->
+       let suite = match str_field "suite" e with
+         | Some s -> s
+         | None -> fail "entry without suite" in
+       let name = match str_field "name" e with
+         | Some n -> n
+         | None -> fail "entry in suite %s without name" suite in
+       match Json.member "metrics" e with
+       | Some (Json.Obj fields) ->
+         if fields = [] then fail "%s/%s: no metrics" suite name;
+         List.iter
+           (fun (k, v) ->
+              match Json.to_float v with
+              | Some f when Float.is_finite f -> incr metrics_total
+              | _ -> fail "%s/%s: metric %s is not a finite number" suite name k)
+           fields
+       | _ -> fail "%s/%s: no metrics object" suite name)
+    results;
+  Printf.printf "check_bench: %s ok (%d entries, %d metrics)\n" path
+    (List.length results) !metrics_total

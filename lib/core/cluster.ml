@@ -28,6 +28,7 @@ type config = {
   quantum : int;
   fit : Iso_heap.fit;
   prebuy : int;
+  allocator_policy : Pm2_heap.Malloc.policy;
   cost : Cm.t;
   seed : int;
   faults : Fault.Plan.t;
@@ -44,6 +45,7 @@ let default_config ~nodes =
     quantum = 200;
     fit = Iso_heap.First_fit;
     prebuy = 0;
+    allocator_policy = Pm2_heap.Malloc.First_fit;
     cost = Cm.default;
     seed = 42;
     faults = Fault.Plan.none;
@@ -115,7 +117,8 @@ let create (config : config) program =
   in
   let nodes =
     Array.init config.nodes (fun id ->
-        Node.create ~obs ~id ~cost:config.cost ~geometry ~bitmap:bitmaps.(id)
+        Node.create ~obs ~allocator_policy:config.allocator_policy ~id
+          ~cost:config.cost ~geometry ~bitmap:bitmaps.(id)
           ~cache_capacity:config.cache_capacity ~seed:config.seed ())
   in
   Array.iter (fun n -> Program.load_data program n.Node.space) nodes;

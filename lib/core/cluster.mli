@@ -23,6 +23,7 @@ type config = {
   quantum : int; (* instructions per scheduling quantum *)
   fit : Iso_heap.fit; (* block placement strategy (paper: first-fit) *)
   prebuy : int; (* extra slots bought per negotiation (paper 4.4 remark) *)
+  allocator_policy : Pm2_heap.Malloc.policy; (* local-heap free-list layout *)
   cost : Pm2_sim.Cost_model.t;
   seed : int;
   faults : Pm2_fault.Plan.t; (* fault plan; [Plan.none] = pristine network *)
@@ -30,8 +31,8 @@ type config = {
 
 val default_config : nodes:int -> config
 (** 64 KB slots, round-robin distribution (the paper's experimental setup),
-    iso scheme with blocks-only packing, slot cache of 16, quantum 200, no
-    faults. *)
+    iso scheme with blocks-only packing, slot cache of 16, quantum 200,
+    first-fit local heap, no faults. *)
 
 type migration_record = {
   tid : int;

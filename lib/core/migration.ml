@@ -70,15 +70,20 @@ let used_blocks space slot =
   in
   walk (Sh.blocks_base slot) []
 
+(* Pack a length-prefixed range of simulated memory, streaming page runs
+   straight into the wire buffer (same wire format as [pack_bytes]). *)
+let pack_mem space p addr len =
+  Pk.pack_raw p ~len (fun buf -> As.add_to_buffer space ~addr ~len buf)
+
 let pack_slot space packing p (th : Thread.t) slot =
   let size = Sh.read_size space slot in
   Pk.pack_int p slot;
   Pk.pack_int p size;
   match packing with
-  | Full_slots -> Pk.pack_bytes p (As.load_bytes space slot size)
+  | Full_slots -> pack_mem space p slot size
   | Blocks_only ->
     (* Header verbatim (carries the chain links and kind). *)
-    Pk.pack_bytes p (As.load_bytes space slot Sh.size_of_header);
+    pack_mem space p slot Sh.size_of_header;
     (match Sh.read_kind space slot with
      | Sh.Stack ->
        (* Only the live region [sp, stack top) is meaningful. *)
@@ -88,14 +93,14 @@ let pack_slot space packing p (th : Thread.t) slot =
          failwith (Printf.sprintf "Migration: stack pointer 0x%x outside stack slot" sp);
        Pk.pack_int p 1; (* tag: stack payload *)
        Pk.pack_int p (sp - slot);
-       Pk.pack_bytes p (As.load_bytes space sp (top - sp))
+       pack_mem space p sp (top - sp)
      | Sh.Data ->
        Pk.pack_int p 0; (* tag: block list *)
        let blocks = used_blocks space slot in
        Pk.pack_list p
          (fun (off, bsize) ->
             Pk.pack_int p off;
-            Pk.pack_bytes p (As.load_bytes space (slot + off) bsize))
+            pack_mem space p (slot + off) bsize)
          blocks)
 
 (* Rebuild the free blocks of a data slot from the gaps between its used
@@ -132,26 +137,26 @@ let unpack_slot space u =
   let slot = Pk.unpack_int u in
   let size = Pk.unpack_int u in
   As.mmap space ~addr:slot ~size;
-  let full_or_header = Pk.unpack_bytes u in
-  if Bytes.length full_or_header = size then begin
+  let data, pos, len = Pk.unpack_view u in
+  if len = size then begin
     (* Full_slots image. *)
-    As.store_bytes space slot full_or_header;
+    As.store_sub space slot data ~pos ~len;
     (slot, size)
   end
   else begin
-    As.store_bytes space slot full_or_header;
+    As.store_sub space slot data ~pos ~len;
     (match Pk.unpack_int u with
      | 1 ->
        let sp_off = Pk.unpack_int u in
-       let live = Pk.unpack_bytes u in
-       As.store_bytes space (slot + sp_off) live
+       let data, pos, len = Pk.unpack_view u in
+       As.store_sub space (slot + sp_off) data ~pos ~len
      | 0 ->
        let used =
          Pk.unpack_list u (fun () ->
              let off = Pk.unpack_int u in
-             let data = Pk.unpack_bytes u in
-             As.store_bytes space (slot + off) data;
-             (off, Bytes.length data))
+             let data, pos, len = Pk.unpack_view u in
+             As.store_sub space (slot + off) data ~pos ~len;
+             (off, len))
        in
        rebuild_free_list space slot size used
      | tag -> invalid_arg (Printf.sprintf "Migration.unpack: bad slot tag %d" tag));

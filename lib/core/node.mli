@@ -18,9 +18,11 @@ type t = {
 }
 
 (** [?obs] is handed down to the heap and the slot manager (events are
-    attributed to [id]). *)
+    attributed to [id]); [?allocator_policy] selects the local heap's
+    free-list organisation (default {!Pm2_heap.Malloc.First_fit}). *)
 val create :
   ?obs:Pm2_obs.Collector.t ->
+  ?allocator_policy:Pm2_heap.Malloc.policy ->
   id:int ->
   cost:Pm2_sim.Cost_model.t ->
   geometry:Slot.t ->

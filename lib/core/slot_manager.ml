@@ -67,10 +67,13 @@ let mmap_slot_range t ~start ~n =
   t.stats.mmap_count <- t.stats.mmap_count + 1;
   t.charge (Cm.mmap_cost t.cost ~pages:(n * Slot.pages_per_slot t.geometry))
 
-let munmap_slot t i =
-  As.munmap t.space ~addr:(Slot.base t.geometry i) ~size:t.geometry.Slot.slot_size;
+let munmap_slot_range t ~start ~n =
+  As.munmap t.space ~addr:(Slot.base t.geometry start)
+    ~size:(n * t.geometry.Slot.slot_size);
   t.stats.munmap_count <- t.stats.munmap_count + 1;
-  t.charge (Cm.munmap_cost t.cost ~pages:(Slot.pages_per_slot t.geometry))
+  t.charge (Cm.munmap_cost t.cost ~pages:(n * Slot.pages_per_slot t.geometry))
+
+let munmap_slot t i = munmap_slot_range t ~start:i ~n:1
 
 (* Pop a live cache entry, skipping lazily deleted ones. *)
 let rec cache_pop t =
@@ -156,8 +159,35 @@ let release t i =
 
 let release_run t ~start ~n =
   for i = start to start + n - 1 do
-    release t i
-  done
+    if Bitset.get t.bitmap i then
+      invalid_arg (Printf.sprintf "Slot_manager.release: slot %d already free here" i)
+  done;
+  let emit i cached =
+    if Obs.Collector.enabled t.obs then
+      Obs.Collector.emit t.obs ~node:t.node (Obs.Event.Slot_release { slot = i; cached })
+  in
+  let stop = start + n in
+  let i = ref start in
+  (* Cached prefix: the cache only grows during a release, so once it is
+     full every remaining slot of the run is uncached. *)
+  while !i < stop && Hashtbl.length t.cache_set < t.cache_capacity do
+    t.stats.releases <- t.stats.releases + 1;
+    Bitset.set t.bitmap !i;
+    cache_push t !i;
+    emit !i true;
+    incr i
+  done;
+  (* Uncached tail: one grouped munmap for the whole contiguous range,
+     mirroring acquire_run's grouped mmap. *)
+  if !i < stop then begin
+    let first = !i in
+    for j = first to stop - 1 do
+      t.stats.releases <- t.stats.releases + 1;
+      Bitset.set t.bitmap j;
+      emit j false
+    done;
+    munmap_slot_range t ~start:first ~n:(stop - first)
+  end
 
 let steal t i =
   if not (Bitset.get t.bitmap i) then

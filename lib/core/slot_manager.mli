@@ -79,7 +79,12 @@ val acquire_run : t -> start:int -> n:int -> unit
     node. The memory stays mapped if the cache has room, else is unmapped. *)
 val release : t -> int -> unit
 
-(** [release_run t ~start ~n] releases a merged slot, slot by slot. *)
+(** [release_run t ~start ~n] releases a merged slot. Slots that fit in
+    the cache keep their mapping; the contiguous uncached tail of the run
+    is unmapped with a single grouped [munmap] (one [munmap_count] tick),
+    mirroring {!acquire_run}'s grouped [mmap].
+    @raise Invalid_argument if any slot of the run is already free (the
+    run is validated up front; nothing is mutated in that case). *)
 val release_run : t -> start:int -> n:int -> unit
 
 (** {1 node → node (negotiation)} *)

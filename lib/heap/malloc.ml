@@ -9,30 +9,56 @@ type addr = Layout.addr
 
 exception Out_of_memory
 
+type policy =
+  | First_fit
+  | Segregated
+
+let policy_to_string = function
+  | First_fit -> "first-fit"
+  | Segregated -> "segregated"
+
+(* Segregated layout (dlmalloc-style): exact small bins for block sizes
+   32 .. 504 at 8-byte granularity (block sizes are always 8-aligned, so
+   each small bin holds blocks of exactly one size), plus one large
+   first-fit tail bin for blocks >= 512. *)
+let small_bin_count = 60
+
+let large_threshold = B.min_block + (8 * small_bin_count) (* 512 *)
+
+let segregated_bins = small_bin_count + 1
+
 type t = {
   space : As.t;
   cost : Cm.t;
   charge : float -> unit;
+  policy : policy;
   mutable brk : addr; (* end of the mapped arena *)
-  mutable free_head : addr; (* 0 = nil *)
+  bins : addr array; (* free-list heads, 0 = nil; First_fit uses bins.(0) *)
+  binmap : Pm2_util.Bitset.t; (* bit per non-empty bin (dlmalloc's binmap) *)
   live : (addr, int) Hashtbl.t; (* payload addr -> block size *)
   mutable live_bytes : int;
   obs : Obs.Collector.t;
   node : int;
 }
 
-let create ?(obs = Obs.Collector.null) ?(node = 0) space cost ~charge =
+let create ?(obs = Obs.Collector.null) ?(node = 0) ?(policy = First_fit) space cost
+    ~charge =
+  let nbins = match policy with First_fit -> 1 | Segregated -> segregated_bins in
   {
     space;
     cost;
     charge;
+    policy;
     brk = Layout.heap_base;
-    free_head = 0;
+    bins = Array.make nbins 0;
+    binmap = Pm2_util.Bitset.create nbins;
     live = Hashtbl.create 64;
     live_bytes = 0;
     obs;
     node;
   }
+
+let policy t = t.policy
 
 let emit t ev = Obs.Collector.emit t.obs ~node:t.node ev
 
@@ -40,16 +66,32 @@ let nil = 0
 
 (* -- free-list management (links live in simulated memory) -- *)
 
+let bin_index t size =
+  match t.policy with
+  | First_fit -> 0
+  | Segregated ->
+    if size < large_threshold then (size - B.min_block) lsr 3 else small_bin_count
+
+(* The bin a block belongs to is derived from its size tag, so [unlink]
+   must run before any [write_tags] that changes the size. *)
 let link_front t b =
-  B.write_next_free t.space b t.free_head;
+  let idx = bin_index t (B.read_size t.space b) in
+  let head = t.bins.(idx) in
+  B.write_next_free t.space b head;
   B.write_prev_free t.space b nil;
-  if t.free_head <> nil then B.write_prev_free t.space t.free_head b;
-  t.free_head <- b
+  if head <> nil then B.write_prev_free t.space head b
+  else Pm2_util.Bitset.set t.binmap idx;
+  t.bins.(idx) <- b
 
 let unlink t b =
+  let idx = bin_index t (B.read_size t.space b) in
   let prev = B.read_prev_free t.space b in
   let next = B.read_next_free t.space b in
-  if prev = nil then t.free_head <- next else B.write_next_free t.space prev next;
+  if prev = nil then begin
+    t.bins.(idx) <- next;
+    if next = nil then Pm2_util.Bitset.clear t.binmap idx
+  end
+  else B.write_next_free t.space prev next;
   if next <> nil then B.write_prev_free t.space next prev
 
 (* -- arena growth -- *)
@@ -76,8 +118,7 @@ let extend t need =
 
 (* -- allocation -- *)
 
-let find_first_fit t need =
-  let steps = ref 0 in
+let scan_bin t steps need b =
   let rec loop b =
     if b = nil then None
     else begin
@@ -86,7 +127,26 @@ let find_first_fit t need =
       else loop (B.read_next_free t.space b)
     end
   in
-  let r = loop t.free_head in
+  loop b
+
+let find_fit t need =
+  let steps = ref 0 in
+  let r =
+    match t.policy with
+    | First_fit -> scan_bin t steps need t.bins.(0)
+    | Segregated ->
+      if need < large_threshold then begin
+        (* The binmap (one bit per non-empty bin) finds the first bin at
+           or above the exact one in a single word scan — one search
+           step. Every block there fits: higher small bins hold bigger
+           exact sizes, and the large tail holds blocks >= 512 > need. *)
+        incr steps;
+        match Pm2_util.Bitset.first_set_from t.binmap (bin_index t need) with
+        | None -> None
+        | Some idx -> Some t.bins.(idx)
+      end
+      else scan_bin t steps need t.bins.(small_bin_count)
+  in
   t.charge (float_of_int !steps *. t.cost.Cm.free_list_step);
   r
 
@@ -112,11 +172,11 @@ let malloc t size =
   t.charge t.cost.Cm.alloc_fixed;
   let need = B.block_size_for ~payload:size in
   let payload =
-    match find_first_fit t need with
+    match find_fit t need with
     | Some b -> place t b need
     | None ->
       extend t need;
-      (match find_first_fit t need with
+      (match find_fit t need with
        | Some b -> place t b need
        | None -> raise Out_of_memory)
   in
@@ -169,23 +229,38 @@ let live_bytes t = t.live_bytes
 let heap_bytes t = t.brk - Layout.heap_base
 
 let free_list_length t =
-  let rec loop b n = if b = nil then n else loop (B.read_next_free t.space b) (n + 1) in
-  loop t.free_head 0
+  let n = ref 0 in
+  Array.iter
+    (fun head ->
+       let rec loop b = if b <> nil then begin incr n; loop (B.read_next_free t.space b) end in
+       loop head)
+    t.bins;
+  !n
 
 let check_invariants t =
   let fail fmt = Printf.ksprintf failwith fmt in
-  (* Collect the free list and check link symmetry. *)
+  (* Collect every bin's list, checking link symmetry and (under
+     Segregated) that each block sits in the bin its size maps to. *)
   let free_set = Hashtbl.create 16 in
-  let rec walk_list b prev n =
+  let rec walk_list idx b prev n =
     if n > 1_000_000 then fail "free list loop";
     if b <> nil then begin
       if B.read_prev_free t.space b <> prev then fail "free list prev link broken at 0x%x" b;
       if B.read_used t.space b then fail "used block 0x%x on free list" b;
+      let size = B.read_size t.space b in
+      if bin_index t size <> idx then
+        fail "block 0x%x (size %d) in bin %d, belongs in bin %d" b size idx
+          (bin_index t size);
       Hashtbl.replace free_set b ();
-      walk_list (B.read_next_free t.space b) b (n + 1)
+      walk_list idx (B.read_next_free t.space b) b (n + 1)
     end
   in
-  walk_list t.free_head nil 0;
+  Array.iteri (fun idx head -> walk_list idx head nil 0) t.bins;
+  Array.iteri
+    (fun idx head ->
+       if Pm2_util.Bitset.get t.binmap idx <> (head <> nil) then
+         fail "binmap bit %d disagrees with bin head 0x%x" idx head)
+    t.bins;
   (* Walk the arena block by block. *)
   let a = ref Layout.heap_base in
   let prev_free = ref false in

@@ -12,6 +12,13 @@ let pack_bytes p b =
 
 let pack_string p s = pack_bytes p (Bytes.of_string s)
 
+let pack_raw p ~len write =
+  pack_int p len;
+  let before = Buffer.length p in
+  write p;
+  if Buffer.length p - before <> len then
+    invalid_arg "Packet.pack_raw: writer produced a different length"
+
 let pack_list p f l =
   pack_int p (List.length l);
   List.iter f l
@@ -50,6 +57,13 @@ let unpack_bytes u =
   b
 
 let unpack_string u = Bytes.to_string (unpack_bytes u)
+
+let unpack_view u =
+  let len = unpack_int u in
+  need u len;
+  let pos = u.pos in
+  u.pos <- u.pos + len;
+  (u.data, pos, len)
 
 let unpack_list u f =
   let n = unpack_int u in

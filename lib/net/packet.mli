@@ -25,6 +25,15 @@ val pack_string : packer -> string -> unit
 val pack_list : packer -> ('a -> unit) -> 'a list -> unit
 (** Length-prefixed list; elements packed by the callback. *)
 
+(** [pack_raw p ~len write] packs a length-prefixed block of exactly [len]
+    bytes produced by [write] appending directly to the wire buffer — the
+    zero-copy variant of {!pack_bytes} used by the migration packer to
+    stream simulated memory onto the wire without an intermediate copy.
+    The wire format is identical to [pack_bytes].
+    @raise Invalid_argument if [write] appends a different number of
+    bytes. *)
+val pack_raw : packer -> len:int -> (Buffer.t -> unit) -> unit
+
 val packed_size : packer -> int
 
 val contents : packer -> Bytes.t
@@ -40,6 +49,12 @@ val unpack_float : unpacker -> float
 val unpack_bytes : unpacker -> Bytes.t
 val unpack_string : unpacker -> string
 val unpack_list : unpacker -> (unit -> 'a) -> 'a list
+
+(** [unpack_view u] consumes a length-prefixed block like {!unpack_bytes}
+    but returns a [(data, pos, len)] view into the wire buffer instead of
+    copying it out. The view is read-only by convention; it aliases the
+    unpacker's buffer. *)
+val unpack_view : unpacker -> Bytes.t * int * int
 
 val remaining : unpacker -> int
 (** Bytes not yet consumed (0 after a complete unpack). *)

@@ -1,15 +1,32 @@
+(* Word-level bitset. The store is padded to a whole number of 64-bit
+   words (read little-endian, so bit [i] still lives in byte [i/8] at
+   position [i mod 8], exactly as in the original byte-level layout);
+   [byte_size] keeps reporting the logical (bits+7)/8 size that the
+   charge accounting is based on. Invariant: the padding bits above
+   [bits] in the last word are always zero — every mutation is
+   bounds-checked or masked — which lets [count], [equal] and the word
+   scans run over whole words without a tail special case. *)
+
 type t = {
   bits : int;
   store : Bytes.t;
 }
 
+let words_for bits = (bits + 63) lsr 6
+
 let create bits =
   if bits < 0 then invalid_arg "Bitset.create";
-  { bits; store = Bytes.make ((bits + 7) / 8) '\000' }
+  { bits; store = Bytes.make (words_for bits * 8) '\000' }
 
 let length t = t.bits
 
-let byte_size t = Bytes.length t.store
+let byte_size t = (t.bits + 7) lsr 3
+
+let word_count t = Bytes.length t.store lsr 3
+
+let get_word t k = Bytes.get_int64_le t.store (k lsl 3)
+
+let set_word t k v = Bytes.set_int64_le t.store (k lsl 3) v
 
 let check t i =
   if i < 0 || i >= t.bits then invalid_arg "Bitset: index out of bounds"
@@ -32,17 +49,21 @@ let clear t i =
 
 let assign t i v = if v then set t i else clear t i
 
-let popcount_byte =
-  let tbl = Array.init 256 (fun c ->
-      let rec count c = if c = 0 then 0 else (c land 1) + count (c lsr 1) in
-      count c)
-  in
-  fun c -> tbl.(c)
+(* SWAR popcount (Hacker's Delight 5-2). *)
+let popcount64 x =
+  let open Int64 in
+  let x = sub x (logand (shift_right_logical x 1) 0x5555555555555555L) in
+  let x = add (logand x 0x3333333333333333L) (logand (shift_right_logical x 2) 0x3333333333333333L) in
+  let x = logand (add x (shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
+  to_int (shift_right_logical (mul x 0x0101010101010101L) 56)
+
+(* Number of trailing zeros of a non-zero word. *)
+let ntz64 x = popcount64 (Int64.logand (Int64.lognot x) (Int64.sub x 1L))
 
 let count t =
   let n = ref 0 in
-  for b = 0 to Bytes.length t.store - 1 do
-    n := !n + popcount_byte (Char.code (Bytes.unsafe_get t.store b))
+  for k = 0 to word_count t - 1 do
+    n := !n + popcount64 (get_word t k)
   done;
   !n
 
@@ -50,26 +71,36 @@ let first_set_from t start =
   if start >= t.bits then None
   else begin
     let start = max start 0 in
-    let result = ref None in
-    (try
-       (* Scan the partial first byte bit by bit, then whole bytes. *)
-       let b0 = start lsr 3 in
-       for i = start to min t.bits ((b0 + 1) lsl 3) - 1 do
-         if get t i then begin result := Some i; raise Exit end
-       done;
-       for b = b0 + 1 to Bytes.length t.store - 1 do
-         let c = Char.code (Bytes.unsafe_get t.store b) in
-         if c <> 0 then begin
-           let i = ref (b lsl 3) in
-           while !i < t.bits && not (get t !i) do incr i done;
-           if !i < t.bits then begin result := Some !i; raise Exit end
-         end
-       done
-     with Exit -> ());
-    !result
+    let nwords = word_count t in
+    let k0 = start lsr 6 in
+    let rec scan k w =
+      if Int64.equal w 0L then
+        if k + 1 >= nwords then None else scan (k + 1) (get_word t (k + 1))
+      else
+        let i = (k lsl 6) + ntz64 w in
+        if i >= t.bits then None else Some i
+    in
+    scan k0 (Int64.logand (get_word t k0) (Int64.shift_left (-1L) (start land 63)))
   end
 
 let first_set t = first_set_from t 0
+
+(* Lowest clear bit index >= start (start < bits), or [t.bits] if all
+   remaining bits are set. The padding bits complement to ones, hence
+   the clamp. *)
+let first_clear_from t start =
+  let nwords = word_count t in
+  let k0 = start lsr 6 in
+  let rec scan k w =
+    if Int64.equal w 0L then
+      if k + 1 >= nwords then t.bits
+      else scan (k + 1) (Int64.lognot (get_word t (k + 1)))
+    else min t.bits ((k lsl 6) + ntz64 w)
+  in
+  scan k0
+    (Int64.logand
+       (Int64.lognot (get_word t k0))
+       (Int64.shift_left (-1L) (start land 63)))
 
 let find_run t n =
   if n <= 0 then invalid_arg "Bitset.find_run";
@@ -77,26 +108,42 @@ let find_run t n =
     match first_set_from t from with
     | None -> None
     | Some start ->
-      let rec extend i =
-        if i - start = n then Some start
-        else if i < t.bits && get t i then extend (i + 1)
-        else search (i + 1)
-      in
-      extend start
+      let stop = first_clear_from t start in
+      if stop - start >= n then Some start
+      else if stop >= t.bits then None
+      else search (stop + 1)
   in
   search 0
 
-let set_range t i n = for j = i to i + n - 1 do set t j done
+let range_mask ~lo ~hi =
+  Int64.logand (Int64.shift_left (-1L) lo) (Int64.shift_right_logical (-1L) (63 - hi))
 
-let clear_range t i n = for j = i to i + n - 1 do clear t j done
+let range_op t i n ~value =
+  if n > 0 then begin
+    check t i;
+    check t (i + n - 1);
+    let hi = i + n - 1 in
+    let k0 = i lsr 6 and k1 = hi lsr 6 in
+    for k = k0 to k1 do
+      let lo_bit = if k = k0 then i land 63 else 0 in
+      let hi_bit = if k = k1 then hi land 63 else 63 in
+      let mask = range_mask ~lo:lo_bit ~hi:hi_bit in
+      let w = get_word t k in
+      set_word t k
+        (if value then Int64.logor w mask else Int64.logand w (Int64.lognot mask))
+    done
+  end
+
+let set_range t i n = range_op t i n ~value:true
+
+let clear_range t i n = range_op t i n ~value:false
 
 let or_into ~into src =
   if into.bits <> src.bits then invalid_arg "Bitset.or_into: length mismatch";
-  for b = 0 to Bytes.length into.store - 1 do
-    Bytes.unsafe_set into.store b
-      (Char.chr
-         (Char.code (Bytes.unsafe_get into.store b)
-          lor Char.code (Bytes.unsafe_get src.store b)))
+  for k = 0 to word_count into - 1 do
+    let w = get_word into k in
+    let s = get_word src k in
+    if not (Int64.equal s 0L) then set_word into k (Int64.logor w s)
   done
 
 let copy t = { bits = t.bits; store = Bytes.copy t.store }
@@ -104,18 +151,25 @@ let copy t = { bits = t.bits; store = Bytes.copy t.store }
 let equal a b = a.bits = b.bits && Bytes.equal a.store b.store
 
 let iter_set f t =
-  for i = 0 to t.bits - 1 do
-    if get t i then f i
+  for k = 0 to word_count t - 1 do
+    let w = ref (get_word t k) in
+    let base = k lsl 6 in
+    while not (Int64.equal !w 0L) do
+      let i = base + ntz64 !w in
+      if i < t.bits then f i;
+      w := Int64.logand !w (Int64.sub !w 1L)
+    done
   done
 
 let intersects a b =
   if a.bits <> b.bits then invalid_arg "Bitset.intersects: length mismatch";
-  let hit = ref false in
-  for i = 0 to Bytes.length a.store - 1 do
-    if Char.code (Bytes.unsafe_get a.store i) land Char.code (Bytes.unsafe_get b.store i) <> 0
-    then hit := true
-  done;
-  !hit
+  let nwords = word_count a in
+  let rec scan k =
+    k < nwords
+    && (not (Int64.equal (Int64.logand (get_word a k) (get_word b k)) 0L)
+        || scan (k + 1))
+  in
+  scan 0
 
 let to_string t = String.init t.bits (fun i -> if get t i then '1' else '0')
 

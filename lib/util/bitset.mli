@@ -1,8 +1,11 @@
-(** Fixed-size bitsets backed by [Bytes].
+(** Fixed-size bitsets backed by [Bytes], scanned 64 bits at a time.
 
     This is the data structure behind the per-node slot bitmaps of the
     isomalloc slot layer (paper, §4.2): a 3.5 GB iso-address area divided
-    into 64 KB slots gives 57 344 bits = 7 168 bytes per node. *)
+    into 64 KB slots gives 57 344 bits = 7 168 bytes per node. The hot
+    scans ([first_set_from], [find_run], [count], [intersects]) operate on
+    whole little-endian words with popcount / trailing-zero-count tricks;
+    the virtual-time charge accounting (per logical byte) is unchanged. *)
 
 type t
 
@@ -12,8 +15,9 @@ val create : int -> t
 (** Number of bits. *)
 val length : t -> int
 
-(** Backing-store size in bytes (what travels on the wire during a
-    negotiation gather/scatter). *)
+(** Logical size in bytes, [(length + 7) / 8] (what travels on the wire
+    during a negotiation gather/scatter, and what bitmap scans are charged
+    on). The physical store may be padded to a whole number of words. *)
 val byte_size : t -> int
 
 val get : t -> int -> bool
@@ -48,7 +52,9 @@ val copy : t -> t
 (** [equal a b] is structural equality (same length, same bits). *)
 val equal : t -> t -> bool
 
-(** [iter_set f t] applies [f] to each set bit index in increasing order. *)
+(** [iter_set f t] applies [f] to each set bit index in increasing order.
+    The iteration reads one word at a time: mutations [f] makes to [t]
+    within the word currently being visited are not observed. *)
 val iter_set : (int -> unit) -> t -> unit
 
 (** [intersects a b] is [true] iff some bit is set in both. Used to check

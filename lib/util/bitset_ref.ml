@@ -1,0 +1,72 @@
+(* The bit-by-bit reference model: the obviously-correct (and obviously
+   slow) implementation the word-level {!Bitset} is tested and benchmarked
+   against. Deliberately naive — one bool per bit, linear scans. *)
+
+type t = {
+  bits : int;
+  store : bool array;
+}
+
+let create bits =
+  if bits < 0 then invalid_arg "Bitset_ref.create";
+  { bits; store = Array.make bits false }
+
+let length t = t.bits
+
+let check t i =
+  if i < 0 || i >= t.bits then invalid_arg "Bitset_ref: index out of bounds"
+
+let get t i =
+  check t i;
+  t.store.(i)
+
+let set t i =
+  check t i;
+  t.store.(i) <- true
+
+let clear t i =
+  check t i;
+  t.store.(i) <- false
+
+let assign t i v = if v then set t i else clear t i
+
+let count t =
+  let n = ref 0 in
+  for i = 0 to t.bits - 1 do
+    if t.store.(i) then incr n
+  done;
+  !n
+
+let first_set_from t start =
+  let rec go i =
+    if i >= t.bits then None else if i >= 0 && t.store.(i) then Some i else go (i + 1)
+  in
+  go (max start 0)
+
+let first_set t = first_set_from t 0
+
+let find_run t n =
+  if n <= 0 then invalid_arg "Bitset_ref.find_run";
+  let rec search i =
+    if i + n > t.bits then None
+    else begin
+      let ok = ref true in
+      for j = i to i + n - 1 do
+        if not t.store.(j) then ok := false
+      done;
+      if !ok then Some i else search (i + 1)
+    end
+  in
+  search 0
+
+let set_range t i n = for j = i to i + n - 1 do set t j done
+
+let clear_range t i n = for j = i to i + n - 1 do clear t j done
+
+let intersects a b =
+  if a.bits <> b.bits then invalid_arg "Bitset_ref.intersects: length mismatch";
+  let hit = ref false in
+  for i = 0 to a.bits - 1 do
+    if a.store.(i) && b.store.(i) then hit := true
+  done;
+  !hit

@@ -1,0 +1,20 @@
+(** Bit-by-bit reference bitset: the executable specification that the
+    word-level {!Bitset} is checked against in the randomized differential
+    tests, and the baseline the bechamel microbenchmarks measure speedups
+    over. One bool per bit, linear scans, no tricks. *)
+
+type t
+
+val create : int -> t
+val length : t -> int
+val get : t -> int -> bool
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val assign : t -> int -> bool -> unit
+val count : t -> int
+val first_set : t -> int option
+val first_set_from : t -> int -> int option
+val find_run : t -> int -> int option
+val set_range : t -> int -> int -> unit
+val clear_range : t -> int -> int -> unit
+val intersects : t -> t -> bool

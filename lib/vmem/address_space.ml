@@ -8,9 +8,24 @@ type t = {
   node : int;
   pages : (int, Bytes.t) Hashtbl.t; (* page index -> page contents *)
   mutable mmap_calls : int;
+  (* One-entry page cache: guest word/byte accesses show heavy page
+     locality (stack frames, header walks), so memoizing the last-touched
+     page turns most accesses into a compare + array index instead of a
+     Hashtbl probe. [-1] = empty. Invalidated whenever a page is removed
+     ([munmap]/[scrub_range]); [mmap] never replaces an existing page so
+     it cannot stale the cache. *)
+  mutable last_page : int;
+  mutable last_bytes : Bytes.t;
 }
 
-let create ~node () = { node; pages = Hashtbl.create 1024; mmap_calls = 0 }
+let create ~node () =
+  {
+    node;
+    pages = Hashtbl.create 1024;
+    mmap_calls = 0;
+    last_page = -1;
+    last_bytes = Bytes.empty;
+  }
 
 let node t = t.node
 
@@ -45,7 +60,8 @@ let munmap t ~addr ~size =
   done;
   for p = first to first + n - 1 do
     Hashtbl.remove t.pages p
-  done
+  done;
+  t.last_page <- -1
 
 let is_mapped t a = Hashtbl.mem t.pages (Layout.page_of_addr a)
 
@@ -65,13 +81,15 @@ let scrub_range t ~addr ~size =
   let first = Layout.page_of_addr addr in
   let last = Layout.page_of_addr (addr + size - 1) in
   let n = ref 0 in
-  if size > 0 then
+  if size > 0 then begin
     for p = first to last do
       if Hashtbl.mem t.pages p then begin
         Hashtbl.remove t.pages p;
         incr n
       end
     done;
+    t.last_page <- -1
+  end;
   !n
 
 let mapped_pages t = Hashtbl.length t.pages
@@ -79,9 +97,15 @@ let mapped_pages t = Hashtbl.length t.pages
 let mmap_calls t = t.mmap_calls
 
 let page t what a =
-  match Hashtbl.find_opt t.pages (Layout.page_of_addr a) with
-  | Some p -> p
-  | None -> segv t a what
+  let p = Layout.page_of_addr a in
+  if p = t.last_page then t.last_bytes
+  else
+    match Hashtbl.find_opt t.pages p with
+    | Some bytes ->
+      t.last_page <- p;
+      t.last_bytes <- bytes;
+      bytes
+    | None -> segv t a what
 
 let load_u8 t a = Char.code (Bytes.get (page t "load" a) (a land (Layout.page_size - 1)))
 
@@ -140,6 +164,30 @@ let store_bytes t a b =
     pos := !pos + chunk
   done
 
+let store_sub t a b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Address_space.store_sub";
+  let done_ = ref 0 in
+  while !done_ < len do
+    let addr = a + !done_ in
+    let off = addr land (Layout.page_size - 1) in
+    let chunk = min (len - !done_) (Layout.page_size - off) in
+    let p = page t "store" addr in
+    Bytes.blit b (pos + !done_) p off chunk;
+    done_ := !done_ + chunk
+  done
+
+let add_to_buffer t ~addr ~len buf =
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let off = a land (Layout.page_size - 1) in
+    let chunk = min (len - !pos) (Layout.page_size - off) in
+    let p = page t "load" a in
+    Buffer.add_subbytes buf p off chunk;
+    pos := !pos + chunk
+  done
+
 let load_string t a len = Bytes.to_string (load_bytes t a len)
 
 let load_cstring t a =
@@ -158,10 +206,48 @@ let load_cstring t a =
   loop 0
 
 let fill t ~addr ~size byte =
-  store_bytes t addr (Bytes.make size (Char.chr (byte land 0xff)))
+  let c = Char.chr (byte land 0xff) in
+  let pos = ref 0 in
+  while !pos < size do
+    let a = addr + !pos in
+    let off = a land (Layout.page_size - 1) in
+    let chunk = min (size - !pos) (Layout.page_size - off) in
+    let p = page t "store" a in
+    Bytes.fill p off chunk c;
+    pos := !pos + chunk
+  done
+
+(* Page-run copy between two (possibly identical) spaces: blit directly
+   between the source and destination pages, chunking at whichever page
+   boundary comes first, with no intermediate allocation. Only safe for
+   non-overlapping ranges. *)
+let blit_disjoint ~src ~src_addr ~dst ~dst_addr ~size =
+  let pos = ref 0 in
+  while !pos < size do
+    let sa = src_addr + !pos and da = dst_addr + !pos in
+    let soff = sa land (Layout.page_size - 1) in
+    let doff = da land (Layout.page_size - 1) in
+    let chunk =
+      min (size - !pos) (min (Layout.page_size - soff) (Layout.page_size - doff))
+    in
+    let sp = page src "load" sa in
+    let dp = page dst "store" da in
+    Bytes.blit sp soff dp doff chunk;
+    pos := !pos + chunk
+  done
 
 let copy_within t ~src ~dst ~size =
-  if size > 0 then store_bytes t dst (load_bytes t src size)
+  if size > 0 then begin
+    if src + size <= dst || dst + size <= src then
+      blit_disjoint ~src:t ~src_addr:src ~dst:t ~dst_addr:dst ~size
+    else
+      (* Overlapping ranges keep the original copy-via-temporary
+         semantics. *)
+      store_bytes t dst (load_bytes t src size)
+  end
 
 let blit ~src ~src_addr ~dst ~dst_addr ~size =
-  if size > 0 then store_bytes dst dst_addr (load_bytes src src_addr size)
+  if size > 0 then begin
+    if src != dst then blit_disjoint ~src ~src_addr ~dst ~dst_addr ~size
+    else copy_within src ~src:src_addr ~dst:dst_addr ~size
+  end

@@ -75,6 +75,17 @@ val store_word : t -> addr -> int -> unit
 val load_bytes : t -> addr -> int -> Bytes.t
 val store_bytes : t -> addr -> Bytes.t -> unit
 
+(** [store_sub t addr b ~pos ~len] writes [b[pos .. pos+len-1]] at [addr]
+    without materialising the sub-range — the zero-copy counterpart of
+    [store_bytes] for unpacking length-prefixed views straight off the
+    wire. @raise Invalid_argument if [pos]/[len] fall outside [b]. *)
+val store_sub : t -> addr -> Bytes.t -> pos:int -> len:int -> unit
+
+(** [add_to_buffer t ~addr ~len buf] appends the range to [buf] page run
+    by page run, with no intermediate [Bytes.t] — the zero-copy packing
+    path of a migration. @raise Segfault on unmapped access. *)
+val add_to_buffer : t -> addr:addr -> len:int -> Buffer.t -> unit
+
 val load_string : t -> addr -> int -> string
 
 (** [load_cstring t addr] reads a NUL-terminated string (bounded at 4 KB to
@@ -84,10 +95,12 @@ val load_cstring : t -> addr -> string
 (** [fill t ~addr ~size byte] writes [size] copies of [byte]. *)
 val fill : t -> addr:addr -> size:int -> int -> unit
 
-(** [copy_within t ~src ~dst ~size] copies inside one space (no overlap
-    handling needed by callers; implemented via a temporary). *)
+(** [copy_within t ~src ~dst ~size] copies inside one space. Disjoint
+    ranges blit page-to-page with no intermediate allocation; overlapping
+    ranges go through a temporary. *)
 val copy_within : t -> src:addr -> dst:addr -> size:int -> unit
 
 (** [blit ~src ~src_addr ~dst ~dst_addr ~size] copies bytes across spaces —
-    the heart of an iso-address migration when [src_addr = dst_addr]. *)
+    the heart of an iso-address migration when [src_addr = dst_addr].
+    Distinct spaces blit directly page run by page run. *)
 val blit : src:t -> src_addr:addr -> dst:t -> dst_addr:addr -> size:int -> unit

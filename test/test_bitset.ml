@@ -99,6 +99,23 @@ let test_copy_equal () =
   Alcotest.(check bool) "independent" true (Bitset.get a 8);
   Alcotest.(check bool) "not equal" false (Bitset.equal a b)
 
+let test_intersects_early_exit () =
+  (* Regression for the all-bytes scan: the hit must be found wherever it
+     is, including exactly on and around word boundaries, in otherwise
+     disjoint bitmaps. *)
+  List.iter
+    (fun (len, i) ->
+       let a = Bitset.create len and b = Bitset.create len in
+       Bitset.set a i;
+       Bitset.set b i;
+       Alcotest.(check bool) (Printf.sprintf "hit at %d/%d" i len) true
+         (Bitset.intersects a b);
+       Bitset.clear b i;
+       if i + 1 < len then Bitset.set b (i + 1);
+       Alcotest.(check bool) (Printf.sprintf "miss at %d/%d" i len) false
+         (Bitset.intersects a b))
+    [ (1, 0); (64, 63); (65, 64); (128, 127); (200, 128); (200, 199); (57344, 57343) ]
+
 let test_iter_set () =
   let b = Bitset.create 10 in
   List.iter (Bitset.set b) [ 2; 5; 9 ];
@@ -161,6 +178,48 @@ let prop_or =
          la;
        !ok)
 
+(* Random op sequences replayed against the bit-by-bit reference model:
+   the word-level scans must agree with the executable specification on
+   every intermediate state, not just on final images. *)
+let prop_differential =
+  QCheck2.Test.make ~name:"Bitset agrees with the reference model on random ops"
+    ~count:300
+    QCheck2.Gen.(
+      pair (int_range 1 300)
+        (list_size (int_range 1 120) (triple (int_range 0 5) nat nat)))
+    (fun (len, ops) ->
+       let w = Bitset.create len and r = Bitset_ref.create len in
+       let ok = ref true in
+       let chk b = if not b then ok := false in
+       List.iter
+         (fun (kind, a, b) ->
+            let i = a mod len in
+            match kind with
+            | 0 ->
+              Bitset.set w i;
+              Bitset_ref.set r i
+            | 1 ->
+              Bitset.clear w i;
+              Bitset_ref.clear r i
+            | 2 ->
+              let n = min (b mod 80) (len - i) in
+              Bitset.set_range w i n;
+              Bitset_ref.set_range r i n
+            | 3 ->
+              let n = min (b mod 80) (len - i) in
+              Bitset.clear_range w i n;
+              Bitset_ref.clear_range r i n
+            | 4 -> chk (Bitset.get w i = Bitset_ref.get r i)
+            | _ ->
+              chk (Bitset.count w = Bitset_ref.count r);
+              chk (Bitset.first_set_from w i = Bitset_ref.first_set_from r i);
+              let n = 1 + (b mod 8) in
+              chk (Bitset.find_run w n = Bitset_ref.find_run r n))
+         ops;
+       chk (Bitset.count w = Bitset_ref.count r);
+       chk (Bitset.first_set w = Bitset_ref.first_set r);
+       !ok)
+
 let tests =
   [
     Alcotest.test_case "create empty" `Quick test_create_empty;
@@ -172,10 +231,12 @@ let tests =
     Alcotest.test_case "set/clear ranges" `Quick test_ranges;
     Alcotest.test_case "or_into" `Quick test_or_into;
     Alcotest.test_case "intersects" `Quick test_intersects;
+    Alcotest.test_case "intersects at word boundaries" `Quick test_intersects_early_exit;
     Alcotest.test_case "copy/equal" `Quick test_copy_equal;
     Alcotest.test_case "iter_set" `Quick test_iter_set;
     QCheck_alcotest.to_alcotest prop_count;
     QCheck_alcotest.to_alcotest prop_first_set;
     QCheck_alcotest.to_alcotest prop_find_run;
     QCheck_alcotest.to_alcotest prop_or;
+    QCheck_alcotest.to_alcotest prop_differential;
   ]

@@ -228,6 +228,34 @@ let test_release_run () =
   Alcotest.(check int) "all owned again" 3 (Slot_manager.owned mgr);
   Slot_manager.check_invariants mgr
 
+let test_release_run_grouped_munmap () =
+  (* With the cache disabled, releasing a 4-slot run must unmap the whole
+     contiguous range with a single munmap, mirroring acquire_run's
+     grouped mmap. *)
+  let mgr, sp, g, _ = manager ~owned:[ 0; 1; 2; 3 ] ~cache:0 () in
+  Slot_manager.acquire_run mgr ~start:0 ~n:4;
+  Slot_manager.release_run mgr ~start:0 ~n:4;
+  let st = Slot_manager.stats mgr in
+  Alcotest.(check int) "one grouped munmap" 1 st.Slot_manager.munmap_count;
+  Alcotest.(check int) "four releases" 4 st.Slot_manager.releases;
+  Alcotest.(check bool) "range unmapped" true
+    (As.range_unmapped sp ~addr:(Slot.base g 0) ~size:(4 * g.Slot.slot_size));
+  Slot_manager.check_invariants mgr;
+  (* A partially cached run groups only the uncached tail. *)
+  let mgr2, _, _, _ = manager ~owned:[ 0; 1; 2; 3 ] ~cache:2 () in
+  Slot_manager.acquire_run mgr2 ~start:0 ~n:4;
+  Slot_manager.release_run mgr2 ~start:0 ~n:4;
+  let st2 = Slot_manager.stats mgr2 in
+  Alcotest.(check int) "tail munmapped in one call" 1 st2.Slot_manager.munmap_count;
+  Slot_manager.check_invariants mgr2;
+  (* Releasing an already-free slot is rejected before any mutation. *)
+  let mgr3, _, _, _ = manager ~owned:[ 0; 1; 2 ] ~cache:0 () in
+  Slot_manager.acquire_run mgr3 ~start:0 ~n:2;
+  Alcotest.(check bool) "already-free slot rejected" true
+    (try Slot_manager.release_run mgr3 ~start:0 ~n:3; false
+     with Invalid_argument _ -> true);
+  Alcotest.(check int) "nothing released" 0 (Slot_manager.stats mgr3).Slot_manager.releases
+
 let test_steal_grant () =
   let mgr, sp, g, _ = manager ~cache:4 () in
   (* Cached slot must be unmapped when stolen. *)
@@ -274,6 +302,7 @@ let tests =
     Alcotest.test_case "cache disabled" `Quick test_cache_disabled;
     Alcotest.test_case "contiguous runs" `Quick test_find_and_acquire_run;
     Alcotest.test_case "release_run" `Quick test_release_run;
+    Alcotest.test_case "release_run groups munmaps" `Quick test_release_run_grouped_munmap;
     Alcotest.test_case "steal and grant (negotiation hooks)" `Quick test_steal_grant;
     Alcotest.test_case "virtual costs charged" `Quick test_charges_flow;
   ]
