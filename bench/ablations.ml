@@ -180,7 +180,7 @@ let fit_strategy () =
   in
   List.iter
     (fun fit ->
-       let config = { (Cluster.default_config ~nodes:2) with Cluster.fit } in
+       let config = Pm2.Config.make ~fit () in
        let c = Cluster.create config (Lazy.force Harness.program) in
        let th = Cluster.host_thread c ~node:0 in
        let env = Cluster.host_env c 0 in
@@ -231,7 +231,7 @@ let prebuy () =
   in
   List.iter
     (fun prebuy ->
-       let config = { (Cluster.default_config ~nodes:2) with Cluster.prebuy } in
+       let config = Pm2.Config.make ~prebuy () in
        let c = Cluster.create config (Lazy.force Harness.program) in
        let th = Cluster.host_thread c ~node:0 in
        let env = Cluster.host_env c 0 in
@@ -263,7 +263,7 @@ let restructure () =
         "avg multi-slot alloc (us)";
       ]
   in
-  let config = Cluster.default_config ~nodes:2 in
+  let config = Pm2.Config.make () in
   let c = Cluster.create config (Lazy.force Harness.program) in
   let th = Cluster.host_thread c ~node:0 in
   let env = Cluster.host_env c 0 in
@@ -340,16 +340,16 @@ let allocator_policy () =
        (* Fragment: allocate a spread of sizes, free every other block. *)
        let blocks =
          Array.init 600 (fun _ ->
-             Pm2_heap.Malloc.malloc heap (Prng.int_in prng 16 6000))
+             Pm2_heap.Malloc.malloc_exn heap (Prng.int_in prng 16 6000))
        in
-       Array.iteri (fun i a -> if i land 1 = 0 then Pm2_heap.Malloc.free heap a) blocks;
+       Array.iteri (fun i a -> if i land 1 = 0 then Pm2_heap.Malloc.free_exn heap a) blocks;
        ignore (Cluster.drain_charges c 0);
        let ops = 3000 in
        let sizes = Array.init ops (fun _ -> Prng.int_in prng 16 480) in
        let t0 = Unix.gettimeofday () in
        for i = 0 to ops - 1 do
-         let a = Pm2_heap.Malloc.malloc heap sizes.(i) in
-         Pm2_heap.Malloc.free heap a
+         let a = Pm2_heap.Malloc.malloc_exn heap sizes.(i) in
+         Pm2_heap.Malloc.free_exn heap a
        done;
        let host_ns = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int ops in
        let virtual_us = Cluster.drain_charges c 0 /. float_of_int ops in

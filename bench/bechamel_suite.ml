@@ -82,8 +82,8 @@ let test_f11a_malloc () =
   let heap = Cluster.node_heap c 0 in
   Test.make ~name:"F11a: malloc+free 1 KB"
     (Staged.stage (fun () ->
-         let a = Pm2_heap.Malloc.malloc heap 1024 in
-         Pm2_heap.Malloc.free heap a))
+         let a = Pm2_heap.Malloc.malloc_exn heap 1024 in
+         Pm2_heap.Malloc.free_exn heap a))
 
 let test_f11b_isomalloc () =
   let c = Harness.cluster () in
@@ -100,8 +100,8 @@ let test_f11b_malloc () =
   let heap = Cluster.node_heap c 0 in
   Test.make ~name:"F11b: malloc+free 1 MB"
     (Staged.stage (fun () ->
-         let a = Pm2_heap.Malloc.malloc heap (1024 * 1024) in
-         Pm2_heap.Malloc.free heap a))
+         let a = Pm2_heap.Malloc.malloc_exn heap (1024 * 1024) in
+         Pm2_heap.Malloc.free_exn heap a))
 
 let test_t1_migration () =
   let c = Harness.cluster () in

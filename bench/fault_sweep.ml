@@ -41,12 +41,7 @@ let run () =
          | Ok s -> s
          | Error e -> failwith ("fault_sweep: bad spec: " ^ e)
        in
-       let config =
-         {
-           (Cluster.default_config ~nodes:2) with
-           Cluster.faults = Plan.create ~seed spec;
-         }
-       in
+       let config = Pm2.Config.make ~fault_plan:(Plan.create ~seed spec) () in
        let c = Cluster.create config (Lazy.force Harness.program) in
        Pm2_obs.Collector.attach (Cluster.obs c) (Pm2_obs.Metrics.sink metrics);
        ignore (Cluster.spawn c ~node:0 ~entry:"pingpong" ~arg:6 ());

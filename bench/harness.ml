@@ -9,17 +9,10 @@ let program = lazy (Pm2_programs.Figures.image ())
 
 let cluster ?(nodes = 2) ?(distribution = Distribution.Round_robin) ?(cache = 16)
     ?(slot_size = 64 * 1024) ?(scheme = Cluster.Iso) ?(packing = Migration.Blocks_only)
-    ?(allocator_policy = Pm2_heap.Malloc.First_fit) () =
+    ?(allocator_policy = Pm2_heap.Malloc.First_fit) ?fault_plan ?sinks () =
   let config =
-    {
-      (Cluster.default_config ~nodes) with
-      Cluster.distribution;
-      cache_capacity = cache;
-      slot_size;
-      scheme;
-      packing;
-      allocator_policy;
-    }
+    Pm2.Config.make ~nodes ~distribution ~cache_capacity:cache ~slot_size ~scheme
+      ~packing ~allocator_policy ?fault_plan ?sinks ()
   in
   Cluster.create config (Lazy.force program)
 
@@ -40,7 +33,7 @@ let avg_alloc_time ?nodes ?distribution ?cache ?slot_size allocator ~size ~iters
    | Malloc ->
      let heap = Cluster.node_heap c 0 in
      for _ = 1 to iters do
-       ignore (Pm2_heap.Malloc.malloc heap size)
+       ignore (Pm2_heap.Malloc.malloc_exn heap size)
      done
    | Isomalloc ->
      let th = Cluster.host_thread c ~node:0 in

@@ -22,6 +22,9 @@ let experiments =
     ( "t-migration-payload",
       "migration latency vs isomalloc'd payload",
       Migration_bench.payload_sweep );
+    ( "t-migration-batch",
+      "group migration: one v2 train vs n sequential v1 images",
+      Migration_batch.run );
     ( "t-negotiation",
       "sec. 5: negotiation 255 us + 165 us per extra node",
       Negotiation_bench.scaling );

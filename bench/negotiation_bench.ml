@@ -18,12 +18,12 @@ let scaling () =
     (fun nodes ->
        let c = Harness.cluster ~nodes () in
        let neg = Cluster.negotiation c in
-       let r = Negotiation.execute neg ~requester:0 ~n:8 in
+       let g = Negotiation.execute_exn neg ~requester:0 ~n:8 in
        Negotiation.check_global_invariant neg;
        let model = Negotiation.duration_model neg ~nodes in
        let paper = 255. +. (165. *. float_of_int (nodes - 2)) in
-       Table.add_rowf t "%d|%.1f|%.1f|%.0f|%d" nodes r.Negotiation.duration model paper
-         r.Negotiation.bought)
+       Table.add_rowf t "%d|%.1f|%.1f|%.0f|%d" nodes g.Negotiation.duration model paper
+         g.Negotiation.bought)
     [ 2; 3; 4; 6; 8; 12; 16 ];
   Table.print t;
   let c = Harness.cluster ~nodes:3 () in

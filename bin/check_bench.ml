@@ -2,7 +2,16 @@
    with the in-tree JSON reader and checks the "pm2-bench/1" schema —
    every entry needs a suite, a name, and at least one finite numeric
    metric. Exits non-zero on any violation, which is what the
-   @perf-smoke alias keys off. *)
+   @perf-smoke alias keys off.
+
+   Known suites get semantic checks on top of the shape check. For
+   "migration-batch" (the group-migration pipeline) every
+   group-vs-sequential entry must carry the wire-byte and virtual-time
+   metrics, show at least a 30% wire-byte reduction and a speedup over
+   sequential migration, and its rollback entry must report an atomic
+   abort. `--require-suite NAME` (repeatable) additionally fails if no
+   entry of suite NAME is present — the @ci alias uses it to pin the
+   migration-batch numbers into the trajectory. *)
 
 module Json = Pm2_obs.Json
 
@@ -17,9 +26,48 @@ let read_file path =
 
 let str_field name obj = Option.bind (Json.member name obj) Json.to_string_val
 
+(* Semantic checks for suites whose numbers are acceptance criteria, not
+   just trajectory points. [metrics] holds only the finite numbers the
+   shape check already admitted. *)
+let check_known_suite ~suite ~name metrics =
+  let get k =
+    match List.assoc_opt k metrics with
+    | Some v -> v
+    | None -> fail "%s/%s: required metric %s missing" suite name k
+  in
+  match (suite, name) with
+  | "migration-batch", "group-vs-sequential" ->
+    let seq = get "wire_bytes_sequential" and grp = get "wire_bytes_group" in
+    if grp >= seq then fail "%s/%s: group image not smaller than sequential" suite name;
+    if get "byte_reduction" < 0.30 then
+      fail "%s/%s: wire-byte reduction %.2f below the 0.30 bar" suite name
+        (get "byte_reduction");
+    if get "speedup" <= 1.0 then
+      fail "%s/%s: no virtual-time speedup (%.2fx)" suite name (get "speedup");
+    ignore (get "vtime_sequential_us");
+    ignore (get "vtime_group_us")
+  | "migration-batch", "train-drop-rollback" ->
+    if get "groups_aborted" < 1. then fail "%s/%s: no group aborted" suite name;
+    if get "groups_completed" <> 0. then
+      fail "%s/%s: a group completed despite the dropped train" suite name;
+    if get "partial_migrations" <> 0. then
+      fail "%s/%s: partially migrated threads after rollback" suite name;
+    if get "payload_intact" <> 1. then
+      fail "%s/%s: payload corrupted by the rollback" suite name
+  | _ -> ()
+
 let () =
+  let rec parse path required = function
+    | "--require-suite" :: s :: rest -> parse path (s :: required) rest
+    | [ "--require-suite" ] -> fail "--require-suite needs a NAME"
+    | a :: rest -> parse (Some a) required rest
+    | [] -> (path, required)
+  in
+  let path, required = parse None [] (List.tl (Array.to_list Sys.argv)) in
   let path =
-    if Array.length Sys.argv > 1 then Sys.argv.(1) else fail "usage: check_bench FILE"
+    match path with
+    | Some p -> p
+    | None -> fail "usage: check_bench FILE [--require-suite NAME]..."
   in
   let json =
     match Json.parse (read_file path) with
@@ -37,6 +85,7 @@ let () =
   in
   if results = [] then fail "%s: empty results" path;
   let metrics_total = ref 0 in
+  let suites_seen = ref [] in
   List.iter
     (fun e ->
        let suite = match str_field "suite" e with
@@ -45,16 +94,27 @@ let () =
        let name = match str_field "name" e with
          | Some n -> n
          | None -> fail "entry in suite %s without name" suite in
+       if not (List.mem suite !suites_seen) then suites_seen := suite :: !suites_seen;
        match Json.member "metrics" e with
        | Some (Json.Obj fields) ->
          if fields = [] then fail "%s/%s: no metrics" suite name;
-         List.iter
-           (fun (k, v) ->
-              match Json.to_float v with
-              | Some f when Float.is_finite f -> incr metrics_total
-              | _ -> fail "%s/%s: metric %s is not a finite number" suite name k)
-           fields
+         let metrics =
+           List.map
+             (fun (k, v) ->
+                match Json.to_float v with
+                | Some f when Float.is_finite f ->
+                  incr metrics_total;
+                  (k, f)
+                | _ -> fail "%s/%s: metric %s is not a finite number" suite name k)
+             fields
+         in
+         check_known_suite ~suite ~name metrics
        | _ -> fail "%s/%s: no metrics object" suite name)
     results;
+  List.iter
+    (fun s ->
+       if not (List.mem s !suites_seen) then
+         fail "%s: required suite %S has no entries" path s)
+    required;
   Printf.printf "check_bench: %s ok (%d entries, %d metrics)\n" path
     (List.length results) !metrics_total

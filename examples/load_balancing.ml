@@ -14,7 +14,7 @@ module Pm2 = Pm2_core.Pm2
 module Balancer = Pm2_loadbal.Balancer
 
 let run ~nodes ~workers ~policy =
-  let config = Cluster.default_config ~nodes in
+  let config = Pm2.Config.make ~nodes () in
   let program = Pm2_programs.Figures.image () in
   let cluster = Pm2.launch ~config program ~spawns:[ (0, "spawner", workers) ] in
   let balancer =

@@ -16,7 +16,7 @@ module Pm2 = Pm2_core.Pm2
 let program = Pm2_programs.Figures.image ()
 
 let run ~scheme ~entry =
-  let config = { (Cluster.default_config ~nodes:2) with Cluster.scheme } in
+  let config = Pm2.Config.make ~nodes:2 ~scheme () in
   Pm2.run_to_completion ~config program ~entry ()
 
 let show title lines =

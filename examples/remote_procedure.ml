@@ -112,7 +112,7 @@ let () =
         emit_worker b;
         emit_main b)
   in
-  let config = Cluster.default_config ~nodes in
+  let config = Pm2.Config.make ~nodes () in
   let cluster = Cluster.create config program in
   ignore (Cluster.spawn cluster ~node:0 ~entry:"main" ~arg:((n * 256) + nodes) ());
   let makespan = Cluster.run cluster in

@@ -32,6 +32,7 @@ type config = {
   cost : Cm.t;
   seed : int;
   faults : Fault.Plan.t;
+  sinks : Obs.Sink.t list;
 }
 
 let default_config ~nodes =
@@ -49,6 +50,7 @@ let default_config ~nodes =
     cost = Cm.default;
     seed = 42;
     faults = Fault.Plan.none;
+    sinks = [];
   }
 
 type migration_record = {
@@ -58,6 +60,18 @@ type migration_record = {
   started : float;
   resumed : float;
   bytes : int;
+}
+
+type group_record = {
+  gid : int;
+  g_src : int;
+  g_dst : int;
+  g_members : int list;
+  g_started : float;
+  g_resumed : float;
+  g_bytes : int;
+  g_data_pages : int;
+  g_zero_pages : int;
 }
 
 type sema = {
@@ -99,6 +113,9 @@ type t = {
   mutable aborted_migrations : int;
   mutable on_migration_abort : (Thread.t -> failed:int -> unit) option;
       (* load balancer hook: retry an aborted migration elsewhere *)
+  mutable next_gid : int;
+  group_migrations : group_record Vec.t;
+  mutable aborted_groups : int;
 }
 
 let create (config : config) program =
@@ -111,6 +128,7 @@ let create (config : config) program =
      of its sinks, so pm2_printf output flows through the event pipeline. *)
   let obs = Obs.Collector.create ~now:(fun () -> Engine.now engine) () in
   Obs.Collector.attach obs (Trace.sink trace);
+  List.iter (Obs.Collector.attach obs) config.sinks;
   let net = Network.create ~obs ~faults:config.faults engine config.cost ~nodes:config.nodes in
   let bitmaps =
     Distribution.populate config.distribution ~geometry ~nodes:config.nodes
@@ -166,6 +184,9 @@ let create (config : config) program =
     pending_block = None;
     aborted_migrations = 0;
     on_migration_abort = None;
+    next_gid = 1;
+    group_migrations = Vec.create ();
+    aborted_groups = 0;
   }
 
 let config t = t.config
@@ -195,6 +216,10 @@ let drain_charges t i = Node.take_charges t.nodes.(i)
 
 let migrations t = Vec.to_list t.migrations
 
+let group_migrations t = Vec.to_list t.group_migrations
+
+let aborted_groups t = t.aborted_groups
+
 let isomalloc_calls t = t.isomalloc_count
 let malloc_calls t = t.malloc_count
 
@@ -218,9 +243,14 @@ let host_env t node_id =
     fit = t.config.fit;
     negotiate =
       (fun ~n ->
-         let r = Negotiation.execute ~prebuy:t.config.prebuy t.neg ~requester:node_id ~n in
-         Node.charge node r.Negotiation.duration;
-         r.Negotiation.start);
+         match Negotiation.execute ~prebuy:t.config.prebuy t.neg ~requester:node_id ~n with
+         | Ok g ->
+           Node.charge node g.Negotiation.duration;
+           Some g.Negotiation.start
+         | Error (Negotiation.Out_of_slots { duration; _ })
+         | Error (Negotiation.Aborted { duration; _ }) ->
+           Node.charge node duration;
+           None);
     obs = t.obs;
   }
 
@@ -236,22 +266,25 @@ let syscall_env t node_id =
     fit = t.config.fit;
     negotiate =
       (fun ~n ->
-         let r = Negotiation.execute ~prebuy:t.config.prebuy t.neg ~requester:node_id ~n in
-         if r.Negotiation.aborted then begin
+         match Negotiation.execute ~prebuy:t.config.prebuy t.neg ~requester:node_id ~n with
+         | Error (Negotiation.Aborted { duration; _ }) ->
            (* The requester died holding the critical section; its lock
               lease was already pushed out by [execute]. The guest (if it
               ever resumes) just blocks out the lease window. *)
-           t.pending_block <- Some (Engine.now t.engine +. r.Negotiation.duration);
-           r.Negotiation.start
-         end
-         else begin
+           t.pending_block <- Some (Engine.now t.engine +. duration);
+           None
+         | (Ok _ | Error (Negotiation.Out_of_slots _)) as r ->
+           let duration =
+             match r with
+             | Ok g -> g.Negotiation.duration
+             | Error (Negotiation.Out_of_slots { duration; _ }) -> duration
+             | Error (Negotiation.Aborted _) -> assert false
+           in
            let finish =
-             Negotiation.acquire_slot_lock t.neg ~now:(Engine.now t.engine)
-               ~duration:r.Negotiation.duration
+             Negotiation.acquire_slot_lock t.neg ~now:(Engine.now t.engine) ~duration
            in
            t.pending_block <- Some finish;
-           r.Negotiation.start
-         end);
+           (match r with Ok g -> Some g.Negotiation.start | Error _ -> None));
     obs = t.obs;
   }
 
@@ -447,11 +480,13 @@ and dispatch t node (th : Thread.t) sc =
     | Isa.Sys_yield -> `Requeue
     | Isa.Sys_malloc ->
       t.malloc_count <- t.malloc_count + 1;
-      (try r.(0) <- Malloc.malloc node.Node.heap r.(1)
-       with Malloc.Out_of_memory -> r.(0) <- 0);
+      (match Malloc.malloc node.Node.heap r.(1) with
+       | Ok addr -> r.(0) <- addr
+       | Error _ -> r.(0) <- 0);
       `Continue
     | Isa.Sys_free ->
-      Malloc.free node.Node.heap r.(1);
+      (* An invalid free is a guest bug: fault the simulation loudly. *)
+      Malloc.free_exn node.Node.heap r.(1);
       `Continue
     | Isa.Sys_isomalloc ->
       t.isomalloc_count <- t.isomalloc_count + 1;
@@ -489,8 +524,11 @@ and dispatch t node (th : Thread.t) sc =
       Thread.unregister_ptr th r.(1);
       `Continue
     | Isa.Sys_spawn ->
-      let child = spawn_pc t ~node:node.Node.id ~pc:r.(1) ~arg:r.(2) in
-      r.(0) <- handle_of_tid child.Thread.id;
+      (* An exhausted iso-address area is reported to the guest (r0 = -1),
+         not a simulator crash: the node simply cannot host more threads. *)
+      (match try_spawn_pc t ~node:node.Node.id ~pc:r.(1) ~arg:r.(2) with
+       | Ok child -> r.(0) <- handle_of_tid child.Thread.id
+       | Error _ -> r.(0) <- -1);
       `Continue
     | Isa.Sys_migrate_thread ->
       (* "It may also be preemptively migrated by another thread running
@@ -857,21 +895,27 @@ and abort_migration t (th : Thread.t) ~src ~dest ~reason =
   | Some retry -> retry th ~failed:dest
   | None -> ()
 
-and spawn_pc t ~node:node_id ~pc ~arg =
+and try_spawn_pc t ~node:node_id ~pc ~arg =
   let node = t.nodes.(node_id) in
   let tid = t.next_tid in
   t.next_tid <- tid + 1;
   Node.charge node t.config.cost.Cm.thread_create;
   let th = Thread.make ~id:tid ~node:node_id ~ctx:(Interp.make_context ~entry:pc ~stack_top:0) in
-  (match Iso_heap.acquire_stack_slot (host_env t node_id) th with
-   | Some stack_top ->
-     let ctx = Interp.make_context ~entry:pc ~stack_top in
-     ctx.Interp.regs.(1) <- arg;
-     th.Thread.ctx <- ctx
-   | None -> failwith "Cluster.spawn: iso-address area exhausted (no stack slot)");
-  Hashtbl.replace t.threads tid th;
-  enqueue t th;
-  th
+  match Iso_heap.acquire_stack_slot (host_env t node_id) th with
+  | Some stack_top ->
+    let ctx = Interp.make_context ~entry:pc ~stack_top in
+    ctx.Interp.regs.(1) <- arg;
+    th.Thread.ctx <- ctx;
+    Hashtbl.replace t.threads tid th;
+    enqueue t th;
+    Ok th
+  | None -> Error Slot_manager.Out_of_slots
+
+and spawn_pc t ~node ~pc ~arg =
+  match try_spawn_pc t ~node ~pc ~arg with
+  | Ok th -> th
+  | Error e -> failwith ("Cluster.spawn: iso-address area exhausted: "
+                         ^ Slot_manager.error_to_string e)
 
 and rpc t ~src ~dest ~pc ~arg =
   (* PM2's LRPC: a small request message creates a thread on the remote
@@ -918,6 +962,248 @@ let request_migration t (th : Thread.t) ~dest =
     th.Thread.pending_migration <- Some dest;
     (* Make sure the node wakes up to honour it even if idle. *)
     schedule_tick t t.nodes.(th.Thread.node) ~delay:0.
+  end
+
+(* ===== group migration: one handshake, one train, N threads =====
+
+   The pipeline always runs the two-phase protocol (one probe/verdict
+   covering every member) and ships one {!Migration.pack_group} v2 image
+   in one reliable packet train. Any failure at any stage rolls the WHOLE
+   group back: either nothing was packed yet (pre-pack abort) or the
+   image is remapped into the source space and every member resumes
+   where it started — no partially migrated group can exist. *)
+
+(* Rebuild the node's run queue without [th]; true if it was queued. *)
+let dequeue_from_runqueue t (th : Thread.t) =
+  let q = t.nodes.(th.Thread.node).Node.queue in
+  let rec drain acc = if Dlist.is_empty q then List.rev acc else drain (Dlist.pop_front q :: acc) in
+  let found = ref false in
+  List.iter
+    (fun x -> if x == th then found := true else ignore (Dlist.push_back q x))
+    (drain []);
+  !found
+
+(* [members] is [(thread, was_on_run_queue)]: threads taken off a run
+   queue are re-enqueued on arrival (or on rollback); host-driven threads
+   just become Ready again. *)
+let group_release t members ~node =
+  List.iter
+    (fun ((th : Thread.t), was_queued) ->
+      th.Thread.node <- node;
+      if was_queued then enqueue t th else th.Thread.state <- Thread.Ready)
+    members
+
+let group_abort t ~gid ~src ~dest members ~reason =
+  t.aborted_groups <- t.aborted_groups + 1;
+  Trace.emit t.trace ~time:(Engine.now t.engine) ~node:src
+    (Printf.sprintf "group migration %d to node %d aborted: %s" gid dest reason);
+  if Obs.Collector.enabled t.obs then
+    Obs.Collector.emit t.obs ~node:src
+      (Obs.Event.Group_migration_abort { gid; src; dst = dest; reason });
+  group_release t members ~node:src
+
+let group_rollback t ~gid ~src ~dest ~buffer ~slots members ~reason =
+  (* The group's memory exists only in [buffer]; remap every member into
+     the source's own space — iso-addressing guarantees the addresses are
+     still free there — then abort. One atomic step: unpack_group either
+     applies every member or raises before any queue state changed. *)
+  let node = t.nodes.(src) in
+  let before = node.Node.charged in
+  let _, _, cost =
+    Migration.unpack_group ~obs:t.obs ~node:src ~cost:t.config.cost
+      ~space:node.Node.space
+      ~lookup:(fun tid -> Hashtbl.find t.threads tid)
+      buffer
+  in
+  let extra = node.Node.charged -. before in
+  node.Node.charged <- before;
+  Node.charge node (cost +. extra);
+  if Obs.Collector.enabled t.obs then
+    List.iter
+      (fun ((th : Thread.t), _) ->
+        Obs.Collector.emit t.obs ~node:src
+          (Obs.Event.Migration_rollback { tid = th.Thread.id; node = src; slots }))
+      members;
+  group_abort t ~gid ~src ~dest members ~reason
+
+let group_deliver t ~gid ~src ~dest ~started ~ranges ~slots ~pages members buffer =
+  let dnode = t.nodes.(dest) in
+  let before = dnode.Node.charged in
+  match
+    Migration.unpack_group ~obs:t.obs ~node:dest ~cost:t.config.cost
+      ~space:dnode.Node.space
+      ~lookup:(fun tid -> Hashtbl.find t.threads tid)
+      buffer
+  with
+  | exception (Invalid_argument _ | Failure _ | Not_found | As.Segfault _) ->
+    (* The destination could not apply the image (a collision appeared
+       after the probe, or the image is inconsistent): scrub whatever was
+       partially mapped and hand the whole group back. *)
+    dnode.Node.charged <- before;
+    List.iter (fun (addr, size) -> ignore (As.scrub_range dnode.Node.space ~addr ~size)) ranges;
+    group_rollback t ~gid ~src ~dest ~buffer ~slots members
+      ~reason:"destination failed to unpack the group image"
+  | _, _, unpack_cost ->
+    let extra = dnode.Node.charged -. before in
+    dnode.Node.charged <- before;
+    let resume_delay = unpack_cost +. extra in
+    Node.charge dnode resume_delay;
+    let bytes = Bytes.length buffer in
+    let n = List.length members in
+    let data_pages, zero_pages = pages in
+    if Obs.Collector.enabled t.obs then
+      Obs.Collector.emit t.obs ~node:dest
+        (Obs.Event.Group_migration_phase
+           { gid; phase = Obs.Event.Remap; members = n; bytes; slots; dur = resume_delay });
+    Engine.schedule_after t.engine ~delay:resume_delay (fun () ->
+        let resumed = Engine.now t.engine in
+        if Obs.Collector.enabled t.obs then begin
+          Obs.Collector.emit t.obs ~node:dest
+            (Obs.Event.Group_migration_phase
+               { gid; phase = Obs.Event.Restart; members = n; bytes; slots; dur = 0. });
+          Obs.Collector.emit t.obs ~node:dest
+            (Obs.Event.Group_migration_commit { gid; dst = dest; members = n; bytes })
+        end;
+        (* Per-member records carry an even share of the train so the
+           per-thread latency helpers keep working; the group record holds
+           the exact totals. *)
+        let share = bytes / max 1 n in
+        List.iter
+          (fun ((th : Thread.t), _) ->
+            Vec.push t.migrations
+              { tid = th.Thread.id; src; dst = dest; started; resumed; bytes = share })
+          members;
+        Vec.push t.group_migrations
+          {
+            gid;
+            g_src = src;
+            g_dst = dest;
+            g_members = List.map (fun ((th : Thread.t), _) -> th.Thread.id) members;
+            g_started = started;
+            g_resumed = resumed;
+            g_bytes = bytes;
+            g_data_pages = data_pages;
+            g_zero_pages = zero_pages;
+          };
+        group_release t members ~node:dest)
+
+let group_transfer t ~gid ~src ~dest ~started ~ranges members =
+  let node = t.nodes.(src) in
+  let before = node.Node.charged in
+  let p =
+    Migration.pack_group ~obs:t.obs ~node:src ~cost:t.config.cost ~space:node.Node.space
+      ~gid
+      (List.map fst members)
+  in
+  let extra = node.Node.charged -. before in
+  node.Node.charged <- before;
+  let pack_total = p.Migration.g_pack_cost +. extra in
+  Node.charge node pack_total;
+  let buffer = p.Migration.g_buffer in
+  let bytes = Bytes.length buffer in
+  let slots = p.Migration.g_slots in
+  let pages = (p.Migration.g_data_pages, p.Migration.g_zero_pages) in
+  let n = List.length members in
+  if Obs.Collector.enabled t.obs then
+    Obs.Collector.emit t.obs ~node:src
+      (Obs.Event.Group_migration_phase
+         { gid; phase = Obs.Event.Pack; members = n; bytes; slots; dur = pack_total });
+  Engine.schedule_after t.engine ~delay:pack_total (fun () ->
+      if Obs.Collector.enabled t.obs then
+        Obs.Collector.emit t.obs ~node:src
+          (Obs.Event.Group_migration_phase
+             {
+               gid;
+               phase = Obs.Event.Send;
+               members = n;
+               bytes;
+               slots;
+               dur = Network.transfer_time t.net ~bytes;
+             });
+      Reliable.send_train t.rel ~src ~dst:dest
+        (Migration.group_transfer_message ~gid ~ranges ~buffer)
+        ~on_delivered:(fun msg ->
+          match Migration.parse_group_transfer msg with
+          | Error reason ->
+            group_rollback t ~gid ~src ~dest ~buffer ~slots members ~reason
+          | Ok (_, ranges, buffer) ->
+            group_deliver t ~gid ~src ~dest ~started ~ranges ~slots ~pages members buffer)
+        ~on_failed:(fun ~reason ->
+          group_rollback t ~gid ~src ~dest ~buffer ~slots members ~reason))
+
+let migrate_group t ths ~dest =
+  if ths = [] then Error "empty group"
+  else if dest < 0 || dest >= Array.length t.nodes then Error "bad destination"
+  else if t.config.scheme <> Iso then Error "group migration requires the iso scheme"
+  else begin
+    let src = (List.hd ths).Thread.node in
+    let bad =
+      List.find_opt
+        (fun (th : Thread.t) ->
+          th.Thread.node <> src || Thread.is_exited th || th.Thread.state <> Thread.Ready)
+        ths
+    in
+    let rec has_dup = function
+      | [] -> false
+      | (th : Thread.t) :: tl -> List.memq th tl || has_dup tl
+    in
+    match bad with
+    | Some th ->
+      Error
+        (Printf.sprintf "thread %d is not a Ready thread on node %d" th.Thread.id src)
+    | None ->
+      if src = dest then Error "group already on the destination node"
+      else if has_dup ths then Error "duplicate thread in group"
+      else begin
+        let gid = t.next_gid in
+        t.next_gid <- gid + 1;
+        let started = Engine.now t.engine in
+        let members =
+          List.map
+            (fun (th : Thread.t) ->
+              let was_queued = dequeue_from_runqueue t th in
+              th.Thread.pending_migration <- None;
+              th.Thread.state <- Thread.Migrating;
+              (th, was_queued))
+            ths
+        in
+        let n = List.length members in
+        if Obs.Collector.enabled t.obs then
+          Obs.Collector.emit t.obs ~node:src
+            (Obs.Event.Group_migration_start { gid; src; dst = dest; members = n });
+        let ranges = Migration.group_ranges t.nodes.(src).Node.space ths in
+        (* One handshake for the whole group (the "one negotiation" the
+           train amortises): probe with every member's ranges, transfer
+           only on an accepting verdict. *)
+        Reliable.send t.rel ~src ~dst:dest
+          (Migration.group_probe_message ~gid ~ranges)
+          ~on_delivered:(fun probe ->
+            match Migration.parse_group_probe probe with
+            | None -> group_abort t ~gid ~src ~dest members ~reason:"malformed probe"
+            | Some (_, ranges) ->
+              let dspace = t.nodes.(dest).Node.space in
+              let ok =
+                List.for_all
+                  (fun (addr, size) -> As.range_unmapped dspace ~addr ~size)
+                  ranges
+              in
+              let reason = if ok then "" else "destination cannot map the group's slots" in
+              Reliable.send t.rel ~src:dest ~dst:src
+                (Migration.group_verdict_message ~gid ~ok ~reason)
+                ~on_delivered:(fun verdict ->
+                  match Migration.parse_group_verdict verdict with
+                  | Some (_, true, _) ->
+                    group_transfer t ~gid ~src ~dest ~started ~ranges members
+                  | Some (_, false, reason) ->
+                    group_abort t ~gid ~src ~dest members ~reason:("rejected: " ^ reason)
+                  | None -> group_abort t ~gid ~src ~dest members ~reason:"malformed verdict")
+                ~on_failed:(fun ~reason ->
+                  group_abort t ~gid ~src ~dest members
+                    ~reason:("verdict undeliverable: " ^ reason)))
+          ~on_failed:(fun ~reason ->
+            group_abort t ~gid ~src ~dest members ~reason:("probe undeliverable: " ^ reason));
+        Ok gid
+      end
   end
 
 let create_barrier t ~participants =

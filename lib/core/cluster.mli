@@ -27,12 +27,14 @@ type config = {
   cost : Pm2_sim.Cost_model.t;
   seed : int;
   faults : Pm2_fault.Plan.t; (* fault plan; [Plan.none] = pristine network *)
+  sinks : Pm2_obs.Sink.t list; (* extra event sinks attached at creation *)
 }
 
 val default_config : nodes:int -> config
 (** 64 KB slots, round-robin distribution (the paper's experimental setup),
     iso scheme with blocks-only packing, slot cache of 16, quantum 200,
-    first-fit local heap, no faults. *)
+    first-fit local heap, no faults, no extra sinks. Prefer building
+    configurations through {!Pm2.Config.make}. *)
 
 type migration_record = {
   tid : int;
@@ -41,6 +43,19 @@ type migration_record = {
   started : float; (* virtual time at freeze *)
   resumed : float; (* virtual time at which the thread is runnable again *)
   bytes : int; (* wire size *)
+}
+
+(** One completed group migration (see {!migrate_group}). *)
+type group_record = {
+  gid : int;
+  g_src : int;
+  g_dst : int;
+  g_members : int list; (* member tids in wire order *)
+  g_started : float;
+  g_resumed : float; (* virtual time at which every member is runnable *)
+  g_bytes : int; (* v2 train payload size *)
+  g_data_pages : int; (* pages shipped verbatim *)
+  g_zero_pages : int; (* pages elided by the manifest *)
 }
 
 type t
@@ -102,6 +117,26 @@ val request_migration : t -> Thread.t -> dest:int -> unit
     network and the thread starts on arrival. Returns the thread
     (state [Blocked] until the request lands). *)
 val rpc : t -> src:int -> dest:int -> pc:int -> arg:int -> Thread.t
+
+(** [migrate_group t threads ~dest] moves [threads] — Ready threads all
+    living on one source node — to [dest] through a single pipeline: one
+    probe/verdict handshake covering every member's slot ranges, one
+    {!Migration.pack_group} v2 wire image (zero-page elision), one
+    reliable packet train. Members leave their run queue immediately and
+    are re-enqueued on the destination when the train lands. Any failure
+    at any stage (rejected verdict, undeliverable message, unpack
+    collision) rolls the {e whole} group back onto the source atomically;
+    there is never a partially migrated group. Returns the group id, or
+    [Error reason] if the group is not well-formed (empty, mixed nodes,
+    non-Ready member, duplicate, bad destination, non-iso scheme — in
+    which case nothing was changed). Progress requires {!run}. *)
+val migrate_group : t -> Thread.t list -> dest:int -> (int, string) result
+
+val group_migrations : t -> group_record list
+(** Completed group migrations, oldest first. *)
+
+val aborted_groups : t -> int
+(** Group migrations aborted and rolled back atomically. *)
 
 (** [create_barrier t ~participants] registers a reusable cyclic barrier
     for [participants] guest threads (released by one modelled broadcast

@@ -51,23 +51,23 @@ let new_data_slot env th ~slots:n ~kind =
   let start =
     if n = 1 then
       match Slot_manager.acquire_local env.mgr with
-      | Some i -> Some i
-      | None ->
+      | Ok i -> Some i
+      | Error _ ->
         (* The node has run out of slots: buy one (§4.4, last remark). *)
         (match env.negotiate ~n:1 with
          | Some i ->
-           Slot_manager.acquire_run env.mgr ~start:i ~n:1;
+           Slot_manager.acquire_run_exn env.mgr ~start:i ~n:1;
            Some i
          | None -> None)
     else begin
       match Slot_manager.find_local_run env.mgr n with
       | Some i ->
-        Slot_manager.acquire_run env.mgr ~start:i ~n;
+        Slot_manager.acquire_run_exn env.mgr ~start:i ~n;
         Some i
       | None ->
         (match env.negotiate ~n with
          | Some i ->
-           Slot_manager.acquire_run env.mgr ~start:i ~n;
+           Slot_manager.acquire_run_exn env.mgr ~start:i ~n;
            Some i
          | None -> None)
     end
@@ -199,7 +199,7 @@ let release_slot env th slot =
   let g = geometry env in
   let size = Sh.read_size env.space slot in
   th.Thread.slots_head <- Sh.unlink env.space ~head:th.Thread.slots_head slot;
-  Slot_manager.release_run env.mgr ~start:(Slot.index g slot) ~n:(size / g.Slot.slot_size)
+  Slot_manager.release_run_exn env.mgr ~start:(Slot.index g slot) ~n:(size / g.Slot.slot_size)
 
 let isofree env th payload =
   env.charge env.cost.Cm.alloc_fixed;

@@ -293,6 +293,238 @@ let parse_transfer b =
     if Pk.checksum buffer <> ck then Error "wire buffer checksum mismatch"
     else Ok (tid, ranges, buffer)
 
+(* ===== group migration: v2 codec =====
+
+   A group of threads moving between the same pair of nodes travels as
+   ONE wire image inside a {!Pm2_net.Codec} V2 frame. Descriptor fields
+   are varints, and each slot ships as a page manifest plus only its
+   non-zero pages ({!Pm2_net.Codec.encode_range}): the destination mmaps
+   the full range (zero-filled for free) and stores just the data pages.
+   Because the pages carry the slot headers and block tags verbatim,
+   no free-list reconstruction is needed on arrival. *)
+
+module Codec = Pm2_net.Codec
+
+type group_packed = {
+  g_buffer : Bytes.t;
+  g_pack_cost : float;
+  g_slots : int;
+  g_data_pages : int;
+  g_zero_pages : int;
+}
+
+let pack_descriptor_v2 p (th : Thread.t) =
+  Pk.pack_varint p th.id;
+  let ctx = th.ctx in
+  Pk.pack_varint p ctx.Interp.pc;
+  Pk.pack_varint p ctx.Interp.sp;
+  Pk.pack_varint p ctx.Interp.fp;
+  Array.iter (Pk.pack_varint p) ctx.Interp.regs;
+  Pk.pack_varint p th.slots_head;
+  Pk.pack_varint p th.stack_slot;
+  Pk.pack_varint p th.next_key;
+  let cells = Hashtbl.fold (fun k a acc -> (k, a) :: acc) th.registry [] in
+  Pk.pack_varint p (List.length cells);
+  List.iter
+    (fun (k, a) ->
+      Pk.pack_varint p k;
+      Pk.pack_varint p a)
+    cells
+
+(* The thread id has already been consumed (it selects [th]). *)
+let unpack_descriptor_v2 u (th : Thread.t) =
+  let pc = Pk.unpack_varint u in
+  let sp = Pk.unpack_varint u in
+  let fp = Pk.unpack_varint u in
+  let regs = Array.init Pm2_mvm.Isa.num_regs (fun _ -> Pk.unpack_varint u) in
+  th.ctx <- { Interp.regs; pc; sp; fp };
+  th.slots_head <- Pk.unpack_varint u;
+  th.stack_slot <- Pk.unpack_varint u;
+  th.next_key <- Pk.unpack_varint u;
+  Hashtbl.reset th.registry;
+  let n = Pk.unpack_varint u in
+  for _ = 1 to n do
+    let k = Pk.unpack_varint u in
+    let a = Pk.unpack_varint u in
+    Hashtbl.replace th.registry k a
+  done
+
+let pack_group ?(obs = Obs.Collector.null) ?(node = 0) ~cost ~space ~gid threads =
+  let p = Pk.packer () in
+  Pk.pack_varint p gid;
+  Pk.pack_varint p (List.length threads);
+  let nslots = ref 0 and data_pages = ref 0 and zero_pages = ref 0 in
+  let all_slots =
+    List.map
+      (fun (th : Thread.t) -> (th, Sh.chain_to_list space ~head:th.slots_head))
+      threads
+  in
+  List.iter
+    (fun ((th : Thread.t), slots) ->
+      pack_descriptor_v2 p th;
+      Pk.pack_varint p (List.length slots);
+      List.iter
+        (fun slot ->
+          let size = Sh.read_size space slot in
+          let before = Pk.packed_size p in
+          Pk.pack_varint p slot;
+          Pk.pack_varint p size;
+          let d, z = Codec.encode_range p space ~addr:slot ~size in
+          nslots := !nslots + 1;
+          data_pages := !data_pages + d;
+          zero_pages := !zero_pages + z;
+          if Obs.Collector.enabled obs then
+            Obs.Collector.emit obs ~node
+              (Obs.Event.Pack_slot
+                 { tid = th.Thread.id; slot; bytes = Pk.packed_size p - before }))
+        slots)
+    all_slots;
+  (* Free the source memory only after every member is packed: the group
+     image either exists in full or the source is untouched. *)
+  let munmap_total = ref 0. in
+  List.iter
+    (fun (_, slots) ->
+      List.iter
+        (fun slot ->
+          let size = Sh.read_size space slot in
+          As.munmap space ~addr:slot ~size;
+          munmap_total :=
+            !munmap_total +. Cm.munmap_cost cost ~pages:(size / Layout.page_size))
+        slots)
+    all_slots;
+  let buffer = Codec.frame Codec.V2 (Pk.contents p) in
+  let pack_cost =
+    (float_of_int (List.length threads) *. cost.Cm.context_switch)
+    +. Cm.memcpy_cost cost ~bytes:(Bytes.length buffer)
+    +. !munmap_total
+  in
+  {
+    g_buffer = buffer;
+    g_pack_cost = pack_cost;
+    g_slots = !nslots;
+    g_data_pages = !data_pages;
+    g_zero_pages = !zero_pages;
+  }
+
+let unpack_group ?(obs = Obs.Collector.null) ?(node = 0) ~cost ~space ~lookup buffer =
+  match Codec.parse buffer with
+  | Error e -> invalid_arg ("Migration.unpack_group: " ^ e)
+  | Ok (Codec.V1, _) ->
+    invalid_arg "Migration.unpack_group: v1 frame is not a group image"
+  | Ok (Codec.V2, payload) ->
+    let u = Pk.unpacker payload in
+    let gid = Pk.unpack_varint u in
+    let members = Pk.unpack_varint u in
+    if members <= 0 then invalid_arg "Migration.unpack_group: empty group";
+    let mmap_total = ref 0. in
+    let tids = ref [] in
+    for _ = 1 to members do
+      let tid = Pk.unpack_varint u in
+      let th : Thread.t = lookup tid in
+      unpack_descriptor_v2 u th;
+      tids := tid :: !tids;
+      let nslots = Pk.unpack_varint u in
+      for _ = 1 to nslots do
+        let before = Pk.remaining u in
+        let slot = Pk.unpack_varint u in
+        let size = Pk.unpack_varint u in
+        As.mmap space ~addr:slot ~size;
+        ignore (Codec.decode_range u space ~addr:slot ~size);
+        if Obs.Collector.enabled obs then
+          Obs.Collector.emit obs ~node
+            (Obs.Event.Unpack_slot { tid; slot; bytes = before - Pk.remaining u });
+        mmap_total :=
+          !mmap_total +. cost.Cm.mmap_base
+          +. (float_of_int (size / Layout.page_size) *. cost.Cm.mmap_per_page)
+      done
+    done;
+    if Pk.remaining u <> 0 then invalid_arg "Migration.unpack_group: trailing bytes";
+    let unpack_cost =
+      !mmap_total
+      +. Cm.memcpy_cost cost ~bytes:(Bytes.length buffer)
+      +. (float_of_int members *. cost.Cm.context_switch)
+    in
+    (gid, List.rev !tids, unpack_cost)
+
+(* -- group two-phase messages (probe / verdict / train payload) -- *)
+
+let group_probe_magic = 0x4750524f (* "GPRO" *)
+
+let group_verdict_magic = 0x47564552 (* "GVER" *)
+
+let group_transfer_magic = 0x47584652 (* "GXFR" *)
+
+let group_ranges space threads =
+  List.concat_map (fun th -> slot_ranges space th) threads
+
+let group_probe_message ~gid ~ranges =
+  let p = Pk.packer () in
+  Pk.pack_int p group_probe_magic;
+  Pk.pack_int p gid;
+  pack_ranges p ranges;
+  Pk.contents p
+
+let parse_group_probe b =
+  match
+    let u = Pk.unpacker b in
+    if Pk.unpack_int u <> group_probe_magic then
+      invalid_arg "Migration: bad group probe magic";
+    let gid = Pk.unpack_int u in
+    let ranges = unpack_ranges u in
+    if Pk.remaining u <> 0 then invalid_arg "Migration: trailing group probe bytes";
+    (gid, ranges)
+  with
+  | v -> Some v
+  | exception Invalid_argument _ -> None
+
+let group_verdict_message ~gid ~ok ~reason =
+  let p = Pk.packer () in
+  Pk.pack_int p group_verdict_magic;
+  Pk.pack_int p gid;
+  Pk.pack_int p (if ok then 1 else 0);
+  Pk.pack_string p reason;
+  Pk.contents p
+
+let parse_group_verdict b =
+  match
+    let u = Pk.unpacker b in
+    if Pk.unpack_int u <> group_verdict_magic then
+      invalid_arg "Migration: bad group verdict magic";
+    let gid = Pk.unpack_int u in
+    let ok = Pk.unpack_int u <> 0 in
+    let reason = Pk.unpack_string u in
+    if Pk.remaining u <> 0 then invalid_arg "Migration: trailing group verdict bytes";
+    (gid, ok, reason)
+  with
+  | v -> Some v
+  | exception Invalid_argument _ -> None
+
+let group_transfer_message ~gid ~ranges ~buffer =
+  let p = Pk.packer () in
+  Pk.pack_int p group_transfer_magic;
+  Pk.pack_int p gid;
+  Pk.pack_int p (Pk.checksum buffer);
+  pack_ranges p ranges;
+  Pk.pack_bytes p buffer;
+  Pk.contents p
+
+let parse_group_transfer b =
+  match
+    let u = Pk.unpacker b in
+    if Pk.unpack_int u <> group_transfer_magic then
+      invalid_arg "Migration: bad group transfer magic";
+    let gid = Pk.unpack_int u in
+    let ck = Pk.unpack_int u in
+    let ranges = unpack_ranges u in
+    let buffer = Pk.unpack_bytes u in
+    if Pk.remaining u <> 0 then invalid_arg "Migration: trailing group transfer bytes";
+    (gid, ck, ranges, buffer)
+  with
+  | exception Invalid_argument _ -> Error "malformed group transfer message"
+  | gid, ck, ranges, buffer ->
+    if Pk.checksum buffer <> ck then Error "group wire buffer checksum mismatch"
+    else Ok (gid, ranges, buffer)
+
 let unpack ?(obs = Obs.Collector.null) ?(node = 0) ~geometry ~cost ~space (th : Thread.t)
     buffer =
   ignore geometry;

@@ -88,3 +88,71 @@ val transfer_message : tid:int -> ranges:(int * int) list -> buffer:Bytes.t -> B
 (** [Ok (tid, ranges, buffer)] after verifying the embedded checksum;
     [Error reason] on malformation or checksum mismatch. *)
 val parse_transfer : Bytes.t -> (int * (int * int) list * Bytes.t, string) result
+
+(** {1 Group migration (v2 codec)}
+
+    N threads moving between the same pair of nodes share one pipeline:
+    one probe/verdict handshake covering every member's ranges, one
+    {!Pm2_net.Codec} V2 wire image, one reliable packet train. Inside the
+    image, descriptors are varint-encoded and every slot ships as a page
+    manifest plus only its non-zero pages — untouched and all-zero pages
+    are recreated by the destination's [mmap] zero-fill (zero-page
+    elision), and because pages carry slot headers and block tags
+    verbatim no free-list rebuild is needed on arrival. *)
+
+type group_packed = {
+  g_buffer : Bytes.t; (* Codec V2 frame: what travels in the train *)
+  g_pack_cost : float; (* freezes + copy-out + unmapping, µs *)
+  g_slots : int; (* slots shipped across all members *)
+  g_data_pages : int; (* pages shipped verbatim *)
+  g_zero_pages : int; (* pages elided by the manifest *)
+}
+
+(** [pack_group ~cost ~space ~gid threads] packs every member into one
+    V2 frame and unmaps their slots from [space] — only after the whole
+    image is built, so a packing failure leaves the source untouched.
+    [?obs] receives one [Pack_slot] event per slot. *)
+val pack_group :
+  ?obs:Pm2_obs.Collector.t ->
+  ?node:int ->
+  cost:Pm2_sim.Cost_model.t ->
+  space:Pm2_vmem.Address_space.t ->
+  gid:int ->
+  Thread.t list ->
+  group_packed
+
+(** [unpack_group ~cost ~space ~lookup buffer] decodes a {!pack_group}
+    image: maps every slot at its original address, stores the data
+    pages, and overwrites each member's descriptor ([lookup tid] resolves
+    the thread). Returns [(gid, member tids in wire order, unpack cost)].
+    @raise Invalid_argument on a corrupt buffer, a v1 frame, or an
+    already-mapped target page (caller scrubs the ranges and rolls the
+    whole group back). *)
+val unpack_group :
+  ?obs:Pm2_obs.Collector.t ->
+  ?node:int ->
+  cost:Pm2_sim.Cost_model.t ->
+  space:Pm2_vmem.Address_space.t ->
+  lookup:(int -> Thread.t) ->
+  Bytes.t ->
+  int * int list * float
+
+(** Concatenated {!slot_ranges} of every member, in member order. *)
+val group_ranges : Pm2_vmem.Address_space.t -> Thread.t list -> (int * int) list
+
+val group_probe_message : gid:int -> ranges:(int * int) list -> Bytes.t
+
+(** [Some (gid, ranges)], or [None] on a malformed buffer. *)
+val parse_group_probe : Bytes.t -> (int * (int * int) list) option
+
+val group_verdict_message : gid:int -> ok:bool -> reason:string -> Bytes.t
+
+(** [Some (gid, ok, reason)], or [None] on a malformed buffer. *)
+val parse_group_verdict : Bytes.t -> (int * bool * string) option
+
+val group_transfer_message :
+  gid:int -> ranges:(int * int) list -> buffer:Bytes.t -> Bytes.t
+
+(** [Ok (gid, ranges, buffer)] after verifying the embedded checksum;
+    [Error reason] on malformation or checksum mismatch. *)
+val parse_group_transfer : Bytes.t -> (int * (int * int) list * Bytes.t, string) result

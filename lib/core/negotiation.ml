@@ -22,12 +22,23 @@ type t = {
   mutable aborted : int;
 }
 
-type result = {
-  start : int option;
+type grant = {
+  start : int;
   duration : float;
   bought : int;
-  aborted : bool;
 }
+
+type error =
+  | Out_of_slots of { n : int; duration : float }
+  | Aborted of { lease_until : float; duration : float }
+
+let error_to_string = function
+  | Out_of_slots { n; duration } ->
+    Printf.sprintf "negotiation denied: no run of %d contiguous free slots (%.1f us)" n
+      duration
+  | Aborted { lease_until; duration = _ } ->
+    Printf.sprintf "negotiation aborted: requester died in the critical section (lease until %.1f us)"
+      lease_until
 
 let create ?(obs = Obs.Collector.null) ?(faults = Fault.Plan.none)
     ?(lease = default_lease) ~geometry ~mgrs ~net () =
@@ -94,8 +105,8 @@ let transfer t ~requester slot =
       if i <> requester && Slot_manager.owns_free t.mgrs.(i) slot then owner := i
     done;
     if !owner < 0 then failwith "Negotiation: free slot with no owner";
-    Slot_manager.steal t.mgrs.(!owner) slot;
-    Slot_manager.grant t.mgrs.(requester) slot;
+    Slot_manager.steal_exn t.mgrs.(!owner) slot;
+    Slot_manager.grant_exn t.mgrs.(requester) slot;
     if Obs.Collector.enabled t.obs then
       emit t ~node:requester
         (Obs.Event.Slot_transfer { slot; seller = !owner; buyer = requester });
@@ -146,8 +157,7 @@ let execute ?(prebuy = 0) t ~requester ~n =
     end;
     (* [duration] here is how long the requester (if it ever resumes) and
        the lock stay tied up, measured from [now]. *)
-    { start = None; duration = Float.max 0. (lease_until -. now); bought = 0;
-      aborted = true }
+    Error (Aborted { lease_until; duration = Float.max 0. (lease_until -. now) })
   | None ->
     t.count <- t.count + 1;
     Pm2_util.Stats.Acc.add t.durations duration;
@@ -158,9 +168,12 @@ let execute ?(prebuy = 0) t ~requester ~n =
     let global = global_or t in
     (match Bitset.find_run global n with
      | None ->
+       (* The global OR has no adequate run — the system, not just this
+          node, is out of contiguous slots. Typed so callers stop
+          special-casing a [None] start. *)
        if Obs.Collector.enabled t.obs then
          emit t ~node:requester (Obs.Event.Neg_deny { requester; n; dur = duration });
-       { start = None; duration; bought = 0; aborted = false }
+       Error (Out_of_slots { n; duration })
      | Some start ->
        (* Buy the non-local slots of the run (step 2d). *)
        let bought = ref 0 in
@@ -179,7 +192,12 @@ let execute ?(prebuy = 0) t ~requester ~n =
        if Obs.Collector.enabled t.obs then
          emit t ~node:requester
            (Obs.Event.Neg_grant { requester; start; n; bought = !bought; dur = duration });
-       { start = Some start; duration; bought = !bought; aborted = false })
+       Ok { start; duration; bought = !bought })
+
+let execute_exn ?prebuy t ~requester ~n =
+  match execute ?prebuy t ~requester ~n with
+  | Ok g -> g
+  | Error e -> failwith (error_to_string e)
 
 let restructure t =
   let nodes = Array.length t.mgrs in

@@ -23,12 +23,26 @@
 
 type t
 
-type result = {
-  start : int option; (* first slot of the purchased run; None = no run *)
+(** A successful negotiation: the purchased run and what it cost. *)
+type grant = {
+  start : int; (* first slot of the purchased run *)
   duration : float; (* modelled protocol time, µs *)
   bought : int; (* slots whose ownership moved to the requester *)
-  aborted : bool; (* requester died in the critical section; see below *)
 }
+
+(** Why a negotiation produced no run. Both outcomes still cost virtual
+    time ([duration]); no ownership changed in either case. Aggregated
+    into {!Pm2.Error.t} as [Negotiation]. *)
+type error =
+  | Out_of_slots of { n : int; duration : float }
+      (** the global OR holds no run of [n] contiguous free slots — the
+          whole system is exhausted, even a failed search pays the full
+          protocol time *)
+  | Aborted of { lease_until : float; duration : float }
+      (** the requester died holding the critical section; the lock frees
+          at [lease_until] and [duration] spans now → that instant *)
+
+val error_to_string : error -> string
 
 (** [?obs] receives [Neg_request] / [Neg_round] / [Neg_grant] / [Neg_deny]
     / [Neg_abort] and [Slot_transfer] events, attributed to the
@@ -36,8 +50,8 @@ type result = {
 
     [?faults] arms the lease on the critical section: if the plan says
     the requester's interface dies inside its critical-section window,
-    the negotiation aborts — no ownership changes, [start = None],
-    [aborted = true] — and the system-wide lock is released [?lease] µs
+    the negotiation aborts — no ownership changes, [Error (Aborted _)]
+    — and the system-wide lock is released [?lease] µs
     (default 1000) after the death instant instead of being wedged
     forever. {!check_global_invariant} holds across every abort. *)
 val create :
@@ -60,7 +74,11 @@ val create :
     prevision of foreseeable large allocation requests": up to [prebuy]
     extra free slots contiguous with the purchased run are bought in the
     same critical section, at no extra protocol cost. *)
-val execute : ?prebuy:int -> t -> requester:int -> n:int -> result
+val execute : ?prebuy:int -> t -> requester:int -> n:int -> (grant, error) result
+
+(** {!execute}, treating any [error] as fatal.
+    @raise Failure with {!error_to_string} on [Error]. *)
+val execute_exn : ?prebuy:int -> t -> requester:int -> n:int -> grant
 
 (** [restructure t] implements the paper's other §4.4 remark: a global
     exchange phase that "completely restructure[s] the slot distribution

@@ -1,3 +1,50 @@
+module Error = struct
+  type t =
+    | Slots of Slot_manager.error
+    | Heap of Pm2_heap.Malloc.error
+    | Negotiation of Negotiation.error
+    | Relocation of { tid : int; slot : int; stage : Relocation.stage; reason : string }
+
+  let to_string = function
+    | Slots e -> "slots: " ^ Slot_manager.error_to_string e
+    | Heap e -> "heap: " ^ Pm2_heap.Malloc.error_to_string e
+    | Negotiation e -> "negotiation: " ^ Negotiation.error_to_string e
+    | Relocation { tid; slot; stage; reason } ->
+      Printf.sprintf "relocation (tid=%d, slot=0x%x, %s): %s" tid slot
+        (Relocation.stage_name stage) reason
+
+  let of_exn = function
+    | Relocation.Error { tid; slot; stage; reason } ->
+      Some (Relocation { tid; slot; stage; reason })
+    | Pm2_heap.Malloc.Out_of_memory -> Some (Heap Pm2_heap.Malloc.Heap_exhausted)
+    | _ -> None
+end
+
+module Config = struct
+  type t = Cluster.config
+
+  let make ?(nodes = 2) ?slot_size ?distribution ?cache_capacity ?scheme ?packing
+      ?quantum ?fit ?prebuy ?allocator_policy ?cost ?seed ?fault_plan ?sinks () =
+    let d = Cluster.default_config ~nodes in
+    let v o ~default = Option.value o ~default in
+    {
+      Cluster.nodes;
+      slot_size = v slot_size ~default:d.Cluster.slot_size;
+      distribution = v distribution ~default:d.Cluster.distribution;
+      cache_capacity = v cache_capacity ~default:d.Cluster.cache_capacity;
+      scheme = v scheme ~default:d.Cluster.scheme;
+      packing = v packing ~default:d.Cluster.packing;
+      quantum = v quantum ~default:d.Cluster.quantum;
+      fit = v fit ~default:d.Cluster.fit;
+      prebuy = v prebuy ~default:d.Cluster.prebuy;
+      allocator_policy = v allocator_policy ~default:d.Cluster.allocator_policy;
+      cost = v cost ~default:d.Cluster.cost;
+      seed = v seed ~default:d.Cluster.seed;
+      faults = v fault_plan ~default:d.Cluster.faults;
+      sinks = v sinks ~default:d.Cluster.sinks;
+    }
+end
+
 let build f =
   let b = Pm2_mvm.Asm.create () in
   f b;

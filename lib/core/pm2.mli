@@ -10,6 +10,59 @@
       List.iter print_endline lines
     ]} *)
 
+(** Every typed failure the runtime reports, in one place. The subsystem
+    modules return their own [('a, error) result]s ({!Slot_manager.error},
+    {!Pm2_heap.Malloc.error}, {!Negotiation.error}); this aggregate lets
+    callers carry any of them through one channel, aligned with the legacy
+    {!Relocation.Error} payload. *)
+module Error : sig
+  type t =
+    | Slots of Slot_manager.error
+    | Heap of Pm2_heap.Malloc.error
+    | Negotiation of Negotiation.error
+    | Relocation of { tid : int; slot : int; stage : Relocation.stage; reason : string }
+
+  val to_string : t -> string
+
+  (** Typed view of the raising escapes kept for compatibility
+      ({!Relocation.Error}, {!Pm2_heap.Malloc.Out_of_memory}); [None] for
+      exceptions the runtime does not own. *)
+  val of_exn : exn -> t option
+end
+
+(** Builder for {!Cluster.config} — the one place to set cluster,
+    allocator, fault and observability knobs. Every argument is optional
+    and defaults to {!Cluster.default_config} (the paper's experimental
+    setup); prefer this over direct record construction, which forces an
+    update on every new field. Example:
+
+    {[
+      Pm2.Config.make ~nodes:4 ~allocator_policy:Pm2_heap.Malloc.Segregated
+        ~fault_plan:(Pm2_fault.Plan.parse ~nodes:4 "drop=0.1")
+        ~sinks:[ Pm2_obs.Metrics.sink metrics ] ()
+    ]} *)
+module Config : sig
+  type t = Cluster.config
+
+  val make :
+    ?nodes:int ->
+    ?slot_size:int ->
+    ?distribution:Distribution.t ->
+    ?cache_capacity:int ->
+    ?scheme:Cluster.scheme ->
+    ?packing:Migration.packing ->
+    ?quantum:int ->
+    ?fit:Iso_heap.fit ->
+    ?prebuy:int ->
+    ?allocator_policy:Pm2_heap.Malloc.policy ->
+    ?cost:Pm2_sim.Cost_model.t ->
+    ?seed:int ->
+    ?fault_plan:Pm2_fault.Plan.t ->
+    ?sinks:Pm2_obs.Sink.t list ->
+    unit ->
+    Cluster.config
+end
+
 (** [build f] assembles a program: [f] receives a fresh assembler. *)
 val build : (Pm2_mvm.Asm.t -> unit) -> Pm2_mvm.Program.t
 

@@ -57,7 +57,7 @@ let pack ~geometry ~cost ~space ~mgr (th : Thread.t) =
   Pk.pack_bytes p (As.load_bytes space sp (base + size - sp));
   (* The source gives the slot back to its node: the thread does not keep
      iso-address ownership under this scheme. *)
-  Slot_manager.release mgr (Slot.index geometry base);
+  Slot_manager.release_exn mgr (Slot.index geometry base);
   th.slots_head <- 0;
   th.stack_slot <- 0;
   let buffer = Pk.contents p in
@@ -89,8 +89,8 @@ let unpack ~geometry ~cost ~space ~mgr (th : Thread.t) buffer =
      non-degenerate distribution this is a different virtual address. *)
   let index =
     match Slot_manager.acquire_local mgr with
-    | Some i -> i
-    | None ->
+    | Ok i -> i
+    | Error _ ->
       error ~tid:th.Thread.id ~slot:old_base ~stage:Unpack
         "destination node has no free slot"
   in

@@ -4,6 +4,20 @@ module Bitset = Pm2_util.Bitset
 module Vec = Pm2_util.Vec
 module Obs = Pm2_obs
 
+type error =
+  | Out_of_slots
+  | Not_owned of { slot : int; op : string }
+  | Already_free of { slot : int; op : string }
+  | Already_owned of { slot : int; op : string }
+
+let error_to_string = function
+  | Out_of_slots -> "out of slots"
+  | Not_owned { slot; op } -> Printf.sprintf "Slot_manager.%s: slot %d not owned" op slot
+  | Already_free { slot; op } ->
+    Printf.sprintf "Slot_manager.%s: slot %d already free here" op slot
+  | Already_owned { slot; op } ->
+    Printf.sprintf "Slot_manager.%s: slot %d already owned" op slot
+
 type stats = {
   mutable acquires : int;
   mutable cache_hits : int;
@@ -109,25 +123,32 @@ let acquire_local t =
     t.stats.cache_hits <- t.stats.cache_hits + 1;
     t.charge t.cost.Cm.slot_cache_hit;
     emit_reserve t ~slot:i ~n:1 ~cache_hit:true;
-    Some i
+    Ok i
   | None ->
     (match Bitset.first_set t.bitmap with
-     | None -> None
+     | None -> Error Out_of_slots
      | Some i ->
        Bitset.clear t.bitmap i;
        mmap_slot_range t ~start:i ~n:1;
        emit_reserve t ~slot:i ~n:1 ~cache_hit:false;
-       Some i)
+       Ok i)
 
 let find_local_run t n =
   t.charge (float_of_int (Bitset.byte_size t.bitmap) *. t.cost.Cm.bitmap_scan_per_byte);
   Bitset.find_run t.bitmap n
 
-let acquire_run t ~start ~n =
-  for i = start to start + n - 1 do
-    if not (Bitset.get t.bitmap i) then
-      invalid_arg (Printf.sprintf "Slot_manager.acquire_run: slot %d not owned" i)
-  done;
+(* First slot of [start..start+n-1] failing [pred], if any — the up-front
+   validation of the run operations: nothing is mutated on [Error]. *)
+let run_check t ~start ~n pred =
+  let bad = ref None in
+  (try
+     for i = start to start + n - 1 do
+       if not (pred t.bitmap i) then begin bad := Some i; raise Exit end
+     done
+   with Exit -> ());
+  !bad
+
+let acquire_run_owned t ~start ~n =
   t.stats.acquires <- t.stats.acquires + 1;
   Bitset.clear_range t.bitmap start n;
   (* Map the run, reusing cached mappings and grouping the fresh mmaps. *)
@@ -147,9 +168,12 @@ let acquire_run t ~start ~n =
   done;
   emit_reserve t ~slot:start ~n ~cache_hit:false
 
-let release t i =
-  if Bitset.get t.bitmap i then
-    invalid_arg (Printf.sprintf "Slot_manager.release: slot %d already free here" i);
+let acquire_run t ~start ~n =
+  match run_check t ~start ~n Bitset.get with
+  | Some i -> Error (Not_owned { slot = i; op = "acquire_run" })
+  | None -> Ok (acquire_run_owned t ~start ~n)
+
+let release_held t i =
   t.stats.releases <- t.stats.releases + 1;
   Bitset.set t.bitmap i;
   let cached = Hashtbl.length t.cache_set < t.cache_capacity in
@@ -157,11 +181,11 @@ let release t i =
   if Obs.Collector.enabled t.obs then
     Obs.Collector.emit t.obs ~node:t.node (Obs.Event.Slot_release { slot = i; cached })
 
-let release_run t ~start ~n =
-  for i = start to start + n - 1 do
-    if Bitset.get t.bitmap i then
-      invalid_arg (Printf.sprintf "Slot_manager.release: slot %d already free here" i)
-  done;
+let release t i =
+  if Bitset.get t.bitmap i then Error (Already_free { slot = i; op = "release" })
+  else Ok (release_held t i)
+
+let release_run_held t ~start ~n =
   let emit i cached =
     if Obs.Collector.enabled t.obs then
       Obs.Collector.emit t.obs ~node:t.node (Obs.Event.Slot_release { slot = i; cached })
@@ -189,21 +213,42 @@ let release_run t ~start ~n =
     munmap_slot_range t ~start:first ~n:(stop - first)
   end
 
+let release_run t ~start ~n =
+  (* Validated up front; nothing is mutated on [Error]. *)
+  match run_check t ~start ~n (fun b i -> not (Bitset.get b i)) with
+  | Some i -> Error (Already_free { slot = i; op = "release_run" })
+  | None -> Ok (release_run_held t ~start ~n)
+
 let steal t i =
-  if not (Bitset.get t.bitmap i) then
-    invalid_arg (Printf.sprintf "Slot_manager.steal: slot %d not owned" i);
-  Bitset.clear t.bitmap i;
-  t.stats.steals <- t.stats.steals + 1;
-  if cache_member t i then begin
-    cache_remove t i;
-    munmap_slot t i
+  if not (Bitset.get t.bitmap i) then Error (Not_owned { slot = i; op = "steal" })
+  else begin
+    Bitset.clear t.bitmap i;
+    t.stats.steals <- t.stats.steals + 1;
+    if cache_member t i then begin
+      cache_remove t i;
+      munmap_slot t i
+    end;
+    Ok ()
   end
 
 let grant t i =
-  if Bitset.get t.bitmap i then
-    invalid_arg (Printf.sprintf "Slot_manager.grant: slot %d already owned" i);
-  Bitset.set t.bitmap i;
-  t.stats.grants <- t.stats.grants + 1
+  if Bitset.get t.bitmap i then Error (Already_owned { slot = i; op = "grant" })
+  else begin
+    Bitset.set t.bitmap i;
+    t.stats.grants <- t.stats.grants + 1;
+    Ok ()
+  end
+
+(* -- raising wrappers (internal invariant-violation call sites) -- *)
+
+let ok_exn = function Ok v -> v | Error e -> invalid_arg (error_to_string e)
+
+let acquire_local_exn t = ok_exn (acquire_local t)
+let acquire_run_exn t ~start ~n = ok_exn (acquire_run t ~start ~n)
+let release_exn t i = ok_exn (release t i)
+let release_run_exn t ~start ~n = ok_exn (release_run t ~start ~n)
+let steal_exn t i = ok_exn (steal t i)
+let grant_exn t i = ok_exn (grant t i)
 
 let check_invariants t =
   let fail fmt = Printf.ksprintf failwith fmt in

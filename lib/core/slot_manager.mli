@@ -18,6 +18,19 @@
 
 type t
 
+(** Why a slot operation could not be carried out. Every mutation below is
+    validated up front and returns [Error] {e without touching any state};
+    [Out_of_slots] is the expected steady-state outcome on an exhausted
+    node (the caller negotiates), the others flag ownership-protocol
+    violations. Aggregated into {!Pm2.Error.t} as [Slots]. *)
+type error =
+  | Out_of_slots (** the node owns no (run of) free slots *)
+  | Not_owned of { slot : int; op : string }
+  | Already_free of { slot : int; op : string }
+  | Already_owned of { slot : int; op : string }
+
+val error_to_string : error -> string
+
 type stats = {
   mutable acquires : int;
   mutable cache_hits : int;
@@ -60,43 +73,58 @@ val bitmap : t -> Pm2_util.Bitset.t
 (** {1 node → thread} *)
 
 (** [acquire_local t] takes one owned slot (preferring cached ones), maps
-    its memory, and returns its index — or [None] if the node owns no slot
-    (the caller must then negotiate). *)
-val acquire_local : t -> int option
+    its memory, and returns its index — or [Error Out_of_slots] if the
+    node owns none (the caller must then negotiate). *)
+val acquire_local : t -> (int, error) result
 
 (** [find_local_run t n] is the first-fit start of [n] contiguous owned
     slots, charging the bitmap-scan cost — or [None]. *)
 val find_local_run : t -> int -> int option
 
 (** [acquire_run t ~start ~n] takes slots [start..start+n-1], all of which
-    must be owned, and maps the whole range.
-    @raise Invalid_argument if some slot of the run is not owned. *)
-val acquire_run : t -> start:int -> n:int -> unit
+    must be owned, and maps the whole range. [Error (Not_owned _)] (and no
+    mutation) if some slot of the run is not owned. *)
+val acquire_run : t -> start:int -> n:int -> (unit, error) result
 
 (** {1 thread → node} *)
 
 (** [release t i] gives slot [i] (currently mapped, thread-owned) to this
-    node. The memory stays mapped if the cache has room, else is unmapped. *)
-val release : t -> int -> unit
+    node. The memory stays mapped if the cache has room, else is unmapped.
+    [Error (Already_free _)] if [i] is already free here. *)
+val release : t -> int -> (unit, error) result
 
 (** [release_run t ~start ~n] releases a merged slot. Slots that fit in
     the cache keep their mapping; the contiguous uncached tail of the run
     is unmapped with a single grouped [munmap] (one [munmap_count] tick),
-    mirroring {!acquire_run}'s grouped [mmap].
-    @raise Invalid_argument if any slot of the run is already free (the
-    run is validated up front; nothing is mutated in that case). *)
-val release_run : t -> start:int -> n:int -> unit
+    mirroring {!acquire_run}'s grouped [mmap]. [Error (Already_free _)] if
+    any slot of the run is already free (the run is validated up front;
+    nothing is mutated in that case). *)
+val release_run : t -> start:int -> n:int -> (unit, error) result
 
 (** {1 node → node (negotiation)} *)
 
 (** [steal t i] removes owned slot [i] from this node (sold to a buyer);
-    unmaps it first if it sat in the cache.
-    @raise Invalid_argument if not owned. *)
-val steal : t -> int -> unit
+    unmaps it first if it sat in the cache. [Error (Not_owned _)] if not
+    owned. *)
+val steal : t -> int -> (unit, error) result
 
 (** [grant t i] makes this node the owner of free slot [i] (bought).
-    @raise Invalid_argument if already owned. *)
-val grant : t -> int -> unit
+    [Error (Already_owned _)] if already owned. *)
+val grant : t -> int -> (unit, error) result
+
+(** {1 Raising wrappers}
+
+    For call sites where an [Error] is an internal invariant violation
+    (the negotiation's buy under the global lock, the iso-heap releasing
+    slots it verifiably holds): same operations,
+    @raise Invalid_argument with {!error_to_string} on [Error]. *)
+
+val acquire_local_exn : t -> int
+val acquire_run_exn : t -> start:int -> n:int -> unit
+val release_exn : t -> int -> unit
+val release_run_exn : t -> start:int -> n:int -> unit
+val steal_exn : t -> int -> unit
+val grant_exn : t -> int -> unit
 
 (** {1 Invariants (tests)} *)
 

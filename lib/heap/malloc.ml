@@ -9,6 +9,14 @@ type addr = Layout.addr
 
 exception Out_of_memory
 
+type error =
+  | Heap_exhausted
+  | Invalid_free of addr
+
+let error_to_string = function
+  | Heap_exhausted -> "local heap segment exhausted"
+  | Invalid_free a -> Printf.sprintf "Malloc.free: 0x%x is not a live block" a
+
 type policy =
   | First_fit
   | Segregated
@@ -98,9 +106,7 @@ let unlink t b =
 
 let min_growth = 64 * 1024
 
-let extend t need =
-  let grow = Layout.page_align_up (max need min_growth) in
-  if t.brk + grow > Layout.heap_base + Layout.heap_max_size then raise Out_of_memory;
+let extend_mapped t grow =
   As.mmap t.space ~addr:t.brk ~size:grow;
   t.charge (Cm.mmap_cost t.cost ~pages:(grow / Layout.page_size));
   let b = ref t.brk and size = ref grow in
@@ -115,6 +121,15 @@ let extend t need =
   t.brk <- t.brk + grow;
   B.write_tags t.space !b ~size:!size ~used:false;
   link_front t !b
+
+(* Grow the arena by at least [need]; [false] if the segment is spent. *)
+let extend t need =
+  let grow = Layout.page_align_up (max need min_growth) in
+  if t.brk + grow > Layout.heap_base + Layout.heap_max_size then false
+  else begin
+    extend_mapped t grow;
+    true
+  end
 
 (* -- allocation -- *)
 
@@ -173,24 +188,31 @@ let malloc t size =
   let need = B.block_size_for ~payload:size in
   let payload =
     match find_fit t need with
-    | Some b -> place t b need
+    | Some b -> Ok (place t b need)
     | None ->
-      extend t need;
-      (match find_fit t need with
-       | Some b -> place t b need
-       | None -> raise Out_of_memory)
+      if not (extend t need) then Error Heap_exhausted
+      else (
+        match find_fit t need with
+        | Some b -> Ok (place t b need)
+        | None -> Error Heap_exhausted)
   in
-  if Obs.Collector.enabled t.obs then
-    emit t (Obs.Event.Block_alloc { heap = Obs.Event.Local; addr = payload; bytes = size });
+  (match payload with
+   | Ok addr when Obs.Collector.enabled t.obs ->
+     emit t (Obs.Event.Block_alloc { heap = Obs.Event.Local; addr; bytes = size })
+   | _ -> ());
   payload
+
+let malloc_exn t size =
+  match malloc t size with
+  | Ok addr -> addr
+  | Error _ -> raise Out_of_memory
 
 let validate_live t p =
   match Hashtbl.find_opt t.live p with
   | Some size -> size
   | None -> invalid_arg (Printf.sprintf "Malloc.free: 0x%x is not a live block" p)
 
-let free t p =
-  let _size = validate_live t p in
+let free_live t p =
   t.charge t.cost.Cm.alloc_fixed;
   Hashtbl.remove t.live p;
   let b = ref (B.block_of_payload p) in
@@ -219,6 +241,14 @@ let free t p =
   link_front t !b;
   if !size <> freed_size && Obs.Collector.enabled t.obs then
     emit t (Obs.Event.Block_coalesce { heap = Obs.Event.Local; addr = !b; bytes = !size })
+
+let free t p =
+  if Hashtbl.mem t.live p then Ok (free_live t p) else Error (Invalid_free p)
+
+let free_exn t p =
+  match free t p with
+  | Ok () -> ()
+  | Error e -> invalid_arg (error_to_string e)
 
 let usable_size t p = B.payload_of_block (validate_live t p)
 

@@ -16,6 +16,16 @@ type t
 type addr = Pm2_vmem.Layout.addr
 
 exception Out_of_memory
+(** Raised only by the {!malloc_exn} wrapper. *)
+
+(** Why an allocation or deallocation could not be carried out; nothing is
+    mutated when [Error] is returned. Aggregated into {!Pm2_core.Pm2.Error.t}
+    as [Heap]. *)
+type error =
+  | Heap_exhausted (** the local-heap segment's address budget is spent *)
+  | Invalid_free of addr (** the address is not a live [malloc] payload *)
+
+val error_to_string : error -> string
 
 (** Free-list organisation.
 
@@ -49,15 +59,27 @@ val create :
 val policy : t -> policy
 
 (** [malloc t size] allocates [size] user bytes and returns the payload
-    address (8-aligned).
-    @raise Out_of_memory if the heap segment is exhausted.
-    @raise Invalid_argument if [size <= 0]. *)
-val malloc : t -> int -> addr
+    address (8-aligned), or [Error Heap_exhausted] if the heap segment is
+    spent.
+    @raise Invalid_argument if [size <= 0] (programmer error, not a heap
+    condition). *)
+val malloc : t -> int -> (addr, error) result
 
 (** [free t addr] releases a block previously returned by [malloc]
-    (coalescing with free neighbours).
-    @raise Invalid_argument if [addr] is not a live [malloc] payload. *)
-val free : t -> addr -> unit
+    (coalescing with free neighbours); [Error (Invalid_free addr)] if
+    [addr] is not a live [malloc] payload. *)
+val free : t -> addr -> (unit, error) result
+
+(** {1 Raising wrappers}
+
+    The pre-redesign API, for callers (examples, benches, the guest
+    [Sys_free] fault path) that treat failure as fatal. *)
+
+(** @raise Out_of_memory on [Error]. *)
+val malloc_exn : t -> int -> addr
+
+(** @raise Invalid_argument on [Error]. *)
+val free_exn : t -> addr -> unit
 
 (** [usable_size t addr] is the payload capacity of the block. *)
 val usable_size : t -> addr -> int

@@ -4,12 +4,14 @@ module Thread = Pm2_core.Thread
 
 type policy =
   | Threshold of { high : int; low : int }
+  | Group_threshold of { high : int; low : int; limit : int }
   | Least_loaded
   | Round_robin_spread
 
 type stats = {
   mutable decisions : int;
   mutable migrations_requested : int;
+  mutable groups_requested : int;
   mutable retries : int;
 }
 
@@ -22,6 +24,8 @@ type t = {
 
 let policy_to_string = function
   | Threshold { high; low } -> Printf.sprintf "threshold(high=%d,low=%d)" high low
+  | Group_threshold { high; low; limit } ->
+    Printf.sprintf "group-threshold(high=%d,low=%d,limit=%d)" high low limit
   | Least_loaded -> "least-loaded"
   | Round_robin_spread -> "round-robin-spread"
 
@@ -62,6 +66,27 @@ let request t th ~dest =
   Cluster.request_migration t.cluster th ~dest;
   t.stats.migrations_requested <- t.stats.migrations_requested + 1
 
+let rec take n = function
+  | x :: rest when n > 0 -> x :: take (n - 1) rest
+  | _ -> []
+
+(* Shed up to [n] threads from [src] to [dst] as ONE group migration: a
+   single negotiation and a single packet train instead of [n] handshakes
+   (the batching the v2 wire codec exists for). Returns how many threads
+   were actually committed to the group. *)
+let request_group t ~src ~dst n =
+  let members = take n (movable_threads t.cluster src) in
+  match members with
+  | [] -> 0
+  | members ->
+    (match Cluster.migrate_group t.cluster members ~dest:dst with
+     | Ok _gid ->
+       let n = List.length members in
+       t.stats.groups_requested <- t.stats.groups_requested + 1;
+       t.stats.migrations_requested <- t.stats.migrations_requested + n;
+       n
+     | Error _ -> 0)
+
 (* One balancing round; [true] if at least one migration was requested. *)
 let balance_once t =
   let l = loads t.cluster in
@@ -90,6 +115,19 @@ let balance_once t =
                      | _ -> ())
                 victims
             end)
+         l
+     | Group_threshold { high; low; limit } ->
+       Array.iteri
+         (fun src load ->
+            if ok.(src) && load > high then
+              match argmin_alive l ok with
+              | Some dst when dst <> src && l.(dst) < low ->
+                let want = min (load - high) (max 1 limit) in
+                let moved = request_group t ~src ~dst want in
+                l.(dst) <- l.(dst) + moved;
+                l.(src) <- l.(src) - moved;
+                requested := !requested + moved
+              | _ -> ())
          l
      | Least_loaded ->
        (match argmax_alive l ok, argmin_alive l ok with
@@ -140,7 +178,8 @@ let attach cluster ~policy ~period =
       cluster;
       policy;
       period;
-      stats = { decisions = 0; migrations_requested = 0; retries = 0 };
+      stats =
+        { decisions = 0; migrations_requested = 0; groups_requested = 0; retries = 0 };
     }
   in
   Cluster.set_migration_abort_handler cluster (fun th ~failed ->

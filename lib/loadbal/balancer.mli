@@ -13,6 +13,10 @@ type policy =
   | Threshold of { high : int; low : int }
       (* a node with load > high sheds threads to the least-loaded node
          while that node's load < low *)
+  | Group_threshold of { high : int; low : int; limit : int }
+      (* like [Threshold], but sheds up to [limit] threads per round as ONE
+         {!Pm2_core.Cluster.migrate_group} batch: a single negotiation and
+         a single packet train instead of one handshake per thread *)
   | Least_loaded
       (* move one thread per period from the most- to the least-loaded
          node when the spread exceeds 1 *)
@@ -23,6 +27,7 @@ type policy =
 type stats = {
   mutable decisions : int; (* balancing rounds that migrated something *)
   mutable migrations_requested : int;
+  mutable groups_requested : int; (* group migrations issued (Group_threshold) *)
   mutable retries : int;
       (* aborted migrations re-requested towards another node *)
 }

@@ -1,0 +1,115 @@
+module As = Pm2_vmem.Address_space
+module Layout = Pm2_vmem.Layout
+
+type version = V1 | V2
+
+(* "PM2C" little-endian, packed as a full word so a frame can never be
+   confused with a bare v1 migration buffer (whose first word is the
+   "MIGR" descriptor magic). *)
+let frame_magic = 0x43324d50
+
+let version_to_int = function V1 -> 1 | V2 -> 2
+
+let version_of_int = function
+  | 1 -> Some V1
+  | 2 -> Some V2
+  | _ -> None
+
+let frame version payload =
+  let p = Packet.packer () in
+  Packet.pack_int p frame_magic;
+  Packet.pack_int p (version_to_int version);
+  Packet.pack_bytes p payload;
+  Packet.contents p
+
+let starts_with_magic buf =
+  Bytes.length buf >= 8 && Int64.to_int (Bytes.get_int64_le buf 0) = frame_magic
+
+let parse buf =
+  if not (starts_with_magic buf) then
+    (* Bare legacy buffer: everything that predates the framed codec is a
+       v1 payload by definition, so old wire images keep decoding. *)
+    Ok (V1, buf)
+  else
+    try
+      let u = Packet.unpacker buf in
+      let _magic = Packet.unpack_int u in
+      let v = Packet.unpack_int u in
+      match version_of_int v with
+      | None -> Error (Printf.sprintf "Codec: unknown frame version %d" v)
+      | Some version ->
+        let payload = Packet.unpack_bytes u in
+        if Packet.remaining u <> 0 then Error "Codec: trailing bytes after frame"
+        else Ok (version, payload)
+    with Invalid_argument e -> Error ("Codec: " ^ e)
+
+type run = {
+  data : bool;
+  pages : int;
+}
+
+let manifest space ~addr ~size =
+  if size mod Layout.page_size <> 0 || size <= 0 then
+    invalid_arg "Codec.manifest: size not a positive multiple of the page size";
+  let npages = size / Layout.page_size in
+  let runs = ref [] in
+  for i = npages - 1 downto 0 do
+    let data = not (As.page_is_zero space (addr + (i * Layout.page_size))) in
+    match !runs with
+    | r :: rest when r.data = data -> runs := { r with pages = r.pages + 1 } :: rest
+    | _ -> runs := { data; pages = 1 } :: !runs
+  done;
+  !runs
+
+let encode_runs p runs =
+  Packet.pack_varint p (List.length runs);
+  List.iter
+    (fun r -> Packet.pack_varint p ((r.pages lsl 1) lor (if r.data then 1 else 0)))
+    runs
+
+let decode_runs u =
+  let n = Packet.unpack_varint u in
+  if n < 0 then invalid_arg "Codec: negative run count";
+  List.init n (fun _ ->
+      let v = Packet.unpack_varint u in
+      if v < 0 then invalid_arg "Codec: negative run word";
+      { data = v land 1 = 1; pages = v lsr 1 })
+
+let encode_range p space ~addr ~size =
+  let runs = manifest space ~addr ~size in
+  encode_runs p runs;
+  let pos = ref addr in
+  let data_pages = ref 0 and zero_pages = ref 0 in
+  List.iter
+    (fun r ->
+      if r.data then begin
+        data_pages := !data_pages + r.pages;
+        let len = r.pages * Layout.page_size in
+        Packet.pack_unprefixed p ~len (fun buf ->
+            As.add_to_buffer space ~addr:!pos ~len buf)
+      end
+      else zero_pages := !zero_pages + r.pages;
+      pos := !pos + (r.pages * Layout.page_size))
+    runs;
+  (!data_pages, !zero_pages)
+
+let decode_range u space ~addr ~size =
+  let runs = decode_runs u in
+  let total = List.fold_left (fun acc r -> acc + r.pages) 0 runs in
+  if total * Layout.page_size <> size then
+    invalid_arg "Codec: manifest does not cover the declared range";
+  let pos = ref addr in
+  let data_pages = ref 0 in
+  List.iter
+    (fun r ->
+      if r.data then begin
+        data_pages := !data_pages + r.pages;
+        let len = r.pages * Layout.page_size in
+        let src, off = Packet.unpack_take u len in
+        As.store_sub space !pos src ~pos:off ~len
+      end;
+      (* Zero runs need no bytes and no stores: the destination mapped the
+         range fresh, so those pages are already zero. *)
+      pos := !pos + (r.pages * Layout.page_size))
+    runs;
+  !data_pages

@@ -1,0 +1,71 @@
+(** Versioned migration wire codec.
+
+    PM2's original migration message (v1) ships every used byte of every
+    slot. The v2 codec, used by the group-migration train, frames its
+    payload with an explicit version header and encodes each slot as a
+    {e page manifest} plus the raw bytes of only the pages that hold
+    data. Untouched and all-zero pages are {e described, not shipped}:
+    the destination recreates them for free because
+    {!Pm2_vmem.Address_space.mmap} zero-fills (zero-page elision).
+
+    Frame layout (all fixed fields 8-byte LE words):
+    {v
+      +--------+---------+-----------------+---------------------+
+      | "PM2C" | version |  payload length |   payload bytes...  |
+      +--------+---------+-----------------+---------------------+
+    v}
+
+    A buffer that does not start with the ["PM2C"] magic is treated as a
+    bare v1 payload, so pre-codec wire images (and the single-thread
+    migration path, which still emits them) remain decodable.
+
+    Range encoding (inside a v2 payload), per slot:
+    {v
+      varint run_count
+      run_count x varint (pages << 1 | data?)     RLE page manifest
+      raw page bytes of every data run, in order  (no per-page framing)
+    v}
+
+    Varints are zigzag LEB128 ({!Packet.pack_varint}). *)
+
+(** Wire format generations. [V1] is the original full-copy encoding;
+    [V2] adds the page manifest with zero-page elision. *)
+type version = V1 | V2
+
+(** [frame version payload] wraps [payload] in a versioned frame. *)
+val frame : version -> Bytes.t -> Bytes.t
+
+(** [parse buf] splits a frame into its version and payload. Buffers
+    without the frame magic parse as [(V1, buf)] — backwards
+    compatibility with bare legacy migration images. Errors on unknown
+    versions, truncation and trailing garbage. *)
+val parse : Bytes.t -> (version * Bytes.t, string) result
+
+(** One manifest entry: [pages] consecutive pages that either all carry
+    data ([data = true], shipped verbatim) or are all zero
+    ([data = false], elided). *)
+type run = {
+  data : bool;
+  pages : int;
+}
+
+(** [manifest space ~addr ~size] classifies the page-aligned range into
+    maximal data/zero runs by content ({!Pm2_vmem.Address_space.page_is_zero}
+    — clean pages classify without being read).
+    @raise Invalid_argument if [size] is not a positive multiple of the
+    page size. *)
+val manifest : Pm2_vmem.Address_space.t -> addr:int -> size:int -> run list
+
+(** [encode_range p space ~addr ~size] appends the manifest and the data
+    pages of the range to [p]; returns [(data_pages, zero_pages)]. *)
+val encode_range :
+  Packet.packer -> Pm2_vmem.Address_space.t -> addr:int -> size:int -> int * int
+
+(** [decode_range u space ~addr ~size] reads one {!encode_range} image
+    and stores the data pages into [space], which must already have the
+    whole range freshly mapped (zero runs are left untouched). Returns
+    the number of data pages stored.
+    @raise Invalid_argument if the manifest does not cover [size] or the
+    buffer is truncated. *)
+val decode_range :
+  Packet.unpacker -> Pm2_vmem.Address_space.t -> addr:int -> size:int -> int

@@ -23,6 +23,30 @@ let pack_list p f l =
   pack_int p (List.length l);
   List.iter f l
 
+(* Zigzag folds the sign bit into bit 0 so small negative values stay
+   small on the wire; LEB128 then emits 7 bits per byte. *)
+let zigzag v = (v lsl 1) lxor (v asr (Sys.int_size - 1))
+let unzigzag z = (z lsr 1) lxor (- (z land 1))
+
+let pack_varint p v =
+  let z = ref (zigzag v) in
+  let continue = ref true in
+  while !continue do
+    let b = !z land 0x7f in
+    z := !z lsr 7;
+    if !z = 0 then begin
+      Buffer.add_char p (Char.chr b);
+      continue := false
+    end
+    else Buffer.add_char p (Char.chr (b lor 0x80))
+  done
+
+let pack_unprefixed p ~len write =
+  let before = Buffer.length p in
+  write p;
+  if Buffer.length p - before <> len then
+    invalid_arg "Packet.pack_unprefixed: writer produced a different length"
+
 let packed_size p = Buffer.length p
 
 let contents p = Buffer.to_bytes p
@@ -68,6 +92,26 @@ let unpack_view u =
 let unpack_list u f =
   let n = unpack_int u in
   List.init n (fun _ -> f ())
+
+let unpack_varint u =
+  let z = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    need u 1;
+    let b = Char.code (Bytes.get u.data u.pos) in
+    u.pos <- u.pos + 1;
+    if !shift >= Sys.int_size then invalid_arg "Packet: varint overflow";
+    z := !z lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b land 0x80 = 0 then continue := false
+  done;
+  unzigzag !z
+
+let unpack_take u len =
+  if len < 0 then invalid_arg "Packet.unpack_take: negative length";
+  need u len;
+  let pos = u.pos in
+  u.pos <- u.pos + len;
+  (u.data, pos)
 
 let remaining u = Bytes.length u.data - u.pos
 

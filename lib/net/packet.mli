@@ -34,6 +34,20 @@ val pack_list : packer -> ('a -> unit) -> 'a list -> unit
     bytes. *)
 val pack_raw : packer -> len:int -> (Buffer.t -> unit) -> unit
 
+(** [pack_varint p v] packs [v] as a zigzag-folded LEB128 varint: the
+    sign bit moves to bit 0, then 7 bits per wire byte, high bit set on
+    all but the last. Values in [-64, 63] take one byte; slot-sized
+    addresses take 5 — the compact integer encoding of the v2 migration
+    codec ({!Codec}). *)
+val pack_varint : packer -> int -> unit
+
+(** [pack_unprefixed p ~len write] appends exactly [len] bytes produced
+    by [write] with {e no} length prefix — for codec layers that already
+    know the length from their own framing (e.g. fixed-size page images).
+    @raise Invalid_argument if [write] appends a different number of
+    bytes. *)
+val pack_unprefixed : packer -> len:int -> (Buffer.t -> unit) -> unit
+
 val packed_size : packer -> int
 
 val contents : packer -> Bytes.t
@@ -55,6 +69,16 @@ val unpack_list : unpacker -> (unit -> 'a) -> 'a list
     copying it out. The view is read-only by convention; it aliases the
     unpacker's buffer. *)
 val unpack_view : unpacker -> Bytes.t * int * int
+
+(** [unpack_varint u] reads one {!pack_varint} integer.
+    @raise Invalid_argument on truncation or overflow. *)
+val unpack_varint : unpacker -> int
+
+(** [unpack_take u len] consumes the next [len] un-prefixed bytes and
+    returns an aliasing [(data, pos)] view — the inverse of
+    {!pack_unprefixed}.
+    @raise Invalid_argument if fewer than [len] bytes remain. *)
+val unpack_take : unpacker -> int -> Bytes.t * int
 
 val remaining : unpacker -> int
 (** Bytes not yet consumed (0 after a complete unpack). *)

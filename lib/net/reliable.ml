@@ -6,32 +6,58 @@ let data_magic = 0x52454C44 (* "RELD" *)
 
 let ack_magic = 0x52454C41 (* "RELA" *)
 
+let frag_magic = 0x52454C54 (* "RELT": one fragment of a packet train *)
+
+let train_ack_magic = 0x52454C4B (* "RELK": whole-train acknowledgement *)
+
+(* Receiver-side reassembly of one in-flight train. *)
+type train_rx = {
+  frags : Bytes.t option array;
+  mutable have : int;
+}
+
 type t = {
   net : Network.t;
   obs : Obs.Collector.t;
   max_attempts : int;
+  fragment : int;
   mutable next_seq : int;
   (* seqs whose payload ran its delivery continuation (or whose session
      was torn down): any further copy is suppressed *)
   delivered : (int, unit) Hashtbl.t;
   (* seqs awaiting an ack -> sender-side completion *)
   pending : (int, unit -> unit) Hashtbl.t;
+  (* train ids fully assembled (or torn down): later fragments are dups *)
+  trains_delivered : (int, unit) Hashtbl.t;
+  train_rx : (int, train_rx) Hashtbl.t;
+  train_pending : (int, unit -> unit) Hashtbl.t;
+  mutable next_train : int;
   mutable retransmits : int;
   mutable dups : int;
   mutable give_ups : int;
+  mutable trains_sent : int;
+  mutable train_retransmits : int;
 }
 
-let create ?(obs = Obs.Collector.null) ?(max_attempts = 12) net =
+let create ?(obs = Obs.Collector.null) ?(max_attempts = 12) ?(fragment = 16384) net =
+  if fragment <= 0 then invalid_arg "Reliable.create: fragment must be positive";
   {
     net;
     obs;
     max_attempts;
+    fragment;
     next_seq = 0;
     delivered = Hashtbl.create 64;
     pending = Hashtbl.create 16;
+    trains_delivered = Hashtbl.create 16;
+    train_rx = Hashtbl.create 8;
+    train_pending = Hashtbl.create 8;
+    next_train = 0;
     retransmits = 0;
     dups = 0;
     give_ups = 0;
+    trains_sent = 0;
+    train_retransmits = 0;
   }
 
 let network t = t.net
@@ -41,6 +67,10 @@ let retransmits t = t.retransmits
 let duplicates_suppressed t = t.dups
 
 let give_ups t = t.give_ups
+
+let trains_sent t = t.trains_sent
+
+let train_retransmits t = t.train_retransmits
 
 (* Frames are [magic][checksum(inner)][inner]; the checksum covers the
    sequence number as well as the payload, so a bit-flip anywhere in the
@@ -166,6 +196,177 @@ let send t ~src ~dst payload ~on_delivered ~on_failed =
               (Obs.Event.Net_retransmit { src; dst; seq; attempt = n; bytes })
         end;
         Network.send t.net ~src ~dst wire (handle_data t ~src ~dst ~on_delivered);
+        let timeout = base_timeout *. (2. ** float_of_int (min (n - 1) 6)) in
+        Engine.schedule_after engine ~delay:timeout (fun () ->
+            if not !acked then attempt (n + 1))
+      end
+    in
+    attempt 1
+  end
+
+(* -- packet trains ------------------------------------------------------ *)
+
+let frag_frame ~train ~idx ~nfrags payload ~pos ~len =
+  let p = Packet.packer () in
+  Packet.pack_int p train;
+  Packet.pack_int p idx;
+  Packet.pack_int p nfrags;
+  Packet.pack_raw p ~len (fun buf -> Buffer.add_subbytes buf payload pos len);
+  frame ~magic:frag_magic (Packet.contents p)
+
+let train_ack_frame ~train =
+  let p = Packet.packer () in
+  Packet.pack_int p train;
+  frame ~magic:train_ack_magic (Packet.contents p)
+
+let handle_train_ack t b =
+  match parse_frame b with
+  | Some (magic, inner) when magic = train_ack_magic -> (
+    match
+      let u = Packet.unpacker inner in
+      Packet.unpack_int u
+    with
+    | exception Invalid_argument _ -> ()
+    | train -> (
+      match Hashtbl.find_opt t.train_pending train with
+      | Some complete -> complete ()
+      | None -> () (* late or duplicate ack *)))
+  | Some _ | None -> ()
+
+let handle_frag t ~src ~dst ~on_delivered b =
+  match parse_frame b with
+  | Some (magic, inner) when magic = frag_magic -> (
+    match
+      let u = Packet.unpacker inner in
+      let train = Packet.unpack_int u in
+      let idx = Packet.unpack_int u in
+      let nfrags = Packet.unpack_int u in
+      let payload = Packet.unpack_bytes u in
+      (train, idx, nfrags, payload)
+    with
+    | exception Invalid_argument _ -> ()
+    | train, idx, nfrags, payload ->
+      if nfrags <= 0 || idx < 0 || idx >= nfrags then ()
+      else if Hashtbl.mem t.trains_delivered train then begin
+        (* Whole train already assembled: dedup and re-ack (the earlier
+           ack may have been lost). *)
+        t.dups <- t.dups + 1;
+        if Obs.Collector.enabled t.obs then
+          Obs.Collector.emit t.obs ~node:dst
+            (Obs.Event.Net_dup_suppress { src; dst; seq = train });
+        Network.send t.net ~src:dst ~dst:src (train_ack_frame ~train)
+          (handle_train_ack t)
+      end
+      else begin
+        let rx =
+          match Hashtbl.find_opt t.train_rx train with
+          | Some rx when Array.length rx.frags = nfrags -> rx
+          | Some _ -> (* inconsistent geometry: treat as corrupt *)
+            { frags = Array.make nfrags None; have = 0 }
+          | None ->
+            let rx = { frags = Array.make nfrags None; have = 0 } in
+            Hashtbl.replace t.train_rx train rx;
+            rx
+        in
+        (match rx.frags.(idx) with
+         | Some _ ->
+           t.dups <- t.dups + 1;
+           if Obs.Collector.enabled t.obs then
+             Obs.Collector.emit t.obs ~node:dst
+               (Obs.Event.Net_dup_suppress { src; dst; seq = train })
+         | None ->
+           rx.frags.(idx) <- Some payload;
+           rx.have <- rx.have + 1);
+        if rx.have = nfrags then begin
+          let buf = Buffer.create 1024 in
+          Array.iter
+            (function Some b -> Buffer.add_bytes buf b | None -> assert false)
+            rx.frags;
+          Hashtbl.remove t.train_rx train;
+          Hashtbl.replace t.trains_delivered train ();
+          Network.send t.net ~src:dst ~dst:src (train_ack_frame ~train)
+            (handle_train_ack t);
+          if Obs.Collector.enabled t.obs then
+            Obs.Collector.emit t.obs ~node:dst (Obs.Event.Train_ack { src; dst; train });
+          on_delivered (Buffer.to_bytes buf)
+        end
+      end)
+  | Some _ | None -> () (* corrupt or foreign frame: retransmission covers it *)
+
+let send_train t ~src ~dst payload ~on_delivered ~on_failed =
+  let faults = Network.faults t.net in
+  let bytes = Bytes.length payload in
+  let train = t.next_train in
+  t.next_train <- train + 1;
+  t.trains_sent <- t.trains_sent + 1;
+  if (not (Fault.Plan.enabled faults)) || src = dst then begin
+    (* Fault-free network (or loop-back): the train degenerates to one
+       plain message — no fragment headers, no acks, no timers. *)
+    if Obs.Collector.enabled t.obs then
+      Obs.Collector.emit t.obs ~node:src
+        (Obs.Event.Train_send { src; dst; train; frags = 1; bytes });
+    Network.send t.net ~src ~dst payload on_delivered
+  end
+  else begin
+    let nfrags = max 1 ((bytes + t.fragment - 1) / t.fragment) in
+    let frames =
+      List.init nfrags (fun idx ->
+          let pos = idx * t.fragment in
+          let len = min t.fragment (bytes - pos) in
+          frag_frame ~train ~idx ~nfrags payload ~pos ~len)
+    in
+    let wire_bytes = List.fold_left (fun acc f -> acc + Bytes.length f) 0 frames in
+    let engine = Network.engine t.net in
+    let acked = ref false in
+    Hashtbl.replace t.train_pending train (fun () ->
+        acked := true;
+        Hashtbl.remove t.train_pending train);
+    let rtt =
+      Network.transfer_time t.net ~bytes:wire_bytes
+      +. Network.transfer_time t.net ~bytes:(Bytes.length (train_ack_frame ~train:0))
+    in
+    let base_timeout = (2. *. rtt) +. 50. in
+    if Obs.Collector.enabled t.obs then
+      Obs.Collector.emit t.obs ~node:src
+        (Obs.Event.Train_send { src; dst; train; frags = nfrags; bytes });
+    let rec attempt n =
+      if !acked then ()
+      else if n > t.max_attempts then begin
+        Hashtbl.remove t.train_pending train;
+        if Hashtbl.mem t.trains_delivered train then
+          (* Assembled at the destination but every ack was lost: counts
+             as delivered (teardown modelled as reliable), never as a
+             duplicate delivery. *)
+          ()
+        else begin
+          (* Poison the train id so straggling fragments cannot assemble
+             and deliver after the failure continuation has run. *)
+          Hashtbl.replace t.trains_delivered train ();
+          Hashtbl.remove t.train_rx train;
+          t.give_ups <- t.give_ups + 1;
+          if Obs.Collector.enabled t.obs then
+            Obs.Collector.emit t.obs ~node:src
+              (Obs.Event.Net_give_up { src; dst; seq = train; attempts = t.max_attempts });
+          on_failed
+            ~reason:
+              (Printf.sprintf "train %d: no ack from node %d after %d attempts" train
+                 dst t.max_attempts)
+        end
+      end
+      else begin
+        if n > 1 then begin
+          t.retransmits <- t.retransmits + 1;
+          t.train_retransmits <- t.train_retransmits + 1;
+          if Obs.Collector.enabled t.obs then
+            Obs.Collector.emit t.obs ~node:src
+              (Obs.Event.Train_retransmit
+                 { src; dst; train; attempt = n; bytes = wire_bytes })
+        end;
+        (* The receiver drops fragments it already holds, so a full-train
+           resend costs only suppressed duplicates. *)
+        List.iter
+          (fun f -> Network.send t.net ~src ~dst f (handle_frag t ~src ~dst ~on_delivered))
+          frames;
         let timeout = base_timeout *. (2. ** float_of_int (min (n - 1) 6)) in
         Engine.schedule_after engine ~delay:timeout (fun () ->
             if not !acked then attempt (n + 1))

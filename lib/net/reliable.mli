@@ -22,7 +22,12 @@
 
 type t
 
-val create : ?obs:Pm2_obs.Collector.t -> ?max_attempts:int -> Network.t -> t
+(** [create ?obs ?max_attempts ?fragment net] — [fragment] is the packet
+    train fragment size in bytes (default 16 KB), the unit into which
+    {!send_train} cuts its payload.
+    @raise Invalid_argument if [fragment <= 0]. *)
+val create :
+  ?obs:Pm2_obs.Collector.t -> ?max_attempts:int -> ?fragment:int -> Network.t -> t
 
 val network : t -> Network.t
 
@@ -40,6 +45,27 @@ val send :
   on_failed:(reason:string -> unit) ->
   unit
 
+(** [send_train t ~src ~dst payload ~on_delivered ~on_failed] ships a
+    large payload as one {e packet train}: the payload is cut into
+    fragments (each its own checksummed frame), and the receiver
+    reassembles them and acknowledges the train {e as a single unit} once
+    every fragment has arrived. On timeout the whole train is resent —
+    the receiver drops fragments it already holds, so a resend costs only
+    suppressed duplicates. [on_delivered] runs at the destination with
+    the reassembled payload exactly once; [on_failed] runs at the sender
+    if the attempt budget is exhausted, and the train id is poisoned so a
+    straggler can never complete it afterwards (the all-or-nothing
+    delivery the group-migration rollback relies on). Fault-free
+    networks and self-sends degrade to one plain {!Network.send}. *)
+val send_train :
+  t ->
+  src:int ->
+  dst:int ->
+  Bytes.t ->
+  on_delivered:(Bytes.t -> unit) ->
+  on_failed:(reason:string -> unit) ->
+  unit
+
 (** {1 Statistics} *)
 
 val retransmits : t -> int
@@ -47,3 +73,8 @@ val retransmits : t -> int
 val duplicates_suppressed : t -> int
 
 val give_ups : t -> int
+
+val trains_sent : t -> int
+
+val train_retransmits : t -> int
+(** Whole-train resends (also counted in {!retransmits}). *)

@@ -121,6 +121,41 @@ let add_event buf ~time ~node ev =
       ~args:
         (Printf.sprintf "\"requester\":%d,\"n\":%d,\"lease_until\":%.3f" requester n
            lease_until)
+  | Group_migration_start { gid; src; dst; members } ->
+    instant ~name:"group_migration.start" ~cat:"migration"
+      ~args:
+        (Printf.sprintf "\"gid\":%d,\"src\":%d,\"dst\":%d,\"members\":%d" gid src dst
+           members)
+  | Group_migration_phase { gid; phase; members; bytes; slots; dur } ->
+    complete
+      ~name:("group_migrate:" ^ Event.phase_name phase)
+      ~cat:"migration" ~tid:gid ~dur
+      ~args:
+        (Printf.sprintf "\"gid\":%d,\"members\":%d,\"bytes\":%d,\"slots\":%d" gid members
+           bytes slots)
+  | Group_migration_commit { gid; dst; members; bytes } ->
+    instant ~name:"group_migration.commit" ~cat:"migration"
+      ~args:
+        (Printf.sprintf "\"gid\":%d,\"dst\":%d,\"members\":%d,\"bytes\":%d" gid dst
+           members bytes)
+  | Group_migration_abort { gid; src; dst; reason } ->
+    instant ~name:"group_migration.abort" ~cat:"migration"
+      ~args:
+        (Printf.sprintf "\"gid\":%d,\"src\":%d,\"dst\":%d,\"reason\":\"%s\"" gid src dst
+           (escape reason))
+  | Train_send { src; dst; train; frags; bytes } ->
+    instant ~name:"net.train_send" ~cat:"net"
+      ~args:
+        (Printf.sprintf "\"src\":%d,\"dst\":%d,\"train\":%d,\"frags\":%d,\"bytes\":%d"
+           src dst train frags bytes)
+  | Train_retransmit { src; dst; train; attempt; bytes } ->
+    instant ~name:"net.train_retransmit" ~cat:"net"
+      ~args:
+        (Printf.sprintf "\"src\":%d,\"dst\":%d,\"train\":%d,\"attempt\":%d,\"bytes\":%d"
+           src dst train attempt bytes)
+  | Train_ack { src; dst; train } ->
+    instant ~name:"net.train_ack" ~cat:"net"
+      ~args:(Printf.sprintf "\"src\":%d,\"dst\":%d,\"train\":%d" src dst train)
   | Thread_printf { tid; text } ->
     instant ~name:"pm2_printf" ~cat:"guest"
       ~args:(Printf.sprintf "\"tid\":%d,\"text\":\"%s\"" tid (escape text))

@@ -40,6 +40,20 @@ type t =
   | Migration_abort of { tid : int; src : int; dst : int; reason : string }
   | Migration_rollback of { tid : int; node : int; slots : int }
   | Neg_abort of { requester : int; n : int; lease_until : float }
+  | Group_migration_start of { gid : int; src : int; dst : int; members : int }
+  | Group_migration_phase of {
+      gid : int;
+      phase : migration_phase;
+      members : int;
+      bytes : int;
+      slots : int;
+      dur : float;
+    }
+  | Group_migration_commit of { gid : int; dst : int; members : int; bytes : int }
+  | Group_migration_abort of { gid : int; src : int; dst : int; reason : string }
+  | Train_send of { src : int; dst : int; train : int; frags : int; bytes : int }
+  | Train_retransmit of { src : int; dst : int; train : int; attempt : int; bytes : int }
+  | Train_ack of { src : int; dst : int; train : int }
   | Thread_printf of { tid : int; text : string }
 
 and fault_kind =
@@ -90,6 +104,13 @@ let name = function
   | Migration_abort _ -> "migration.abort"
   | Migration_rollback _ -> "migration.rollback"
   | Neg_abort _ -> "negotiation.abort"
+  | Group_migration_start _ -> "group_migration.start"
+  | Group_migration_phase { phase; _ } -> "group_migration." ^ phase_name phase
+  | Group_migration_commit _ -> "group_migration.commit"
+  | Group_migration_abort _ -> "group_migration.abort"
+  | Train_send _ -> "net.train_send"
+  | Train_retransmit _ -> "net.train_retransmit"
+  | Train_ack _ -> "net.train_ack"
   | Thread_printf _ -> "thread.printf"
 
 let pp ppf ev =
@@ -148,4 +169,24 @@ let pp ppf ev =
   | Neg_abort { requester; n; lease_until } ->
     Format.fprintf ppf "negotiation.abort node%d n=%d lease expires %.1fus" requester n
       lease_until
+  | Group_migration_start { gid; src; dst; members } ->
+    Format.fprintf ppf "group_migration.start gid=%d node%d->node%d %d threads" gid src
+      dst members
+  | Group_migration_phase { gid; phase; members; bytes; slots; dur } ->
+    Format.fprintf ppf "group_migration.%s gid=%d %d threads %dB %d slots %.1fus"
+      (phase_name phase) gid members bytes slots dur
+  | Group_migration_commit { gid; dst; members; bytes } ->
+    Format.fprintf ppf "group_migration.commit gid=%d node%d %d threads %dB" gid dst
+      members bytes
+  | Group_migration_abort { gid; src; dst; reason } ->
+    Format.fprintf ppf "group_migration.abort gid=%d node%d->node%d: %s" gid src dst
+      reason
+  | Train_send { src; dst; train; frags; bytes } ->
+    Format.fprintf ppf "net.train_send node%d->node%d train=%d %d frags %dB" src dst
+      train frags bytes
+  | Train_retransmit { src; dst; train; attempt; bytes } ->
+    Format.fprintf ppf "net.train_retransmit node%d->node%d train=%d attempt=%d %dB" src
+      dst train attempt bytes
+  | Train_ack { src; dst; train } ->
+    Format.fprintf ppf "net.train_ack node%d->node%d train=%d" src dst train
   | Thread_printf { tid; text } -> Format.fprintf ppf "thread.printf tid=%d %S" tid text

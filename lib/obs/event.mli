@@ -73,6 +73,30 @@ type t =
   | Neg_abort of { requester : int; n : int; lease_until : float }
       (** The requester died inside the negotiation critical section; its
           lock lease expires at [lease_until]. *)
+  | Group_migration_start of { gid : int; src : int; dst : int; members : int }
+      (** Group [gid] of [members] threads leaves [src] for [dst] over one
+          pipeline (one handshake, one packet train). *)
+  | Group_migration_phase of {
+      gid : int;
+      phase : migration_phase;
+      members : int;
+      bytes : int; (* v2 wire image size (elided pages excluded) *)
+      slots : int; (* slots carried by the whole group *)
+      dur : float; (* modelled phase duration, µs *)
+    }
+  | Group_migration_commit of { gid : int; dst : int; members : int; bytes : int }
+      (** Every member of [gid] restarted on [dst]. *)
+  | Group_migration_abort of { gid : int; src : int; dst : int; reason : string }
+      (** The group pipeline failed; {e all} members resume on [src]
+          (atomic rollback — no partially migrated group). *)
+  | Train_send of { src : int; dst : int; train : int; frags : int; bytes : int }
+      (** The reliable layer launched packet train [train]: [bytes] of
+          payload cut into [frags] fragments, acknowledged as one unit. *)
+  | Train_retransmit of { src : int; dst : int; train : int; attempt : int; bytes : int }
+      (** The whole unacknowledged train was resent; [attempt] counts
+          from 2 (receivers drop fragments they already hold). *)
+  | Train_ack of { src : int; dst : int; train : int }
+      (** The destination assembled the full train and acknowledged it. *)
   | Thread_printf of { tid : int; text : string }
       (** One [pm2_printf] output line (the legacy trace format). *)
 

@@ -140,6 +140,30 @@ let on_event t ~node (ev : Event.t) =
     incr t ~node key;
     incr t ~node ~by:slots "migration.rollback_slots"
   | Neg_abort _ -> incr t ~node key
+  | Group_migration_start { members; _ } ->
+    incr t ~node key;
+    incr t ~node ~by:members "group_migration.members"
+  | Group_migration_phase { phase; bytes; slots; dur; _ } ->
+    incr t ~node key;
+    observe t ~node (key ^ "_us") dur;
+    (match phase with
+     | Event.Pack ->
+       observe t ~node "group_migration.bytes" (float_of_int bytes);
+       observe t ~node "group_migration.slots" (float_of_int slots)
+     | _ -> ())
+  | Group_migration_commit { bytes; _ } ->
+    incr t ~node key;
+    incr t ~node ~by:bytes "group_migration.commit_bytes"
+  | Group_migration_abort _ -> incr t ~node key
+  | Train_send { frags; bytes; _ } ->
+    incr t ~node key;
+    incr t ~node ~by:frags "net.train_frags";
+    incr t ~node ~by:bytes "net.train_bytes";
+    observe t ~node "net.train_payload_bytes" (float_of_int bytes)
+  | Train_retransmit { bytes; _ } ->
+    incr t ~node key;
+    incr t ~node ~by:bytes "net.train_retransmit_bytes"
+  | Train_ack _ -> incr t ~node key
   | Thread_printf _ -> incr t ~node key
 
 let sink t = Sink.make ~name:"metrics" (fun ~time:_ ~node ev -> on_event t ~node ev)

@@ -16,6 +16,16 @@ type t = {
      it cannot stale the cache. *)
   mutable last_page : int;
   mutable last_bytes : Bytes.t;
+  (* Dirty-page tracking for the v2 migration codec: a page is dirty if
+     any store touched it since it was mapped. Clean pages are still
+     all-zero ([mmap] zero-fills), so the group-migration manifest can
+     elide them without reading their contents. [last_dirty] memoizes the
+     last page marked so the hot store path usually pays one int compare
+     instead of a Hashtbl write; it is invalidated (set to [-1]) whenever
+     a page is removed, since a fresh mapping of the same index must be
+     markable again. *)
+  dirty : (int, unit) Hashtbl.t;
+  mutable last_dirty : int;
 }
 
 let create ~node () =
@@ -25,6 +35,8 @@ let create ~node () =
     mmap_calls = 0;
     last_page = -1;
     last_bytes = Bytes.empty;
+    dirty = Hashtbl.create 1024;
+    last_dirty = -1;
   }
 
 let node t = t.node
@@ -59,9 +71,11 @@ let munmap t ~addr ~size =
                      (Layout.addr_of_page p))
   done;
   for p = first to first + n - 1 do
-    Hashtbl.remove t.pages p
+    Hashtbl.remove t.pages p;
+    Hashtbl.remove t.dirty p
   done;
-  t.last_page <- -1
+  t.last_page <- -1;
+  t.last_dirty <- -1
 
 let is_mapped t a = Hashtbl.mem t.pages (Layout.page_of_addr a)
 
@@ -85,10 +99,12 @@ let scrub_range t ~addr ~size =
     for p = first to last do
       if Hashtbl.mem t.pages p then begin
         Hashtbl.remove t.pages p;
+        Hashtbl.remove t.dirty p;
         incr n
       end
     done;
-    t.last_page <- -1
+    t.last_page <- -1;
+    t.last_dirty <- -1
   end;
   !n
 
@@ -107,10 +123,38 @@ let page t what a =
       bytes
     | None -> segv t a what
 
+(* The store-path twin of [page]: same lookup, plus the dirty mark. *)
+let wpage t what a =
+  let p = Layout.page_of_addr a in
+  if p <> t.last_dirty then begin
+    Hashtbl.replace t.dirty p ();
+    t.last_dirty <- p
+  end;
+  page t what a
+
+let page_dirty t a = Hashtbl.mem t.dirty (Layout.page_of_addr a)
+
+let page_is_zero t a =
+  let p = Layout.page_of_addr a in
+  if not (Hashtbl.mem t.dirty p) then begin
+    (* Never stored to since mapping: still the zero fill from [mmap].
+       Probe the mapping so an unmapped page faults like any access. *)
+    ignore (page t "is_zero" a);
+    true
+  end
+  else begin
+    let bytes = page t "is_zero" a in
+    let words = Layout.page_size / 8 in
+    let rec scan i =
+      i >= words || (Bytes.get_int64_le bytes (i * 8) = 0L && scan (i + 1))
+    in
+    scan 0
+  end
+
 let load_u8 t a = Char.code (Bytes.get (page t "load" a) (a land (Layout.page_size - 1)))
 
 let store_u8 t a v =
-  Bytes.set (page t "store" a) (a land (Layout.page_size - 1)) (Char.chr (v land 0xff))
+  Bytes.set (wpage t "store" a) (a land (Layout.page_size - 1)) (Char.chr (v land 0xff))
 
 (* Word accesses are frequent; fast-path the common case where the whole
    word lies inside one page. *)
@@ -131,7 +175,7 @@ let load_word t a =
 let store_word t a v =
   let off = a land (Layout.page_size - 1) in
   if off <= Layout.page_size - 8 then begin
-    let p = page t "store" a in
+    let p = wpage t "store" a in
     Bytes.set_int64_le p off (Int64.of_int v)
   end
   else
@@ -159,7 +203,7 @@ let store_bytes t a b =
     let addr = a + !pos in
     let off = addr land (Layout.page_size - 1) in
     let chunk = min (len - !pos) (Layout.page_size - off) in
-    let p = page t "store" addr in
+    let p = wpage t "store" addr in
     Bytes.blit b !pos p off chunk;
     pos := !pos + chunk
   done
@@ -172,7 +216,7 @@ let store_sub t a b ~pos ~len =
     let addr = a + !done_ in
     let off = addr land (Layout.page_size - 1) in
     let chunk = min (len - !done_) (Layout.page_size - off) in
-    let p = page t "store" addr in
+    let p = wpage t "store" addr in
     Bytes.blit b (pos + !done_) p off chunk;
     done_ := !done_ + chunk
   done
@@ -212,7 +256,7 @@ let fill t ~addr ~size byte =
     let a = addr + !pos in
     let off = a land (Layout.page_size - 1) in
     let chunk = min (size - !pos) (Layout.page_size - off) in
-    let p = page t "store" a in
+    let p = wpage t "store" a in
     Bytes.fill p off chunk c;
     pos := !pos + chunk
   done
@@ -231,7 +275,7 @@ let blit_disjoint ~src ~src_addr ~dst ~dst_addr ~size =
       min (size - !pos) (min (Layout.page_size - soff) (Layout.page_size - doff))
     in
     let sp = page src "load" sa in
-    let dp = page dst "store" da in
+    let dp = wpage dst "store" da in
     Bytes.blit sp soff dp doff chunk;
     pos := !pos + chunk
   done

@@ -62,6 +62,24 @@ val mapped_pages : t -> int
 val mmap_calls : t -> int
 (** Number of [mmap] invocations so far (feeds the cost model). *)
 
+(** {1 Dirty / zero-page tracking}
+
+    The v2 migration codec ({!Pm2_net.Codec}-style group transfers) ships
+    only pages that actually hold data and {e describes} the rest: since
+    {!mmap} zero-fills, an untouched page is all-zero by construction and
+    can be recreated at the destination by mapping alone. *)
+
+val page_dirty : t -> addr -> bool
+(** [page_dirty t a] is [true] iff some store touched the page containing
+    [a] since it was mapped. Cheap (hash probe); never faults. *)
+
+val page_is_zero : t -> addr -> bool
+(** [page_is_zero t a] is [true] iff the mapped page containing [a] is
+    currently all-zero. Clean pages answer without reading memory; dirty
+    pages are scanned word-wise (a store of zeros is re-detected as zero,
+    so the manifest stays content-accurate, not merely
+    history-accurate). @raise Segfault if the page is unmapped. *)
+
 (** {1 Typed access} *)
 
 val load_u8 : t -> addr -> int

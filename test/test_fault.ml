@@ -213,18 +213,18 @@ let test_negotiation_lease_expires () =
   let config = { (Cluster.default_config ~nodes:2) with Cluster.faults } in
   let c = Cluster.create config program in
   let neg = Cluster.negotiation c in
-  let r = Negotiation.execute neg ~requester:0 ~n:1 in
-  Alcotest.(check bool) "negotiation aborted" true r.Negotiation.aborted;
-  Alcotest.(check bool) "nothing bought" true
-    (r.Negotiation.start = None && r.Negotiation.bought = 0);
-  Alcotest.(check (float 1e-6)) "blocked until the lease expires"
-    (100. +. Negotiation.lease neg) r.Negotiation.duration;
+  (match Negotiation.execute neg ~requester:0 ~n:1 with
+   | Ok _ -> Alcotest.fail "expected the negotiation to abort"
+   | Error (Negotiation.Out_of_slots _) -> Alcotest.fail "expected Aborted, got Out_of_slots"
+   | Error (Negotiation.Aborted { lease_until; duration }) ->
+     Alcotest.(check (float 1e-6)) "lock frees at death + lease"
+       (100. +. Negotiation.lease neg) lease_until;
+     Alcotest.(check (float 1e-6)) "blocked until the lease expires"
+       (100. +. Negotiation.lease neg) duration);
   Alcotest.(check int) "abort counted" 1 (Negotiation.aborted neg);
   Negotiation.check_global_invariant neg;
-  let r2 = Negotiation.execute neg ~requester:1 ~n:1 in
-  Alcotest.(check bool) "survivor not aborted" false r2.Negotiation.aborted;
-  Alcotest.(check bool) "survivor served after the lease" true
-    (r2.Negotiation.start <> None);
+  let g2 = Negotiation.execute_exn neg ~requester:1 ~n:1 in
+  Alcotest.(check bool) "survivor served after the lease" true (g2.Negotiation.start >= 0);
   Negotiation.check_global_invariant neg
 
 let test_acceptance_loss_and_kill () =

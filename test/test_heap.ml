@@ -47,7 +47,7 @@ let heap ?policy () =
 
 let test_basic_alloc () =
   let h, sp, _ = heap () in
-  let a = Malloc.malloc h 100 in
+  let a = Malloc.malloc_exn h 100 in
   Alcotest.(check bool) "in heap segment" true (Layout.in_heap a);
   Alcotest.(check int) "aligned" 0 (a land 7);
   Alcotest.(check bool) "usable size" true (Malloc.usable_size h a >= 100);
@@ -58,60 +58,60 @@ let test_basic_alloc () =
 
 let test_distinct_blocks () =
   let h, _, _ = heap () in
-  let a = Malloc.malloc h 64 and b = Malloc.malloc h 64 in
+  let a = Malloc.malloc_exn h 64 and b = Malloc.malloc_exn h 64 in
   Alcotest.(check bool) "distinct" true (a <> b);
   Alcotest.(check bool) "non-overlapping" true (abs (a - b) >= 64);
   Malloc.check_invariants h
 
 let test_free_and_reuse () =
   let h, _, _ = heap () in
-  let a = Malloc.malloc h 100 in
-  Malloc.free h a;
+  let a = Malloc.malloc_exn h 100 in
+  Malloc.free_exn h a;
   Alcotest.(check int) "no live blocks" 0 (Malloc.live_blocks h);
-  let b = Malloc.malloc h 100 in
+  let b = Malloc.malloc_exn h 100 in
   Alcotest.(check int) "first-fit reuses the freed block" a b;
   Malloc.check_invariants h
 
 let test_coalescing () =
   let h, _, _ = heap () in
-  let blocks = List.init 8 (fun _ -> Malloc.malloc h 1000) in
-  List.iter (Malloc.free h) blocks;
+  let blocks = List.init 8 (fun _ -> Malloc.malloc_exn h 1000) in
+  List.iter (Malloc.free_exn h) blocks;
   Malloc.check_invariants h;
   (* After freeing everything the arena must have coalesced to one block. *)
   Alcotest.(check int) "single free block" 1 (Malloc.free_list_length h);
   (* And a block as large as all the freed space must fit without growth. *)
   let before = Malloc.heap_bytes h in
-  ignore (Malloc.malloc h 7000);
+  ignore (Malloc.malloc_exn h 7000);
   Alcotest.(check int) "no growth needed" before (Malloc.heap_bytes h)
 
 let test_free_interior_coalesce () =
   let h, _, _ = heap () in
-  let a = Malloc.malloc h 500 in
-  let b = Malloc.malloc h 500 in
-  let c = Malloc.malloc h 500 in
-  ignore (Malloc.malloc h 500);
+  let a = Malloc.malloc_exn h 500 in
+  let b = Malloc.malloc_exn h 500 in
+  let c = Malloc.malloc_exn h 500 in
+  ignore (Malloc.malloc_exn h 500);
   (* free in the order that exercises next- then prev-coalescing *)
-  Malloc.free h b;
+  Malloc.free_exn h b;
   Malloc.check_invariants h;
-  Malloc.free h a;
+  Malloc.free_exn h a;
   Malloc.check_invariants h;
-  Malloc.free h c;
+  Malloc.free_exn h c;
   Malloc.check_invariants h
 
 let test_bad_free_rejected () =
   let h, _, _ = heap () in
-  let a = Malloc.malloc h 100 in
+  let a = Malloc.malloc_exn h 100 in
   Alcotest.(check bool) "wild free" true
-    (try Malloc.free h (a + 8); false with Invalid_argument _ -> true);
-  Malloc.free h a;
+    (try Malloc.free_exn h (a + 8); false with Invalid_argument _ -> true);
+  Malloc.free_exn h a;
   Alcotest.(check bool) "double free" true
-    (try Malloc.free h a; false with Invalid_argument _ -> true);
+    (try Malloc.free_exn h a; false with Invalid_argument _ -> true);
   Alcotest.(check bool) "bad size" true
-    (try ignore (Malloc.malloc h 0); false with Invalid_argument _ -> true)
+    (try ignore (Malloc.malloc_exn h 0); false with Invalid_argument _ -> true)
 
 let test_large_alloc_grows () =
   let h, sp, _ = heap () in
-  let a = Malloc.malloc h (8 * 1024 * 1024) in
+  let a = Malloc.malloc_exn h (8 * 1024 * 1024) in
   Alcotest.(check bool) "big block usable" true (Malloc.usable_size h a >= 8 * 1024 * 1024);
   As.store_u8 sp (a + (8 * 1024 * 1024) - 1) 1;
   Alcotest.(check bool) "heap grew" true (Malloc.heap_bytes h >= 8 * 1024 * 1024);
@@ -122,10 +122,10 @@ let test_growth_cost_linear () =
      dominated by the page-touch term, i.e. linear in size. *)
   let h, _, charged = heap () in
   charged := 0.;
-  ignore (Malloc.malloc h (1024 * 1024));
+  ignore (Malloc.malloc_exn h (1024 * 1024));
   let one_mb = !charged in
   charged := 0.;
-  ignore (Malloc.malloc h (4 * 1024 * 1024));
+  ignore (Malloc.malloc_exn h (4 * 1024 * 1024));
   let four_mb = !charged in
   let ratio = four_mb /. one_mb in
   Alcotest.(check bool)
@@ -135,11 +135,11 @@ let test_growth_cost_linear () =
 
 let test_live_bytes_accounting () =
   let h, _, _ = heap () in
-  let a = Malloc.malloc h 100 in
-  let _b = Malloc.malloc h 200 in
+  let a = Malloc.malloc_exn h 100 in
+  let _b = Malloc.malloc_exn h 200 in
   Alcotest.(check bool) "live bytes >= requested" true (Malloc.live_bytes h >= 300);
   let before = Malloc.live_bytes h in
-  Malloc.free h a;
+  Malloc.free_exn h a;
   Alcotest.(check bool) "freed bytes subtracted" true (Malloc.live_bytes h < before)
 
 (* Property: random malloc/free interleavings keep the arena coherent and
@@ -148,25 +148,25 @@ let test_segregated_exact_bin_reuse () =
   (* Freeing a small block parks it in its exact size bin; the next
      malloc of the same size must get it straight back. *)
   let h, _, _ = heap ~policy:Malloc.Segregated () in
-  let a = Malloc.malloc h 100 in
-  let b = Malloc.malloc h 100 in
-  ignore (Malloc.malloc h 40); (* keep [b] from coalescing into the tail *)
-  Malloc.free h b;
+  let a = Malloc.malloc_exn h 100 in
+  let b = Malloc.malloc_exn h 100 in
+  ignore (Malloc.malloc_exn h 40); (* keep [b] from coalescing into the tail *)
+  Malloc.free_exn h b;
   Malloc.check_invariants h;
-  let c = Malloc.malloc h 100 in
+  let c = Malloc.malloc_exn h 100 in
   Alcotest.(check int) "exact bin reuse" b c;
   Alcotest.(check bool) "distinct from a" true (a <> c);
   Malloc.check_invariants h
 
 let test_segregated_large_tail () =
   let h, _, _ = heap ~policy:Malloc.Segregated () in
-  let a = Malloc.malloc h 4000 in
-  ignore (Malloc.malloc h 16);
-  Malloc.free h a;
+  let a = Malloc.malloc_exn h 4000 in
+  ignore (Malloc.malloc_exn h 16);
+  Malloc.free_exn h a;
   Malloc.check_invariants h;
   (* A smaller request is satisfied from the large tail when every small
      bin is empty. *)
-  let b = Malloc.malloc h 200 in
+  let b = Malloc.malloc_exn h 200 in
   Alcotest.(check int) "carved from the freed large block" a b;
   Malloc.check_invariants h
 
@@ -176,7 +176,7 @@ let run_random_ops ?policy ops =
   List.iter
     (fun (is_alloc, size) ->
        if is_alloc || !live = [] then begin
-         let a = Malloc.malloc h size in
+         let a = Malloc.malloc_exn h size in
          List.iter
            (fun (b, bsize) ->
               if a < b + bsize && b < a + size then failwith "overlap")
@@ -186,7 +186,7 @@ let run_random_ops ?policy ops =
        else begin
          match !live with
          | (a, _) :: rest ->
-           Malloc.free h a;
+           Malloc.free_exn h a;
            live := rest
          | [] -> ()
        end;
@@ -210,7 +210,7 @@ let prop_random_ops =
        List.iter
          (fun (is_alloc, size) ->
             if is_alloc || !live = [] then begin
-              let a = Malloc.malloc h size in
+              let a = Malloc.malloc_exn h size in
               (* overlap check against every live block *)
               List.iter
                 (fun (b, bsize) ->
@@ -221,7 +221,7 @@ let prop_random_ops =
             else begin
               match !live with
               | (a, _) :: rest ->
-                Malloc.free h a;
+                Malloc.free_exn h a;
                 live := rest
               | [] -> ()
             end;

@@ -20,6 +20,7 @@ let () =
       ("core.negotiation", Test_negotiation.tests);
       ("core.migration", Test_migration.tests);
       ("core.cluster", Test_cluster.tests);
+      ("core.group", Test_group.tests);
       ("obs", Test_obs.tests);
       ("core.extensions", Test_extensions.tests);
       ("sync+hpf", Test_sync_hpf.tests);

@@ -15,9 +15,9 @@ let test_buy_moves_ownership () =
   let owned0 = Slot_manager.owned mgr0 and owned1 = Slot_manager.owned mgr1 in
   (* Node 0 asks for 4 contiguous slots; under round-robin it owns slots
      0,2,4,... so it must buy 1 and 3 from node 1 (run [0..3]). *)
-  let r = Negotiation.execute neg ~requester:0 ~n:4 in
-  Alcotest.(check (option int)) "first-fit run" (Some 0) r.Negotiation.start;
-  Alcotest.(check int) "bought the two odd slots" 2 r.Negotiation.bought;
+  let g = Negotiation.execute_exn neg ~requester:0 ~n:4 in
+  Alcotest.(check int) "first-fit run" 0 g.Negotiation.start;
+  Alcotest.(check int) "bought the two odd slots" 2 g.Negotiation.bought;
   Alcotest.(check int) "node 0 gained" (owned0 + 2) (Slot_manager.owned mgr0);
   Alcotest.(check int) "node 1 lost" (owned1 - 2) (Slot_manager.owned mgr1);
   List.iter
@@ -32,9 +32,12 @@ let test_failure_still_costs () =
   let c = cluster () in
   let neg = Cluster.negotiation c in
   let g = Cluster.geometry c in
-  let r = Negotiation.execute neg ~requester:0 ~n:(g.Slot.count + 1) in
-  Alcotest.(check (option int)) "no run" None r.Negotiation.start;
-  Alcotest.(check bool) "full protocol time" true (r.Negotiation.duration > 200.);
+  (match Negotiation.execute neg ~requester:0 ~n:(g.Slot.count + 1) with
+   | Ok _ -> Alcotest.fail "expected Out_of_slots"
+   | Error (Negotiation.Aborted _) -> Alcotest.fail "expected Out_of_slots, got Aborted"
+   | Error (Negotiation.Out_of_slots { n; duration }) ->
+     Alcotest.(check int) "denied request size" (g.Slot.count + 1) n;
+     Alcotest.(check bool) "full protocol time" true (duration > 200.));
   Negotiation.check_global_invariant neg
 
 let test_duration_matches_paper () =
@@ -75,9 +78,9 @@ let test_requester_keeps_own_slots () =
      of 3 starting at 0 buys only slot 2. *)
   let c = cluster ~distribution:(Distribution.Block_cyclic 2) () in
   let neg = Cluster.negotiation c in
-  let r = Negotiation.execute neg ~requester:0 ~n:3 in
-  Alcotest.(check (option int)) "run at 0" (Some 0) r.Negotiation.start;
-  Alcotest.(check int) "bought only the foreign slot" 1 r.Negotiation.bought;
+  let g = Negotiation.execute_exn neg ~requester:0 ~n:3 in
+  Alcotest.(check int) "run at 0" 0 g.Negotiation.start;
+  Alcotest.(check int) "bought only the foreign slot" 1 g.Negotiation.bought;
   Negotiation.check_global_invariant neg
 
 let test_lock_serialises () =
@@ -108,7 +111,9 @@ let test_sold_cached_slot_unmapped () =
   let n = 3 in
   let r = Negotiation.execute neg ~requester:0 ~n in
   Alcotest.(check bool) "run covers the cached slot" true
-    (match r.Negotiation.start with Some s -> s <= sold && sold < s + n | None -> false);
+    (match r with
+     | Ok g -> g.Negotiation.start <= sold && sold < g.Negotiation.start + n
+     | Error _ -> false);
   Alcotest.(check bool) "seller unmapped it" false
     (Pm2_vmem.Address_space.is_mapped (Cluster.node_space c 1)
        (Slot.base (Cluster.geometry c) sold));

@@ -163,47 +163,49 @@ let test_acquire_local () =
   let mgr, sp, g, _ = manager () in
   Alcotest.(check int) "initially owned" 6 (Slot_manager.owned mgr);
   (match Slot_manager.acquire_local mgr with
-   | Some i ->
+   | Ok i ->
      Alcotest.(check int) "first-fit slot" 0 i;
      Alcotest.(check bool) "mapped" true (As.is_mapped sp (Slot.base g i));
      Alcotest.(check bool) "no longer owned" false (Slot_manager.owns_free mgr i)
-   | None -> Alcotest.fail "expected a slot");
+   | Error _ -> Alcotest.fail "expected a slot");
   Alcotest.(check int) "owned decremented" 5 (Slot_manager.owned mgr);
   Slot_manager.check_invariants mgr
 
 let test_acquire_exhaustion () =
   let mgr, _, _, _ = manager ~owned:[ 3 ] () in
-  Alcotest.(check bool) "one available" true (Slot_manager.acquire_local mgr <> None);
-  Alcotest.(check (option int)) "exhausted" None (Slot_manager.acquire_local mgr)
+  Alcotest.(check bool) "one available" true
+    (Result.is_ok (Slot_manager.acquire_local mgr));
+  Alcotest.(check bool) "exhausted node reports Out_of_slots" true
+    (Slot_manager.acquire_local mgr = Error Slot_manager.Out_of_slots)
 
 let test_release_and_cache () =
   let mgr, sp, g, _ = manager ~cache:2 () in
-  let i = Option.get (Slot_manager.acquire_local mgr) in
-  Slot_manager.release mgr i;
+  let i = Slot_manager.acquire_local_exn mgr in
+  Slot_manager.release_exn mgr i;
   Alcotest.(check bool) "owned again" true (Slot_manager.owns_free mgr i);
   Alcotest.(check bool) "still mapped (cached)" true (As.is_mapped sp (Slot.base g i));
   Slot_manager.check_invariants mgr;
   (* The next acquisition prefers the cached slot and skips the mmap. *)
   let before = As.mmap_calls sp in
-  let j = Option.get (Slot_manager.acquire_local mgr) in
+  let j = Slot_manager.acquire_local_exn mgr in
   Alcotest.(check int) "cache hit returns the same slot" i j;
   Alcotest.(check int) "no new mmap" before (As.mmap_calls sp);
   Alcotest.(check int) "hit counted" 1 (Slot_manager.stats mgr).Slot_manager.cache_hits
 
 let test_cache_eviction () =
   let mgr, sp, g, _ = manager ~cache:1 () in
-  let a = Option.get (Slot_manager.acquire_local mgr) in
-  let b = Option.get (Slot_manager.acquire_local mgr) in
-  Slot_manager.release mgr a; (* cached *)
-  Slot_manager.release mgr b; (* cache full: unmapped *)
+  let a = Slot_manager.acquire_local_exn mgr in
+  let b = Slot_manager.acquire_local_exn mgr in
+  Slot_manager.release_exn mgr a; (* cached *)
+  Slot_manager.release_exn mgr b; (* cache full: unmapped *)
   Alcotest.(check bool) "a cached" true (As.is_mapped sp (Slot.base g a));
   Alcotest.(check bool) "b unmapped" false (As.is_mapped sp (Slot.base g b));
   Slot_manager.check_invariants mgr
 
 let test_cache_disabled () =
   let mgr, sp, g, _ = manager ~cache:0 () in
-  let a = Option.get (Slot_manager.acquire_local mgr) in
-  Slot_manager.release mgr a;
+  let a = Slot_manager.acquire_local_exn mgr in
+  Slot_manager.release_exn mgr a;
   Alcotest.(check bool) "unmapped immediately" false (As.is_mapped sp (Slot.base g a));
   Slot_manager.check_invariants mgr
 
@@ -212,19 +214,21 @@ let test_find_and_acquire_run () =
   Alcotest.(check (option int)) "run of 3" (Some 0) (Slot_manager.find_local_run mgr 3);
   Alcotest.(check (option int)) "run of 4" (Some 5) (Slot_manager.find_local_run mgr 4);
   Alcotest.(check (option int)) "run of 5" None (Slot_manager.find_local_run mgr 5);
-  Slot_manager.acquire_run mgr ~start:5 ~n:4;
+  Slot_manager.acquire_run_exn mgr ~start:5 ~n:4;
   Alcotest.(check bool) "whole range mapped" true
     (As.range_mapped sp ~addr:(Slot.base g 5) ~size:(4 * g.Slot.slot_size));
   Alcotest.(check int) "owned" 3 (Slot_manager.owned mgr);
   Alcotest.(check bool) "not owned anymore" false (Slot_manager.owns_free mgr 6);
   Alcotest.(check bool) "acquire_run of unowned rejected" true
-    (try Slot_manager.acquire_run mgr ~start:5 ~n:1; false with Invalid_argument _ -> true);
+    (match Slot_manager.acquire_run mgr ~start:5 ~n:1 with
+     | Error (Slot_manager.Not_owned { slot = 5; op = "acquire_run" }) -> true
+     | _ -> false);
   Slot_manager.check_invariants mgr
 
 let test_release_run () =
   let mgr, _, _, _ = manager ~owned:[ 0; 1; 2 ] ~cache:8 () in
-  Slot_manager.acquire_run mgr ~start:0 ~n:3;
-  Slot_manager.release_run mgr ~start:0 ~n:3;
+  Slot_manager.acquire_run_exn mgr ~start:0 ~n:3;
+  Slot_manager.release_run_exn mgr ~start:0 ~n:3;
   Alcotest.(check int) "all owned again" 3 (Slot_manager.owned mgr);
   Slot_manager.check_invariants mgr
 
@@ -233,8 +237,8 @@ let test_release_run_grouped_munmap () =
      contiguous range with a single munmap, mirroring acquire_run's
      grouped mmap. *)
   let mgr, sp, g, _ = manager ~owned:[ 0; 1; 2; 3 ] ~cache:0 () in
-  Slot_manager.acquire_run mgr ~start:0 ~n:4;
-  Slot_manager.release_run mgr ~start:0 ~n:4;
+  Slot_manager.acquire_run_exn mgr ~start:0 ~n:4;
+  Slot_manager.release_run_exn mgr ~start:0 ~n:4;
   let st = Slot_manager.stats mgr in
   Alcotest.(check int) "one grouped munmap" 1 st.Slot_manager.munmap_count;
   Alcotest.(check int) "four releases" 4 st.Slot_manager.releases;
@@ -243,35 +247,40 @@ let test_release_run_grouped_munmap () =
   Slot_manager.check_invariants mgr;
   (* A partially cached run groups only the uncached tail. *)
   let mgr2, _, _, _ = manager ~owned:[ 0; 1; 2; 3 ] ~cache:2 () in
-  Slot_manager.acquire_run mgr2 ~start:0 ~n:4;
-  Slot_manager.release_run mgr2 ~start:0 ~n:4;
+  Slot_manager.acquire_run_exn mgr2 ~start:0 ~n:4;
+  Slot_manager.release_run_exn mgr2 ~start:0 ~n:4;
   let st2 = Slot_manager.stats mgr2 in
   Alcotest.(check int) "tail munmapped in one call" 1 st2.Slot_manager.munmap_count;
   Slot_manager.check_invariants mgr2;
   (* Releasing an already-free slot is rejected before any mutation. *)
   let mgr3, _, _, _ = manager ~owned:[ 0; 1; 2 ] ~cache:0 () in
-  Slot_manager.acquire_run mgr3 ~start:0 ~n:2;
+  Slot_manager.acquire_run_exn mgr3 ~start:0 ~n:2;
   Alcotest.(check bool) "already-free slot rejected" true
-    (try Slot_manager.release_run mgr3 ~start:0 ~n:3; false
-     with Invalid_argument _ -> true);
+    (match Slot_manager.release_run mgr3 ~start:0 ~n:3 with
+     | Error (Slot_manager.Already_free { slot = 2; op = "release_run" }) -> true
+     | _ -> false);
   Alcotest.(check int) "nothing released" 0 (Slot_manager.stats mgr3).Slot_manager.releases
 
 let test_steal_grant () =
   let mgr, sp, g, _ = manager ~cache:4 () in
   (* Cached slot must be unmapped when stolen. *)
-  let i = Option.get (Slot_manager.acquire_local mgr) in
-  Slot_manager.release mgr i;
+  let i = Slot_manager.acquire_local_exn mgr in
+  Slot_manager.release_exn mgr i;
   Alcotest.(check bool) "cached" true (As.is_mapped sp (Slot.base g i));
-  Slot_manager.steal mgr i;
+  Slot_manager.steal_exn mgr i;
   Alcotest.(check bool) "unmapped on steal" false (As.is_mapped sp (Slot.base g i));
   Alcotest.(check bool) "not owned" false (Slot_manager.owns_free mgr i);
-  Slot_manager.grant mgr i;
+  Slot_manager.grant_exn mgr i;
   Alcotest.(check bool) "granted back" true (Slot_manager.owns_free mgr i);
   Alcotest.(check bool) "double grant rejected" true
-    (try Slot_manager.grant mgr i; false with Invalid_argument _ -> true);
-  Slot_manager.steal mgr i;
+    (match Slot_manager.grant mgr i with
+     | Error (Slot_manager.Already_owned _) -> true
+     | _ -> false);
+  Slot_manager.steal_exn mgr i;
   Alcotest.(check bool) "steal of unowned rejected" true
-    (try Slot_manager.steal mgr i; false with Invalid_argument _ -> true);
+    (match Slot_manager.steal mgr i with
+     | Error (Slot_manager.Not_owned _) -> true
+     | _ -> false);
   Slot_manager.check_invariants mgr
 
 let test_charges_flow () =
