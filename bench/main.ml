@@ -9,7 +9,8 @@
    per experiment) to PATH — the BENCH_results.json that future PRs diff
    against.
 
-   Experiment ids: e-figs f11-small f11-large t-migration t-negotiation
+   Experiment ids: e-figs f11-small f11-large t-migration
+   t-migration-payload t-migration-batch t-migration-delta t-negotiation
    a-distribution a-packing a-slotcache a-pointers a-slotsize a-allocator
    bechamel perf-smoke *)
 
@@ -25,6 +26,9 @@ let experiments =
     ( "t-migration-batch",
       "group migration: one v2 train vs n sequential v1 images",
       Migration_batch.run );
+    ( "t-migration-delta",
+      "delta migration: residual cache + v3 codec on repeated hops",
+      Migration_delta.run );
     ( "t-negotiation",
       "sec. 5: negotiation 255 us + 165 us per extra node",
       Negotiation_bench.scaling );

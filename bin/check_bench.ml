@@ -9,9 +9,13 @@
    group-vs-sequential entry must carry the wire-byte and virtual-time
    metrics, show at least a 30% wire-byte reduction and a speedup over
    sequential migration, and its rollback entry must report an atomic
-   abort. `--require-suite NAME` (repeatable) additionally fails if no
-   entry of suite NAME is present — the @ci alias uses it to pin the
-   migration-batch numbers into the trajectory. *)
+   abort. For "migration-delta" (the residual-cache pipeline) the
+   ping-pong entry must show at least a 60% steady-state wire-byte
+   reduction over the v2 baseline with no fallback on a clean run, and
+   the hash-mismatch entry must show the corrupted residual re-fetched
+   and the payload intact. `--require-suite NAME` (repeatable)
+   additionally fails if no entry of suite NAME is present — the @ci
+   alias uses it to pin both migration suites into the trajectory. *)
 
 module Json = Pm2_obs.Json
 
@@ -54,6 +58,24 @@ let check_known_suite ~suite ~name metrics =
       fail "%s/%s: partially migrated threads after rollback" suite name;
     if get "payload_intact" <> 1. then
       fail "%s/%s: payload corrupted by the rollback" suite name
+  | "migration-delta", "ping-pong" ->
+    let v2 = get "wire_bytes_steady_v2" and v3 = get "wire_bytes_steady_v3" in
+    if v3 >= v2 then fail "%s/%s: delta hops not smaller than the v2 baseline" suite name;
+    if get "byte_reduction_steady" < 0.60 then
+      fail "%s/%s: steady-state reduction %.2f below the 0.60 bar" suite name
+        (get "byte_reduction_steady");
+    if get "cached_pages_total" < 1. then
+      fail "%s/%s: no page ever travelled as a hash" suite name;
+    if get "fallback_pages_clean" <> 0. then
+      fail "%s/%s: a clean run used the full-resend fallback" suite name;
+    ignore (get "wire_bytes_first_hop")
+  | "migration-delta", "hash-mismatch-fallback" ->
+    if get "fallback_pages" < 1. then
+      fail "%s/%s: the corrupted residual never triggered the fallback" suite name;
+    if get "groups_aborted" <> 0. then
+      fail "%s/%s: the fallback aborted instead of committing" suite name;
+    if get "payload_intact" <> 1. then
+      fail "%s/%s: corrupted residual leaked into the reconstructed image" suite name
   | _ -> ()
 
 let () =

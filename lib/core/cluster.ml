@@ -1,4 +1,5 @@
 module As = Pm2_vmem.Address_space
+module Layout = Pm2_vmem.Layout
 module Cm = Pm2_sim.Cost_model
 module Engine = Pm2_sim.Engine
 module Trace = Pm2_sim.Trace
@@ -33,6 +34,9 @@ type config = {
   seed : int;
   faults : Fault.Plan.t;
   sinks : Obs.Sink.t list;
+  delta_cache_bytes : int;
+      (* byte budget of each node's residual image cache; 0 disables delta
+         migration entirely (v2 group codec, no retention) *)
 }
 
 let default_config ~nodes =
@@ -51,6 +55,7 @@ let default_config ~nodes =
     seed = 42;
     faults = Fault.Plan.none;
     sinks = [];
+    delta_cache_bytes = 0;
   }
 
 type migration_record = {
@@ -72,6 +77,7 @@ type group_record = {
   g_bytes : int;
   g_data_pages : int;
   g_zero_pages : int;
+  g_cached_pages : int;
 }
 
 type sema = {
@@ -116,6 +122,8 @@ type t = {
   mutable next_gid : int;
   group_migrations : group_record Vec.t;
   mutable aborted_groups : int;
+  delta : Delta_cache.t array; (* one residual image cache per node *)
+  mutable delta_fallbacks : int; (* Cached pages re-fetched via RDLT/RFUL *)
 }
 
 let create (config : config) program =
@@ -187,6 +195,13 @@ let create (config : config) program =
     next_gid = 1;
     group_migrations = Vec.create ();
     aborted_groups = 0;
+    delta =
+      Array.init config.nodes (fun node ->
+          Delta_cache.create ~budget:config.delta_cache_bytes
+            ~on_evict:(fun ~tid ~bytes ->
+              Obs.Collector.emit obs ~node (Obs.Event.Delta_evict { tid; bytes }))
+            ());
+    delta_fallbacks = 0;
   }
 
 let config t = t.config
@@ -230,6 +245,21 @@ let set_migration_abort_handler t f = t.on_migration_abort <- Some f
 
 let node_alive t i =
   Fault.Plan.node_alive t.config.faults ~node:i ~now:(Engine.now t.engine)
+
+(* -- delta migration state -- *)
+
+let delta_enabled t = t.config.delta_cache_bytes > 0 && t.config.scheme = Iso
+let delta_cache t i = t.delta.(i)
+let delta_fallbacks t = t.delta_fallbacks
+
+(* Cache-affinity hint for the balancer: does the thread's current node
+   hold residual knowledge about [dest], i.e. would a hop there likely
+   ship mostly hashes instead of pages? *)
+let delta_affinity t (th : Thread.t) ~dest =
+  delta_enabled t
+  && Delta_cache.has_knowledge t.delta.(th.Thread.node) ~tid:th.Thread.id ~peer:dest
+
+module Codec = Pm2_net.Codec
 
 (* -- environments for the block layer -- *)
 
@@ -424,6 +454,9 @@ and guest_fault t node th fault =
 
 and exit_thread t node (th : Thread.t) reason =
   th.Thread.state <- Thread.Exited reason;
+  (* A dead thread's residual images and knowledge are useless on every
+     node; reclaim the cache space. *)
+  Array.iter (fun dc -> Delta_cache.drop_thread dc ~tid:th.Thread.id) t.delta;
   (* On death a thread releases all its slots to the node it is visiting
      (paper, Fig. 6, step 4). A faulted thread may have corrupt metadata;
      leak rather than crash the simulation. *)
@@ -674,11 +707,22 @@ and guest_fault_ret t node th fault =
   `Dead
 
 and start_migration t node (th : Thread.t) ~dest =
-  (* Under a live fault plan the iso scheme runs the two-phase protocol:
-     the destination must accept the thread's slot ranges before the
-     source unmaps anything, and every control/data message is carried by
-     the retransmitting layer. *)
-  if Fault.Plan.enabled t.config.faults && t.config.scheme = Iso then
+  (* With delta migration on, every iso migration rides the group
+     pipeline as a group of one: the v3 codec, the residual cache and the
+     fallback protocol all live there, and the pipeline's probe/verdict
+     handshake doubles as the failure-hardened path. Otherwise, under a
+     live fault plan the iso scheme runs the two-phase protocol: the
+     destination must accept the thread's slot ranges before the source
+     unmaps anything, and every control/data message is carried by the
+     retransmitting layer. *)
+  if delta_enabled t then begin
+    th.Thread.pending_migration <- None;
+    th.Thread.state <- Thread.Migrating;
+    (* was_queued = true: the thread was running, so it must re-enter a
+       run queue on arrival (or on rollback). *)
+    ignore (start_group t ~src:node.Node.id ~dest [ (th, true) ])
+  end
+  else if Fault.Plan.enabled t.config.faults && t.config.scheme = Iso then
     start_migration_hardened t node th ~dest
   else start_migration_direct t node th ~dest
 
@@ -952,29 +996,18 @@ and rpc t ~src ~dest ~pc ~arg =
   else Network.send t.net ~src ~dst:dest request on_arrival;
   th
 
-let spawn t ~node ~entry ?(arg = 0) () =
-  spawn_pc t ~node ~pc:(Program.entry t.program entry) ~arg
-
-let request_migration t (th : Thread.t) ~dest =
-  if dest < 0 || dest >= Array.length t.nodes then
-    invalid_arg "Cluster.request_migration: bad destination";
-  if not (Thread.is_exited th) then begin
-    th.Thread.pending_migration <- Some dest;
-    (* Make sure the node wakes up to honour it even if idle. *)
-    schedule_tick t t.nodes.(th.Thread.node) ~delay:0.
-  end
-
 (* ===== group migration: one handshake, one train, N threads =====
 
    The pipeline always runs the two-phase protocol (one probe/verdict
-   covering every member) and ships one {!Migration.pack_group} v2 image
-   in one reliable packet train. Any failure at any stage rolls the WHOLE
-   group back: either nothing was packed yet (pre-pack abort) or the
-   image is remapped into the source space and every member resumes
-   where it started — no partially migrated group can exist. *)
+   covering every member) and ships one {!Migration.pack_group} image in
+   one reliable packet train — v2 normally, v3 when delta migration is
+   on. Any failure at any stage rolls the WHOLE group back: either
+   nothing was packed yet (pre-pack abort) or the image is remapped into
+   the source space and every member resumes where it started — no
+   partially migrated group can exist. *)
 
 (* Rebuild the node's run queue without [th]; true if it was queued. *)
-let dequeue_from_runqueue t (th : Thread.t) =
+and dequeue_from_runqueue t (th : Thread.t) =
   let q = t.nodes.(th.Thread.node).Node.queue in
   let rec drain acc = if Dlist.is_empty q then List.rev acc else drain (Dlist.pop_front q :: acc) in
   let found = ref false in
@@ -984,16 +1017,16 @@ let dequeue_from_runqueue t (th : Thread.t) =
   !found
 
 (* [members] is [(thread, was_on_run_queue)]: threads taken off a run
-   queue are re-enqueued on arrival (or on rollback); host-driven threads
-   just become Ready again. *)
-let group_release t members ~node =
+   queue (or preempted mid-quantum) are re-enqueued on arrival (or on
+   rollback); host-driven threads just become Ready again. *)
+and group_release t members ~node =
   List.iter
     (fun ((th : Thread.t), was_queued) ->
       th.Thread.node <- node;
       if was_queued then enqueue t th else th.Thread.state <- Thread.Ready)
     members
 
-let group_abort t ~gid ~src ~dest members ~reason =
+and group_abort t ~gid ~src ~dest members ~reason =
   t.aborted_groups <- t.aborted_groups + 1;
   Trace.emit t.trace ~time:(Engine.now t.engine) ~node:src
     (Printf.sprintf "group migration %d to node %d aborted: %s" gid dest reason);
@@ -1002,22 +1035,40 @@ let group_abort t ~gid ~src ~dest members ~reason =
       (Obs.Event.Group_migration_abort { gid; src; dst = dest; reason });
   group_release t members ~node:src
 
-let group_rollback t ~gid ~src ~dest ~buffer ~slots members ~reason =
+and group_rollback t ~gid ~src ~dest ~buffer ~slots members ~reason =
   (* The group's memory exists only in [buffer]; remap every member into
      the source's own space — iso-addressing guarantees the addresses are
      still free there — then abort. One atomic step: unpack_group either
-     applies every member or raises before any queue state changed. *)
+     applies every member or raises before any queue state changed.
+     A v3 buffer's [Cached] pages restore from the source's own pinned
+     residual image, whose hashes were computed from these very pages at
+     pack time — a restore failure here is a simulation bug, not a
+     recoverable condition. *)
   let node = t.nodes.(src) in
+  let scache = t.delta.(src) in
   let before = node.Node.charged in
-  let _, _, cost =
+  let u =
     Migration.unpack_group ~obs:t.obs ~node:src ~cost:t.config.cost
       ~space:node.Node.space
+      ~restore:(fun ~tid ~addr ~hash ->
+        match Delta_cache.lookup_page scache ~tid ~addr with
+        | Some page when As.page_bytes_hash page = hash ->
+          As.store_bytes node.Node.space addr page;
+          true
+        | _ -> false)
       ~lookup:(fun tid -> Hashtbl.find t.threads tid)
       buffer
   in
+  if u.Migration.u_missing <> [] then
+    failwith "Cluster.group_rollback: pinned residual image cannot restore its own pages";
+  (* The members' memory is live on the source again; their pinned images
+     are now redundant. *)
+  List.iter
+    (fun ((th : Thread.t), _) -> Delta_cache.drop_image scache ~tid:th.Thread.id)
+    members;
   let extra = node.Node.charged -. before in
   node.Node.charged <- before;
-  Node.charge node (cost +. extra);
+  Node.charge node (u.Migration.u_cost +. extra);
   if Obs.Collector.enabled t.obs then
     List.iter
       (fun ((th : Thread.t), _) ->
@@ -1026,11 +1077,22 @@ let group_rollback t ~gid ~src ~dest ~buffer ~slots members ~reason =
       members;
   group_abort t ~gid ~src ~dest members ~reason
 
-let group_deliver t ~gid ~src ~dest ~started ~ranges ~slots ~pages members buffer =
+and group_deliver t ~gid ~src ~dest ~started ~ranges ~slots ~pages members buffer =
   let dnode = t.nodes.(dest) in
   let before = dnode.Node.charged in
+  let dcache = t.delta.(dest) in
+  (* Restore a [Cached] page from this node's residual image, validating
+     content: a stale or corrupted copy fails the hash check and is
+     reported as missing rather than silently kept. *)
+  let restore ~tid ~addr ~hash =
+    match Delta_cache.lookup_page dcache ~tid ~addr with
+    | Some page when As.page_bytes_hash page = hash ->
+      As.store_bytes dnode.Node.space addr page;
+      true
+    | _ -> false
+  in
   match
-    Migration.unpack_group ~obs:t.obs ~node:dest ~cost:t.config.cost
+    Migration.unpack_group ~obs:t.obs ~node:dest ~restore ~cost:t.config.cost
       ~space:dnode.Node.space
       ~lookup:(fun tid -> Hashtbl.find t.threads tid)
       buffer
@@ -1043,58 +1105,146 @@ let group_deliver t ~gid ~src ~dest ~started ~ranges ~slots ~pages members buffe
     List.iter (fun (addr, size) -> ignore (As.scrub_range dnode.Node.space ~addr ~size)) ranges;
     group_rollback t ~gid ~src ~dest ~buffer ~slots members
       ~reason:"destination failed to unpack the group image"
-  | _, _, unpack_cost ->
+  | u ->
     let extra = dnode.Node.charged -. before in
     dnode.Node.charged <- before;
-    let resume_delay = unpack_cost +. extra in
-    Node.charge dnode resume_delay;
-    let bytes = Bytes.length buffer in
-    let n = List.length members in
-    let data_pages, zero_pages = pages in
-    if Obs.Collector.enabled t.obs then
-      Obs.Collector.emit t.obs ~node:dest
-        (Obs.Event.Group_migration_phase
-           { gid; phase = Obs.Event.Remap; members = n; bytes; slots; dur = resume_delay });
-    Engine.schedule_after t.engine ~delay:resume_delay (fun () ->
-        let resumed = Engine.now t.engine in
-        if Obs.Collector.enabled t.obs then begin
-          Obs.Collector.emit t.obs ~node:dest
-            (Obs.Event.Group_migration_phase
-               { gid; phase = Obs.Event.Restart; members = n; bytes; slots; dur = 0. });
-          Obs.Collector.emit t.obs ~node:dest
-            (Obs.Event.Group_migration_commit { gid; dst = dest; members = n; bytes })
-        end;
-        (* Per-member records carry an even share of the train so the
-           per-thread latency helpers keep working; the group record holds
-           the exact totals. *)
-        let share = bytes / max 1 n in
+    let commit () =
+      (* Reconstruction is complete: settle the caches on both ends. The
+         destination's own residual for each member is superseded by
+         fresh knowledge of what the source now retains; the source's
+         pinned images become evictable migrate-out residuals. *)
+      if delta_enabled t then begin
         List.iter
-          (fun ((th : Thread.t), _) ->
-            Vec.push t.migrations
-              { tid = th.Thread.id; src; dst = dest; started; resumed; bytes = share })
-          members;
-        Vec.push t.group_migrations
-          {
-            gid;
-            g_src = src;
-            g_dst = dest;
-            g_members = List.map (fun ((th : Thread.t), _) -> th.Thread.id) members;
-            g_started = started;
-            g_resumed = resumed;
-            g_bytes = bytes;
-            g_data_pages = data_pages;
-            g_zero_pages = zero_pages;
-          };
-        group_release t members ~node:dest)
+          (fun (tid, slot_ranges) ->
+            Delta_cache.drop_image dcache ~tid;
+            let hashes =
+              List.concat_map
+                (fun (addr, size) ->
+                  List.filter_map
+                    (fun i ->
+                      let a = addr + (i * Layout.page_size) in
+                      if As.page_is_zero dnode.Node.space a then None
+                      else Some (a, As.page_hash dnode.Node.space a))
+                    (List.init (size / Layout.page_size) Fun.id))
+                slot_ranges
+            in
+            Delta_cache.record_knowledge dcache ~tid ~peer:src hashes)
+          u.Migration.u_ranges;
+        List.iter
+          (fun ((th : Thread.t), _) -> Delta_cache.unpin t.delta.(src) ~tid:th.Thread.id)
+          members
+      end;
+      let resume_delay = u.Migration.u_cost +. extra in
+      Node.charge dnode resume_delay;
+      let bytes = Bytes.length buffer in
+      let n = List.length members in
+      let data_pages, zero_pages, cached_pages = pages in
+      if Obs.Collector.enabled t.obs then
+        Obs.Collector.emit t.obs ~node:dest
+          (Obs.Event.Group_migration_phase
+             { gid; phase = Obs.Event.Remap; members = n; bytes; slots; dur = resume_delay });
+      Engine.schedule_after t.engine ~delay:resume_delay (fun () ->
+          let resumed = Engine.now t.engine in
+          if Obs.Collector.enabled t.obs then begin
+            Obs.Collector.emit t.obs ~node:dest
+              (Obs.Event.Group_migration_phase
+                 { gid; phase = Obs.Event.Restart; members = n; bytes; slots; dur = 0. });
+            Obs.Collector.emit t.obs ~node:dest
+              (Obs.Event.Group_migration_commit { gid; dst = dest; members = n; bytes })
+          end;
+          (* Per-member records carry an even share of the train so the
+             per-thread latency helpers keep working; the group record holds
+             the exact totals. *)
+          let share = bytes / max 1 n in
+          List.iter
+            (fun ((th : Thread.t), _) ->
+              Vec.push t.migrations
+                { tid = th.Thread.id; src; dst = dest; started; resumed; bytes = share })
+            members;
+          Vec.push t.group_migrations
+            {
+              gid;
+              g_src = src;
+              g_dst = dest;
+              g_members = List.map (fun ((th : Thread.t), _) -> th.Thread.id) members;
+              g_started = started;
+              g_resumed = resumed;
+              g_bytes = bytes;
+              g_data_pages = data_pages;
+              g_zero_pages = zero_pages;
+              g_cached_pages = cached_pages;
+            };
+          group_release t members ~node:dest)
+    in
+    (match u.Migration.u_missing with
+     | [] -> commit ()
+     | missing ->
+       (* Some [Cached] pages could not be restored (evicted or corrupted
+          residual): fetch their raw bytes from the source's pinned image.
+          Correctness never depends on the cache — a fallback that cannot
+          complete scrubs the destination and rolls the whole group back. *)
+       t.delta_fallbacks <- t.delta_fallbacks + List.length missing;
+       let fail reason =
+         List.iter
+           (fun (addr, size) -> ignore (As.scrub_range dnode.Node.space ~addr ~size))
+           ranges;
+         group_rollback t ~gid ~src ~dest ~buffer ~slots members ~reason
+       in
+       let expected = Hashtbl.create (List.length missing) in
+       List.iter (fun (tid, addr, hash) -> Hashtbl.replace expected (tid, addr) hash) missing;
+       Reliable.send t.rel ~src:dest ~dst:src
+         (Migration.delta_request_message ~gid ~pages:missing)
+         ~on_delivered:(fun req ->
+           match Migration.parse_delta_request req with
+           | None -> fail "malformed delta request"
+           | Some (_, pages) ->
+             let scache = t.delta.(src) in
+             let served =
+               List.filter_map
+                 (fun (tid, addr, _hash) ->
+                   Option.map
+                     (fun page -> (tid, addr, Bytes.copy page))
+                     (Delta_cache.lookup_page scache ~tid ~addr))
+                 pages
+             in
+             if List.length served <> List.length pages then
+               fail "source lost its pinned residual image"
+             else
+               Reliable.send t.rel ~src ~dst:dest
+                 (Migration.delta_full_message ~gid ~pages:served)
+                 ~on_delivered:(fun full ->
+                   match Migration.parse_delta_full full with
+                   | Error reason -> fail reason
+                   | Ok (_, pages) ->
+                     let ok =
+                       List.for_all
+                         (fun (tid, addr, page) ->
+                           match Hashtbl.find_opt expected (tid, addr) with
+                           | Some h when As.page_bytes_hash page = h ->
+                             As.store_bytes dnode.Node.space addr page;
+                             true
+                           | _ -> false)
+                         pages
+                     in
+                     if ok then commit ()
+                     else fail "delta fallback page failed its hash check")
+                 ~on_failed:(fun ~reason -> fail ("delta full undeliverable: " ^ reason)))
+         ~on_failed:(fun ~reason -> fail ("delta request undeliverable: " ^ reason)))
 
-let group_transfer t ~gid ~src ~dest ~started ~ranges members =
+and group_transfer t ~gid ~src ~dest ~started ~ranges members =
   let node = t.nodes.(src) in
   let before = node.Node.charged in
+  let version = if delta_enabled t then Codec.V3 else Codec.V2 in
+  let scache = t.delta.(src) in
   let p =
-    Migration.pack_group ~obs:t.obs ~node:src ~cost:t.config.cost ~space:node.Node.space
-      ~gid
+    Migration.pack_group ~obs:t.obs ~node:src ~version
+      ~known:(fun ~tid -> Delta_cache.known scache ~tid ~peer:dest)
+      ~cost:t.config.cost ~space:node.Node.space ~gid
       (List.map fst members)
   in
+  (* Pin a copy of every member's non-zero pages: rollback and the
+     full-resend fallback serve from these until the transfer settles. *)
+  List.iter (fun (tid, pages) -> Delta_cache.retain scache ~tid pages) p.Migration.g_retained;
   let extra = node.Node.charged -. before in
   node.Node.charged <- before;
   let pack_total = p.Migration.g_pack_cost +. extra in
@@ -1102,7 +1252,7 @@ let group_transfer t ~gid ~src ~dest ~started ~ranges members =
   let buffer = p.Migration.g_buffer in
   let bytes = Bytes.length buffer in
   let slots = p.Migration.g_slots in
-  let pages = (p.Migration.g_data_pages, p.Migration.g_zero_pages) in
+  let pages = (p.Migration.g_data_pages, p.Migration.g_zero_pages, p.Migration.g_cached_pages) in
   let n = List.length members in
   if Obs.Collector.enabled t.obs then
     Obs.Collector.emit t.obs ~node:src
@@ -1131,6 +1281,62 @@ let group_transfer t ~gid ~src ~dest ~started ~ranges members =
         ~on_failed:(fun ~reason ->
           group_rollback t ~gid ~src ~dest ~buffer ~slots members ~reason))
 
+(* Members are already prepared (off their run queues, state Migrating);
+   run the pipeline: probe the destination with every member's ranges,
+   transfer only on an accepting verdict. *)
+and start_group t ~src ~dest members =
+  let gid = t.next_gid in
+  t.next_gid <- gid + 1;
+  let started = Engine.now t.engine in
+  let n = List.length members in
+  if Obs.Collector.enabled t.obs then
+    Obs.Collector.emit t.obs ~node:src
+      (Obs.Event.Group_migration_start { gid; src; dst = dest; members = n });
+  let ranges = Migration.group_ranges t.nodes.(src).Node.space (List.map fst members) in
+  Reliable.send t.rel ~src ~dst:dest
+    (Migration.group_probe_message ~gid ~ranges)
+    ~on_delivered:(fun probe ->
+      match Migration.parse_group_probe probe with
+      | None -> group_abort t ~gid ~src ~dest members ~reason:"malformed probe"
+      | Some (_, ranges) ->
+        let dspace = t.nodes.(dest).Node.space in
+        let ok =
+          List.for_all
+            (fun (addr, size) -> As.range_unmapped dspace ~addr ~size)
+            ranges
+        in
+        let reason = if ok then "" else "destination cannot map the group's slots" in
+        Reliable.send t.rel ~src:dest ~dst:src
+          (Migration.group_verdict_message ~gid ~ok ~reason)
+          ~on_delivered:(fun verdict ->
+            match Migration.parse_group_verdict verdict with
+            | Some (_, true, _) ->
+              group_transfer t ~gid ~src ~dest ~started ~ranges members
+            | Some (_, false, reason) ->
+              group_abort t ~gid ~src ~dest members ~reason:("rejected: " ^ reason)
+            | None -> group_abort t ~gid ~src ~dest members ~reason:"malformed verdict")
+          ~on_failed:(fun ~reason ->
+            group_abort t ~gid ~src ~dest members
+              ~reason:("verdict undeliverable: " ^ reason)))
+    ~on_failed:(fun ~reason ->
+      group_abort t ~gid ~src ~dest members ~reason:("probe undeliverable: " ^ reason));
+  gid
+
+let spawn t ~node ~entry ?(arg = 0) () =
+  spawn_pc t ~node ~pc:(Program.entry t.program entry) ~arg
+
+let request_migration t (th : Thread.t) ~dest =
+  if dest < 0 || dest >= Array.length t.nodes then
+    invalid_arg "Cluster.request_migration: bad destination";
+  if not (Thread.is_exited th) then begin
+    th.Thread.pending_migration <- Some dest;
+    (* Make sure the node wakes up to honour it even if idle. *)
+    schedule_tick t t.nodes.(th.Thread.node) ~delay:0.
+  end
+
+(* The group pipeline itself lives inside the scheduler knot (it is also
+   the delta-migration path for single threads); this entry point only
+   validates the group and prepares the members. *)
 let migrate_group t ths ~dest =
   if ths = [] then Error "empty group"
   else if dest < 0 || dest >= Array.length t.nodes then Error "bad destination"
@@ -1155,9 +1361,6 @@ let migrate_group t ths ~dest =
       if src = dest then Error "group already on the destination node"
       else if has_dup ths then Error "duplicate thread in group"
       else begin
-        let gid = t.next_gid in
-        t.next_gid <- gid + 1;
-        let started = Engine.now t.engine in
         let members =
           List.map
             (fun (th : Thread.t) ->
@@ -1167,42 +1370,7 @@ let migrate_group t ths ~dest =
               (th, was_queued))
             ths
         in
-        let n = List.length members in
-        if Obs.Collector.enabled t.obs then
-          Obs.Collector.emit t.obs ~node:src
-            (Obs.Event.Group_migration_start { gid; src; dst = dest; members = n });
-        let ranges = Migration.group_ranges t.nodes.(src).Node.space ths in
-        (* One handshake for the whole group (the "one negotiation" the
-           train amortises): probe with every member's ranges, transfer
-           only on an accepting verdict. *)
-        Reliable.send t.rel ~src ~dst:dest
-          (Migration.group_probe_message ~gid ~ranges)
-          ~on_delivered:(fun probe ->
-            match Migration.parse_group_probe probe with
-            | None -> group_abort t ~gid ~src ~dest members ~reason:"malformed probe"
-            | Some (_, ranges) ->
-              let dspace = t.nodes.(dest).Node.space in
-              let ok =
-                List.for_all
-                  (fun (addr, size) -> As.range_unmapped dspace ~addr ~size)
-                  ranges
-              in
-              let reason = if ok then "" else "destination cannot map the group's slots" in
-              Reliable.send t.rel ~src:dest ~dst:src
-                (Migration.group_verdict_message ~gid ~ok ~reason)
-                ~on_delivered:(fun verdict ->
-                  match Migration.parse_group_verdict verdict with
-                  | Some (_, true, _) ->
-                    group_transfer t ~gid ~src ~dest ~started ~ranges members
-                  | Some (_, false, reason) ->
-                    group_abort t ~gid ~src ~dest members ~reason:("rejected: " ^ reason)
-                  | None -> group_abort t ~gid ~src ~dest members ~reason:"malformed verdict")
-                ~on_failed:(fun ~reason ->
-                  group_abort t ~gid ~src ~dest members
-                    ~reason:("verdict undeliverable: " ^ reason)))
-          ~on_failed:(fun ~reason ->
-            group_abort t ~gid ~src ~dest members ~reason:("probe undeliverable: " ^ reason));
-        Ok gid
+        Ok (start_group t ~src ~dest members)
       end
   end
 
@@ -1292,6 +1460,7 @@ let host_migrate t (th : Thread.t) ~dest =
 let check_invariants t =
   Negotiation.check_global_invariant t.neg;
   Array.iter (fun n -> Slot_manager.check_invariants n.Node.mgr) t.nodes;
+  Array.iter Delta_cache.check t.delta;
   Hashtbl.iter
     (fun _ (th : Thread.t) ->
        match th.Thread.state with

@@ -28,13 +28,17 @@ type config = {
   seed : int;
   faults : Pm2_fault.Plan.t; (* fault plan; [Plan.none] = pristine network *)
   sinks : Pm2_obs.Sink.t list; (* extra event sinks attached at creation *)
+  delta_cache_bytes : int;
+      (* byte budget of each node's residual image cache ({!Delta_cache});
+         positive enables delta migration (v3 codec, iso scheme only),
+         0 disables it entirely and reproduces the plain v2 pipeline *)
 }
 
 val default_config : nodes:int -> config
 (** 64 KB slots, round-robin distribution (the paper's experimental setup),
     iso scheme with blocks-only packing, slot cache of 16, quantum 200,
-    first-fit local heap, no faults, no extra sinks. Prefer building
-    configurations through {!Pm2.Config.make}. *)
+    first-fit local heap, no faults, no extra sinks, delta migration off.
+    Prefer building configurations through {!Pm2.Config.make}. *)
 
 type migration_record = {
   tid : int;
@@ -53,9 +57,10 @@ type group_record = {
   g_members : int list; (* member tids in wire order *)
   g_started : float;
   g_resumed : float; (* virtual time at which every member is runnable *)
-  g_bytes : int; (* v2 train payload size *)
+  g_bytes : int; (* v2/v3 train payload size *)
   g_data_pages : int; (* pages shipped verbatim *)
   g_zero_pages : int; (* pages elided by the manifest *)
+  g_cached_pages : int; (* pages shipped as content hashes only (v3) *)
 }
 
 type t
@@ -121,15 +126,19 @@ val rpc : t -> src:int -> dest:int -> pc:int -> arg:int -> Thread.t
 (** [migrate_group t threads ~dest] moves [threads] — Ready threads all
     living on one source node — to [dest] through a single pipeline: one
     probe/verdict handshake covering every member's slot ranges, one
-    {!Migration.pack_group} v2 wire image (zero-page elision), one
-    reliable packet train. Members leave their run queue immediately and
-    are re-enqueued on the destination when the train lands. Any failure
+    {!Migration.pack_group} wire image (v2 zero-page elision; v3 delta
+    when [delta_cache_bytes > 0]), one reliable packet train. Members
+    leave their run queue immediately and are re-enqueued on the
+    destination when the train lands. Under v3, [Cached] pages the
+    destination cannot restore from its residual image are re-fetched
+    through one RDLT/RFUL exchange before the group commits. Any failure
     at any stage (rejected verdict, undeliverable message, unpack
-    collision) rolls the {e whole} group back onto the source atomically;
-    there is never a partially migrated group. Returns the group id, or
-    [Error reason] if the group is not well-formed (empty, mixed nodes,
-    non-Ready member, duplicate, bad destination, non-iso scheme — in
-    which case nothing was changed). Progress requires {!run}. *)
+    collision, failed fallback) rolls the {e whole} group back onto the
+    source atomically; there is never a partially migrated group. Returns
+    the group id, or [Error reason] if the group is not well-formed
+    (empty, mixed nodes, non-Ready member, duplicate, bad destination,
+    non-iso scheme — in which case nothing was changed). Progress
+    requires {!run}. *)
 val migrate_group : t -> Thread.t list -> dest:int -> (int, string) result
 
 val group_migrations : t -> group_record list
@@ -180,6 +189,31 @@ val migrations : t -> migration_record list
 
 val isomalloc_calls : t -> int
 val malloc_calls : t -> int
+
+(** {1 Delta migration}
+
+    When [delta_cache_bytes > 0] (iso scheme), every migration rides the
+    group pipeline with the v3 codec: the source consults its believed
+    destination knowledge and ships unchanged pages as content hashes
+    only; the destination reconstructs them from its residual image cache
+    and falls back to an RDLT/RFUL full-page resend for anything it
+    cannot restore. See {!Delta_cache}. *)
+
+val delta_enabled : t -> bool
+
+(** [delta_cache t i] — node [i]'s residual image cache (tests, benches
+    and fault injection via {!Delta_cache.corrupt_page}). *)
+val delta_cache : t -> int -> Delta_cache.t
+
+val delta_fallbacks : t -> int
+(** Total [Cached] pages that failed restoration and were re-fetched from
+    the source via RDLT/RFUL. *)
+
+(** [delta_affinity t th ~dest] — [true] iff migrating [th] to [dest]
+    could ship hashes instead of pages (the cache holds knowledge for
+    that pair); the {!Pm2_loadbal.Balancer.Cache_affinity} policy uses
+    this as a placement hint. *)
+val delta_affinity : t -> Thread.t -> dest:int -> bool
 
 (** {1 Faults and failure handling}
 

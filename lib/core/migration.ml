@@ -311,6 +311,8 @@ type group_packed = {
   g_slots : int;
   g_data_pages : int;
   g_zero_pages : int;
+  g_cached_pages : int;
+  g_retained : (int * (int * Bytes.t) list) list;
 }
 
 let pack_descriptor_v2 p (th : Thread.t) =
@@ -349,11 +351,16 @@ let unpack_descriptor_v2 u (th : Thread.t) =
     Hashtbl.replace th.registry k a
   done
 
-let pack_group ?(obs = Obs.Collector.null) ?(node = 0) ~cost ~space ~gid threads =
+let pack_group ?(obs = Obs.Collector.null) ?(node = 0) ?(version = Codec.V2)
+    ?(known = fun ~tid:_ _ -> None) ~cost ~space ~gid threads =
+  (match version with
+   | Codec.V1 -> invalid_arg "Migration.pack_group: v1 cannot carry a group image"
+   | Codec.V2 | Codec.V3 -> ());
   let p = Pk.packer () in
   Pk.pack_varint p gid;
   Pk.pack_varint p (List.length threads);
   let nslots = ref 0 and data_pages = ref 0 and zero_pages = ref 0 in
+  let cached_pages = ref 0 in
   let all_slots =
     List.map
       (fun (th : Thread.t) -> (th, Sh.chain_to_list space ~head:th.slots_head))
@@ -363,22 +370,69 @@ let pack_group ?(obs = Obs.Collector.null) ?(node = 0) ~cost ~space ~gid threads
     (fun ((th : Thread.t), slots) ->
       pack_descriptor_v2 p th;
       Pk.pack_varint p (List.length slots);
+      let m_data = ref 0 and m_cached = ref 0 in
       List.iter
         (fun slot ->
           let size = Sh.read_size space slot in
           let before = Pk.packed_size p in
           Pk.pack_varint p slot;
           Pk.pack_varint p size;
-          let d, z = Codec.encode_range p space ~addr:slot ~size in
+          (match version with
+           | Codec.V1 -> assert false
+           | Codec.V2 ->
+             let d, z = Codec.encode_range p space ~addr:slot ~size in
+             data_pages := !data_pages + d;
+             zero_pages := !zero_pages + z
+           | Codec.V3 ->
+             let d, z, c =
+               Codec.encode_delta_range p space ~addr:slot ~size
+                 ~known:(known ~tid:th.Thread.id)
+             in
+             data_pages := !data_pages + d;
+             zero_pages := !zero_pages + z;
+             cached_pages := !cached_pages + c;
+             m_data := !m_data + d;
+             m_cached := !m_cached + c);
           nslots := !nslots + 1;
-          data_pages := !data_pages + d;
-          zero_pages := !zero_pages + z;
           if Obs.Collector.enabled obs then
             Obs.Collector.emit obs ~node
               (Obs.Event.Pack_slot
                  { tid = th.Thread.id; slot; bytes = Pk.packed_size p - before }))
-        slots)
+        slots;
+      if version = Codec.V3 && Obs.Collector.enabled obs then begin
+        if !m_cached > 0 then
+          Obs.Collector.emit obs ~node
+            (Obs.Event.Delta_hit { tid = th.Thread.id; pages = !m_cached });
+        if !m_data > 0 then
+          Obs.Collector.emit obs ~node
+            (Obs.Event.Delta_miss { tid = th.Thread.id; pages = !m_data })
+      end)
     all_slots;
+  (* A v3 sender retains a copy of every non-zero page before freeing the
+     source memory: the pinned residual image backs both the rollback
+     path and the full-resend fallback, and becomes the migrate-out
+     residual once the transfer settles. *)
+  let retained =
+    match version with
+    | Codec.V1 | Codec.V2 -> []
+    | Codec.V3 ->
+      List.map
+        (fun ((th : Thread.t), slots) ->
+          let pages =
+            List.concat_map
+              (fun slot ->
+                let size = Sh.read_size space slot in
+                List.filter_map
+                  (fun i ->
+                    let a = slot + (i * Layout.page_size) in
+                    if As.page_is_zero space a then None
+                    else Some (a, As.load_bytes space a Layout.page_size))
+                  (List.init (size / Layout.page_size) Fun.id))
+              slots
+          in
+          (th.Thread.id, pages))
+        all_slots
+  in
   (* Free the source memory only after every member is packed: the group
      image either exists in full or the source is untouched. *)
   let munmap_total = ref 0. in
@@ -392,7 +446,7 @@ let pack_group ?(obs = Obs.Collector.null) ?(node = 0) ~cost ~space ~gid threads
             !munmap_total +. Cm.munmap_cost cost ~pages:(size / Layout.page_size))
         slots)
     all_slots;
-  let buffer = Codec.frame Codec.V2 (Pk.contents p) in
+  let buffer = Codec.frame version (Pk.contents p) in
   let pack_cost =
     (float_of_int (List.length threads) *. cost.Cm.context_switch)
     +. Cm.memcpy_cost cost ~bytes:(Bytes.length buffer)
@@ -404,39 +458,66 @@ let pack_group ?(obs = Obs.Collector.null) ?(node = 0) ~cost ~space ~gid threads
     g_slots = !nslots;
     g_data_pages = !data_pages;
     g_zero_pages = !zero_pages;
+    g_cached_pages = !cached_pages;
+    g_retained = retained;
   }
 
-let unpack_group ?(obs = Obs.Collector.null) ?(node = 0) ~cost ~space ~lookup buffer =
-  match Codec.parse buffer with
-  | Error e -> invalid_arg ("Migration.unpack_group: " ^ e)
+type group_unpacked = {
+  u_gid : int;
+  u_tids : int list;
+  u_cost : float;
+  u_missing : (int * int * int) list;
+      (* (tid, page addr, hash): Cached pages the restore callback could
+         not reconstruct — to be fetched via the RDLT/RFUL fallback. *)
+  u_ranges : (int * (int * int) list) list;
+      (* per member, its slot (addr, size) ranges as decoded *)
+}
+
+let unpack_group ?(obs = Obs.Collector.null) ?(node = 0)
+    ?(restore = fun ~tid:_ ~addr:_ ~hash:_ -> false) ~cost ~space ~lookup buffer =
+  match Codec.decode buffer with
+  | Error e -> invalid_arg ("Migration.unpack_group: " ^ Codec.error_to_string e)
   | Ok (Codec.V1, _) ->
     invalid_arg "Migration.unpack_group: v1 frame is not a group image"
-  | Ok (Codec.V2, payload) ->
+  | Ok ((Codec.V2 | Codec.V3) as version, payload) ->
     let u = Pk.unpacker payload in
     let gid = Pk.unpack_varint u in
     let members = Pk.unpack_varint u in
     if members <= 0 then invalid_arg "Migration.unpack_group: empty group";
     let mmap_total = ref 0. in
     let tids = ref [] in
+    let missing = ref [] in
+    let ranges = ref [] in
     for _ = 1 to members do
       let tid = Pk.unpack_varint u in
       let th : Thread.t = lookup tid in
       unpack_descriptor_v2 u th;
       tids := tid :: !tids;
       let nslots = Pk.unpack_varint u in
+      let member_ranges = ref [] in
       for _ = 1 to nslots do
         let before = Pk.remaining u in
         let slot = Pk.unpack_varint u in
         let size = Pk.unpack_varint u in
         As.mmap space ~addr:slot ~size;
-        ignore (Codec.decode_range u space ~addr:slot ~size);
+        (match version with
+         | Codec.V1 -> assert false
+         | Codec.V2 -> ignore (Codec.decode_range u space ~addr:slot ~size)
+         | Codec.V3 ->
+           let _, miss =
+             Codec.decode_delta_range u space ~addr:slot ~size
+               ~restore:(fun ~addr ~hash -> restore ~tid ~addr ~hash)
+           in
+           List.iter (fun (a, h) -> missing := (tid, a, h) :: !missing) miss);
+        member_ranges := (slot, size) :: !member_ranges;
         if Obs.Collector.enabled obs then
           Obs.Collector.emit obs ~node
             (Obs.Event.Unpack_slot { tid; slot; bytes = before - Pk.remaining u });
         mmap_total :=
           !mmap_total +. cost.Cm.mmap_base
           +. (float_of_int (size / Layout.page_size) *. cost.Cm.mmap_per_page)
-      done
+      done;
+      ranges := (tid, List.rev !member_ranges) :: !ranges
     done;
     if Pk.remaining u <> 0 then invalid_arg "Migration.unpack_group: trailing bytes";
     let unpack_cost =
@@ -444,7 +525,13 @@ let unpack_group ?(obs = Obs.Collector.null) ?(node = 0) ~cost ~space ~lookup bu
       +. Cm.memcpy_cost cost ~bytes:(Bytes.length buffer)
       +. (float_of_int members *. cost.Cm.context_switch)
     in
-    (gid, List.rev !tids, unpack_cost)
+    {
+      u_gid = gid;
+      u_tids = List.rev !tids;
+      u_cost = unpack_cost;
+      u_missing = List.rev !missing;
+      u_ranges = List.rev !ranges;
+    }
 
 (* -- group two-phase messages (probe / verdict / train payload) -- *)
 
@@ -524,6 +611,82 @@ let parse_group_transfer b =
   | gid, ck, ranges, buffer ->
     if Pk.checksum buffer <> ck then Error "group wire buffer checksum mismatch"
     else Ok (gid, ranges, buffer)
+
+(* -- delta fallback messages (RDLT request / RFUL full pages) --
+
+   When a v3 destination cannot restore a [Cached] page (evicted image,
+   or hash mismatch after corruption) it asks the source for the raw
+   bytes. The source serves them from the pinned residual image it kept
+   at pack time, so the answer is always available while the transfer is
+   in flight. *)
+
+let delta_request_magic = 0x52444c54 (* "RDLT" *)
+
+let delta_full_magic = 0x5246554c (* "RFUL" *)
+
+let delta_request_message ~gid ~pages =
+  let p = Pk.packer () in
+  Pk.pack_int p delta_request_magic;
+  Pk.pack_int p gid;
+  Pk.pack_list p
+    (fun (tid, addr, hash) ->
+      Pk.pack_int p tid;
+      Pk.pack_int p addr;
+      Pk.pack_int p hash)
+    pages;
+  Pk.contents p
+
+let parse_delta_request b =
+  match
+    let u = Pk.unpacker b in
+    if Pk.unpack_int u <> delta_request_magic then
+      invalid_arg "Migration: bad delta request magic";
+    let gid = Pk.unpack_int u in
+    let pages =
+      Pk.unpack_list u (fun () ->
+          let tid = Pk.unpack_int u in
+          let addr = Pk.unpack_int u in
+          let hash = Pk.unpack_int u in
+          (tid, addr, hash))
+    in
+    if Pk.remaining u <> 0 then invalid_arg "Migration: trailing delta request bytes";
+    (gid, pages)
+  with
+  | v -> Some v
+  | exception Invalid_argument _ -> None
+
+let delta_full_message ~gid ~pages =
+  let p = Pk.packer () in
+  Pk.pack_int p delta_full_magic;
+  Pk.pack_int p gid;
+  Pk.pack_list p
+    (fun (tid, addr, page) ->
+      Pk.pack_int p tid;
+      Pk.pack_int p addr;
+      Pk.pack_bytes p page)
+    pages;
+  Pk.contents p
+
+let parse_delta_full b =
+  match
+    let u = Pk.unpacker b in
+    if Pk.unpack_int u <> delta_full_magic then
+      invalid_arg "Migration: bad delta full magic";
+    let gid = Pk.unpack_int u in
+    let pages =
+      Pk.unpack_list u (fun () ->
+          let tid = Pk.unpack_int u in
+          let addr = Pk.unpack_int u in
+          let page = Pk.unpack_bytes u in
+          if Bytes.length page <> Layout.page_size then
+            invalid_arg "Migration: delta full page is not page-sized";
+          (tid, addr, page))
+    in
+    if Pk.remaining u <> 0 then invalid_arg "Migration: trailing delta full bytes";
+    (gid, pages)
+  with
+  | v -> Ok v
+  | exception Invalid_argument _ -> Error "malformed delta full message"
 
 let unpack ?(obs = Obs.Collector.null) ?(node = 0) ~geometry ~cost ~space (th : Thread.t)
     buffer =

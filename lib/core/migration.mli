@@ -89,53 +89,88 @@ val transfer_message : tid:int -> ranges:(int * int) list -> buffer:Bytes.t -> B
     [Error reason] on malformation or checksum mismatch. *)
 val parse_transfer : Bytes.t -> (int * (int * int) list * Bytes.t, string) result
 
-(** {1 Group migration (v2 codec)}
+(** {1 Group migration (v2/v3 codec)}
 
     N threads moving between the same pair of nodes share one pipeline:
     one probe/verdict handshake covering every member's ranges, one
-    {!Pm2_net.Codec} V2 wire image, one reliable packet train. Inside the
-    image, descriptors are varint-encoded and every slot ships as a page
-    manifest plus only its non-zero pages — untouched and all-zero pages
-    are recreated by the destination's [mmap] zero-fill (zero-page
-    elision), and because pages carry slot headers and block tags
-    verbatim no free-list rebuild is needed on arrival. *)
+    {!Pm2_net.Codec} V2 or V3 wire image, one reliable packet train.
+    Inside the image, descriptors are varint-encoded and every slot ships
+    as a page manifest plus only its non-zero pages — untouched and
+    all-zero pages are recreated by the destination's [mmap] zero-fill
+    (zero-page elision), and because pages carry slot headers and block
+    tags verbatim no free-list rebuild is needed on arrival.
+
+    A V3 image additionally classifies pages the destination is believed
+    to retain (from a previous hop) as [Cached] and ships only their
+    content hash — delta migration. The destination restores those pages
+    from its residual image cache and fetches any it cannot restore via
+    the RDLT/RFUL fallback below. *)
 
 type group_packed = {
-  g_buffer : Bytes.t; (* Codec V2 frame: what travels in the train *)
+  g_buffer : Bytes.t; (* Codec V2/V3 frame: what travels in the train *)
   g_pack_cost : float; (* freezes + copy-out + unmapping, µs *)
   g_slots : int; (* slots shipped across all members *)
   g_data_pages : int; (* pages shipped verbatim *)
   g_zero_pages : int; (* pages elided by the manifest *)
+  g_cached_pages : int; (* pages shipped as hashes only (v3) *)
+  g_retained : (int * (int * Bytes.t) list) list;
+      (* v3 only: per member, copies of every non-zero page taken at pack
+         time — the caller pins these in its delta cache to back rollback
+         and the full-resend fallback *)
 }
 
 (** [pack_group ~cost ~space ~gid threads] packs every member into one
-    V2 frame and unmaps their slots from [space] — only after the whole
+    frame and unmaps their slots from [space] — only after the whole
     image is built, so a packing failure leaves the source untouched.
-    [?obs] receives one [Pack_slot] event per slot. *)
+    [?version] selects the codec (default [V2]; [V1] is rejected). Under
+    [V3], [known ~tid] is the sender's believed destination knowledge
+    (page address → hash, typically {!Delta_cache.known}); pages whose
+    current hash matches ship as [Cached], and [g_retained] carries the
+    page copies to pin. [?obs] receives one [Pack_slot] event per slot,
+    plus per-member [Delta_hit]/[Delta_miss] under [V3]. *)
 val pack_group :
   ?obs:Pm2_obs.Collector.t ->
   ?node:int ->
+  ?version:Pm2_net.Codec.version ->
+  ?known:(tid:int -> int -> int option) ->
   cost:Pm2_sim.Cost_model.t ->
   space:Pm2_vmem.Address_space.t ->
   gid:int ->
   Thread.t list ->
   group_packed
 
+(** The result of {!unpack_group}. *)
+type group_unpacked = {
+  u_gid : int;
+  u_tids : int list; (* member tids in wire order *)
+  u_cost : float; (* unpack cost, µs *)
+  u_missing : (int * int * int) list;
+      (* (tid, page addr, hash): v3 [Cached] pages the restore callback
+         could not reconstruct; the caller fetches them with
+         {!delta_request_message} before the group may commit *)
+  u_ranges : (int * (int * int) list) list;
+      (* per member, its slot (addr, size) ranges as decoded *)
+}
+
 (** [unpack_group ~cost ~space ~lookup buffer] decodes a {!pack_group}
     image: maps every slot at its original address, stores the data
     pages, and overwrites each member's descriptor ([lookup tid] resolves
-    the thread). Returns [(gid, member tids in wire order, unpack cost)].
+    the thread). For a V3 image, each [Cached] page invokes
+    [restore ~tid ~addr ~hash]; the callback must blit the retained page
+    and return [true] only on a content-hash match — failures are
+    collected into [u_missing] (default callback restores nothing).
     @raise Invalid_argument on a corrupt buffer, a v1 frame, or an
     already-mapped target page (caller scrubs the ranges and rolls the
     whole group back). *)
 val unpack_group :
   ?obs:Pm2_obs.Collector.t ->
   ?node:int ->
+  ?restore:(tid:int -> addr:int -> hash:int -> bool) ->
   cost:Pm2_sim.Cost_model.t ->
   space:Pm2_vmem.Address_space.t ->
   lookup:(int -> Thread.t) ->
   Bytes.t ->
-  int * int list * float
+  group_unpacked
 
 (** Concatenated {!slot_ranges} of every member, in member order. *)
 val group_ranges : Pm2_vmem.Address_space.t -> Thread.t list -> (int * int) list
@@ -156,3 +191,28 @@ val group_transfer_message :
 (** [Ok (gid, ranges, buffer)] after verifying the embedded checksum;
     [Error reason] on malformation or checksum mismatch. *)
 val parse_group_transfer : Bytes.t -> (int * (int * int) list * Bytes.t, string) result
+
+(** {1 Delta fallback messages (RDLT / RFUL)}
+
+    When a v3 destination cannot restore a [Cached] page — its residual
+    image was evicted, or the retained copy's hash no longer matches
+    (corruption) — it sends the source an RDLT request naming the pages;
+    the source answers with an RFUL message carrying their raw bytes,
+    served from the pinned image it kept at pack time. Correctness never
+    depends on cache contents: a failed restore always degrades to a
+    full-page resend, never to a silently wrong image. *)
+
+(** [delta_request_message ~gid ~pages] with [pages] =
+    [(tid, page addr, expected hash)]. *)
+val delta_request_message : gid:int -> pages:(int * int * int) list -> Bytes.t
+
+(** [Some (gid, pages)], or [None] on a malformed buffer. *)
+val parse_delta_request : Bytes.t -> (int * (int * int * int) list) option
+
+(** [delta_full_message ~gid ~pages] with [pages] =
+    [(tid, page addr, page bytes)]. *)
+val delta_full_message : gid:int -> pages:(int * int * Bytes.t) list -> Bytes.t
+
+(** [Ok (gid, pages)] with every page validated to be exactly page-sized;
+    [Error reason] on malformation. *)
+val parse_delta_full : Bytes.t -> (int * (int * int * Bytes.t) list, string) result

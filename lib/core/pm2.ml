@@ -24,7 +24,8 @@ module Config = struct
   type t = Cluster.config
 
   let make ?(nodes = 2) ?slot_size ?distribution ?cache_capacity ?scheme ?packing
-      ?quantum ?fit ?prebuy ?allocator_policy ?cost ?seed ?fault_plan ?sinks () =
+      ?quantum ?fit ?prebuy ?allocator_policy ?cost ?seed ?fault_plan ?sinks
+      ?delta_cache_bytes () =
     let d = Cluster.default_config ~nodes in
     let v o ~default = Option.value o ~default in
     {
@@ -42,6 +43,7 @@ module Config = struct
       seed = v seed ~default:d.Cluster.seed;
       faults = v fault_plan ~default:d.Cluster.faults;
       sinks = v sinks ~default:d.Cluster.sinks;
+      delta_cache_bytes = v delta_cache_bytes ~default:d.Cluster.delta_cache_bytes;
     }
 end
 

@@ -59,6 +59,7 @@ module Config : sig
     ?seed:int ->
     ?fault_plan:Pm2_fault.Plan.t ->
     ?sinks:Pm2_obs.Sink.t list ->
+    ?delta_cache_bytes:int ->
     unit ->
     Cluster.config
 end

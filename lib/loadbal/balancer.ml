@@ -7,6 +7,7 @@ type policy =
   | Group_threshold of { high : int; low : int; limit : int }
   | Least_loaded
   | Round_robin_spread
+  | Cache_affinity
 
 type stats = {
   mutable decisions : int;
@@ -28,6 +29,7 @@ let policy_to_string = function
     Printf.sprintf "group-threshold(high=%d,low=%d,limit=%d)" high low limit
   | Least_loaded -> "least-loaded"
   | Round_robin_spread -> "round-robin-spread"
+  | Cache_affinity -> "cache-affinity"
 
 let loads cluster =
   Array.init (Cluster.node_count cluster) (fun i -> Cluster.node_load cluster i)
@@ -150,7 +152,44 @@ let balance_once t =
                  incr requested
                end)
             victims
-        | _ -> ()));
+        | _ -> ())
+     | Cache_affinity ->
+       (* Like [Least_loaded], but when several destinations are nearly as
+          idle as the minimum, prefer one already holding a residual image
+          of the chosen thread: migrating there ships hashes instead of
+          pages (see {!Pm2_core.Cluster.delta_affinity}). Falls back to
+          plain least-loaded when delta migration is off. *)
+       (match argmax_alive l ok with
+        | Some src ->
+          (match movable_threads t.cluster src with
+           | th :: _ ->
+             (match argmin_alive l ok with
+              | Some min_dst ->
+                let best = ref (-1) in
+                Array.iteri
+                  (fun dst load ->
+                     if
+                       ok.(dst) && dst <> src
+                       && l.(src) - load > 1
+                       && load <= l.(min_dst) + 1
+                     then
+                       match !best with
+                       | -1 -> best := dst
+                       | b ->
+                         let aff d = Cluster.delta_affinity t.cluster th ~dest:d in
+                         if
+                           (aff dst && not (aff b))
+                           || (aff dst = aff b && load < l.(b))
+                         then best := dst)
+                  l;
+                (match !best with
+                 | -1 -> ()
+                 | dst ->
+                   request t th ~dest:dst;
+                   incr requested)
+              | None -> ())
+           | [] -> ())
+        | None -> ()));
     if !requested > 0 then t.stats.decisions <- t.stats.decisions + 1;
     !requested > 0
   end

@@ -23,6 +23,13 @@ type policy =
   | Round_robin_spread
       (* spread the threads of the most-loaded node round-robin (the
          static policy of naive runtimes; kept as a baseline) *)
+  | Cache_affinity
+      (* [Least_loaded] with a delta-migration placement hint: among
+         destinations within one thread of the minimum load, prefer one
+         that already holds a residual image of the migrating thread
+         ({!Pm2_core.Cluster.delta_affinity}), so the move ships content
+         hashes instead of pages. Identical to least-loaded when delta
+         migration is disabled. *)
 
 type stats = {
   mutable decisions : int; (* balancing rounds that migrated something *)

@@ -1,19 +1,22 @@
 module As = Pm2_vmem.Address_space
 module Layout = Pm2_vmem.Layout
 
-type version = V1 | V2
+type version = V1 | V2 | V3
 
 (* "PM2C" little-endian, packed as a full word so a frame can never be
    confused with a bare v1 migration buffer (whose first word is the
    "MIGR" descriptor magic). *)
 let frame_magic = 0x43324d50
 
-let version_to_int = function V1 -> 1 | V2 -> 2
+let version_to_int = function V1 -> 1 | V2 -> 2 | V3 -> 3
 
 let version_of_int = function
   | 1 -> Some V1
   | 2 -> Some V2
+  | 3 -> Some V3
   | _ -> None
+
+let version_name = function V1 -> "v1" | V2 -> "v2" | V3 -> "v3"
 
 let frame version payload =
   let p = Packet.packer () in
@@ -43,6 +46,33 @@ let parse buf =
         else Ok (version, payload)
     with Invalid_argument e -> Error ("Codec: " ^ e)
 
+(* Typed decode errors: fault-injected corruption must surface as a value
+   the protocol layer can act on (nack / rollback), never as an exception
+   escaping the codec. *)
+type error =
+  | Bad_version of int
+  | Bad_manifest of string
+
+let error_to_string = function
+  | Bad_version v -> Printf.sprintf "unknown frame version %d" v
+  | Bad_manifest m -> "bad manifest: " ^ m
+
+let decode buf =
+  if not (starts_with_magic buf) then Ok (V1, buf)
+  else
+    try
+      let u = Packet.unpacker buf in
+      let _magic = Packet.unpack_int u in
+      let v = Packet.unpack_int u in
+      match version_of_int v with
+      | None -> Error (Bad_version v)
+      | Some version ->
+        let payload = Packet.unpack_bytes u in
+        if Packet.remaining u <> 0 then
+          Error (Bad_manifest "trailing bytes after frame")
+        else Ok (version, payload)
+    with Invalid_argument e -> Error (Bad_manifest e)
+
 type run = {
   data : bool;
   pages : int;
@@ -69,11 +99,16 @@ let encode_runs p runs =
 
 let decode_runs u =
   let n = Packet.unpack_varint u in
-  if n < 0 then invalid_arg "Codec: negative run count";
+  (* Every run occupies at least one byte, so a count exceeding the bytes
+     left is corruption — reject it before List.init tries to allocate. *)
+  if n < 0 || n > Packet.remaining u then
+    invalid_arg "Codec: implausible run count";
   List.init n (fun _ ->
       let v = Packet.unpack_varint u in
       if v < 0 then invalid_arg "Codec: negative run word";
-      { data = v land 1 = 1; pages = v lsr 1 })
+      let pages = v lsr 1 in
+      if pages <= 0 then invalid_arg "Codec: empty manifest run";
+      { data = v land 1 = 1; pages })
 
 let encode_range p space ~addr ~size =
   let runs = manifest space ~addr ~size in
@@ -113,3 +148,142 @@ let decode_range u space ~addr ~size =
       pos := !pos + (r.pages * Layout.page_size))
     runs;
   !data_pages
+
+(* {1 v3 delta manifests}
+
+   A v3 slot image generalises the v2 two-class manifest to three classes:
+
+     varint nruns
+     nruns x [ varint (pages lsl 2) lor cls     cls: 0=Zero 1=Data 2=Cached
+               if cls = Cached: pages x 8-byte LE content hash ]
+     raw page bytes of every Data run, in manifest order
+
+   [Cached] pages carry only their hash: the destination reconstructs them
+   from its retained residual image and must fall back to a full resend
+   whenever the lookup fails — the wire format guarantees it can always
+   detect that case, never silently keep a stale page. *)
+
+type page_class =
+  | Zero
+  | Data
+  | Cached of int
+
+let class_tag = function Zero -> 0 | Data -> 1 | Cached _ -> 2
+
+let same_class a b =
+  match a, b with
+  | Zero, Zero | Data, Data | Cached _, Cached _ -> true
+  | _ -> false
+
+let delta_manifest space ~addr ~size ~known =
+  if size mod Layout.page_size <> 0 || size <= 0 then
+    invalid_arg "Codec.delta_manifest: size not a positive multiple of the page size";
+  let npages = size / Layout.page_size in
+  List.init npages (fun i ->
+      let a = addr + (i * Layout.page_size) in
+      if As.page_is_zero space a then Zero
+      else
+        let h = As.page_hash space a in
+        match known a with
+        | Some h' when h' = h -> Cached h
+        | _ -> Data)
+
+(* Collapse the per-page classification into runs of one class; Cached runs
+   keep their per-page hashes (in address order). *)
+let delta_runs classes =
+  let rec group acc = function
+    | [] -> List.rev acc
+    | c :: rest ->
+      (match acc with
+       | (c', n, hs) :: tl when same_class c c' ->
+         let hs = match c with Cached h -> h :: hs | _ -> hs in
+         group ((c', n + 1, hs) :: tl) rest
+       | _ ->
+         let hs = match c with Cached h -> [ h ] | _ -> [] in
+         group ((c, 1, hs) :: acc) rest)
+  in
+  List.map (fun (c, n, hs) -> (c, n, List.rev hs)) (group [] classes)
+
+let encode_delta_range p space ~addr ~size ~known =
+  let runs = delta_runs (delta_manifest space ~addr ~size ~known) in
+  Packet.pack_varint p (List.length runs);
+  List.iter
+    (fun (c, pages, hashes) ->
+      Packet.pack_varint p ((pages lsl 2) lor class_tag c);
+      List.iter (Packet.pack_int p) hashes)
+    runs;
+  let pos = ref addr in
+  let data_pages = ref 0 and zero_pages = ref 0 and cached_pages = ref 0 in
+  List.iter
+    (fun (c, pages, _) ->
+      (match c with
+       | Zero -> zero_pages := !zero_pages + pages
+       | Cached _ -> cached_pages := !cached_pages + pages
+       | Data ->
+         data_pages := !data_pages + pages;
+         let len = pages * Layout.page_size in
+         Packet.pack_unprefixed p ~len (fun buf ->
+             As.add_to_buffer space ~addr:!pos ~len buf));
+      pos := !pos + (pages * Layout.page_size))
+    runs;
+  (!data_pages, !zero_pages, !cached_pages)
+
+let decode_delta_runs u =
+  let n = Packet.unpack_varint u in
+  if n < 0 || n > Packet.remaining u then
+    invalid_arg "Codec: implausible run count";
+  List.init n (fun _ ->
+      let v = Packet.unpack_varint u in
+      if v < 0 then invalid_arg "Codec: negative run word";
+      let pages = v lsr 2 in
+      if pages <= 0 then invalid_arg "Codec: empty manifest run";
+      match v land 3 with
+      | 0 -> (Zero, pages, [])
+      | 1 -> (Data, pages, [])
+      | 2 ->
+        let hashes =
+          List.init pages (fun _ ->
+              let h = Packet.unpack_int u in
+              if h < 0 then invalid_arg "Codec: negative page hash";
+              h)
+        in
+        (Cached 0, pages, hashes)
+      | _ -> invalid_arg "Codec: unknown page class")
+
+let decode_delta_range u space ~addr ~size ~restore =
+  let runs = decode_delta_runs u in
+  let total = List.fold_left (fun acc (_, pages, _) -> acc + pages) 0 runs in
+  if total * Layout.page_size <> size then
+    invalid_arg "Codec: manifest does not cover the declared range";
+  let pos = ref addr in
+  let data_pages = ref 0 in
+  let missing = ref [] in
+  List.iter
+    (fun (c, pages, hashes) ->
+      (match c with
+       | Zero -> ()
+       | Data ->
+         data_pages := !data_pages + pages;
+         let len = pages * Layout.page_size in
+         let src, off = Packet.unpack_take u len in
+         As.store_sub space !pos src ~pos:off ~len
+       | Cached _ ->
+         List.iteri
+           (fun i h ->
+             let a = !pos + (i * Layout.page_size) in
+             if not (restore ~addr:a ~hash:h) then
+               missing := (a, h) :: !missing)
+           hashes);
+      pos := !pos + (pages * Layout.page_size))
+    runs;
+  (!data_pages, List.rev !missing)
+
+(* Checked wrappers: give protocol code a raise-free path through a decoder
+   fed with attacker-controlled (fault-injected) bytes. *)
+let checked f = try Ok (f ()) with Invalid_argument e -> Error (Bad_manifest e)
+
+let try_decode_range u space ~addr ~size =
+  checked (fun () -> decode_range u space ~addr ~size)
+
+let try_decode_delta_range u space ~addr ~size ~restore =
+  checked (fun () -> decode_delta_range u space ~addr ~size ~restore)

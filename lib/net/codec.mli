@@ -8,6 +8,12 @@
     the destination recreates them for free because
     {!Pm2_vmem.Address_space.mmap} zero-fills (zero-page elision).
 
+    The v3 codec extends the manifest with a third page class, [Cached]:
+    a page whose 62-bit content hash matches what the destination is
+    believed to retain from a previous hop of the same thread is shipped
+    as its hash alone, and the destination reconstructs it from its
+    residual image cache — delta migration.
+
     Frame layout (all fixed fields 8-byte LE words):
     {v
       +--------+---------+-----------------+---------------------+
@@ -26,11 +32,24 @@
       raw page bytes of every data run, in order  (no per-page framing)
     v}
 
+    Range encoding (inside a v3 payload), per slot:
+    {v
+      varint run_count
+      run_count x [ varint (pages << 2 | class)   class: 0=Zero 1=Data 2=Cached
+                    if class = Cached:
+                      pages x 8-byte LE content hash ]
+      raw page bytes of every Data run, in order  (no per-page framing)
+    v}
+
     Varints are zigzag LEB128 ({!Packet.pack_varint}). *)
 
 (** Wire format generations. [V1] is the original full-copy encoding;
-    [V2] adds the page manifest with zero-page elision. *)
-type version = V1 | V2
+    [V2] adds the page manifest with zero-page elision; [V3] adds the
+    [Cached] page class for delta transfers. *)
+type version = V1 | V2 | V3
+
+val version_name : version -> string
+(** ["v1"] / ["v2"] / ["v3"], for logs and error messages. *)
 
 (** [frame version payload] wraps [payload] in a versioned frame. *)
 val frame : version -> Bytes.t -> Bytes.t
@@ -41,8 +60,20 @@ val frame : version -> Bytes.t -> Bytes.t
     versions, truncation and trailing garbage. *)
 val parse : Bytes.t -> (version * Bytes.t, string) result
 
-(** One manifest entry: [pages] consecutive pages that either all carry
-    data ([data = true], shipped verbatim) or are all zero
+(** Typed decode errors. Fault-injected corruption must surface as a
+    value the protocol layer can act on (nack, rollback, resend), never
+    as an exception escaping the codec. *)
+type error =
+  | Bad_version of int  (** frame header names a version we don't speak *)
+  | Bad_manifest of string  (** structurally invalid manifest or payload *)
+
+val error_to_string : error -> string
+
+(** [decode buf] is {!parse} with typed errors. *)
+val decode : Bytes.t -> (version * Bytes.t, error) result
+
+(** One v2 manifest entry: [pages] consecutive pages that either all
+    carry data ([data = true], shipped verbatim) or are all zero
     ([data = false], elided). *)
 type run = {
   data : bool;
@@ -69,3 +100,76 @@ val encode_range :
     buffer is truncated. *)
 val decode_range :
   Packet.unpacker -> Pm2_vmem.Address_space.t -> addr:int -> size:int -> int
+
+(** [try_decode_range] is {!decode_range} with corruption reported as
+    [Error (Bad_manifest _)] instead of an exception. *)
+val try_decode_range :
+  Packet.unpacker ->
+  Pm2_vmem.Address_space.t ->
+  addr:int ->
+  size:int ->
+  (int, error) result
+
+(** {1 v3 delta manifests} *)
+
+(** Per-page classification of a v3 slot image. *)
+type page_class =
+  | Zero  (** all-zero; recreated by mapping alone *)
+  | Data  (** shipped verbatim *)
+  | Cached of int
+      (** content hash matches the destination's believed residual copy;
+          only the hash travels *)
+
+(** [delta_manifest space ~addr ~size ~known] classifies each page of the
+    range: all-zero pages are [Zero]; a page whose
+    {!Pm2_vmem.Address_space.page_hash} equals [known addr] is
+    [Cached hash]; everything else is [Data]. [known] is the sender's
+    knowledge of what the destination retains for this thread (page
+    address → hash), typically from the delta cache.
+    @raise Invalid_argument if [size] is not a positive multiple of the
+    page size. *)
+val delta_manifest :
+  Pm2_vmem.Address_space.t ->
+  addr:int ->
+  size:int ->
+  known:(int -> int option) ->
+  page_class list
+
+(** [encode_delta_range p space ~addr ~size ~known] appends the v3
+    manifest (with inline hashes for [Cached] runs) and the raw bytes of
+    the [Data] runs to [p]; returns
+    [(data_pages, zero_pages, cached_pages)]. *)
+val encode_delta_range :
+  Packet.packer ->
+  Pm2_vmem.Address_space.t ->
+  addr:int ->
+  size:int ->
+  known:(int -> int option) ->
+  int * int * int
+
+(** [decode_delta_range u space ~addr ~size ~restore] reads one
+    {!encode_delta_range} image into [space] (whole range freshly
+    mapped). For each [Cached] page it calls
+    [restore ~addr ~hash]; the callback must blit the retained page at
+    [addr] and return [true] only if its content hash matches [hash].
+    Pages whose restore fails are collected (in address order) into the
+    returned missing list [(addr, hash)] for the caller to fetch via the
+    full-resend fallback. Returns [(data_pages, missing)].
+    @raise Invalid_argument if the manifest is structurally invalid. *)
+val decode_delta_range :
+  Packet.unpacker ->
+  Pm2_vmem.Address_space.t ->
+  addr:int ->
+  size:int ->
+  restore:(addr:int -> hash:int -> bool) ->
+  int * (int * int) list
+
+(** [try_decode_delta_range] is {!decode_delta_range} with corruption
+    reported as [Error (Bad_manifest _)] instead of an exception. *)
+val try_decode_delta_range :
+  Packet.unpacker ->
+  Pm2_vmem.Address_space.t ->
+  addr:int ->
+  size:int ->
+  restore:(addr:int -> hash:int -> bool) ->
+  (int * (int * int) list, error) result

@@ -34,6 +34,7 @@ type t = {
   mutable next_train : int;
   mutable retransmits : int;
   mutable dups : int;
+  dup_suppressed : int array; (* per directed link, indexed src * nodes + dst *)
   mutable give_ups : int;
   mutable trains_sent : int;
   mutable train_retransmits : int;
@@ -55,6 +56,7 @@ let create ?(obs = Obs.Collector.null) ?(max_attempts = 12) ?(fragment = 16384) 
     next_train = 0;
     retransmits = 0;
     dups = 0;
+    dup_suppressed = Array.make (Network.nodes net * Network.nodes net) 0;
     give_ups = 0;
     trains_sent = 0;
     train_retransmits = 0;
@@ -65,6 +67,19 @@ let network t = t.net
 let retransmits t = t.retransmits
 
 let duplicates_suppressed t = t.dups
+
+(* A duplicate is attributed to the directed link it arrived on, so tests
+   can pin retransmission pressure to one sender/receiver pair. *)
+let note_dup t ~src ~dst =
+  t.dups <- t.dups + 1;
+  t.dup_suppressed.((src * Network.nodes t.net) + dst) <-
+    t.dup_suppressed.((src * Network.nodes t.net) + dst) + 1
+
+let link_dup_suppressed t ~src ~dst =
+  let n = Network.nodes t.net in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Reliable.link_dup_suppressed: node out of range";
+  t.dup_suppressed.((src * n) + dst)
 
 let give_ups t = t.give_ups
 
@@ -133,7 +148,7 @@ let handle_data t ~src ~dst ~on_delivered b =
       (* Acknowledge every intact copy: earlier acks may have been lost. *)
       Network.send t.net ~src:dst ~dst:src (ack_frame ~seq) (handle_ack t);
       if Hashtbl.mem t.delivered seq then begin
-        t.dups <- t.dups + 1;
+        note_dup t ~src ~dst;
         if Obs.Collector.enabled t.obs then
           Obs.Collector.emit t.obs ~node:dst (Obs.Event.Net_dup_suppress { src; dst; seq })
       end
@@ -250,7 +265,7 @@ let handle_frag t ~src ~dst ~on_delivered b =
       else if Hashtbl.mem t.trains_delivered train then begin
         (* Whole train already assembled: dedup and re-ack (the earlier
            ack may have been lost). *)
-        t.dups <- t.dups + 1;
+        note_dup t ~src ~dst;
         if Obs.Collector.enabled t.obs then
           Obs.Collector.emit t.obs ~node:dst
             (Obs.Event.Net_dup_suppress { src; dst; seq = train });
@@ -270,7 +285,7 @@ let handle_frag t ~src ~dst ~on_delivered b =
         in
         (match rx.frags.(idx) with
          | Some _ ->
-           t.dups <- t.dups + 1;
+           note_dup t ~src ~dst;
            if Obs.Collector.enabled t.obs then
              Obs.Collector.emit t.obs ~node:dst
                (Obs.Event.Net_dup_suppress { src; dst; seq = train })

@@ -72,6 +72,13 @@ val retransmits : t -> int
 
 val duplicates_suppressed : t -> int
 
+(** [link_dup_suppressed t ~src ~dst] — duplicates suppressed on the
+    directed link [src → dst] (data copies, whole-train re-deliveries and
+    per-fragment duplicates alike). Summing over all links yields
+    {!duplicates_suppressed}. @raise Invalid_argument on an out-of-range
+    node. *)
+val link_dup_suppressed : t -> src:int -> dst:int -> int
+
 val give_ups : t -> int
 
 val trains_sent : t -> int

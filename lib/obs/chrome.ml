@@ -156,6 +156,15 @@ let add_event buf ~time ~node ev =
   | Train_ack { src; dst; train } ->
     instant ~name:"net.train_ack" ~cat:"net"
       ~args:(Printf.sprintf "\"src\":%d,\"dst\":%d,\"train\":%d" src dst train)
+  | Delta_hit { tid; pages } ->
+    instant ~name:"delta.hit" ~cat:"migration"
+      ~args:(Printf.sprintf "\"tid\":%d,\"pages\":%d" tid pages)
+  | Delta_miss { tid; pages } ->
+    instant ~name:"delta.miss" ~cat:"migration"
+      ~args:(Printf.sprintf "\"tid\":%d,\"pages\":%d" tid pages)
+  | Delta_evict { tid; bytes } ->
+    instant ~name:"delta.evict" ~cat:"migration"
+      ~args:(Printf.sprintf "\"tid\":%d,\"bytes\":%d" tid bytes)
   | Thread_printf { tid; text } ->
     instant ~name:"pm2_printf" ~cat:"guest"
       ~args:(Printf.sprintf "\"tid\":%d,\"text\":\"%s\"" tid (escape text))

@@ -54,6 +54,9 @@ type t =
   | Train_send of { src : int; dst : int; train : int; frags : int; bytes : int }
   | Train_retransmit of { src : int; dst : int; train : int; attempt : int; bytes : int }
   | Train_ack of { src : int; dst : int; train : int }
+  | Delta_hit of { tid : int; pages : int }
+  | Delta_miss of { tid : int; pages : int }
+  | Delta_evict of { tid : int; bytes : int }
   | Thread_printf of { tid : int; text : string }
 
 and fault_kind =
@@ -111,6 +114,9 @@ let name = function
   | Train_send _ -> "net.train_send"
   | Train_retransmit _ -> "net.train_retransmit"
   | Train_ack _ -> "net.train_ack"
+  | Delta_hit _ -> "delta.hit"
+  | Delta_miss _ -> "delta.miss"
+  | Delta_evict _ -> "delta.evict"
   | Thread_printf _ -> "thread.printf"
 
 let pp ppf ev =
@@ -189,4 +195,9 @@ let pp ppf ev =
       dst train attempt bytes
   | Train_ack { src; dst; train } ->
     Format.fprintf ppf "net.train_ack node%d->node%d train=%d" src dst train
+  | Delta_hit { tid; pages } -> Format.fprintf ppf "delta.hit tid=%d %d pages" tid pages
+  | Delta_miss { tid; pages } ->
+    Format.fprintf ppf "delta.miss tid=%d %d pages" tid pages
+  | Delta_evict { tid; bytes } ->
+    Format.fprintf ppf "delta.evict tid=%d %dB" tid bytes
   | Thread_printf { tid; text } -> Format.fprintf ppf "thread.printf tid=%d %S" tid text

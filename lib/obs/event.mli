@@ -97,6 +97,15 @@ type t =
           from 2 (receivers drop fragments they already hold). *)
   | Train_ack of { src : int; dst : int; train : int }
       (** The destination assembled the full train and acknowledged it. *)
+  | Delta_hit of { tid : int; pages : int }
+      (** Delta migration shipped [pages] of [tid]'s image as cached
+          hashes instead of raw bytes. *)
+  | Delta_miss of { tid : int; pages : int }
+      (** Delta migration had to ship [pages] of [tid]'s image verbatim
+          (no usable residual knowledge at the destination). *)
+  | Delta_evict of { tid : int; bytes : int }
+      (** The residual image cache evicted [tid]'s retained image
+          ([bytes]) to stay inside its byte budget. *)
   | Thread_printf of { tid : int; text : string }
       (** One [pm2_printf] output line (the legacy trace format). *)
 

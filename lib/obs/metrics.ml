@@ -164,6 +164,15 @@ let on_event t ~node (ev : Event.t) =
     incr t ~node key;
     incr t ~node ~by:bytes "net.train_retransmit_bytes"
   | Train_ack _ -> incr t ~node key
+  | Delta_hit { pages; _ } ->
+    incr t ~node key;
+    incr t ~node ~by:pages "delta.hit_pages"
+  | Delta_miss { pages; _ } ->
+    incr t ~node key;
+    incr t ~node ~by:pages "delta.miss_pages"
+  | Delta_evict { bytes; _ } ->
+    incr t ~node key;
+    incr t ~node ~by:bytes "delta.evict_bytes"
   | Thread_printf _ -> incr t ~node key
 
 let sink t = Sink.make ~name:"metrics" (fun ~time:_ ~node ev -> on_event t ~node ev)

@@ -26,6 +26,14 @@ type t = {
      markable again. *)
   dirty : (int, unit) Hashtbl.t;
   mutable last_dirty : int;
+  (* Content-hash memo for the v3 delta codec: page index -> 62-bit page
+     hash. An entry is valid only while no store has touched the page
+     since it was computed. Invalidation rides the existing dirty epoch:
+     [page_hash] resets [last_dirty] after memoizing, so the very next
+     store — to any page — takes [wpage]'s slow path, which removes the
+     memo entry of the page it touches. A page whose memo survives has
+     provably not been stored to since the hash was taken. *)
+  hash_memo : (int, int) Hashtbl.t;
 }
 
 let create ~node () =
@@ -37,6 +45,7 @@ let create ~node () =
     last_bytes = Bytes.empty;
     dirty = Hashtbl.create 1024;
     last_dirty = -1;
+    hash_memo = Hashtbl.create 64;
   }
 
 let node t = t.node
@@ -72,7 +81,8 @@ let munmap t ~addr ~size =
   done;
   for p = first to first + n - 1 do
     Hashtbl.remove t.pages p;
-    Hashtbl.remove t.dirty p
+    Hashtbl.remove t.dirty p;
+    Hashtbl.remove t.hash_memo p
   done;
   t.last_page <- -1;
   t.last_dirty <- -1
@@ -100,6 +110,7 @@ let scrub_range t ~addr ~size =
       if Hashtbl.mem t.pages p then begin
         Hashtbl.remove t.pages p;
         Hashtbl.remove t.dirty p;
+        Hashtbl.remove t.hash_memo p;
         incr n
       end
     done;
@@ -128,6 +139,7 @@ let wpage t what a =
   let p = Layout.page_of_addr a in
   if p <> t.last_dirty then begin
     Hashtbl.replace t.dirty p ();
+    Hashtbl.remove t.hash_memo p;
     t.last_dirty <- p
   end;
   page t what a
@@ -150,6 +162,38 @@ let page_is_zero t a =
     in
     scan 0
   end
+
+(* Splitmix64 finalizer: FNV-1a alone mixes low bits poorly for 8-byte
+   word input; the finalizer spreads every input bit over the whole
+   word, which keeps the truncation to 62 bits collision-resistant. *)
+let splitmix_mix h =
+  let h = Int64.logxor h (Int64.shift_right_logical h 30) in
+  let h = Int64.mul h 0xbf58476d1ce4e5b9L in
+  let h = Int64.logxor h (Int64.shift_right_logical h 27) in
+  let h = Int64.mul h 0x94d049bb133111ebL in
+  Int64.logxor h (Int64.shift_right_logical h 31)
+
+let page_bytes_hash bytes =
+  if Bytes.length bytes <> Layout.page_size then
+    invalid_arg "Address_space.page_bytes_hash: not a page-sized buffer";
+  let h = ref 0xcbf29ce484222325L in
+  let words = Layout.page_size / 8 in
+  for i = 0 to words - 1 do
+    h := Int64.mul (Int64.logxor !h (Bytes.get_int64_le bytes (i * 8))) 0x100000001b3L
+  done;
+  Int64.to_int (Int64.logand (splitmix_mix !h) 0x3FFFFFFFFFFFFFFFL)
+
+let page_hash t a =
+  let p = Layout.page_of_addr a in
+  match Hashtbl.find_opt t.hash_memo p with
+  | Some h -> h
+  | None ->
+    let h = page_bytes_hash (page t "page_hash" a) in
+    Hashtbl.replace t.hash_memo p h;
+    (* Force the next store onto [wpage]'s slow path, which removes the
+       memo entry of whichever page it hits (see the field comment). *)
+    t.last_dirty <- -1;
+    h
 
 let load_u8 t a = Char.code (Bytes.get (page t "load" a) (a land (Layout.page_size - 1)))
 

@@ -80,6 +80,25 @@ val page_is_zero : t -> addr -> bool
     so the manifest stays content-accurate, not merely
     history-accurate). @raise Segfault if the page is unmapped. *)
 
+(** {1 Page content hashing (delta migration)}
+
+    The v3 delta codec classifies pages by a 62-bit content hash
+    (FNV-1a 64 over the page's 8-byte words, splitmix-mixed, folded to a
+    non-negative OCaml int). Hashes are memoized per page and the memo is
+    invalidated through the dirty-epoch store path, so re-hashing an
+    untouched page is a hash-table probe, never a page scan. *)
+
+val page_hash : t -> addr -> int
+(** [page_hash t a] is the content hash of the mapped page containing
+    [a]; memoized until the next store to that page.
+    @raise Segfault if the page is unmapped. *)
+
+val page_bytes_hash : Bytes.t -> int
+(** [page_bytes_hash b] hashes a detached page-sized buffer with the same
+    function as {!page_hash} — the destination-side validator for cached
+    residual pages. @raise Invalid_argument if [b] is not exactly one
+    page long. *)
+
 (** {1 Typed access} *)
 
 val load_u8 : t -> addr -> int

@@ -113,7 +113,24 @@ let test_reliable_under_loss () =
   Hashtbl.iter
     (fun k c -> if c <> 1 then Alcotest.failf "%s delivered %d times" k c)
     delivered;
-  Alcotest.(check bool) "losses actually recovered" true (Reliable.retransmits rel > 0)
+  Alcotest.(check bool) "losses actually recovered" true (Reliable.retransmits rel > 0);
+  (* Per-link attribution: all traffic ran 0 -> 1, so that link carries
+     every suppressed duplicate and every other link carries none. *)
+  Alcotest.(check bool)
+    "retransmissions produced duplicates" true
+    (Reliable.link_dup_suppressed rel ~src:0 ~dst:1 > 0);
+  Alcotest.(check int) "link 0->1 accounts for all duplicates"
+    (Reliable.duplicates_suppressed rel)
+    (Reliable.link_dup_suppressed rel ~src:0 ~dst:1);
+  for s = 0 to 2 do
+    for d = 0 to 2 do
+      if not (s = 0 && d = 1) then
+        Alcotest.(check int)
+          (Printf.sprintf "link %d->%d saw no duplicates" s d)
+          0
+          (Reliable.link_dup_suppressed rel ~src:s ~dst:d)
+    done
+  done
 
 let test_reliable_gives_up_on_dead_peer () =
   let e, rel = make_rel "kill=1@0" ~seed:5 in

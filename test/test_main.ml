@@ -21,6 +21,7 @@ let () =
       ("core.migration", Test_migration.tests);
       ("core.cluster", Test_cluster.tests);
       ("core.group", Test_group.tests);
+      ("core.delta", Test_delta.tests);
       ("obs", Test_obs.tests);
       ("core.extensions", Test_extensions.tests);
       ("sync+hpf", Test_sync_hpf.tests);
