@@ -10,7 +10,8 @@
    against.
 
    Experiment ids: e-figs f11-small f11-large t-migration
-   t-migration-payload t-migration-batch t-migration-delta t-negotiation
+   t-migration-payload t-migration-batch t-migration-delta t-trace-overhead
+   t-negotiation
    a-distribution a-packing a-slotcache a-pointers a-slotsize a-allocator
    bechamel perf-smoke *)
 
@@ -42,6 +43,9 @@ let experiments =
     ("a-restructure", "ablation: global slot restructuring", Ablations.restructure);
     ("a-allocator", "ablation: local-heap first-fit vs segregated bins", Ablations.allocator_policy);
     ("hpf", "motivating application: VP load balancing", Hpf_bench.run);
+    ( "t-trace-overhead",
+      "causal tracing: off byte-identical, on < 5% host, heat-driven placement",
+      Trace_overhead.run );
     ("fault-sweep", "robustness: seeded fault sweep over pingpong", Fault_sweep.run);
     ("bechamel", "host wall-clock microbenchmarks", Bechamel_suite.run_suite);
     ("perf-smoke", "trimmed bechamel suite (the @perf-smoke alias)", Bechamel_suite.run_smoke);

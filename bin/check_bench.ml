@@ -76,6 +76,24 @@ let check_known_suite ~suite ~name metrics =
       fail "%s/%s: the fallback aborted instead of committing" suite name;
     if get "payload_intact" <> 1. then
       fail "%s/%s: corrupted residual leaked into the reconstructed image" suite name
+  | "trace-overhead", "determinism" ->
+    if get "identical" <> 1. then
+      fail "%s/%s: a tracing-off run diverged with sinks attached" suite name;
+    ignore (get "makespan_us");
+    ignore (get "wire_bytes")
+  | "trace-overhead", "host-overhead" ->
+    if get "spans" < 1. then fail "%s/%s: traced run emitted no spans" suite name;
+    if get "overhead_frac" >= 0.05 then
+      fail "%s/%s: tracing-on host overhead %.3f above the 0.05 bar" suite name
+        (get "overhead_frac")
+  | "trace-overhead", "telemetry-placement" ->
+    if get "heat_imbalance_access" >= get "heat_imbalance_load" then
+      fail "%s/%s: access-imbalance did not beat the load policy on node heat" suite
+        name;
+    if get "hot_moved_access" < 1. then
+      fail "%s/%s: access-imbalance never moved a hot writer" suite name;
+    if get "hot_moved_load" <> 0. then
+      fail "%s/%s: the load policy acted on a balanced run queue" suite name
   | _ -> ()
 
 let () =

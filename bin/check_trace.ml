@@ -1,7 +1,19 @@
 (* Validator for the `--trace-json` output: parses the file with the
    in-tree JSON reader and checks the trace_event structure that
-   chrome://tracing / Perfetto expect. Exits non-zero on any violation,
-   which is what the @obs-smoke alias keys off. *)
+   chrome://tracing / Perfetto expect, plus — when causal spans are
+   present — the span-tree invariants the tracer promises: one root per
+   trace, every parent exists, children never start before their parent.
+   Exits non-zero on any violation, which is what the @obs-smoke and
+   @trace-smoke aliases key off.
+
+   Usage: check_trace FILE [--require-spans]
+          check_trace --flight FILE
+   With --require-spans the file must additionally contain at least one
+   causal trace, and at least one trace must span two or more nodes
+   (pids) — the cross-node propagation acceptance check. With --flight
+   the file is validated as a pm2-flight/1 flight-recorder dump
+   instead: triggers must be non-empty and every ring record well
+   formed. *)
 
 module Json = Pm2_obs.Json
 
@@ -20,8 +32,148 @@ let str_field name obj =
 let num_field name obj =
   Option.bind (Json.member name obj) Json.to_float
 
+(* One causal span as read back from the trace file. *)
+type span = {
+  id : int;
+  trace : int;
+  parent : int;
+  ts : float;
+  dur : float;
+  pid : int;
+}
+
+let span_of_event e =
+  match Json.member "args" e with
+  | None -> fail "span event without args"
+  | Some args ->
+    let int_arg k =
+      match num_field k args with
+      | Some v -> int_of_float v
+      | None -> fail "span event missing args.%s" k
+    in
+    let num k o = match num_field k o with
+      | Some v -> v
+      | None -> fail "span event missing %s" k
+    in
+    {
+      id = int_arg "span";
+      trace = int_arg "trace";
+      parent = int_arg "parent";
+      ts = num "ts" e;
+      dur = num "dur" e;
+      pid = int_of_float (num "pid" e);
+    }
+
+(* Span-tree invariants, per trace id:
+   - exactly one root (parent = -1);
+   - every non-root's parent is a span of the same trace;
+   - a child never starts before its parent (<= up to float slack);
+   - the tree is connected (every span reaches the root). *)
+let validate_spans spans =
+  let by_id = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+       if Hashtbl.mem by_id s.id then fail "duplicate span id %d" s.id;
+       Hashtbl.replace by_id s.id s)
+    spans;
+  let traces = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+       let l = Option.value ~default:[] (Hashtbl.find_opt traces s.trace) in
+       Hashtbl.replace traces s.trace (s :: l))
+    spans;
+  let eps = 1e-6 in
+  let multi_node = ref 0 in
+  Hashtbl.iter
+    (fun trace members ->
+       let roots = List.filter (fun s -> s.parent = -1) members in
+       (match roots with
+        | [ _ ] -> ()
+        | l -> fail "trace %d has %d roots (want exactly 1)" trace (List.length l));
+       List.iter
+         (fun s ->
+            if s.parent <> -1 then
+              match Hashtbl.find_opt by_id s.parent with
+              | None -> fail "span %d (trace %d) has unknown parent %d" s.id trace s.parent
+              | Some p ->
+                if p.trace <> trace then
+                  fail "span %d parents across traces (%d -> %d)" s.id trace p.trace;
+                if s.ts +. eps < p.ts then
+                  fail "span %d starts at %.3f before its parent %d at %.3f" s.id s.ts
+                    p.id p.ts)
+         members;
+       (* Connectivity: walk each span up to the root; parent links are
+          acyclic because every hop must strictly shrink the remaining
+          budget. *)
+       let budget = List.length members in
+       List.iter
+         (fun s ->
+            let rec climb s steps =
+              if steps > budget then fail "span %d: parent chain does not terminate" s.id
+              else if s.parent <> -1 then climb (Hashtbl.find by_id s.parent) (steps + 1)
+            in
+            climb s 0)
+         members;
+       let pids = List.sort_uniq compare (List.map (fun s -> s.pid) members) in
+       if List.length pids >= 2 then incr multi_node)
+    traces;
+  (Hashtbl.length traces, !multi_node)
+
+(* Validate a flight-recorder dump: the abort path's automatic JSON. *)
+let check_flight path =
+  let json =
+    match Json.parse (read_file path) with
+    | Ok j -> j
+    | Error e -> fail "%s: invalid JSON: %s" path e
+  in
+  (match Option.bind (Json.member "recorder" json) Json.to_string_val with
+   | Some "pm2-flight/1" -> ()
+   | Some v -> fail "%s: unknown recorder format %S" path v
+   | None -> fail "%s: no recorder field" path);
+  let triggers =
+    match Option.bind (Json.member "triggers" json) Json.to_list with
+    | Some l -> l
+    | None -> fail "%s: no triggers array" path
+  in
+  if triggers = [] then fail "%s: recorder dumped with no triggers" path;
+  List.iter
+    (fun t ->
+       if num_field "t" t = None then fail "trigger without time";
+       if str_field "reason" t = None then fail "trigger without reason")
+    triggers;
+  let nodes =
+    match Json.member "nodes" json with
+    | Some (Json.Obj fields) -> fields
+    | _ -> fail "%s: no nodes object" path
+  in
+  if nodes = [] then fail "%s: recorder holds no per-node rings" path;
+  let events = ref 0 in
+  List.iter
+    (fun (_, ring) ->
+       match Option.bind (Json.member "events" ring) Json.to_list with
+       | None -> fail "%s: ring without events array" path
+       | Some l ->
+         List.iter
+           (fun e ->
+              if num_field "t" e = None then fail "ring record without time";
+              if str_field "name" e = None then fail "ring record without name")
+           l;
+         events := !events + List.length l)
+    nodes;
+  if !events = 0 then fail "%s: recorder rings are all empty" path;
+  Printf.printf "check_trace: %s ok (flight dump, %d triggers, %d nodes, %d events)\n"
+    path (List.length triggers) (List.length nodes) !events;
+  exit 0
+
 let () =
-  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else fail "usage: check_trace FILE" in
+  if Array.length Sys.argv > 2 && Sys.argv.(1) = "--flight" then
+    check_flight Sys.argv.(2);
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else fail "usage: check_trace FILE [--require-spans]"
+  in
+  let require_spans =
+    Array.exists (fun a -> a = "--require-spans") Sys.argv
+  in
   let json =
     match Json.parse (read_file path) with
     | Ok j -> j
@@ -34,6 +186,7 @@ let () =
   in
   if events = [] then fail "%s: empty traceEvents" path;
   let spans = ref 0 and migrate_spans = ref 0 in
+  let causal = ref [] in
   List.iter
     (fun e ->
        let name = match str_field "name" e with
@@ -43,9 +196,18 @@ let () =
         | Some "X" ->
           incr spans;
           if num_field "dur" e = None then fail "span %s without dur" name;
-          if String.length name > 8 && String.sub name 0 8 = "migrate:" then
-            incr migrate_spans
+          let has_prefix p =
+            String.length name > String.length p
+            && String.sub name 0 (String.length p) = p
+          in
+          if has_prefix "migrate:" || has_prefix "group_migrate:" then
+            incr migrate_spans;
+          if str_field "cat" e = Some "span" then causal := span_of_event e :: !causal
         | Some ("i" | "M") -> ()
+        | Some ("s" | "f") ->
+          (* Cross-node flow arrows binding a remote child to its parent
+             slice; they carry the child span id and a timestamp. *)
+          if num_field "id" e = None then fail "flow event %s without id" name
         | Some ph -> fail "unexpected phase %S on %s" ph name
         | None -> fail "event %s without ph" name);
        match str_field "ph" e with
@@ -53,5 +215,11 @@ let () =
        | _ -> if num_field "ts" e = None then fail "event %s without ts" name)
     events;
   if !migrate_spans = 0 then fail "%s: no migrate:* spans recorded" path;
-  Printf.printf "check_trace: %s ok (%d events, %d spans, %d migration phases)\n"
-    path (List.length events) !spans !migrate_spans
+  let ntraces, nmulti = validate_spans !causal in
+  if require_spans then begin
+    if !causal = [] then fail "%s: no causal spans recorded" path;
+    if nmulti = 0 then fail "%s: no trace spans more than one node" path
+  end;
+  Printf.printf
+    "check_trace: %s ok (%d events, %d spans, %d migration phases, %d traces, %d cross-node)\n"
+    path (List.length events) !spans !migrate_spans ntraces nmulti

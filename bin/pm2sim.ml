@@ -80,6 +80,48 @@ let metrics_arg =
         ~doc:"Print the per-node metrics report (event counters and \
               p50/p95/p99 histograms) after the run.")
 
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Enable causal migration tracing: every migration emits a span \
+              tree (negotiate/probe/pack/train/unpack/commit/rollback) whose \
+              context is propagated to the destination node, visible in \
+              $(b,--trace-json) and $(b,--trace-stream) output.")
+
+let trace_stream_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-stream" ] ~docv:"FILE"
+        ~doc:"Stream every event as one JSON object per line to FILE while \
+              the run executes (implies $(b,--trace)).")
+
+let metrics_interval_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "metrics-interval" ] ~docv:"N"
+        ~doc:"With $(b,--trace-stream), write a per-node metrics snapshot \
+              line every N virtual microseconds.")
+
+let flight_recorder_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-recorder" ] ~docv:"FILE"
+        ~doc:"Dump the in-memory flight recorder (bounded rings of recent \
+              events per node) to FILE as JSON whenever a migration abort, \
+              rollback or train give-up occurs.")
+
+let delta_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "delta" ] ~docv:"BYTES"
+        ~doc:"Per-node residual image cache budget; positive enables delta \
+              migration (v3 codec) and routes every migration through the \
+              group pipeline.")
+
 let faults_conv =
   let parse s =
     match Pm2_fault.Plan.spec_of_string s with
@@ -131,7 +173,8 @@ let report_faults cluster =
 
 (* Attach the requested sinks to the cluster's collector; returns a
    finaliser that writes / prints them once the run is over. *)
-let setup_obs cluster ~trace_json ~metrics =
+let setup_obs ?trace_stream ?metrics_interval ?flight_recorder cluster ~trace_json
+    ~metrics =
   let obs = Cluster.obs cluster in
   let chrome =
     Option.map
@@ -141,14 +184,48 @@ let setup_obs cluster ~trace_json ~metrics =
          (c, file))
       trace_json
   in
+  let stream =
+    Option.map
+      (fun file ->
+         let s =
+           try Pm2_obs.Stream.open_file file
+           with Sys_error e ->
+             Printf.eprintf "pm2sim: cannot open trace stream: %s\n" e;
+             exit 1
+         in
+         Pm2_obs.Collector.attach obs (Pm2_obs.Stream.sink s);
+         (s, file))
+      trace_stream
+  in
   let registry =
-    if metrics then begin
+    if metrics || metrics_interval <> None then begin
       let m = Pm2_obs.Metrics.create () in
       Pm2_obs.Collector.attach obs (Pm2_obs.Metrics.sink m);
       Some m
     end
     else None
   in
+  (* Periodic snapshots interleave with the event lines in the stream;
+     the ticker stops itself once the cluster has no live threads, so
+     the simulation still terminates. *)
+  (match metrics_interval, registry, stream with
+   | Some n, Some m, Some (s, _) when n > 0 ->
+     let engine = Cluster.engine cluster in
+     let rec tick () =
+       Pm2_obs.Stream.write_metrics s ~time:(Pm2_sim.Engine.now engine) m;
+       if Cluster.live_threads cluster > 0 then
+         Pm2_sim.Engine.schedule_after engine ~delay:(float_of_int n) tick
+     in
+     Pm2_sim.Engine.schedule_after engine ~delay:(float_of_int n) tick
+   | Some _, _, None ->
+     Printf.eprintf "pm2sim: --metrics-interval needs --trace-stream; ignored\n"
+   | _ -> ());
+  Option.iter
+    (fun file ->
+       let r = Cluster.recorder cluster in
+       Pm2_obs.Recorder.set_on_trigger r (fun _ ->
+           try Pm2_obs.Recorder.write_file r file with Sys_error _ -> ()))
+    flight_recorder;
   fun () ->
     Option.iter
       (fun (c, file) ->
@@ -157,15 +234,30 @@ let setup_obs cluster ~trace_json ~metrics =
             exit 1);
          Printf.printf "; chrome trace: %s (%d events)\n" file (Pm2_obs.Chrome.length c))
       chrome;
-    Option.iter (fun m -> print_string (Pm2_obs.Metrics.report m)) registry
+    Option.iter
+      (fun (s, file) ->
+         let lines = Pm2_obs.Stream.lines s in
+         Pm2_obs.Stream.close s;
+         Printf.printf "; trace stream: %s (%d lines)\n" file lines)
+      stream;
+    Option.iter
+      (fun file ->
+         let r = Cluster.recorder cluster in
+         match Pm2_obs.Recorder.triggers r with
+         | [] -> ()
+         | ts -> Printf.printf "; flight recorder: %s (%d triggers)\n" file (List.length ts))
+      flight_recorder;
+    Option.iter (fun m -> if metrics then print_string (Pm2_obs.Metrics.report m)) registry
 
-let config ~nodes ~scheme ~distribution ~slot_size ~faults =
+let config ~nodes ~scheme ~distribution ~slot_size ~faults ~delta ~tracing =
   {
     (Cluster.default_config ~nodes:(max nodes 2)) with
     Cluster.scheme;
     distribution;
     slot_size;
     faults;
+    delta_cache_bytes = max 0 delta;
+    tracing;
   }
 
 (* -- run -- *)
@@ -181,16 +273,22 @@ let run_cmd =
     Arg.(value & opt int 0 & info [ "arg" ] ~docv:"N" ~doc:"Integer argument (register r1).")
   in
   let run entry arg nodes scheme distribution slot_size timed trace_json metrics faults
-      seed =
+      seed trace trace_stream metrics_interval flight_recorder delta =
     if not (List.mem entry (entries ())) then begin
       Printf.eprintf "unknown entry %S; try: %s\n" entry (String.concat " " (entries ()));
       exit 2
     end;
     let faults = plan_of ~faults ~seed in
+    let tracing = trace || trace_stream <> None in
     let cluster =
-      Cluster.create (config ~nodes ~scheme ~distribution ~slot_size ~faults) program
+      Cluster.create
+        (config ~nodes ~scheme ~distribution ~slot_size ~faults ~delta ~tracing)
+        program
     in
-    let finish_obs = setup_obs cluster ~trace_json ~metrics in
+    let finish_obs =
+      setup_obs ?trace_stream ?metrics_interval ?flight_recorder cluster ~trace_json
+        ~metrics
+    in
     ignore (Cluster.spawn cluster ~node:0 ~entry ~arg ());
     let finish = Cluster.run cluster in
     let tr = Cluster.trace cluster in
@@ -211,7 +309,9 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one of the paper's example programs on a simulated cluster.")
     Term.(
       const run $ entry_arg $ arg_arg $ nodes_arg $ scheme_arg $ distribution_arg
-      $ slot_size_arg $ timed_arg $ trace_json_arg $ metrics_arg $ faults_arg $ seed_arg)
+      $ slot_size_arg $ timed_arg $ trace_json_arg $ metrics_arg $ faults_arg $ seed_arg
+      $ trace_arg $ trace_stream_arg $ metrics_interval_arg $ flight_recorder_arg
+      $ delta_arg)
 
 (* -- balance -- *)
 
@@ -223,6 +323,9 @@ let balance_cmd =
     let parse = function
       | "least-loaded" -> Ok Pm2_loadbal.Balancer.Least_loaded
       | "spread" -> Ok Pm2_loadbal.Balancer.Round_robin_spread
+      | "cache-affinity" -> Ok Pm2_loadbal.Balancer.Cache_affinity
+      | "access-imbalance" ->
+        Ok (Pm2_loadbal.Balancer.Access_imbalance { ratio = 2.; min_pages = 1 })
       | s ->
         (match String.split_on_char ':' s with
          | [ "threshold"; hi; lo ] ->
@@ -230,6 +333,13 @@ let balance_cmd =
               Ok (Pm2_loadbal.Balancer.Threshold
                     { high = int_of_string hi; low = int_of_string lo })
             with _ -> Error (`Msg "threshold needs threshold:HIGH:LOW"))
+         | [ "access-imbalance"; ratio; min_pages ] ->
+           (try
+              Ok (Pm2_loadbal.Balancer.Access_imbalance
+                    { ratio = float_of_string ratio;
+                      min_pages = int_of_string min_pages })
+            with _ ->
+              Error (`Msg "access-imbalance needs access-imbalance:RATIO:MINPAGES"))
          | _ -> Error (`Msg (Printf.sprintf "unknown policy %S" s)))
     in
     Arg.conv (parse, fun ppf p ->
@@ -240,19 +350,28 @@ let balance_cmd =
       value
       & opt (some policy_conv) None
       & info [ "policy" ] ~docv:"POLICY"
-          ~doc:"Balancing policy: $(b,least-loaded), $(b,spread) or \
-                $(b,threshold:HIGH:LOW). Omit for no balancing.")
+          ~doc:"Balancing policy: $(b,least-loaded), $(b,spread), \
+                $(b,threshold:HIGH:LOW), $(b,cache-affinity) or \
+                $(b,access-imbalance)[$(b,:RATIO:MINPAGES)] (move the \
+                hottest-writing thread off the hottest node). Omit for no \
+                balancing.")
   in
-  let run workers nodes policy trace_json metrics faults seed =
+  let run workers nodes policy trace_json metrics faults seed trace trace_stream
+      metrics_interval flight_recorder delta =
     let cluster =
       Cluster.create
         {
           (Cluster.default_config ~nodes:(max nodes 2)) with
           Cluster.faults = plan_of ~faults ~seed;
+          delta_cache_bytes = max 0 delta;
+          tracing = trace || trace_stream <> None;
         }
         program
     in
-    let finish_obs = setup_obs cluster ~trace_json ~metrics in
+    let finish_obs =
+      setup_obs ?trace_stream ?metrics_interval ?flight_recorder cluster ~trace_json
+        ~metrics
+    in
     ignore (Cluster.spawn cluster ~node:0 ~entry:"spawner" ~arg:workers ());
     let balancer =
       Option.map (fun p -> Pm2_loadbal.Balancer.attach cluster ~policy:p ~period:400.) policy
@@ -281,7 +400,8 @@ let balance_cmd =
        ~doc:"Run the irregular-workers demo, optionally with a load balancer.")
     Term.(
       const run $ workers_arg $ nodes_arg $ policy_arg $ trace_json_arg $ metrics_arg
-      $ faults_arg $ seed_arg)
+      $ faults_arg $ seed_arg $ trace_arg $ trace_stream_arg $ metrics_interval_arg
+      $ flight_recorder_arg $ delta_arg)
 
 (* -- hpf -- *)
 

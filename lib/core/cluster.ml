@@ -37,6 +37,11 @@ type config = {
   delta_cache_bytes : int;
       (* byte budget of each node's residual image cache; 0 disables delta
          migration entirely (v2 group codec, no retention) *)
+  tracing : bool;
+      (* causal migration tracing: every migration opens a span tree
+         (negotiate/probe/pack/train/unpack/commit/rollback) and the trace
+         context rides the codec frame and train fragments. Off by default
+         — untraced runs keep the historic wire bytes exactly. *)
 }
 
 let default_config ~nodes =
@@ -56,6 +61,7 @@ let default_config ~nodes =
     faults = Fault.Plan.none;
     sinks = [];
     delta_cache_bytes = 0;
+    tracing = false;
   }
 
 type migration_record = {
@@ -124,6 +130,9 @@ type t = {
   mutable aborted_groups : int;
   delta : Delta_cache.t array; (* one residual image cache per node *)
   mutable delta_fallbacks : int; (* Cached pages re-fetched via RDLT/RFUL *)
+  tracer : Obs.Span.t; (* causal-span tracer; a no-op unless config.tracing *)
+  recorder : Obs.Recorder.t; (* always-on flight recorder (bounded rings) *)
+  feed : Obs.Feed.t; (* live stats feed: access heat for the balancer *)
 }
 
 let create (config : config) program =
@@ -137,6 +146,12 @@ let create (config : config) program =
   let obs = Obs.Collector.create ~now:(fun () -> Engine.now engine) () in
   Obs.Collector.attach obs (Trace.sink trace);
   List.iter (Obs.Collector.attach obs) config.sinks;
+  (* The flight recorder is always on: it only buffers events into
+     bounded per-node rings (no output of its own), so default runs stay
+     byte-identical while every abort leaves a dumpable black box. *)
+  let recorder = Obs.Recorder.create () in
+  Obs.Collector.attach obs (Obs.Recorder.sink recorder);
+  let tracer = Obs.Span.create ~enabled:config.tracing obs in
   let net = Network.create ~obs ~faults:config.faults engine config.cost ~nodes:config.nodes in
   let bitmaps =
     Distribution.populate config.distribution ~geometry ~nodes:config.nodes
@@ -165,12 +180,14 @@ let create (config : config) program =
             k.restart
         end)
       (Fault.Plan.spec config.faults).kills;
+  let rel = Reliable.create ~obs net in
+  Reliable.set_tracer rel tracer;
   {
     config;
     geometry;
     engine;
     net;
-    rel = Reliable.create ~obs net;
+    rel;
     trace;
     obs;
     program;
@@ -202,6 +219,9 @@ let create (config : config) program =
               Obs.Collector.emit obs ~node (Obs.Event.Delta_evict { tid; bytes }))
             ());
     delta_fallbacks = 0;
+    tracer;
+    recorder;
+    feed = Obs.Feed.create ();
   }
 
 let config t = t.config
@@ -240,6 +260,9 @@ let malloc_calls t = t.malloc_count
 
 let faults t = t.config.faults
 let reliable t = t.rel
+let tracer t = t.tracer
+let recorder t = t.recorder
+let feed t = t.feed
 let aborted_migrations t = t.aborted_migrations
 let set_migration_abort_handler t f = t.on_migration_abort <- Some f
 
@@ -260,6 +283,42 @@ let delta_affinity t (th : Thread.t) ~dest =
   && Delta_cache.has_knowledge t.delta.(th.Thread.node) ~tid:th.Thread.id ~peer:dest
 
 module Codec = Pm2_net.Codec
+
+(* -- access-heat telemetry --
+
+   "Heat" of a thread is the number of its pages stored to during the
+   last observation window ({!As.dirty_in_epoch} over its slot ranges) —
+   a write-bandwidth proxy derived from the dirty/hash bookkeeping the
+   migration codecs already pay for. [refresh_heat] publishes per-thread
+   and per-node heat into the stats feed and opens the next window; the
+   access-imbalance balancer calls it once per period and reads the
+   feed. *)
+
+let thread_heat t (th : Thread.t) =
+  if Thread.is_exited th || th.Thread.state = Thread.Migrating then 0
+  else begin
+    let space = t.nodes.(th.Thread.node).Node.space in
+    List.fold_left
+      (fun acc (addr, size) -> acc + As.dirty_in_epoch space ~addr ~size)
+      0
+      (Migration.slot_ranges space th)
+  end
+
+let refresh_heat t =
+  Obs.Feed.clear t.feed;
+  let node_heat = Array.make (Array.length t.nodes) 0 in
+  List.iter
+    (fun (th : Thread.t) ->
+      if (not (Thread.is_exited th)) && th.Thread.state <> Thread.Migrating then begin
+        let h = thread_heat t th in
+        Obs.Feed.set t.feed (Obs.Feed.thread_heat_key th.Thread.id) (float_of_int h);
+        node_heat.(th.Thread.node) <- node_heat.(th.Thread.node) + h
+      end)
+    (threads t);
+  Array.iteri
+    (fun i h -> Obs.Feed.set t.feed (Obs.Feed.node_heat_key i) (float_of_int h))
+    node_heat;
+  Array.iter (fun n -> As.advance_epoch n.Node.space) t.nodes
 
 (* -- environments for the block layer -- *)
 
@@ -730,6 +789,7 @@ and start_migration_direct t node (th : Thread.t) ~dest =
   th.Thread.state <- Thread.Migrating;
   let started = Engine.now t.engine in
   let src = node.Node.id in
+  let root = Obs.Span.root t.tracer ~at:started ~node:src Obs.Event.Migration in
   (* Fold slot-manager charges raised during packing into the latency. *)
   let before = node.Node.charged in
   match
@@ -756,6 +816,7 @@ and start_migration_direct t node (th : Thread.t) ~dest =
     Trace.emit t.trace ~time:started ~node:src
       (Printf.sprintf "migration of thread %x aborted: %s" (handle_of_tid th.Thread.id)
          msg);
+    Obs.Span.finish t.tracer ~at:started ~note:("abort: " ^ msg) root;
     enqueue t th
   | Ok (buffer, pack_cost, slots) ->
     let extra = node.Node.charged -. before in
@@ -767,7 +828,11 @@ and start_migration_direct t node (th : Thread.t) ~dest =
       Obs.Collector.emit_at t.obs ~time:started ~node:src
         (Obs.Event.Migration_phase
            { tid = th.Thread.id; phase = Obs.Event.Pack; bytes; slots; dur = pack_total });
+    let pack_span = Obs.Span.child t.tracer ~at:started ~node:src ~parent:root Obs.Event.Pack in
     Engine.schedule_after t.engine ~delay:pack_total (fun () ->
+        Obs.Span.finish t.tracer ~at:(Engine.now t.engine)
+          ~note:(Printf.sprintf "bytes=%d slots=%d" bytes slots)
+          pack_span;
         if Obs.Collector.enabled t.obs then
           Obs.Collector.emit t.obs ~node:src
             (Obs.Event.Migration_phase
@@ -778,11 +843,17 @@ and start_migration_direct t node (th : Thread.t) ~dest =
                  slots;
                  dur = Network.transfer_time t.net ~bytes;
                });
+        let train_span =
+          Obs.Span.child t.tracer ~at:(Engine.now t.engine) ~node:src ~parent:root
+            Obs.Event.Train
+        in
         Network.send t.net ~src ~dst:dest buffer (fun buffer ->
-            deliver t th ~src ~dest ~started ~slots buffer))
+            Obs.Span.finish t.tracer ~at:(Engine.now t.engine) train_span;
+            deliver t th ~src ~dest ~started ~slots ~span:root buffer))
 
-and deliver t (th : Thread.t) ~src ~dest ~started ~slots buffer =
+and deliver t (th : Thread.t) ~src ~dest ~started ~slots ~span buffer =
   let dnode = t.nodes.(dest) in
+  let arrived = Engine.now t.engine in
   let before = dnode.Node.charged in
   let unpack_cost =
     match t.config.scheme with
@@ -799,24 +870,30 @@ and deliver t (th : Thread.t) ~src ~dest ~started ~slots buffer =
   Node.charge dnode resume_delay;
   th.Thread.node <- dest;
   let bytes = Bytes.length buffer in
+  let unpack_span =
+    Obs.Span.child t.tracer ~at:arrived ~node:dest ~parent:span Obs.Event.Unpack
+  in
   if Obs.Collector.enabled t.obs then
     Obs.Collector.emit t.obs ~node:dest
       (Obs.Event.Migration_phase
          { tid = th.Thread.id; phase = Obs.Event.Remap; bytes; slots; dur = resume_delay });
   Engine.schedule_after t.engine ~delay:resume_delay (fun () ->
+      let resumed = Engine.now t.engine in
       if Obs.Collector.enabled t.obs then
         Obs.Collector.emit t.obs ~node:dest
           (Obs.Event.Migration_phase
              { tid = th.Thread.id; phase = Obs.Event.Restart; bytes; slots; dur = 0. });
+      Obs.Span.finish t.tracer ~at:resumed
+        ~note:(Printf.sprintf "bytes=%d slots=%d" bytes slots)
+        unpack_span;
+      let commit_span =
+        Obs.Span.child t.tracer ~at:resumed ~node:dest ~parent:unpack_span
+          Obs.Event.Commit
+      in
+      Obs.Span.finish t.tracer ~at:resumed commit_span;
+      Obs.Span.finish t.tracer ~at:resumed ~note:"commit" span;
       Vec.push t.migrations
-        {
-          tid = th.Thread.id;
-          src;
-          dst = dest;
-          started;
-          resumed = Engine.now t.engine;
-          bytes;
-        };
+        { tid = th.Thread.id; src; dst = dest; started; resumed; bytes };
       enqueue t th)
 
 (* ----- the failure-hardened (two-phase) migration path ----- *)
@@ -826,6 +903,8 @@ and start_migration_hardened t node (th : Thread.t) ~dest =
   let src = node.Node.id in
   let started = Engine.now t.engine in
   let tid = th.Thread.id in
+  let root = Obs.Span.root t.tracer ~at:started ~node:src Obs.Event.Migration in
+  let neg = Obs.Span.child t.tracer ~at:started ~node:src ~parent:root Obs.Event.Negotiate in
   let ranges = Migration.slot_ranges node.Node.space th in
   Reliable.send t.rel ~src ~dst:dest
     (Migration.probe_message ~tid ~ranges)
@@ -833,30 +912,51 @@ and start_migration_hardened t node (th : Thread.t) ~dest =
       (* Destination side: validate that every slot range is mappable
          before the source gives anything up. *)
       match Migration.parse_probe probe with
-      | None -> abort_migration t th ~src ~dest ~reason:"malformed probe"
+      | None ->
+        Obs.Span.finish t.tracer ~at:(Engine.now t.engine) neg;
+        abort_migration t th ~src ~dest ~span:root ~reason:"malformed probe"
       | Some (_, ranges) ->
+        (* Single-thread probes carry no wire context (their bytes are
+           frozen); parent the destination-side span through the closure —
+           same causal edge, the group path exercises the wire form. *)
+        let probe_span =
+          Obs.Span.child t.tracer ~at:(Engine.now t.engine) ~node:dest ~parent:neg
+            Obs.Event.Probe
+        in
         let dspace = t.nodes.(dest).Node.space in
         let ok =
           List.for_all (fun (addr, size) -> As.range_unmapped dspace ~addr ~size) ranges
         in
         let reason = if ok then "" else "destination cannot map the thread's slots" in
+        Obs.Span.finish t.tracer ~at:(Engine.now t.engine)
+          ~note:(if ok then "accept" else "reject")
+          probe_span;
         Reliable.send t.rel ~src:dest ~dst:src
           (Migration.verdict_message ~tid ~ok ~reason)
           ~on_delivered:(fun verdict ->
+            Obs.Span.finish t.tracer ~at:(Engine.now t.engine) neg;
             (* Source side: act on the verdict. *)
             match Migration.parse_verdict verdict with
-            | Some (_, true, _) -> hardened_transfer t th ~src ~dest ~started ~ranges
+            | Some (_, true, _) ->
+              hardened_transfer t th ~src ~dest ~started ~ranges ~span:root
             | Some (_, false, reason) ->
-              abort_migration t th ~src ~dest ~reason:("rejected: " ^ reason)
-            | None -> abort_migration t th ~src ~dest ~reason:"malformed verdict")
+              abort_migration t th ~src ~dest ~span:root ~reason:("rejected: " ^ reason)
+            | None -> abort_migration t th ~src ~dest ~span:root ~reason:"malformed verdict")
           ~on_failed:(fun ~reason ->
-            abort_migration t th ~src ~dest ~reason:("verdict undeliverable: " ^ reason)))
+            Obs.Span.finish t.tracer ~at:(Engine.now t.engine) neg;
+            abort_migration t th ~src ~dest ~span:root
+              ~reason:("verdict undeliverable: " ^ reason)))
     ~on_failed:(fun ~reason ->
-      abort_migration t th ~src ~dest ~reason:("probe undeliverable: " ^ reason))
+      Obs.Span.finish t.tracer ~at:(Engine.now t.engine) neg;
+      abort_migration t th ~src ~dest ~span:root ~reason:("probe undeliverable: " ^ reason))
 
-and hardened_transfer t (th : Thread.t) ~src ~dest ~started ~ranges =
+and hardened_transfer t (th : Thread.t) ~src ~dest ~started ~ranges ~span =
   let node = t.nodes.(src) in
   let tid = th.Thread.id in
+  let pack_span =
+    Obs.Span.child t.tracer ~at:(Engine.now t.engine) ~node:src ~parent:span
+      Obs.Event.Pack
+  in
   let before = node.Node.charged in
   let p =
     Migration.pack ~obs:t.obs ~node:src ~geometry:t.geometry ~cost:t.config.cost
@@ -874,6 +974,9 @@ and hardened_transfer t (th : Thread.t) ~src ~dest ~started ~ranges =
       (Obs.Event.Migration_phase
          { tid; phase = Obs.Event.Pack; bytes; slots; dur = pack_total });
   Engine.schedule_after t.engine ~delay:pack_total (fun () ->
+      Obs.Span.finish t.tracer ~at:(Engine.now t.engine)
+        ~note:(Printf.sprintf "bytes=%d slots=%d" bytes slots)
+        pack_span;
       if Obs.Collector.enabled t.obs then
         Obs.Collector.emit t.obs ~node:src
           (Obs.Event.Migration_phase
@@ -884,17 +987,22 @@ and hardened_transfer t (th : Thread.t) ~src ~dest ~started ~ranges =
                slots;
                dur = Network.transfer_time t.net ~bytes;
              });
+      let train_span =
+        Obs.Span.child t.tracer ~at:(Engine.now t.engine) ~node:src ~parent:span
+          Obs.Event.Train
+      in
       Reliable.send t.rel ~src ~dst:dest
         (Migration.transfer_message ~tid ~ranges ~buffer)
         ~on_delivered:(fun msg ->
+          Obs.Span.finish t.tracer ~at:(Engine.now t.engine) train_span;
           match Migration.parse_transfer msg with
           | Error reason ->
             (* Checksum mismatch below the reliable layer's own check can
                only mean a deliberate corruption test, but the nack path
                is the same either way: the source still owns the image. *)
-            rollback_migration t th ~src ~dest ~buffer ~slots ~reason
+            rollback_migration t th ~src ~dest ~buffer ~slots ~span ~reason
           | Ok (_, ranges, buffer) -> (
-            match deliver t th ~src ~dest ~started ~slots buffer with
+            match deliver t th ~src ~dest ~started ~slots ~span buffer with
             | () -> ()
             | exception (Invalid_argument _ | Failure _ | As.Segfault _) ->
               (* The destination could not apply the image (a collision
@@ -904,14 +1012,20 @@ and hardened_transfer t (th : Thread.t) ~src ~dest ~started ~ranges =
               List.iter
                 (fun (addr, size) -> ignore (As.scrub_range dspace ~addr ~size))
                 ranges;
-              rollback_migration t th ~src ~dest ~buffer ~slots
+              rollback_migration t th ~src ~dest ~buffer ~slots ~span
                 ~reason:"destination failed to unpack the image"))
-        ~on_failed:(fun ~reason -> rollback_migration t th ~src ~dest ~buffer ~slots ~reason))
+        ~on_failed:(fun ~reason ->
+          Obs.Span.finish t.tracer ~at:(Engine.now t.engine) ~note:reason train_span;
+          rollback_migration t th ~src ~dest ~buffer ~slots ~span ~reason))
 
-and rollback_migration t (th : Thread.t) ~src ~dest ~buffer ~slots ~reason =
+and rollback_migration t (th : Thread.t) ~src ~dest ~buffer ~slots ~span ~reason =
   (* The thread's memory exists only in [buffer]; remap it into the
      source's own space — iso-addressing guarantees the addresses are
      still free there — and resume locally. *)
+  let rb_span =
+    Obs.Span.child t.tracer ~at:(Engine.now t.engine) ~node:src ~parent:span
+      Obs.Event.Rollback
+  in
   let node = t.nodes.(src) in
   let before = node.Node.charged in
   let cost =
@@ -924,9 +1038,10 @@ and rollback_migration t (th : Thread.t) ~src ~dest ~buffer ~slots ~reason =
   if Obs.Collector.enabled t.obs then
     Obs.Collector.emit t.obs ~node:src
       (Obs.Event.Migration_rollback { tid = th.Thread.id; node = src; slots });
-  abort_migration t th ~src ~dest ~reason
+  Obs.Span.finish t.tracer ~at:(Engine.now t.engine) ~note:reason rb_span;
+  abort_migration t th ~src ~dest ~span ~reason
 
-and abort_migration t (th : Thread.t) ~src ~dest ~reason =
+and abort_migration t (th : Thread.t) ~src ~dest ~span ~reason =
   t.aborted_migrations <- t.aborted_migrations + 1;
   Trace.emit t.trace ~time:(Engine.now t.engine) ~node:src
     (Printf.sprintf "migration of thread %x to node %d aborted: %s"
@@ -934,6 +1049,7 @@ and abort_migration t (th : Thread.t) ~src ~dest ~reason =
   if Obs.Collector.enabled t.obs then
     Obs.Collector.emit t.obs ~node:src
       (Obs.Event.Migration_abort { tid = th.Thread.id; src; dst = dest; reason });
+  Obs.Span.finish t.tracer ~at:(Engine.now t.engine) ~note:("abort: " ^ reason) span;
   enqueue t th;
   match t.on_migration_abort with
   | Some retry -> retry th ~failed:dest
@@ -1026,16 +1142,21 @@ and group_release t members ~node =
       if was_queued then enqueue t th else th.Thread.state <- Thread.Ready)
     members
 
-and group_abort t ~gid ~src ~dest members ~reason =
+and group_abort t ~gid ~src ~dest ~span members ~reason =
   t.aborted_groups <- t.aborted_groups + 1;
   Trace.emit t.trace ~time:(Engine.now t.engine) ~node:src
     (Printf.sprintf "group migration %d to node %d aborted: %s" gid dest reason);
   if Obs.Collector.enabled t.obs then
     Obs.Collector.emit t.obs ~node:src
       (Obs.Event.Group_migration_abort { gid; src; dst = dest; reason });
+  Obs.Span.finish t.tracer ~at:(Engine.now t.engine) ~note:("abort: " ^ reason) span;
   group_release t members ~node:src
 
-and group_rollback t ~gid ~src ~dest ~buffer ~slots members ~reason =
+and group_rollback t ~gid ~src ~dest ~buffer ~slots ~span members ~reason =
+  let rb_span =
+    Obs.Span.child t.tracer ~at:(Engine.now t.engine) ~node:src ~parent:span
+      Obs.Event.Rollback
+  in
   (* The group's memory exists only in [buffer]; remap every member into
      the source's own space — iso-addressing guarantees the addresses are
      still free there — then abort. One atomic step: unpack_group either
@@ -1075,10 +1196,12 @@ and group_rollback t ~gid ~src ~dest ~buffer ~slots members ~reason =
         Obs.Collector.emit t.obs ~node:src
           (Obs.Event.Migration_rollback { tid = th.Thread.id; node = src; slots }))
       members;
-  group_abort t ~gid ~src ~dest members ~reason
+  Obs.Span.finish t.tracer ~at:(Engine.now t.engine) ~note:reason rb_span;
+  group_abort t ~gid ~src ~dest ~span members ~reason
 
-and group_deliver t ~gid ~src ~dest ~started ~ranges ~slots ~pages members buffer =
+and group_deliver t ~gid ~src ~dest ~started ~ranges ~slots ~pages ~span members buffer =
   let dnode = t.nodes.(dest) in
+  let arrived = Engine.now t.engine in
   let before = dnode.Node.charged in
   let dcache = t.delta.(dest) in
   (* Restore a [Cached] page from this node's residual image, validating
@@ -1103,11 +1226,18 @@ and group_deliver t ~gid ~src ~dest ~started ~ranges ~slots ~pages members buffe
        partially mapped and hand the whole group back. *)
     dnode.Node.charged <- before;
     List.iter (fun (addr, size) -> ignore (As.scrub_range dnode.Node.space ~addr ~size)) ranges;
-    group_rollback t ~gid ~src ~dest ~buffer ~slots members
+    group_rollback t ~gid ~src ~dest ~buffer ~slots ~span members
       ~reason:"destination failed to unpack the group image"
   | u ->
     let extra = dnode.Node.charged -. before in
     dnode.Node.charged <- before;
+    (* The frame's trace context (stamped by [pack_group]) parents this
+       destination-side span under the source's root span — the cross-node
+       edge the Chrome exporter renders as a flow arrow. *)
+    let unpack_span =
+      Obs.Span.remote t.tracer ~at:arrived ~node:dest ~ctx:u.Migration.u_trace
+        Obs.Event.Unpack
+    in
     let commit () =
       (* Reconstruction is complete: settle the caches on both ends. The
          destination's own residual for each member is superseded by
@@ -1152,6 +1282,15 @@ and group_deliver t ~gid ~src ~dest ~started ~ranges ~slots ~pages members buffe
             Obs.Collector.emit t.obs ~node:dest
               (Obs.Event.Group_migration_commit { gid; dst = dest; members = n; bytes })
           end;
+          Obs.Span.finish t.tracer ~at:resumed
+            ~note:(Printf.sprintf "members=%d bytes=%d" n bytes)
+            unpack_span;
+          let commit_span =
+            Obs.Span.child t.tracer ~at:resumed ~node:dest ~parent:unpack_span
+              Obs.Event.Commit
+          in
+          Obs.Span.finish t.tracer ~at:resumed commit_span;
+          Obs.Span.finish t.tracer ~at:resumed ~note:"commit" span;
           (* Per-member records carry an even share of the train so the
              per-thread latency helpers keep working; the group record holds
              the exact totals. *)
@@ -1184,11 +1323,18 @@ and group_deliver t ~gid ~src ~dest ~started ~ranges ~slots ~pages members buffe
           Correctness never depends on the cache — a fallback that cannot
           complete scrubs the destination and rolls the whole group back. *)
        t.delta_fallbacks <- t.delta_fallbacks + List.length missing;
+       let refetch_span =
+         Obs.Span.child t.tracer ~at:(Engine.now t.engine) ~node:dest
+           ~parent:unpack_span Obs.Event.Delta_refetch
+       in
        let fail reason =
+         Obs.Span.finish t.tracer ~at:(Engine.now t.engine) ~note:reason refetch_span;
+         Obs.Span.finish t.tracer ~at:(Engine.now t.engine) ~note:"rolled back"
+           unpack_span;
          List.iter
            (fun (addr, size) -> ignore (As.scrub_range dnode.Node.space ~addr ~size))
            ranges;
-         group_rollback t ~gid ~src ~dest ~buffer ~slots members ~reason
+         group_rollback t ~gid ~src ~dest ~buffer ~slots ~span members ~reason
        in
        let expected = Hashtbl.create (List.length missing) in
        List.iter (fun (tid, addr, hash) -> Hashtbl.replace expected (tid, addr) hash) missing;
@@ -1226,20 +1372,31 @@ and group_deliver t ~gid ~src ~dest ~started ~ranges ~slots ~pages members buffe
                            | _ -> false)
                          pages
                      in
-                     if ok then commit ()
+                     if ok then begin
+                       Obs.Span.finish t.tracer ~at:(Engine.now t.engine)
+                         ~note:(Printf.sprintf "pages=%d" (List.length pages))
+                         refetch_span;
+                       commit ()
+                     end
                      else fail "delta fallback page failed its hash check")
                  ~on_failed:(fun ~reason -> fail ("delta full undeliverable: " ^ reason)))
          ~on_failed:(fun ~reason -> fail ("delta request undeliverable: " ^ reason)))
 
-and group_transfer t ~gid ~src ~dest ~started ~ranges members =
+and group_transfer t ~gid ~src ~dest ~started ~ranges ~span members =
   let node = t.nodes.(src) in
   let before = node.Node.charged in
   let version = if delta_enabled t then Codec.V3 else Codec.V2 in
   let scache = t.delta.(src) in
+  let pack_span =
+    Obs.Span.child t.tracer ~at:(Engine.now t.engine) ~node:src ~parent:span
+      Obs.Event.Pack
+  in
   let p =
+    (* The root span's context rides the codec frame: the destination
+       unpack span parents to it even though the image crossed the wire. *)
     Migration.pack_group ~obs:t.obs ~node:src ~version
       ~known:(fun ~tid -> Delta_cache.known scache ~tid ~peer:dest)
-      ~cost:t.config.cost ~space:node.Node.space ~gid
+      ?trace:(Obs.Span.ctx span) ~cost:t.config.cost ~space:node.Node.space ~gid
       (List.map fst members)
   in
   (* Pin a copy of every member's non-zero pages: rollback and the
@@ -1259,6 +1416,9 @@ and group_transfer t ~gid ~src ~dest ~started ~ranges members =
       (Obs.Event.Group_migration_phase
          { gid; phase = Obs.Event.Pack; members = n; bytes; slots; dur = pack_total });
   Engine.schedule_after t.engine ~delay:pack_total (fun () ->
+      Obs.Span.finish t.tracer ~at:(Engine.now t.engine)
+        ~note:(Printf.sprintf "bytes=%d slots=%d" bytes slots)
+        pack_span;
       if Obs.Collector.enabled t.obs then
         Obs.Collector.emit t.obs ~node:src
           (Obs.Event.Group_migration_phase
@@ -1270,16 +1430,25 @@ and group_transfer t ~gid ~src ~dest ~started ~ranges members =
                slots;
                dur = Network.transfer_time t.net ~bytes;
              });
-      Reliable.send_train t.rel ~src ~dst:dest
+      let train_span =
+        Obs.Span.child t.tracer ~at:(Engine.now t.engine) ~node:src ~parent:span
+          Obs.Event.Train
+      in
+      (* The train context rides every fragment: {!Reliable} closes a
+         destination-side [Train] span at assembly, parented here. *)
+      Reliable.send_train ?trace:(Obs.Span.ctx train_span) t.rel ~src ~dst:dest
         (Migration.group_transfer_message ~gid ~ranges ~buffer)
         ~on_delivered:(fun msg ->
+          Obs.Span.finish t.tracer ~at:(Engine.now t.engine) train_span;
           match Migration.parse_group_transfer msg with
           | Error reason ->
-            group_rollback t ~gid ~src ~dest ~buffer ~slots members ~reason
+            group_rollback t ~gid ~src ~dest ~buffer ~slots ~span members ~reason
           | Ok (_, ranges, buffer) ->
-            group_deliver t ~gid ~src ~dest ~started ~ranges ~slots ~pages members buffer)
+            group_deliver t ~gid ~src ~dest ~started ~ranges ~slots ~pages ~span members
+              buffer)
         ~on_failed:(fun ~reason ->
-          group_rollback t ~gid ~src ~dest ~buffer ~slots members ~reason))
+          Obs.Span.finish t.tracer ~at:(Engine.now t.engine) ~note:reason train_span;
+          group_rollback t ~gid ~src ~dest ~buffer ~slots ~span members ~reason))
 
 (* Members are already prepared (off their run queues, state Migrating);
    run the pipeline: probe the destination with every member's ranges,
@@ -1292,13 +1461,25 @@ and start_group t ~src ~dest members =
   if Obs.Collector.enabled t.obs then
     Obs.Collector.emit t.obs ~node:src
       (Obs.Event.Group_migration_start { gid; src; dst = dest; members = n });
+  let root = Obs.Span.root t.tracer ~at:started ~node:src Obs.Event.Migration in
+  let neg =
+    Obs.Span.child t.tracer ~at:started ~node:src ~parent:root Obs.Event.Negotiate
+  in
   let ranges = Migration.group_ranges t.nodes.(src).Node.space (List.map fst members) in
+  (* The probe carries the negotiate span's context as trailing words, so
+     the destination-side probe span parents across the wire. *)
   Reliable.send t.rel ~src ~dst:dest
-    (Migration.group_probe_message ~gid ~ranges)
+    (Migration.group_probe_message ?trace:(Obs.Span.ctx neg) ~gid ~ranges ())
     ~on_delivered:(fun probe ->
       match Migration.parse_group_probe probe with
-      | None -> group_abort t ~gid ~src ~dest members ~reason:"malformed probe"
-      | Some (_, ranges) ->
+      | None ->
+        Obs.Span.finish t.tracer ~at:(Engine.now t.engine) neg;
+        group_abort t ~gid ~src ~dest ~span:root members ~reason:"malformed probe"
+      | Some (_, ranges, p_trace) ->
+        let probe_span =
+          Obs.Span.remote t.tracer ~at:(Engine.now t.engine) ~node:dest ~ctx:p_trace
+            Obs.Event.Probe
+        in
         let dspace = t.nodes.(dest).Node.space in
         let ok =
           List.for_all
@@ -1306,20 +1487,30 @@ and start_group t ~src ~dest members =
             ranges
         in
         let reason = if ok then "" else "destination cannot map the group's slots" in
+        Obs.Span.finish t.tracer ~at:(Engine.now t.engine)
+          ~note:(if ok then "accept" else "reject")
+          probe_span;
         Reliable.send t.rel ~src:dest ~dst:src
           (Migration.group_verdict_message ~gid ~ok ~reason)
           ~on_delivered:(fun verdict ->
+            Obs.Span.finish t.tracer ~at:(Engine.now t.engine) neg;
             match Migration.parse_group_verdict verdict with
             | Some (_, true, _) ->
-              group_transfer t ~gid ~src ~dest ~started ~ranges members
+              group_transfer t ~gid ~src ~dest ~started ~ranges ~span:root members
             | Some (_, false, reason) ->
-              group_abort t ~gid ~src ~dest members ~reason:("rejected: " ^ reason)
-            | None -> group_abort t ~gid ~src ~dest members ~reason:"malformed verdict")
+              group_abort t ~gid ~src ~dest ~span:root members
+                ~reason:("rejected: " ^ reason)
+            | None ->
+              group_abort t ~gid ~src ~dest ~span:root members
+                ~reason:"malformed verdict")
           ~on_failed:(fun ~reason ->
-            group_abort t ~gid ~src ~dest members
+            Obs.Span.finish t.tracer ~at:(Engine.now t.engine) neg;
+            group_abort t ~gid ~src ~dest ~span:root members
               ~reason:("verdict undeliverable: " ^ reason)))
     ~on_failed:(fun ~reason ->
-      group_abort t ~gid ~src ~dest members ~reason:("probe undeliverable: " ^ reason));
+      Obs.Span.finish t.tracer ~at:(Engine.now t.engine) neg;
+      group_abort t ~gid ~src ~dest ~span:root members
+        ~reason:("probe undeliverable: " ^ reason));
   gid
 
 let spawn t ~node ~entry ?(arg = 0) () =
@@ -1453,6 +1644,20 @@ let host_migrate t (th : Thread.t) ~dest =
         ~dur:unpack_total;
       ph Obs.Event.Restart ~time:(started +. latency) ~node:dest ~dur:0.
     end;
+    (* Same instants, as spans. *)
+    let root = Obs.Span.root t.tracer ~at:started ~node:src Obs.Event.Migration in
+    let pack_span =
+      Obs.Span.child t.tracer ~at:started ~node:src ~parent:root Obs.Event.Pack
+    in
+    Obs.Span.finish t.tracer ~at:(started +. pack_total)
+      ~note:(Printf.sprintf "bytes=%d slots=%d" bytes slots)
+      pack_span;
+    let unpack_span =
+      Obs.Span.child t.tracer ~at:(started +. pack_total +. transfer) ~node:dest
+        ~parent:root Obs.Event.Unpack
+    in
+    Obs.Span.finish t.tracer ~at:(started +. latency) unpack_span;
+    Obs.Span.finish t.tracer ~at:(started +. latency) ~note:"commit" root;
     Vec.push t.migrations
       { tid = th.Thread.id; src; dst = dest; started; resumed = started +. latency; bytes }
   end

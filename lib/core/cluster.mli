@@ -32,6 +32,13 @@ type config = {
       (* byte budget of each node's residual image cache ({!Delta_cache});
          positive enables delta migration (v3 codec, iso scheme only),
          0 disables it entirely and reproduces the plain v2 pipeline *)
+  tracing : bool;
+      (* causal migration tracing: every migration opens a span tree
+         (negotiate/probe/pack/train/unpack/commit/rollback, plus
+         delta_refetch on the v3 fallback) emitted as [Span_end] events,
+         with the trace context propagated to the destination through the
+         codec frame, the group probe and the train fragments. Off by
+         default; untraced runs keep the historic wire bytes exactly *)
 }
 
 val default_config : nodes:int -> config
@@ -228,6 +235,28 @@ val faults : t -> Pm2_fault.Plan.t
 (** The retransmitting delivery layer carrying migration, negotiation and
     LRPC traffic under a live plan. *)
 val reliable : t -> Pm2_net.Reliable.t
+
+(** {1 Causal tracing, flight recorder, stats feed} *)
+
+val tracer : t -> Pm2_obs.Span.t
+(** The cluster's span tracer — disabled (every span is
+    {!Pm2_obs.Span.none}) unless [config.tracing]. *)
+
+val recorder : t -> Pm2_obs.Recorder.t
+(** The always-on flight recorder: bounded per-node rings of recent
+    events, trigger-marked on every migration abort, rollback and train
+    give-up. Use {!Pm2_obs.Recorder.set_on_trigger} to dump
+    automatically. *)
+
+val feed : t -> Pm2_obs.Feed.t
+(** Live stats feed. {!refresh_heat} publishes
+    [thread.<tid>.heat] and [node.<n>.heat] gauges here. *)
+
+val refresh_heat : t -> unit
+(** Recompute per-thread access heat (pages stored to during the closing
+    observation window, {!Pm2_vmem.Address_space.dirty_in_epoch} over
+    each thread's slot ranges), publish it into {!feed}, and open the
+    next window on every node. Call once per balancing period. *)
 
 val aborted_migrations : t -> int
 (** Migrations aborted (destination rejection, unreachable peer, checksum

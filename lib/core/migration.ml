@@ -352,7 +352,7 @@ let unpack_descriptor_v2 u (th : Thread.t) =
   done
 
 let pack_group ?(obs = Obs.Collector.null) ?(node = 0) ?(version = Codec.V2)
-    ?(known = fun ~tid:_ _ -> None) ~cost ~space ~gid threads =
+    ?(known = fun ~tid:_ _ -> None) ?trace ~cost ~space ~gid threads =
   (match version with
    | Codec.V1 -> invalid_arg "Migration.pack_group: v1 cannot carry a group image"
    | Codec.V2 | Codec.V3 -> ());
@@ -446,7 +446,7 @@ let pack_group ?(obs = Obs.Collector.null) ?(node = 0) ?(version = Codec.V2)
             !munmap_total +. Cm.munmap_cost cost ~pages:(size / Layout.page_size))
         slots)
     all_slots;
-  let buffer = Codec.frame version (Pk.contents p) in
+  let buffer = Codec.frame ?trace version (Pk.contents p) in
   let pack_cost =
     (float_of_int (List.length threads) *. cost.Cm.context_switch)
     +. Cm.memcpy_cost cost ~bytes:(Bytes.length buffer)
@@ -471,15 +471,18 @@ type group_unpacked = {
          not reconstruct — to be fetched via the RDLT/RFUL fallback. *)
   u_ranges : (int * (int * int) list) list;
       (* per member, its slot (addr, size) ranges as decoded *)
+  u_trace : (int * int) option;
+      (* the frame's causal-trace context (trace id, parent span), for
+         destination-side span parenting *)
 }
 
 let unpack_group ?(obs = Obs.Collector.null) ?(node = 0)
     ?(restore = fun ~tid:_ ~addr:_ ~hash:_ -> false) ~cost ~space ~lookup buffer =
-  match Codec.decode buffer with
+  match Codec.decode_traced buffer with
   | Error e -> invalid_arg ("Migration.unpack_group: " ^ Codec.error_to_string e)
-  | Ok (Codec.V1, _) ->
+  | Ok (Codec.V1, _, _) ->
     invalid_arg "Migration.unpack_group: v1 frame is not a group image"
-  | Ok ((Codec.V2 | Codec.V3) as version, payload) ->
+  | Ok (((Codec.V2 | Codec.V3) as version), u_trace, payload) ->
     let u = Pk.unpacker payload in
     let gid = Pk.unpack_varint u in
     let members = Pk.unpack_varint u in
@@ -531,6 +534,7 @@ let unpack_group ?(obs = Obs.Collector.null) ?(node = 0)
       u_cost = unpack_cost;
       u_missing = List.rev !missing;
       u_ranges = List.rev !ranges;
+      u_trace;
     }
 
 (* -- group two-phase messages (probe / verdict / train payload) -- *)
@@ -544,11 +548,20 @@ let group_transfer_magic = 0x47584652 (* "GXFR" *)
 let group_ranges space threads =
   List.concat_map (fun th -> slot_ranges space th) threads
 
-let group_probe_message ~gid ~ranges =
+(* [trace] rides as two trailing words, exactly as in the reliable
+   layer's fragments: absent when tracing is off, so untraced probes keep
+   their historic bytes; detected by the 16 bytes left after the
+   ranges. *)
+let group_probe_message ?trace ~gid ~ranges () =
   let p = Pk.packer () in
   Pk.pack_int p group_probe_magic;
   Pk.pack_int p gid;
   pack_ranges p ranges;
+  (match trace with
+   | None -> ()
+   | Some (tid, parent) ->
+     Pk.pack_int p tid;
+     Pk.pack_int p parent);
   Pk.contents p
 
 let parse_group_probe b =
@@ -558,8 +571,16 @@ let parse_group_probe b =
       invalid_arg "Migration: bad group probe magic";
     let gid = Pk.unpack_int u in
     let ranges = unpack_ranges u in
+    let trace =
+      if Pk.remaining u = 16 then begin
+        let tid = Pk.unpack_int u in
+        let parent = Pk.unpack_int u in
+        Some (tid, parent)
+      end
+      else None
+    in
     if Pk.remaining u <> 0 then invalid_arg "Migration: trailing group probe bytes";
-    (gid, ranges)
+    (gid, ranges, trace)
   with
   | v -> Some v
   | exception Invalid_argument _ -> None

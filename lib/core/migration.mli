@@ -127,12 +127,15 @@ type group_packed = {
     (page address → hash, typically {!Delta_cache.known}); pages whose
     current hash matches ship as [Cached], and [g_retained] carries the
     page copies to pin. [?obs] receives one [Pack_slot] event per slot,
-    plus per-member [Delta_hit]/[Delta_miss] under [V3]. *)
+    plus per-member [Delta_hit]/[Delta_miss] under [V3]. [?trace] is the
+    causal-trace context stamped into the codec frame
+    ({!Pm2_net.Codec.frame}) for destination-side span parenting. *)
 val pack_group :
   ?obs:Pm2_obs.Collector.t ->
   ?node:int ->
   ?version:Pm2_net.Codec.version ->
   ?known:(tid:int -> int -> int option) ->
+  ?trace:int * int ->
   cost:Pm2_sim.Cost_model.t ->
   space:Pm2_vmem.Address_space.t ->
   gid:int ->
@@ -150,6 +153,9 @@ type group_unpacked = {
          {!delta_request_message} before the group may commit *)
   u_ranges : (int * (int * int) list) list;
       (* per member, its slot (addr, size) ranges as decoded *)
+  u_trace : (int * int) option;
+      (* the frame's causal-trace context (trace id, parent span id), if
+         the sender stamped one *)
 }
 
 (** [unpack_group ~cost ~space ~lookup buffer] decodes a {!pack_group}
@@ -175,10 +181,14 @@ val unpack_group :
 (** Concatenated {!slot_ranges} of every member, in member order. *)
 val group_ranges : Pm2_vmem.Address_space.t -> Thread.t list -> (int * int) list
 
-val group_probe_message : gid:int -> ranges:(int * int) list -> Bytes.t
+(** [?trace] appends a [(trace id, parent span id)] context as two
+    trailing words (absent when omitted — untraced probes keep their
+    historic bytes). *)
+val group_probe_message :
+  ?trace:int * int -> gid:int -> ranges:(int * int) list -> unit -> Bytes.t
 
-(** [Some (gid, ranges)], or [None] on a malformed buffer. *)
-val parse_group_probe : Bytes.t -> (int * (int * int) list) option
+(** [Some (gid, ranges, trace)], or [None] on a malformed buffer. *)
+val parse_group_probe : Bytes.t -> (int * (int * int) list * (int * int) option) option
 
 val group_verdict_message : gid:int -> ok:bool -> reason:string -> Bytes.t
 

@@ -25,7 +25,7 @@ module Config = struct
 
   let make ?(nodes = 2) ?slot_size ?distribution ?cache_capacity ?scheme ?packing
       ?quantum ?fit ?prebuy ?allocator_policy ?cost ?seed ?fault_plan ?sinks
-      ?delta_cache_bytes () =
+      ?delta_cache_bytes ?tracing () =
     let d = Cluster.default_config ~nodes in
     let v o ~default = Option.value o ~default in
     {
@@ -44,6 +44,7 @@ module Config = struct
       faults = v fault_plan ~default:d.Cluster.faults;
       sinks = v sinks ~default:d.Cluster.sinks;
       delta_cache_bytes = v delta_cache_bytes ~default:d.Cluster.delta_cache_bytes;
+      tracing = v tracing ~default:d.Cluster.tracing;
     }
 end
 

@@ -60,6 +60,7 @@ module Config : sig
     ?fault_plan:Pm2_fault.Plan.t ->
     ?sinks:Pm2_obs.Sink.t list ->
     ?delta_cache_bytes:int ->
+    ?tracing:bool ->
     unit ->
     Cluster.config
 end

@@ -1,6 +1,7 @@
 module Engine = Pm2_sim.Engine
 module Cluster = Pm2_core.Cluster
 module Thread = Pm2_core.Thread
+module Obs = Pm2_obs
 
 type policy =
   | Threshold of { high : int; low : int }
@@ -8,6 +9,7 @@ type policy =
   | Least_loaded
   | Round_robin_spread
   | Cache_affinity
+  | Access_imbalance of { ratio : float; min_pages : int }
 
 type stats = {
   mutable decisions : int;
@@ -30,6 +32,8 @@ let policy_to_string = function
   | Least_loaded -> "least-loaded"
   | Round_robin_spread -> "round-robin-spread"
   | Cache_affinity -> "cache-affinity"
+  | Access_imbalance { ratio; min_pages } ->
+    Printf.sprintf "access-imbalance(ratio=%g,min_pages=%d)" ratio min_pages
 
 let loads cluster =
   Array.init (Cluster.node_count cluster) (fun i -> Cluster.node_load cluster i)
@@ -189,7 +193,40 @@ let balance_once t =
                    incr requested)
               | None -> ())
            | [] -> ())
-        | None -> ()));
+        | None -> ())
+     | Access_imbalance { ratio; min_pages } ->
+       (* Telemetry-driven placement: balance write bandwidth, not run-queue
+          length. The cluster's heat feed (pages stored per observation
+          window, from the dirty-epoch bookkeeping the migration codec
+          already pays for) names the hottest node; when its heat exceeds
+          [ratio] times the coldest node's, the single hottest thread moves
+          there. [min_pages] ignores threads too cold to matter — moving
+          them would churn without shifting any bandwidth. *)
+       Cluster.refresh_heat t.cluster;
+       let feed = Cluster.feed t.cluster in
+       let node_heat i = Obs.Feed.get_or feed (Obs.Feed.node_heat_key i) ~default:0. in
+       let heats = Array.init nodes node_heat in
+       (match argmax_alive heats ok, argmin_alive heats ok with
+        | Some hot, Some cold
+          when hot <> cold && heats.(hot) >= ratio *. Float.max 1. heats.(cold) ->
+          let thread_heat (th : Thread.t) =
+            Obs.Feed.get_or feed (Obs.Feed.thread_heat_key th.Thread.id) ~default:0.
+          in
+          let victim =
+            List.fold_left
+              (fun best th ->
+                match best with
+                | Some b when thread_heat b >= thread_heat th -> best
+                | _ -> Some th)
+              None
+              (movable_threads t.cluster hot)
+          in
+          (match victim with
+           | Some th when thread_heat th >= float_of_int min_pages ->
+             request t th ~dest:cold;
+             incr requested
+           | _ -> ())
+        | _ -> ()));
     if !requested > 0 then t.stats.decisions <- t.stats.decisions + 1;
     !requested > 0
   end

@@ -30,6 +30,15 @@ type policy =
          ({!Pm2_core.Cluster.delta_affinity}), so the move ships content
          hashes instead of pages. Identical to least-loaded when delta
          migration is disabled. *)
+  | Access_imbalance of { ratio : float; min_pages : int }
+      (* telemetry-driven placement: each period the balancer refreshes
+         the cluster's access-heat feed ({!Pm2_core.Cluster.refresh_heat}
+         — pages stored per thread during the last observation window)
+         and, when the hottest node's heat is at least [ratio] times the
+         coldest's, moves the single hottest thread there. Threads below
+         [min_pages] of heat never move. Balances write bandwidth rather
+         than run-queue length — the two disagree exactly on skewed-access
+         workloads, where a few threads do most of the writing. *)
 
 type stats = {
   mutable decisions : int; (* balancing rounds that migrated something *)

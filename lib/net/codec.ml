@@ -18,10 +18,25 @@ let version_of_int = function
 
 let version_name = function V1 -> "v1" | V2 -> "v2" | V3 -> "v3"
 
-let frame version payload =
+(* Trace context rides the frame behind a flag bit in the version word:
+   [version lor trace_flag] announces two extra ints (trace id, parent
+   span id) between the version and the payload. Untraced frames are
+   byte-for-byte what they always were — the flag only ever appears when
+   tracing is on, so tracing-off runs stay identical down to the wire
+   (and therefore down to virtual transfer times). Decoders mask the
+   flag off, so v1/v2/v3 frames from before this scheme parse
+   unchanged. *)
+let trace_flag = 8
+
+let frame ?trace version payload =
   let p = Packet.packer () in
   Packet.pack_int p frame_magic;
-  Packet.pack_int p (version_to_int version);
+  (match trace with
+   | None -> Packet.pack_int p (version_to_int version)
+   | Some (tid, parent) ->
+     Packet.pack_int p (version_to_int version lor trace_flag);
+     Packet.pack_int p tid;
+     Packet.pack_int p parent);
   Packet.pack_bytes p payload;
   Packet.contents p
 
@@ -38,9 +53,18 @@ let parse buf =
       let u = Packet.unpacker buf in
       let _magic = Packet.unpack_int u in
       let v = Packet.unpack_int u in
-      match version_of_int v with
+      match version_of_int (v land lnot trace_flag) with
       | None -> Error (Printf.sprintf "Codec: unknown frame version %d" v)
+      (* Only the group codecs ever carry a context; a "traced v1" word
+         (9) can only be corruption, and must keep failing as such. *)
+      | Some V1 when v land trace_flag <> 0 ->
+        Error (Printf.sprintf "Codec: unknown frame version %d" v)
       | Some version ->
+        if v land trace_flag <> 0 then begin
+          let _trace = Packet.unpack_int u in
+          let _parent = Packet.unpack_int u in
+          ()
+        end;
         let payload = Packet.unpack_bytes u in
         if Packet.remaining u <> 0 then Error "Codec: trailing bytes after frame"
         else Ok (version, payload)
@@ -57,21 +81,37 @@ let error_to_string = function
   | Bad_version v -> Printf.sprintf "unknown frame version %d" v
   | Bad_manifest m -> "bad manifest: " ^ m
 
-let decode buf =
-  if not (starts_with_magic buf) then Ok (V1, buf)
+(* [decode_traced] additionally surfaces the frame's trace context (if
+   any) for destination-side span parenting. *)
+let decode_traced buf =
+  if not (starts_with_magic buf) then Ok (V1, None, buf)
   else
     try
       let u = Packet.unpacker buf in
       let _magic = Packet.unpack_int u in
       let v = Packet.unpack_int u in
-      match version_of_int v with
+      match version_of_int (v land lnot trace_flag) with
       | None -> Error (Bad_version v)
+      | Some V1 when v land trace_flag <> 0 -> Error (Bad_version v)
       | Some version ->
+        let trace =
+          if v land trace_flag <> 0 then begin
+            let tid = Packet.unpack_int u in
+            let parent = Packet.unpack_int u in
+            Some (tid, parent)
+          end
+          else None
+        in
         let payload = Packet.unpack_bytes u in
         if Packet.remaining u <> 0 then
           Error (Bad_manifest "trailing bytes after frame")
-        else Ok (version, payload)
+        else Ok (version, trace, payload)
     with Invalid_argument e -> Error (Bad_manifest e)
+
+let decode buf =
+  match decode_traced buf with
+  | Ok (version, _, payload) -> Ok (version, payload)
+  | Error e -> Error e
 
 type run = {
   data : bool;

@@ -51,8 +51,13 @@ type version = V1 | V2 | V3
 val version_name : version -> string
 (** ["v1"] / ["v2"] / ["v3"], for logs and error messages. *)
 
-(** [frame version payload] wraps [payload] in a versioned frame. *)
-val frame : version -> Bytes.t -> Bytes.t
+(** [frame ?trace version payload] wraps [payload] in a versioned frame.
+    [trace] is a [(trace id, parent span id)] causal-trace context:
+    when present, a flag bit is set in the version word and the two ids
+    travel as extra words between the version and the payload. Without
+    [trace] the frame is byte-for-byte the historic layout, so
+    tracing-off runs put exactly the same bytes on the wire. *)
+val frame : ?trace:int * int -> version -> Bytes.t -> Bytes.t
 
 (** [parse buf] splits a frame into its version and payload. Buffers
     without the frame magic parse as [(V1, buf)] — backwards
@@ -71,6 +76,11 @@ val error_to_string : error -> string
 
 (** [decode buf] is {!parse} with typed errors. *)
 val decode : Bytes.t -> (version * Bytes.t, error) result
+
+(** [decode_traced buf] is {!decode} plus the frame's trace context (if
+    the trace flag is set) — what the destination parents its spans
+    through. Bare v1 buffers and untraced frames yield [None]. *)
+val decode_traced : Bytes.t -> (version * (int * int) option * Bytes.t, error) result
 
 (** One v2 manifest entry: [pages] consecutive pages that either all
     carry data ([data = true], shipped verbatim) or are all zero

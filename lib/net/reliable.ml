@@ -10,10 +10,15 @@ let frag_magic = 0x52454C54 (* "RELT": one fragment of a packet train *)
 
 let train_ack_magic = 0x52454C4B (* "RELK": whole-train acknowledgement *)
 
-(* Receiver-side reassembly of one in-flight train. *)
+(* Receiver-side reassembly of one in-flight train. [rx_ctx] is the
+   causal-trace context carried by the fragments (if any); [rx_first] is
+   the virtual arrival time of the first fragment — together they bound
+   the destination-side [Train] span. *)
 type train_rx = {
   frags : Bytes.t option array;
   mutable have : int;
+  mutable rx_ctx : (int * int) option;
+  rx_first : float;
 }
 
 type t = {
@@ -38,6 +43,9 @@ type t = {
   mutable give_ups : int;
   mutable trains_sent : int;
   mutable train_retransmits : int;
+  (* causal tracer for destination-side train spans (set by the cluster
+     when tracing is on; stays [None] otherwise) *)
+  mutable tracer : Obs.Span.t option;
 }
 
 let create ?(obs = Obs.Collector.null) ?(max_attempts = 12) ?(fragment = 16384) net =
@@ -60,7 +68,10 @@ let create ?(obs = Obs.Collector.null) ?(max_attempts = 12) ?(fragment = 16384) 
     give_ups = 0;
     trains_sent = 0;
     train_retransmits = 0;
+    tracer = None;
   }
+
+let set_tracer t tracer = t.tracer <- Some tracer
 
 let network t = t.net
 
@@ -221,12 +232,21 @@ let send t ~src ~dst payload ~on_delivered ~on_failed =
 
 (* -- packet trains ------------------------------------------------------ *)
 
-let frag_frame ~train ~idx ~nfrags payload ~pos ~len =
+(* Trace context travels as two trailing words after the length-prefixed
+   payload slice — absent entirely when tracing is off, so untraced
+   fragments keep their historic size (and transfer time). The receiver
+   detects it by the 16 bytes left after the payload. *)
+let frag_frame ?trace ~train ~idx ~nfrags payload ~pos ~len () =
   let p = Packet.packer () in
   Packet.pack_int p train;
   Packet.pack_int p idx;
   Packet.pack_int p nfrags;
   Packet.pack_raw p ~len (fun buf -> Buffer.add_subbytes buf payload pos len);
+  (match trace with
+   | None -> ()
+   | Some (tid, parent) ->
+     Packet.pack_int p tid;
+     Packet.pack_int p parent);
   frame ~magic:frag_magic (Packet.contents p)
 
 let train_ack_frame ~train =
@@ -257,10 +277,18 @@ let handle_frag t ~src ~dst ~on_delivered b =
       let idx = Packet.unpack_int u in
       let nfrags = Packet.unpack_int u in
       let payload = Packet.unpack_bytes u in
-      (train, idx, nfrags, payload)
+      let ctx =
+        if Packet.remaining u = 16 then begin
+          let tid = Packet.unpack_int u in
+          let parent = Packet.unpack_int u in
+          Some (tid, parent)
+        end
+        else None
+      in
+      (train, idx, nfrags, payload, ctx)
     with
     | exception Invalid_argument _ -> ()
-    | train, idx, nfrags, payload ->
+    | train, idx, nfrags, payload, ctx ->
       if nfrags <= 0 || idx < 0 || idx >= nfrags then ()
       else if Hashtbl.mem t.trains_delivered train then begin
         (* Whole train already assembled: dedup and re-ack (the earlier
@@ -273,16 +301,20 @@ let handle_frag t ~src ~dst ~on_delivered b =
           (handle_train_ack t)
       end
       else begin
+        let now = Engine.now (Network.engine t.net) in
         let rx =
           match Hashtbl.find_opt t.train_rx train with
           | Some rx when Array.length rx.frags = nfrags -> rx
           | Some _ -> (* inconsistent geometry: treat as corrupt *)
-            { frags = Array.make nfrags None; have = 0 }
+            { frags = Array.make nfrags None; have = 0; rx_ctx = None; rx_first = now }
           | None ->
-            let rx = { frags = Array.make nfrags None; have = 0 } in
+            let rx =
+              { frags = Array.make nfrags None; have = 0; rx_ctx = None; rx_first = now }
+            in
             Hashtbl.replace t.train_rx train rx;
             rx
         in
+        if rx.rx_ctx = None then rx.rx_ctx <- ctx;
         (match rx.frags.(idx) with
          | Some _ ->
            note_dup t ~src ~dst;
@@ -303,12 +335,24 @@ let handle_frag t ~src ~dst ~on_delivered b =
             (handle_train_ack t);
           if Obs.Collector.enabled t.obs then
             Obs.Collector.emit t.obs ~node:dst (Obs.Event.Train_ack { src; dst; train });
+          (* Destination-side train span: first fragment arrival to full
+             assembly, parented through the fragments' trace context. *)
+          (match t.tracer with
+           | Some tracer ->
+             let span =
+               Obs.Span.remote tracer ~at:rx.rx_first ~node:dst ~ctx:rx.rx_ctx
+                 Obs.Event.Train
+             in
+             Obs.Span.finish tracer ~at:now
+               ~note:(Printf.sprintf "train=%d frags=%d" train nfrags)
+               span
+           | None -> ());
           on_delivered (Buffer.to_bytes buf)
         end
       end)
   | Some _ | None -> () (* corrupt or foreign frame: retransmission covers it *)
 
-let send_train t ~src ~dst payload ~on_delivered ~on_failed =
+let send_train ?trace t ~src ~dst payload ~on_delivered ~on_failed =
   let faults = Network.faults t.net in
   let bytes = Bytes.length payload in
   let train = t.next_train in
@@ -316,7 +360,9 @@ let send_train t ~src ~dst payload ~on_delivered ~on_failed =
   t.trains_sent <- t.trains_sent + 1;
   if (not (Fault.Plan.enabled faults)) || src = dst then begin
     (* Fault-free network (or loop-back): the train degenerates to one
-       plain message — no fragment headers, no acks, no timers. *)
+       plain message — no fragment headers, no acks, no timers. The
+       payload (a codec frame) carries its own trace context, so no
+       fragment metadata is needed here. *)
     if Obs.Collector.enabled t.obs then
       Obs.Collector.emit t.obs ~node:src
         (Obs.Event.Train_send { src; dst; train; frags = 1; bytes });
@@ -328,7 +374,7 @@ let send_train t ~src ~dst payload ~on_delivered ~on_failed =
       List.init nfrags (fun idx ->
           let pos = idx * t.fragment in
           let len = min t.fragment (bytes - pos) in
-          frag_frame ~train ~idx ~nfrags payload ~pos ~len)
+          frag_frame ?trace ~train ~idx ~nfrags payload ~pos ~len ())
     in
     let wire_bytes = List.fold_left (fun acc f -> acc + Bytes.length f) 0 frames in
     let engine = Network.engine t.net in

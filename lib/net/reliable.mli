@@ -29,6 +29,11 @@ type t
 val create :
   ?obs:Pm2_obs.Collector.t -> ?max_attempts:int -> ?fragment:int -> Network.t -> t
 
+(** Attach a causal tracer: train assembly at the destination then closes
+    a [Train] span (first fragment arrival → assembly) parented through
+    the trace context carried by the fragments. *)
+val set_tracer : t -> Pm2_obs.Span.t -> unit
+
 val network : t -> Network.t
 
 (** [send t ~src ~dst payload ~on_delivered ~on_failed] ships [payload]
@@ -56,8 +61,14 @@ val send :
     if the attempt budget is exhausted, and the train id is poisoned so a
     straggler can never complete it afterwards (the all-or-nothing
     delivery the group-migration rollback relies on). Fault-free
-    networks and self-sends degrade to one plain {!Network.send}. *)
+    networks and self-sends degrade to one plain {!Network.send}.
+
+    [trace] is a [(trace id, parent span id)] context appended to each
+    fragment (two trailing words; absent when omitted, keeping untraced
+    fragments byte-identical) — what parents the destination-side [Train]
+    span when a tracer is attached via {!set_tracer}. *)
 val send_train :
+  ?trace:int * int ->
   t ->
   src:int ->
   dst:int ->

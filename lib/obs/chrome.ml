@@ -11,23 +11,8 @@ let clear t = Vec.clear t.records
 let sink t =
   Sink.make ~name:"chrome" (fun ~time ~node ev -> Vec.push t.records (time, node, ev))
 
-(* -- JSON string escaping (control chars, quotes, backslash) -- *)
-
-let escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-       match c with
-       | '"' -> Buffer.add_string buf "\\\""
-       | '\\' -> Buffer.add_string buf "\\\\"
-       | '\n' -> Buffer.add_string buf "\\n"
-       | '\r' -> Buffer.add_string buf "\\r"
-       | '\t' -> Buffer.add_string buf "\\t"
-       | c when Char.code c < 0x20 ->
-         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-       | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* JSON string escaping lives in Json so every exporter agrees on it. *)
+let escape = Json.escape
 
 (* One trace_event object. Durations ("X" complete events) get their span;
    everything else is an instant event. [ts] is in µs, which is exactly
@@ -165,6 +150,14 @@ let add_event buf ~time ~node ev =
   | Delta_evict { tid; bytes } ->
     instant ~name:"delta.evict" ~cat:"migration"
       ~args:(Printf.sprintf "\"tid\":%d,\"bytes\":%d" tid bytes)
+  | Span_end { trace; span; parent; kind; start; dur; host_us; note } ->
+    (* A causal span renders as a complete event on its own node's track,
+       one lane per trace, starting at the span's virtual start (the
+       Span_end event itself fires at the end instant). *)
+    addf
+      "{\"name\":\"span:%s\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{\"trace\":%d,\"span\":%d,\"parent\":%d,\"host_us\":%.1f%s}}"
+      (Event.span_kind_name kind) start dur node trace trace span parent host_us
+      (if note = "" then "" else Printf.sprintf ",\"note\":\"%s\"" (escape note))
   | Thread_printf { tid; text } ->
     instant ~name:"pm2_printf" ~cat:"guest"
       ~args:(Printf.sprintf "\"tid\":%d,\"text\":\"%s\"" tid (escape text))
@@ -188,6 +181,34 @@ let to_buffer t buf =
        comma ();
        add_event buf ~time ~node ev)
     t.records;
+  (* Cross-node causality: wherever a span's parent ran on a different
+     node, bind the two slices with a flow arrow — step "s" inside the
+     parent slice, step "f" (bp:"e") inside the child slice, keyed by the
+     child span id. This is what makes one migration readable as a single
+     tree across source and destination tracks in Perfetto. *)
+  let spans = Hashtbl.create 64 in
+  Vec.iter
+    (fun (_, node, ev) ->
+       match (ev : Event.t) with
+       | Span_end { span; trace; parent; start; dur; _ } ->
+         Hashtbl.replace spans span (node, trace, parent, start, dur)
+       | _ -> ())
+    t.records;
+  Hashtbl.fold (fun span info acc -> (span, info) :: acc) spans []
+  |> List.sort compare
+  |> List.iter (fun (span, (node, trace, parent, start, _)) ->
+      match Hashtbl.find_opt spans parent with
+      | Some (pnode, _, _, pstart, pdur) when pnode <> node ->
+        let step_ts = Float.min (Float.max start pstart) (pstart +. pdur) in
+        comma ();
+        addf
+          "{\"name\":\"flow\",\"cat\":\"span\",\"ph\":\"s\",\"id\":%d,\"ts\":%.3f,\"pid\":%d,\"tid\":%d}"
+          span step_ts pnode trace;
+        comma ();
+        addf
+          "{\"name\":\"flow\",\"cat\":\"span\",\"ph\":\"f\",\"bp\":\"e\",\"id\":%d,\"ts\":%.3f,\"pid\":%d,\"tid\":%d}"
+          span start node trace
+      | _ -> ());
   addf "],\"displayTimeUnit\":\"ms\"}"
 
 let to_string t =

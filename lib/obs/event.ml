@@ -2,6 +2,22 @@ type heap_kind =
   | Local
   | Iso
 
+(* The causal-span taxonomy: one [Migration] root per traced migration,
+   with the pipeline phases as children. Destination-side spans are
+   parented through the trace context carried on the wire. Declared
+   before [migration_phase] so the unqualified [Pack] constructor keeps
+   meaning the migration phase everywhere below. *)
+type span_kind =
+  | Migration
+  | Negotiate
+  | Probe
+  | Pack
+  | Train
+  | Unpack
+  | Commit
+  | Rollback
+  | Delta_refetch
+
 type migration_phase =
   | Pack
   | Send
@@ -57,6 +73,16 @@ type t =
   | Delta_hit of { tid : int; pages : int }
   | Delta_miss of { tid : int; pages : int }
   | Delta_evict of { tid : int; bytes : int }
+  | Span_end of {
+      trace : int; (* trace id: one per migration *)
+      span : int; (* span id, unique across the run *)
+      parent : int; (* parent span id; -1 on the root *)
+      kind : span_kind;
+      start : float; (* virtual start, µs *)
+      dur : float; (* virtual duration, µs *)
+      host_us : float; (* host wall-clock inside the span *)
+      note : string;
+    }
   | Thread_printf of { tid : int; text : string }
 
 and fault_kind =
@@ -80,6 +106,17 @@ let phase_name = function
   | Send -> "send"
   | Remap -> "remap"
   | Restart -> "restart"
+
+let span_kind_name = function
+  | Migration -> "migration"
+  | Negotiate -> "negotiate"
+  | Probe -> "probe"
+  | (Pack : span_kind) -> "pack"
+  | Train -> "train"
+  | Unpack -> "unpack"
+  | Commit -> "commit"
+  | Rollback -> "rollback"
+  | Delta_refetch -> "delta_refetch"
 
 let name = function
   | Slot_reserve _ -> "slot.reserve"
@@ -117,6 +154,7 @@ let name = function
   | Delta_hit _ -> "delta.hit"
   | Delta_miss _ -> "delta.miss"
   | Delta_evict _ -> "delta.evict"
+  | Span_end { kind; _ } -> "span." ^ span_kind_name kind
   | Thread_printf _ -> "thread.printf"
 
 let pp ppf ev =
@@ -200,4 +238,81 @@ let pp ppf ev =
     Format.fprintf ppf "delta.miss tid=%d %d pages" tid pages
   | Delta_evict { tid; bytes } ->
     Format.fprintf ppf "delta.evict tid=%d %dB" tid bytes
+  | Span_end { trace; span; parent; kind; start; dur; host_us; note } ->
+    Format.fprintf ppf "span.%s trace=%d span=%d parent=%d [%.1f+%.1fus host=%.1fus]%s"
+      (span_kind_name kind) trace span parent start dur host_us
+      (if note = "" then "" else " " ^ note)
   | Thread_printf { tid; text } -> Format.fprintf ppf "thread.printf tid=%d %S" tid text
+
+(* Structured rendering for the flight recorder and the stream sink.
+   Every variant becomes {"name":..., ...fields} — flat, one object per
+   event, so JSON-lines consumers need no schema negotiation. *)
+let to_json ev =
+  let i k v = (k, Json.Num (float_of_int v)) in
+  let f k v = (k, Json.Num v) in
+  let s k v = (k, Json.Str v) in
+  let b k v = (k, Json.Bool v) in
+  let fields =
+    match ev with
+    | Slot_reserve { slot; n; cache_hit } ->
+      [ i "slot" slot; i "n" n; b "cache_hit" cache_hit ]
+    | Slot_release { slot; cached } -> [ i "slot" slot; b "cached" cached ]
+    | Slot_transfer { slot; seller; buyer } ->
+      [ i "slot" slot; i "seller" seller; i "buyer" buyer ]
+    | Block_alloc { addr; bytes; _ } | Block_free { addr; bytes; _ }
+    | Block_split { addr; bytes; _ } | Block_coalesce { addr; bytes; _ } ->
+      [ i "addr" addr; i "bytes" bytes ]
+    | Migration_phase { tid; bytes; slots; dur; _ } ->
+      [ i "tid" tid; i "bytes" bytes; i "slots" slots; f "dur" dur ]
+    | Pack_slot { tid; slot; bytes } | Unpack_slot { tid; slot; bytes } ->
+      [ i "tid" tid; i "slot" slot; i "bytes" bytes ]
+    | Neg_request { requester; n } -> [ i "requester" requester; i "n" n ]
+    | Neg_round { requester; peer; bytes } ->
+      [ i "requester" requester; i "peer" peer; i "bytes" bytes ]
+    | Neg_grant { requester; start; n; bought; dur } ->
+      [ i "requester" requester; i "start" start; i "n" n; i "bought" bought;
+        f "dur" dur ]
+    | Neg_deny { requester; n; dur } ->
+      [ i "requester" requester; i "n" n; f "dur" dur ]
+    | Packet_send { src; dst; bytes } | Packet_deliver { src; dst; bytes } ->
+      [ i "src" src; i "dst" dst; i "bytes" bytes ]
+    | Fault_inject { src; dst; bytes; _ } ->
+      [ i "src" src; i "dst" dst; i "bytes" bytes ]
+    | Node_kill { node } | Node_restart { node } -> [ i "node" node ]
+    | Net_retransmit { src; dst; seq; attempt; bytes } ->
+      [ i "src" src; i "dst" dst; i "seq" seq; i "attempt" attempt; i "bytes" bytes ]
+    | Net_dup_suppress { src; dst; seq } -> [ i "src" src; i "dst" dst; i "seq" seq ]
+    | Net_give_up { src; dst; seq; attempts } ->
+      [ i "src" src; i "dst" dst; i "seq" seq; i "attempts" attempts ]
+    | Migration_abort { tid; src; dst; reason } ->
+      [ i "tid" tid; i "src" src; i "dst" dst; s "reason" reason ]
+    | Migration_rollback { tid; node; slots } ->
+      [ i "tid" tid; i "node" node; i "slots" slots ]
+    | Neg_abort { requester; n; lease_until } ->
+      [ i "requester" requester; i "n" n; f "lease_until" lease_until ]
+    | Group_migration_start { gid; src; dst; members } ->
+      [ i "gid" gid; i "src" src; i "dst" dst; i "members" members ]
+    | Group_migration_phase { gid; members; bytes; slots; dur; _ } ->
+      [ i "gid" gid; i "members" members; i "bytes" bytes; i "slots" slots;
+        f "dur" dur ]
+    | Group_migration_commit { gid; dst; members; bytes } ->
+      [ i "gid" gid; i "dst" dst; i "members" members; i "bytes" bytes ]
+    | Group_migration_abort { gid; src; dst; reason } ->
+      [ i "gid" gid; i "src" src; i "dst" dst; s "reason" reason ]
+    | Train_send { src; dst; train; frags; bytes } ->
+      [ i "src" src; i "dst" dst; i "train" train; i "frags" frags; i "bytes" bytes ]
+    | Train_retransmit { src; dst; train; attempt; bytes } ->
+      [ i "src" src; i "dst" dst; i "train" train; i "attempt" attempt;
+        i "bytes" bytes ]
+    | Train_ack { src; dst; train } -> [ i "src" src; i "dst" dst; i "train" train ]
+    | Delta_hit { tid; pages } | Delta_miss { tid; pages } ->
+      [ i "tid" tid; i "pages" pages ]
+    | Delta_evict { tid; bytes } -> [ i "tid" tid; i "bytes" bytes ]
+    | Span_end { trace; span; parent; kind; start; dur; host_us; note } ->
+      [ i "trace" trace; i "span" span; i "parent" parent;
+        s "kind" (span_kind_name kind); f "start" start; f "dur" dur;
+        f "host_us" host_us ]
+      @ (if note = "" then [] else [ s "note" note ])
+    | Thread_printf { tid; text } -> [ i "tid" tid; s "text" text ]
+  in
+  Json.Obj (("name", Json.Str (name ev)) :: fields)

@@ -12,6 +12,21 @@ type heap_kind =
   | Local (* the node-local malloc heap (does not migrate) *)
   | Iso (* the iso-address block layer (migrates with the thread) *)
 
+(** The causal-span taxonomy of the tracing layer: one [Migration] root
+    span per traced migration, with the pipeline phases as children.
+    Destination-side spans parent through the (trace, span) context
+    carried on the wire (codec frame / train metadata). *)
+type span_kind =
+  | Migration
+  | Negotiate
+  | Probe
+  | Pack
+  | Train
+  | Unpack
+  | Commit
+  | Rollback
+  | Delta_refetch
+
 (** The decomposition of one migration, in order: freeze + copy-out
     ([Pack]), wire transfer ([Send]), mmap + copy-in at the destination
     ([Remap]), re-enqueue ([Restart]). *)
@@ -106,6 +121,19 @@ type t =
   | Delta_evict of { tid : int; bytes : int }
       (** The residual image cache evicted [tid]'s retained image
           ([bytes]) to stay inside its byte budget. *)
+  | Span_end of {
+      trace : int; (* trace id: one per migration *)
+      span : int; (* span id, unique across the run *)
+      parent : int; (* parent span id; -1 on the root *)
+      kind : span_kind;
+      start : float; (* virtual start time, µs *)
+      dur : float; (* virtual duration, µs *)
+      host_us : float; (* host wall-clock spent inside the span *)
+      note : string;
+    }
+      (** A causal span closed. Emitted at the span's virtual end time by
+          the {!Span} tracer; flows through every sink like any other
+          event (the legacy trace sink ignores it). *)
   | Thread_printf of { tid : int; text : string }
       (** One [pm2_printf] output line (the legacy trace format). *)
 
@@ -119,6 +147,7 @@ and fault_kind =
 
 val heap_name : heap_kind -> string
 val phase_name : migration_phase -> string
+val span_kind_name : span_kind -> string
 val fault_name : fault_kind -> string
 
 (** Dot-separated taxonomy key, e.g. ["migration.pack"] — the metric name
@@ -126,3 +155,7 @@ val fault_name : fault_kind -> string
 val name : t -> string
 
 val pp : Format.formatter -> t -> unit
+
+(** Structured rendering for the flight recorder and the JSON-lines
+    stream sink: a flat object [{"name": ..., ...payload fields}]. *)
+val to_json : t -> Json.t

@@ -1,0 +1,26 @@
+(* The stats feed: a tiny name -> gauge store through which the runtime
+   publishes derived telemetry (per-thread access heat, per-node totals)
+   for policy code — the load balancer reads placement signals from
+   here instead of reaching into runtime internals. *)
+
+type t = { gauges : (string, float) Hashtbl.t }
+
+let create () = { gauges = Hashtbl.create 32 }
+
+let set t name v = Hashtbl.replace t.gauges name v
+
+let get t name = Hashtbl.find_opt t.gauges name
+
+let get_or t name ~default =
+  match Hashtbl.find_opt t.gauges name with Some v -> v | None -> default
+
+let drop t name = Hashtbl.remove t.gauges name
+
+let clear t = Hashtbl.reset t.gauges
+
+let to_list t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.gauges [] |> List.sort compare
+
+(* Key conventions for the access-imbalance telemetry. *)
+let thread_heat_key tid = Printf.sprintf "thread.%d.heat" tid
+let node_heat_key node = Printf.sprintf "node.%d.heat" node

@@ -1,0 +1,27 @@
+(** The stats feed: named gauges through which the runtime publishes
+    derived telemetry (e.g. per-thread access heat from the dirty-epoch
+    tracker) for policy consumers such as
+    [Balancer.Access_imbalance]. *)
+
+type t
+
+val create : unit -> t
+
+val set : t -> string -> float -> unit
+
+val get : t -> string -> float option
+
+val get_or : t -> string -> default:float -> float
+
+val drop : t -> string -> unit
+
+val clear : t -> unit
+
+(** Sorted by name. *)
+val to_list : t -> (string * float) list
+
+(** Key conventions for the access-imbalance telemetry: pages a thread
+    (resp. all threads of a node) dirtied in the current epoch. *)
+val thread_heat_key : int -> string
+
+val node_heat_key : int -> string

@@ -172,6 +172,72 @@ let parse s =
 let parse_exn s =
   match parse s with Ok v -> v | Error msg -> failwith ("Json.parse: " ^ msg)
 
+(* -- serialization -- *)
+
+(* Escapes everything JSON requires: quotes, backslash, and the full
+   control range U+0000–U+001F. Bytes >= 0x80 pass through verbatim —
+   they are treated as opaque UTF-8 (or latin-1 garbage) and survive a
+   round-trip through [parse], which also leaves them untouched. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | '\b' -> Buffer.add_string buf "\\b"
+       | '\012' -> Buffer.add_string buf "\\f"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let add_num buf v =
+  (* %.17g round-trips doubles; integral values print without the
+     fractional tail so counters stay readable. JSON has no
+     Infinity/NaN — emit null for those rather than invalid output. *)
+  if not (Float.is_finite v) then Buffer.add_string buf "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" v)
+  else Buffer.add_string buf (Printf.sprintf "%.17g" v)
+
+let rec add_value buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num v -> add_num buf v
+  | Str s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | Arr xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+         if i > 0 then Buffer.add_char buf ',';
+         add_value buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+         if i > 0 then Buffer.add_char buf ',';
+         Buffer.add_char buf '"';
+         Buffer.add_string buf (escape k);
+         Buffer.add_string buf "\":";
+         add_value buf v)
+      kvs;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  add_value buf v;
+  Buffer.contents buf
+
 let member key = function
   | Obj kvs -> List.assoc_opt key kvs
   | _ -> None

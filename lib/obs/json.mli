@@ -19,6 +19,18 @@ val parse : string -> (t, string) result
 (** @raise Failure on malformed input. *)
 val parse_exn : string -> t
 
+(** Escape a string for inclusion between JSON quotes: quotes, backslash,
+    and all control characters U+0000–U+001F are escaped; bytes >= 0x80
+    pass through verbatim (opaque UTF-8) and round-trip through
+    {!parse}. *)
+val escape : string -> string
+
+(** Compact single-line serialization. Non-finite numbers render as
+    [null] (JSON has no Infinity/NaN); strings go through {!escape}, so
+    [parse (to_string v) = Ok v] for any value whose numbers are
+    finite. *)
+val to_string : t -> string
+
 (** Object field lookup ([None] on non-objects and absent keys). *)
 val member : string -> t -> t option
 

@@ -173,6 +173,10 @@ let on_event t ~node (ev : Event.t) =
   | Delta_evict { bytes; _ } ->
     incr t ~node key;
     incr t ~node ~by:bytes "delta.evict_bytes"
+  | Span_end { dur; host_us; _ } ->
+    incr t ~node key;
+    observe t ~node (key ^ "_us") dur;
+    observe t ~node "span.host_us" host_us
   | Thread_printf _ -> incr t ~node key
 
 let sink t = Sink.make ~name:"metrics" (fun ~time:_ ~node ev -> on_event t ~node ev)

@@ -1,0 +1,105 @@
+(* The flight recorder: an always-on, bounded ring of recent events per
+   node, dumped as JSON when a migration aborts, rolls back, or the
+   reliable layer gives up on a message. Constant memory (one ring per
+   node), so it can stay attached on every run without growing. *)
+
+type trigger = {
+  trig_time : float;
+  trig_node : int;
+  trig_reason : string;
+}
+
+type t = {
+  capacity : int; (* per-node ring capacity *)
+  rings : (int, Ring.t) Hashtbl.t;
+  mutable triggers : trigger list; (* newest first *)
+  mutable on_trigger : (trigger -> unit) option;
+}
+
+let create ?(capacity = 256) () =
+  if capacity < 0 then invalid_arg "Recorder.create: capacity < 0";
+  { capacity; rings = Hashtbl.create 8; triggers = []; on_trigger = None }
+
+let capacity t = t.capacity
+
+let ring t node =
+  match Hashtbl.find_opt t.rings node with
+  | Some r -> r
+  | None ->
+    let r = Ring.create ~capacity:t.capacity in
+    Hashtbl.replace t.rings node r;
+    r
+
+let triggers t = List.rev t.triggers
+
+let set_on_trigger t f = t.on_trigger <- Some f
+
+(* The conditions worth a dump: any abort/rollback of a migration, and
+   the reliable layer exhausting its retransmission budget. *)
+let trigger_reason (ev : Event.t) =
+  match ev with
+  | Migration_abort { tid; reason; _ } ->
+    Some (Printf.sprintf "migration.abort tid=%d: %s" tid reason)
+  | Group_migration_abort { gid; reason; _ } ->
+    Some (Printf.sprintf "group_migration.abort gid=%d: %s" gid reason)
+  | Migration_rollback { tid; _ } ->
+    Some (Printf.sprintf "migration.rollback tid=%d" tid)
+  | Net_give_up { seq; attempts; _ } ->
+    Some (Printf.sprintf "net.give_up seq=%d after %d attempts" seq attempts)
+  | _ -> None
+
+let on_event t ~time ~node ev =
+  Ring.push (ring t node) { Ring.time; node; event = ev };
+  match trigger_reason ev with
+  | None -> ()
+  | Some reason ->
+    let trig = { trig_time = time; trig_node = node; trig_reason = reason } in
+    t.triggers <- trig :: t.triggers;
+    (match t.on_trigger with None -> () | Some f -> f trig)
+
+let sink t = Sink.make ~name:"recorder" (fun ~time ~node ev -> on_event t ~time ~node ev)
+
+let node_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.rings [] |> List.sort compare
+
+let to_json t =
+  let record (r : Ring.record) =
+    match Event.to_json r.event with
+    | Json.Obj fields -> Json.Obj (("t", Json.Num r.time) :: fields)
+    | other -> other
+  in
+  let nodes =
+    List.map
+      (fun id ->
+         let r = ring t id in
+         ( Printf.sprintf "node%d" id,
+           Json.Obj
+             [
+               ("dropped", Json.Num (float_of_int (Ring.dropped r)));
+               ("events", Json.Arr (List.map record (Ring.to_list r)));
+             ] ))
+      (node_ids t)
+  in
+  let trig { trig_time; trig_node; trig_reason } =
+    Json.Obj
+      [
+        ("t", Json.Num trig_time);
+        ("node", Json.Num (float_of_int trig_node));
+        ("reason", Json.Str trig_reason);
+      ]
+  in
+  Json.Obj
+    [
+      ("recorder", Json.Str "pm2-flight/1");
+      ("capacity", Json.Num (float_of_int t.capacity));
+      ("triggers", Json.Arr (List.map trig (triggers t)));
+      ("nodes", Json.Obj nodes);
+    ]
+
+let dump t = Json.to_string (to_json t)
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (dump t);
+      output_char oc '\n')

@@ -1,0 +1,40 @@
+(** The flight recorder: a bounded ring of recent events per node,
+    cheap enough to stay attached on every run, dumped as JSON when
+    something goes wrong.
+
+    Trigger conditions: [Migration_abort], [Group_migration_abort],
+    [Migration_rollback] and [Net_give_up]. Each trigger is recorded
+    (and handed to the {!set_on_trigger} callback, which is where
+    [pm2sim --flight-recorder PATH] hooks its dump-to-file). *)
+
+type trigger = {
+  trig_time : float;
+  trig_node : int;
+  trig_reason : string;
+}
+
+type t
+
+(** [capacity] is per node (default 256 records). *)
+val create : ?capacity:int -> unit -> t
+
+val capacity : t -> int
+
+(** The sink to attach to the collector. *)
+val sink : t -> Sink.t
+
+(** Triggers seen so far, oldest first. *)
+val triggers : t -> trigger list
+
+(** Called on every trigger, after it is recorded. *)
+val set_on_trigger : t -> (trigger -> unit) -> unit
+
+(** Dump format ["pm2-flight/1"]: capacity, triggers, and per node the
+    drop count plus the retained events oldest-first (each event through
+    {!Event.to_json} with its timestamp prepended). *)
+val to_json : t -> Json.t
+
+(** [to_json] rendered compactly. *)
+val dump : t -> string
+
+val write_file : t -> string -> unit

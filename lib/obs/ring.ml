@@ -12,7 +12,7 @@ type t = {
 }
 
 let create ~capacity =
-  if capacity <= 0 then invalid_arg "Ring.create: capacity <= 0";
+  if capacity < 0 then invalid_arg "Ring.create: capacity < 0";
   { data = Array.make capacity None; head = 0; len = 0; dropped = 0 }
 
 let capacity t = Array.length t.data
@@ -23,9 +23,12 @@ let dropped t = t.dropped
 
 let push t r =
   let cap = Array.length t.data in
-  t.data.(t.head) <- Some r;
-  t.head <- (t.head + 1) mod cap;
-  if t.len < cap then t.len <- t.len + 1 else t.dropped <- t.dropped + 1
+  if cap = 0 then t.dropped <- t.dropped + 1
+  else begin
+    t.data.(t.head) <- Some r;
+    t.head <- (t.head + 1) mod cap;
+    if t.len < cap then t.len <- t.len + 1 else t.dropped <- t.dropped + 1
+  end
 
 let clear t =
   Array.fill t.data 0 (Array.length t.data) None;
@@ -33,14 +36,17 @@ let clear t =
   t.len <- 0;
   t.dropped <- 0
 
-(* Oldest first. *)
+(* Oldest first. A zero-capacity ring holds nothing (and must not reach
+   the [mod cap], which would divide by zero). *)
 let to_list t =
   let cap = Array.length t.data in
-  let start = (t.head - t.len + cap) mod cap in
-  List.init t.len (fun i ->
-      match t.data.((start + i) mod cap) with
-      | Some r -> r
-      | None -> assert false)
+  if cap = 0 then []
+  else
+    let start = (t.head - t.len + cap) mod cap in
+    List.init t.len (fun i ->
+        match t.data.((start + i) mod cap) with
+        | Some r -> r
+        | None -> assert false)
 
 let iter f t = List.iter f (to_list t)
 

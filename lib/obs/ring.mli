@@ -11,6 +11,9 @@ type record = {
 
 type t
 
+(** [create ~capacity] — capacity [0] is legal and drops every record
+    (still counted in {!dropped}).
+    @raise Invalid_argument on a negative capacity. *)
 val create : capacity:int -> t
 
 val capacity : t -> int

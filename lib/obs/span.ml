@@ -1,0 +1,106 @@
+(* The causal tracer: allocates trace/span ids, measures virtual and
+   host time per span, and emits one [Event.Span_end] per closed span
+   through the collector (so every sink — ring, metrics, chrome, stream,
+   flight recorder — sees spans like any other event).
+
+   When disabled every operation returns the [none] sentinel and costs
+   one branch: no ids are allocated, no host clock is read, nothing is
+   emitted. This is what keeps tracing-off runs byte-identical. *)
+
+type t = {
+  obs : Collector.t;
+  enabled : bool;
+  mutable next_trace : int;
+  mutable next_span : int;
+  mutable spans_emitted : int;
+}
+
+type span = {
+  trace : int;
+  id : int;
+  parent : int; (* -1 on roots *)
+  kind : Event.span_kind;
+  node : int;
+  start : float; (* virtual µs *)
+  host_start : float; (* Unix.gettimeofday at open *)
+  mutable closed : bool;
+}
+
+let none =
+  {
+    trace = -1;
+    id = -1;
+    parent = -1;
+    kind = Event.Migration;
+    node = -1;
+    start = 0.;
+    host_start = 0.;
+    closed = true;
+  }
+
+let create ~enabled obs =
+  { obs; enabled; next_trace = 0; next_span = 0; spans_emitted = 0 }
+
+let enabled t = t.enabled
+
+let spans_emitted t = t.spans_emitted
+
+let is_none s = s.id < 0
+
+let fresh t ~trace ~parent ~at ~node kind =
+  let id = t.next_span in
+  t.next_span <- id + 1;
+  {
+    trace;
+    id;
+    parent;
+    kind;
+    node;
+    start = at;
+    host_start = Unix.gettimeofday ();
+    closed = false;
+  }
+
+(* A root span opens a new trace. *)
+let root t ~at ~node kind =
+  if not t.enabled then none
+  else begin
+    let trace = t.next_trace in
+    t.next_trace <- trace + 1;
+    fresh t ~trace ~parent:(-1) ~at ~node kind
+  end
+
+(* A child span on the same node, parented directly. *)
+let child t ~at ~node ~parent kind =
+  if (not t.enabled) || is_none parent then none
+  else fresh t ~trace:parent.trace ~parent:parent.id ~at ~node kind
+
+(* A span parented through wire context (trace id, parent span id)
+   decoded on another node. [None] context — a peer with tracing off —
+   yields no span rather than a disconnected tree. *)
+let remote t ~at ~node ~ctx kind =
+  match ctx with
+  | Some (trace, parent) when t.enabled -> fresh t ~trace ~parent ~at ~node kind
+  | _ -> none
+
+(* The (trace, parent-span) pair to put on the wire for descendants. *)
+let ctx s = if is_none s then None else Some (s.trace, s.id)
+
+let finish t ~at ?(note = "") s =
+  if (not (is_none s)) && not s.closed then begin
+    s.closed <- true;
+    let host_us = (Unix.gettimeofday () -. s.host_start) *. 1e6 in
+    t.spans_emitted <- t.spans_emitted + 1;
+    Collector.emit_at t.obs ~time:at ~node:s.node
+      (Event.Span_end
+         {
+           trace = s.trace;
+           span = s.id;
+           parent = s.parent;
+           kind = s.kind;
+           start = s.start;
+           dur = at -. s.start;
+           host_us;
+           note;
+         })
+  end

@@ -1,0 +1,51 @@
+(** The causal tracer behind migration span trees.
+
+    A tracer allocates trace ids (one per migration) and span ids (unique
+    across the run), measures virtual and host time per span, and closes
+    each span by emitting {!Event.Span_end} through the collector — so
+    spans reach every attached sink like any other event.
+
+    A disabled tracer (the default) is inert: every operation returns the
+    {!none} sentinel, reads no clock, allocates nothing and emits
+    nothing, which keeps tracing-off runs byte-identical. *)
+
+type t
+
+(** An open span. Sentinel-friendly: operations on {!none} are no-ops. *)
+type span
+
+(** The inert span — what a disabled tracer hands out. *)
+val none : span
+
+val create : enabled:bool -> Collector.t -> t
+
+val enabled : t -> bool
+
+(** Spans closed (and emitted) so far. *)
+val spans_emitted : t -> int
+
+val is_none : span -> bool
+
+(** [root t ~at ~node kind] opens a new trace with this span at its
+    root. *)
+val root : t -> at:float -> node:int -> Event.span_kind -> span
+
+(** [child t ~at ~node ~parent kind] opens a span under [parent] (same
+    trace). {!none} when the tracer is disabled or [parent] is
+    {!none}. *)
+val child : t -> at:float -> node:int -> parent:span -> Event.span_kind -> span
+
+(** [remote t ~at ~node ~ctx kind] opens a span parented through wire
+    context — the [(trace, parent span)] pair carried in a codec frame or
+    train metadata. [None] context yields {!none}. *)
+val remote :
+  t -> at:float -> node:int -> ctx:(int * int) option -> Event.span_kind -> span
+
+(** The [(trace, span id)] pair to propagate to descendants (on-node or
+    across the wire); [None] on {!none}. *)
+val ctx : span -> (int * int) option
+
+(** [finish t ~at ?note s] closes [s] at virtual time [at] and emits its
+    {!Event.Span_end} (virtual duration [at - start], host duration
+    measured with the wall clock). Idempotent; no-op on {!none}. *)
+val finish : t -> at:float -> ?note:string -> span -> unit

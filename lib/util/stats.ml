@@ -107,8 +107,11 @@ module Histogram = struct
   let count t = t.n
   let sum t = t.sum
   let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
-  let min_value t = t.min
-  let max_value t = t.max
+
+  (* The raw extrema are ±infinity before the first sample — never report
+     those (they leak into reports as garbage and are not valid JSON). *)
+  let min_value t = if t.n = 0 then 0. else t.min
+  let max_value t = if t.n = 0 then 0. else t.max
   let num_buckets t = Array.length t.counts
 
   let bucket_count t i =

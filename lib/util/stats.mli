@@ -44,7 +44,8 @@ module Histogram : sig
   val sum : t -> float
   val mean : t -> float
 
-  (** Observed extrema ([infinity] / [neg_infinity] when empty). *)
+  (** Observed extrema; [0.] on the empty histogram (never the internal
+      ±infinity sentinels). *)
   val min_value : t -> float
 
   val max_value : t -> float

@@ -24,8 +24,17 @@ type t = {
      instead of a Hashtbl write; it is invalidated (set to [-1]) whenever
      a page is removed, since a fresh mapping of the same index must be
      markable again. *)
-  dirty : (int, unit) Hashtbl.t;
+  dirty : (int, int) Hashtbl.t;
+      (* page index -> access epoch of the last store; presence alone means
+         "dirty since mapped" (what the v2 manifest needs), the stored epoch
+         feeds the access-heat telemetry below *)
   mutable last_dirty : int;
+  (* Access epochs for placement telemetry: [advance_epoch] opens a new
+     observation window, and [dirty_in_epoch] counts the pages of a range
+     whose last store falls inside the current window — the "heat" the
+     access-imbalance balancer feeds on. Epoch 0 is the whole pre-history,
+     so heat reads 0 until a window has been opened. *)
+  mutable epoch : int;
   (* Content-hash memo for the v3 delta codec: page index -> 62-bit page
      hash. An entry is valid only while no store has touched the page
      since it was computed. Invalidation rides the existing dirty epoch:
@@ -45,6 +54,7 @@ let create ~node () =
     last_bytes = Bytes.empty;
     dirty = Hashtbl.create 1024;
     last_dirty = -1;
+    epoch = 0;
     hash_memo = Hashtbl.create 64;
   }
 
@@ -138,13 +148,35 @@ let page t what a =
 let wpage t what a =
   let p = Layout.page_of_addr a in
   if p <> t.last_dirty then begin
-    Hashtbl.replace t.dirty p ();
+    Hashtbl.replace t.dirty p t.epoch;
     Hashtbl.remove t.hash_memo p;
     t.last_dirty <- p
   end;
   page t what a
 
 let page_dirty t a = Hashtbl.mem t.dirty (Layout.page_of_addr a)
+
+let advance_epoch t =
+  t.epoch <- t.epoch + 1;
+  (* The memo would let a store inside the new window keep the old
+     window's epoch stamp; force the slow path once per page. *)
+  t.last_dirty <- -1
+
+let epoch t = t.epoch
+
+let dirty_in_epoch t ~addr ~size =
+  if size = 0 then 0
+  else begin
+    let first = Layout.page_of_addr addr in
+    let last = Layout.page_of_addr (addr + size - 1) in
+    let n = ref 0 in
+    for p = first to last do
+      match Hashtbl.find_opt t.dirty p with
+      | Some e when e = t.epoch && t.epoch > 0 -> incr n
+      | _ -> ()
+    done;
+    !n
+  end
 
 let page_is_zero t a =
   let p = Layout.page_of_addr a in

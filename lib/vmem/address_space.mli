@@ -73,6 +73,28 @@ val page_dirty : t -> addr -> bool
 (** [page_dirty t a] is [true] iff some store touched the page containing
     [a] since it was mapped. Cheap (hash probe); never faults. *)
 
+(** {2 Access epochs}
+
+    Placement telemetry: {!advance_epoch} opens a new observation window
+    and {!dirty_in_epoch} counts the pages of a range last stored to
+    inside the current window. The balancer derives per-thread "heat"
+    from these counts — no extra bookkeeping rides the store fast path,
+    the epoch stamp reuses the dirty-page table the v2 codec already
+    maintains. *)
+
+val advance_epoch : t -> unit
+(** Open a new observation window. Stores from now on stamp the new
+    epoch; earlier stores no longer count as current-window heat. *)
+
+val epoch : t -> int
+(** The current observation window (0 before the first
+    {!advance_epoch} — heat reads 0 in that pre-history window). *)
+
+val dirty_in_epoch : t -> addr:addr -> size:int -> int
+(** [dirty_in_epoch t ~addr ~size] — how many pages of the range were
+    last stored to in the current window. Never faults; unmapped pages
+    count 0. *)
+
 val page_is_zero : t -> addr -> bool
 (** [page_is_zero t a] is [true] iff the mapped page containing [a] is
     currently all-zero. Clean pages answer without reading memory; dirty

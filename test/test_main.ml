@@ -23,6 +23,7 @@ let () =
       ("core.group", Test_group.tests);
       ("core.delta", Test_delta.tests);
       ("obs", Test_obs.tests);
+      ("obs.trace", Test_trace.tests);
       ("core.extensions", Test_extensions.tests);
       ("sync+hpf", Test_sync_hpf.tests);
       ("loadbal", Test_balancer.tests);

@@ -82,6 +82,48 @@ let test_ring_overwrites_oldest () =
   Alcotest.(check (list (float 1e-9))) "oldest gone" [ 2.; 3. ]
     (List.map (fun r -> r.Obs.Ring.time) (Obs.Ring.to_list ring))
 
+(* Capacity boundaries: 0 (drop everything), 1 (keep only the newest),
+   exact fill (keep everything), and wraparound past several multiples
+   of the capacity. *)
+let test_ring_capacity_boundaries () =
+  let record i =
+    { Obs.Ring.time = float_of_int i; node = 0;
+      event = Obs.Event.Thread_printf { tid = i; text = "" } }
+  in
+  let times r = List.map (fun x -> x.Obs.Ring.time) (Obs.Ring.to_list r) in
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Ring.create: capacity < 0") (fun () ->
+        ignore (Obs.Ring.create ~capacity:(-1)));
+  (* capacity 0: legal, holds nothing, counts every push as dropped *)
+  let r0 = Obs.Ring.create ~capacity:0 in
+  List.iter (fun i -> Obs.Ring.push r0 (record i)) [ 1; 2; 3 ];
+  Alcotest.(check int) "cap-0 empty" 0 (Obs.Ring.length r0);
+  Alcotest.(check int) "cap-0 drops all" 3 (Obs.Ring.dropped r0);
+  Alcotest.(check (list (float 1e-9))) "cap-0 lists nothing" [] (times r0);
+  (* capacity 1: always exactly the newest record *)
+  let r1 = Obs.Ring.create ~capacity:1 in
+  List.iter (fun i -> Obs.Ring.push r1 (record i)) [ 1; 2; 3 ];
+  Alcotest.(check int) "cap-1 length" 1 (Obs.Ring.length r1);
+  Alcotest.(check int) "cap-1 dropped" 2 (Obs.Ring.dropped r1);
+  Alcotest.(check (list (float 1e-9))) "cap-1 newest" [ 3. ] (times r1);
+  (* exact fill: nothing dropped, order preserved *)
+  let r4 = Obs.Ring.create ~capacity:4 in
+  List.iter (fun i -> Obs.Ring.push r4 (record i)) [ 1; 2; 3; 4 ];
+  Alcotest.(check int) "full length" 4 (Obs.Ring.length r4);
+  Alcotest.(check int) "full keeps all" 0 (Obs.Ring.dropped r4);
+  Alcotest.(check (list (float 1e-9))) "full in order" [ 1.; 2.; 3.; 4. ] (times r4);
+  (* wraparound across several multiples of the capacity *)
+  for i = 5 to 11 do
+    Obs.Ring.push r4 (record i)
+  done;
+  Alcotest.(check int) "still bounded" 4 (Obs.Ring.length r4);
+  Alcotest.(check int) "wraparound drops" 7 (Obs.Ring.dropped r4);
+  Alcotest.(check (list (float 1e-9))) "last window, oldest first"
+    [ 8.; 9.; 10.; 11. ] (times r4);
+  Obs.Ring.clear r4;
+  Alcotest.(check int) "clear empties" 0 (Obs.Ring.length r4);
+  Alcotest.(check int) "clear resets dropped" 0 (Obs.Ring.dropped r4)
+
 (* -- the migration phase timeline -- *)
 
 let migration_phases ring =
@@ -255,6 +297,57 @@ let test_chrome_escaping () =
     Alcotest.(check (option string)) "text round-trips" (Some text) got
   | l -> Alcotest.failf "expected one printf event, found %d" (List.length l)
 
+(* -- JSON string escaping -- *)
+
+let test_json_escape_control_chars () =
+  (* Every control byte U+0000-U+001F must come out escaped; the named
+     escapes where JSON has them, \u00XX otherwise. *)
+  Alcotest.(check string) "named escapes" "\\b\\t\\n\\f\\r"
+    (Obs.Json.escape "\b\t\n\012\r");
+  Alcotest.(check string) "NUL" "\\u0000" (Obs.Json.escape "\000");
+  Alcotest.(check string) "ESC" "\\u001b" (Obs.Json.escape "\027");
+  Alcotest.(check string) "quote and backslash" "\\\"\\\\"
+    (Obs.Json.escape "\"\\");
+  for c = 0 to 0x1f do
+    let escaped = Obs.Json.escape (String.make 1 (Char.chr c)) in
+    Alcotest.(check bool)
+      (Printf.sprintf "U+%04x escaped" c)
+      true
+      (String.length escaped >= 2 && escaped.[0] = '\\')
+  done;
+  (* Bytes >= 0x80 are opaque payload (UTF-8 or otherwise): untouched. *)
+  Alcotest.(check string) "high bytes pass through" "caf\xc3\xa9 \xff"
+    (Obs.Json.escape "caf\xc3\xa9 \xff")
+
+let test_json_escape_roundtrip () =
+  let roundtrip s =
+    match Obs.Json.parse (Obs.Json.to_string (Obs.Json.Str s)) with
+    | Ok (Obs.Json.Str s') -> s'
+    | _ -> Alcotest.failf "string %S did not round-trip" s
+  in
+  List.iter
+    (fun s -> Alcotest.(check string) "roundtrip" s (roundtrip s))
+    [
+      "";
+      "plain";
+      "\000\001\031";
+      "tab\there\nnewline";
+      "quote \" slash \\ end";
+      "caf\xc3\xa9";
+      String.init 256 Char.chr;
+    ]
+
+(* Fuzz the full byte range through escape -> serialize -> parse: the
+   emitted document must always parse, and always back to the same
+   bytes — including as an object key. *)
+let prop_json_string_roundtrip =
+  QCheck2.Test.make ~name:"json string escape/parse round-trip"
+    QCheck2.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 64))
+    (fun s ->
+       match Obs.Json.parse (Obs.Json.to_string (Obs.Json.Obj [ (s, Obs.Json.Str s) ])) with
+       | Ok (Obs.Json.Obj [ (k, Obs.Json.Str v) ]) -> k = s && v = s
+       | _ -> false)
+
 (* -- the legacy trace as a sink -- *)
 
 let test_trace_sink_renders_printf () =
@@ -276,6 +369,11 @@ let tests =
     Alcotest.test_case "disabled collector is silent" `Quick
       test_disabled_collector_emits_nothing;
     Alcotest.test_case "ring overwrites oldest" `Quick test_ring_overwrites_oldest;
+    Alcotest.test_case "ring capacity boundaries" `Quick test_ring_capacity_boundaries;
+    Alcotest.test_case "json escapes control chars" `Quick
+      test_json_escape_control_chars;
+    Alcotest.test_case "json escape round-trip" `Quick test_json_escape_roundtrip;
+    QCheck_alcotest.to_alcotest prop_json_string_roundtrip;
     Alcotest.test_case "host migration phases" `Quick test_host_migration_phase_events;
     Alcotest.test_case "engine migration phases" `Quick test_engine_migration_phase_events;
     Alcotest.test_case "metrics sink" `Quick test_metrics_sink;

@@ -146,8 +146,10 @@ let test_hist_empty () =
   Alcotest.(check int) "count" 0 (H.count h);
   feq "sum" 0. (H.sum h);
   feq "mean" 0. (H.mean h);
-  feq "min" infinity (H.min_value h);
-  feq "max" neg_infinity (H.max_value h);
+  (* The empty histogram must never leak its internal ±infinity
+     sentinels: reports and JSON encoders would turn them into garbage. *)
+  feq "min" 0. (H.min_value h);
+  feq "max" 0. (H.max_value h);
   Alcotest.(check (option (float 1e-9))) "p50 of nothing" None (H.percentile h 50.);
   Alcotest.(check (option (float 1e-9))) "p100 of nothing" None (H.percentile h 100.);
   Alcotest.check_raises "no bounds" (Invalid_argument "Histogram.create: no bounds")
@@ -155,6 +157,26 @@ let test_hist_empty () =
   Alcotest.check_raises "unsorted bounds"
     (Invalid_argument "Histogram.create: bounds not strictly increasing") (fun () ->
         ignore (H.create ~bounds:[| 1.; 1. |] ()))
+
+let test_hist_single_sample () =
+  (* One sample: every quantile — p0 through p100, including the p95/p99
+     the metrics report prints — is that sample, never a bucket bound
+     beyond it and never an infinity. *)
+  let h = H.create () in
+  H.add h 42.;
+  Alcotest.(check int) "count" 1 (H.count h);
+  feq "min" 42. (H.min_value h);
+  feq "max" 42. (H.max_value h);
+  feq "mean" 42. (H.mean h);
+  List.iter
+    (fun p ->
+       match H.percentile h p with
+       | Some v -> feq (Printf.sprintf "p%g is the sample" p) 42. v
+       | None -> Alcotest.failf "p%g of one sample is None" p)
+    [ 0.; 50.; 95.; 99.; 100. ];
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Histogram.percentile: p out of range") (fun () ->
+        ignore (H.percentile h 101.))
 
 let test_hist_percentile () =
   let h = H.create () in
@@ -233,6 +255,7 @@ let tests =
     QCheck_alcotest.to_alcotest prop_acc_welford;
     Alcotest.test_case "histogram bucket boundaries" `Quick test_hist_bucket_boundaries;
     Alcotest.test_case "histogram empty" `Quick test_hist_empty;
+    Alcotest.test_case "histogram single sample" `Quick test_hist_single_sample;
     Alcotest.test_case "histogram percentile" `Quick test_hist_percentile;
     Alcotest.test_case "histogram merge" `Quick test_hist_merge;
     Alcotest.test_case "units rendering" `Quick test_units;
