@@ -11,7 +11,7 @@
 
    Experiment ids: e-figs f11-small f11-large t-migration
    t-migration-payload t-migration-batch t-migration-delta t-trace-overhead
-   t-negotiation
+   t-negotiation t-crash-sweep
    a-distribution a-packing a-slotcache a-pointers a-slotsize a-allocator
    bechamel perf-smoke *)
 
@@ -47,6 +47,9 @@ let experiments =
       "causal tracing: off byte-identical, on < 5% host, heat-driven placement",
       Trace_overhead.run );
     ("fault-sweep", "robustness: seeded fault sweep over pingpong", Fault_sweep.run);
+    ( "t-crash-sweep",
+      "crash recovery: checkpointed failover, mid-flight crash, double crash, degradation",
+      Crash_sweep.run );
     ("bechamel", "host wall-clock microbenchmarks", Bechamel_suite.run_suite);
     ("perf-smoke", "trimmed bechamel suite (the @perf-smoke alias)", Bechamel_suite.run_smoke);
   ]

@@ -86,6 +86,42 @@ let check_known_suite ~suite ~name metrics =
     if get "overhead_frac" >= 0.05 then
       fail "%s/%s: tracing-on host overhead %.3f above the 0.05 bar" suite name
         (get "overhead_frac")
+  | "crash-recovery", "failover" ->
+    if get "restored" < 1. then
+      fail "%s/%s: the crashed thread was never restored" suite name;
+    if get "lost" <> 0. || get "stranded" <> 0. then
+      fail "%s/%s: checkpointed failover lost or stranded a thread" suite name;
+    if get "output_identical" <> 1. then
+      fail "%s/%s: failover run diverged from the fault-free guest output" suite name
+  | "crash-recovery", "crash-mid-migration" ->
+    if get "restored" < 1. then
+      fail "%s/%s: the in-flight thread was never restored" suite name;
+    if get "lost" <> 0. || get "stranded" <> 0. then
+      fail "%s/%s: mid-flight crash lost or stranded a thread" suite name;
+    if get "output_identical" <> 1. then
+      fail "%s/%s: mid-flight crash diverged from the fault-free guest output" suite
+        name
+  | "crash-recovery", "double-crash" ->
+    if get "restored" < 2. then
+      fail "%s/%s: fewer than 2 threads restored across two crashes" suite name;
+    if get "stranded" <> 0. || get "live_at_end" <> 0. then
+      fail "%s/%s: double crash left threads behind" suite name
+  | "crash-recovery", "degradation" ->
+    if get "lost" < 1. then
+      fail "%s/%s: crash without checkpoints reported no typed loss" suite name;
+    if get "restored" <> 0. then
+      fail "%s/%s: a thread was restored with checkpointing off" suite name;
+    if get "live_at_end" <> 0. then
+      fail "%s/%s: degraded run hung instead of declaring the loss" suite name
+  | "crash-recovery", "checkpoint-dedup" ->
+    if get "snapshots" < 4. then
+      fail "%s/%s: too few snapshots (%.0f) for a steady-state measurement" suite
+        name (get "snapshots");
+    if get "ckpt_ratio_steady" > 0.25 then
+      fail "%s/%s: steady-state checkpoint ratio %.2f above the 0.25 bar" suite name
+        (get "ckpt_ratio_steady");
+    if get "dedup_pages" < 1. then
+      fail "%s/%s: the content pool never deduplicated a page" suite name
   | "trace-overhead", "telemetry-placement" ->
     if get "heat_imbalance_access" >= get "heat_imbalance_load" then
       fail "%s/%s: access-imbalance did not beat the load policy on node heat" suite

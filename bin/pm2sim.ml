@@ -139,9 +139,21 @@ let faults_arg =
         ~doc:"Enable fault injection and the failure-hardened protocols. \
               SPEC is a comma list of $(b,loss=P), $(b,dup=P), \
               $(b,corrupt=P), $(b,reorder=P), $(b,delay=US), \
-              $(b,part=A-B\\@T0-T1) and $(b,kill=N\\@T[-T1]); the empty \
-              string enables the hardened protocols without injecting \
-              anything.")
+              $(b,part=A-B\\@T0-T1), $(b,kill=N\\@T[-T1]) and \
+              $(b,crash=N\\@T[-T1]) (destroy node N's memory at time T, \
+              optionally restarting it empty at T1); the empty string \
+              enables the hardened protocols without injecting anything.")
+
+let checkpoint_interval_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "checkpoint-interval" ] ~docv:"US"
+        ~doc:"Checkpoint period in virtual microseconds; positive snapshots \
+              every dirty thread into the content-addressed image store at \
+              each period, enabling automatic failover when $(b,--faults) \
+              contains $(b,crash=N\\@T). Guest output is buffered and \
+              committed at checkpoints, so a replayed thread never prints a \
+              line twice.")
 
 let seed_arg =
   Arg.(
@@ -169,6 +181,30 @@ let report_faults cluster =
       (Pm2_net.Reliable.duplicates_suppressed rel)
       (Pm2_net.Reliable.give_ups rel)
       (Cluster.aborted_migrations cluster)
+  end
+
+(* Printed only when checkpointing ran or a crash touched a thread, so
+   existing output is unchanged. *)
+let report_recovery cluster =
+  let lost = Cluster.lost_threads cluster in
+  if
+    Cluster.checkpointing cluster
+    || Cluster.restored_threads cluster > 0
+    || lost <> []
+  then begin
+    let store = Cluster.image_store cluster in
+    Printf.printf
+      "; checkpoints: %d snapshots, %d page saves (%d served by dedup)\n"
+      (Cluster.checkpoints cluster)
+      (Pm2_recover.Image_store.saves store)
+      (Pm2_recover.Image_store.dedup_pages store);
+    Printf.printf "; failover: %d threads restored, %d lost, %d stranded\n"
+      (Cluster.restored_threads cluster)
+      (List.length lost)
+      (Cluster.stranded_threads cluster);
+    List.iter
+      (fun e -> Printf.printf ";   %s\n" (Pm2.Error.to_string e))
+      (Pm2.lost_threads cluster)
   end
 
 (* Attach the requested sinks to the cluster's collector; returns a
@@ -249,7 +285,8 @@ let setup_obs ?trace_stream ?metrics_interval ?flight_recorder cluster ~trace_js
       flight_recorder;
     Option.iter (fun m -> if metrics then print_string (Pm2_obs.Metrics.report m)) registry
 
-let config ~nodes ~scheme ~distribution ~slot_size ~faults ~delta ~tracing =
+let config ~nodes ~scheme ~distribution ~slot_size ~faults ~delta ~tracing
+    ~checkpoint_interval =
   {
     (Cluster.default_config ~nodes:(max nodes 2)) with
     Cluster.scheme;
@@ -258,6 +295,7 @@ let config ~nodes ~scheme ~distribution ~slot_size ~faults ~delta ~tracing =
     faults;
     delta_cache_bytes = max 0 delta;
     tracing;
+    checkpoint_interval = max 0. checkpoint_interval;
   }
 
 (* -- run -- *)
@@ -273,7 +311,7 @@ let run_cmd =
     Arg.(value & opt int 0 & info [ "arg" ] ~docv:"N" ~doc:"Integer argument (register r1).")
   in
   let run entry arg nodes scheme distribution slot_size timed trace_json metrics faults
-      seed trace trace_stream metrics_interval flight_recorder delta =
+      seed trace trace_stream metrics_interval flight_recorder delta checkpoint_interval =
     if not (List.mem entry (entries ())) then begin
       Printf.eprintf "unknown entry %S; try: %s\n" entry (String.concat " " (entries ()));
       exit 2
@@ -282,7 +320,8 @@ let run_cmd =
     let tracing = trace || trace_stream <> None in
     let cluster =
       Cluster.create
-        (config ~nodes ~scheme ~distribution ~slot_size ~faults ~delta ~tracing)
+        (config ~nodes ~scheme ~distribution ~slot_size ~faults ~delta ~tracing
+           ~checkpoint_interval)
         program
     in
     let finish_obs =
@@ -302,6 +341,7 @@ let run_cmd =
      | Some us -> Printf.printf "; mean one-way migration latency: %.1f us\n" us
      | None -> ());
     report_faults cluster;
+    report_recovery cluster;
     finish_obs ();
     Cluster.check_invariants cluster
   in
@@ -311,7 +351,7 @@ let run_cmd =
       const run $ entry_arg $ arg_arg $ nodes_arg $ scheme_arg $ distribution_arg
       $ slot_size_arg $ timed_arg $ trace_json_arg $ metrics_arg $ faults_arg $ seed_arg
       $ trace_arg $ trace_stream_arg $ metrics_interval_arg $ flight_recorder_arg
-      $ delta_arg)
+      $ delta_arg $ checkpoint_interval_arg)
 
 (* -- balance -- *)
 
@@ -357,7 +397,7 @@ let balance_cmd =
                 balancing.")
   in
   let run workers nodes policy trace_json metrics faults seed trace trace_stream
-      metrics_interval flight_recorder delta =
+      metrics_interval flight_recorder delta checkpoint_interval =
     let cluster =
       Cluster.create
         {
@@ -365,6 +405,7 @@ let balance_cmd =
           Cluster.faults = plan_of ~faults ~seed;
           delta_cache_bytes = max 0 delta;
           tracing = trace || trace_stream <> None;
+          checkpoint_interval = max 0. checkpoint_interval;
         }
         program
     in
@@ -392,6 +433,7 @@ let balance_cmd =
          (List.length (Cluster.migrations cluster))
      | None -> print_endline "balancer: none (baseline)");
     report_faults cluster;
+    report_recovery cluster;
     finish_obs ();
     Cluster.check_invariants cluster
   in
@@ -401,7 +443,7 @@ let balance_cmd =
     Term.(
       const run $ workers_arg $ nodes_arg $ policy_arg $ trace_json_arg $ metrics_arg
       $ faults_arg $ seed_arg $ trace_arg $ trace_stream_arg $ metrics_interval_arg
-      $ flight_recorder_arg $ delta_arg)
+      $ flight_recorder_arg $ delta_arg $ checkpoint_interval_arg)
 
 (* -- hpf -- *)
 

@@ -14,6 +14,8 @@ module Dlist = Pm2_util.Dlist
 module Vec = Pm2_util.Vec
 module Prng = Pm2_util.Prng
 module Obs = Pm2_obs
+module Image_store = Pm2_recover.Image_store
+module Heartbeat = Pm2_recover.Heartbeat
 
 type scheme =
   | Iso
@@ -42,6 +44,17 @@ type config = {
          (negotiate/probe/pack/train/unpack/commit/rollback) and the trace
          context rides the codec frame and train fragments. Off by default
          — untraced runs keep the historic wire bytes exactly. *)
+  checkpoint_interval : float;
+      (* virtual µs between checkpoint sweeps: every dirty thread is
+         snapshotted (non-destructive v3 pack) into the content-addressed
+         image store, and guest output is buffered and committed only at
+         checkpoint boundaries (output commit). 0 disables checkpointing
+         entirely — the default, byte-identical to pre-recovery runs. *)
+  net_max_attempts : int;
+      (* Reliable-layer give-up threshold (send attempts per packet) *)
+  net_backoff_cap : int;
+      (* Reliable-layer exponential-backoff cap (doublings of the base
+         timeout); attempts beyond it retry at the capped interval *)
 }
 
 let default_config ~nodes =
@@ -62,6 +75,9 @@ let default_config ~nodes =
     sinks = [];
     delta_cache_bytes = 0;
     tracing = false;
+    checkpoint_interval = 0.;
+    net_max_attempts = 12;
+    net_backoff_cap = 6;
   }
 
 type migration_record = {
@@ -96,6 +112,22 @@ type barrier = {
   participants : int;
   mutable arrived : int;
   mutable parked : Thread.t list;
+}
+
+(* A thread whose node crashed under it: its memory died with incarnation
+   [s_gen] of node [s_node] and only a checkpoint (if any) can bring it
+   back. Membership in the stranded table is the at-most-once guard — the
+   first of failover / cold-restart / loss declaration to claim the tid
+   removes it, and every other path becomes a no-op. *)
+type stranded = {
+  s_node : int;
+  s_gen : int;
+}
+
+type lost_record = {
+  l_tid : int;
+  l_node : int;
+  l_reason : string;
 }
 
 type t = {
@@ -133,6 +165,22 @@ type t = {
   tracer : Obs.Span.t; (* causal-span tracer; a no-op unless config.tracing *)
   recorder : Obs.Recorder.t; (* always-on flight recorder (bounded rings) *)
   feed : Obs.Feed.t; (* live stats feed: access heat for the balancer *)
+  (* -- crash recovery -- *)
+  store : Image_store.t; (* durable content-addressed checkpoint store *)
+  node_gen : int array; (* per-node incarnation number (bumped per crash) *)
+  stranded : (int, stranded) Hashtbl.t; (* tid -> where it was stranded *)
+  ckpt_dirty : (int, unit) Hashtbl.t; (* tids that ran since last snapshot *)
+  outbuf : (int, (float * int * string) list) Hashtbl.t;
+      (* output commit: per-tid buffered pm2_printf lines (newest first),
+         flushed at that thread's checkpoint/exit and discarded on crash *)
+  mutable hb : Heartbeat.t option; (* armed iff the plan schedules crashes *)
+  hb_suspected : bool array; (* Node_suspected emitted for this incarnation *)
+  hb_dead : bool array; (* Node_dead emitted for this incarnation *)
+  mutable hb_scheduled : bool;
+  mutable ckpt_scheduled : bool;
+  mutable checkpoint_count : int;
+  mutable restored_count : int;
+  mutable lost : lost_record list; (* newest first *)
 }
 
 let create (config : config) program =
@@ -180,7 +228,10 @@ let create (config : config) program =
             k.restart
         end)
       (Fault.Plan.spec config.faults).kills;
-  let rel = Reliable.create ~obs net in
+  let rel =
+    Reliable.create ~obs ~max_attempts:config.net_max_attempts
+      ~backoff_cap:config.net_backoff_cap net
+  in
   Reliable.set_tracer rel tracer;
   {
     config;
@@ -222,6 +273,19 @@ let create (config : config) program =
     tracer;
     recorder;
     feed = Obs.Feed.create ();
+    store = Image_store.create ();
+    node_gen = Array.make config.nodes 0;
+    stranded = Hashtbl.create 16;
+    ckpt_dirty = Hashtbl.create 64;
+    outbuf = Hashtbl.create 16;
+    hb = None;
+    hb_suspected = Array.make config.nodes false;
+    hb_dead = Array.make config.nodes false;
+    hb_scheduled = false;
+    ckpt_scheduled = false;
+    checkpoint_count = 0;
+    restored_count = 0;
+    lost = [];
   }
 
 let config t = t.config
@@ -275,6 +339,52 @@ let delta_enabled t = t.config.delta_cache_bytes > 0 && t.config.scheme = Iso
 let delta_cache t i = t.delta.(i)
 let delta_fallbacks t = t.delta_fallbacks
 
+(* -- crash recovery state -- *)
+
+let checkpointing t = t.config.checkpoint_interval > 0.
+let image_store t = t.store
+let node_generation t i = t.node_gen.(i)
+let checkpoints t = t.checkpoint_count
+let restored_threads t = t.restored_count
+let lost_threads t = List.rev t.lost
+let stranded_threads t = Hashtbl.length t.stranded
+
+let node_crashed t i =
+  Fault.Plan.node_crashed t.config.faults ~node:i ~now:(Engine.now t.engine)
+
+(* Beacon period of the failure detector, virtual µs. Detection of a dead
+   node takes [dead_after] (8) silent periods at scale 1. *)
+let hb_interval = 100.
+
+(* -- output commit --
+
+   While checkpointing is on, guest output is not externalized at the
+   print instant: a crash would otherwise leave output in the world that
+   the restored thread (replaying from its last snapshot) prints again.
+   Lines are buffered per thread and flushed — with their original
+   timestamps — when the thread checkpoints (the snapshot now covers the
+   post-print state, so replay cannot repeat them), when it exits, or
+   when the run ends; a crash discards the victims' unflushed lines. *)
+
+let buffer_print t ~tid ~node line =
+  let prev = Option.value ~default:[] (Hashtbl.find_opt t.outbuf tid) in
+  Hashtbl.replace t.outbuf tid ((Engine.now t.engine, node, line) :: prev)
+
+let flush_outbuf t tid =
+  match Hashtbl.find_opt t.outbuf tid with
+  | None -> ()
+  | Some lines ->
+    Hashtbl.remove t.outbuf tid;
+    List.iter
+      (fun (time, node, text) ->
+        Obs.Collector.emit_at t.obs ~time ~node (Obs.Event.Thread_printf { tid; text }))
+      (List.rev lines)
+
+let flush_all_outbufs t =
+  Hashtbl.fold (fun tid _ acc -> tid :: acc) t.outbuf []
+  |> List.sort compare
+  |> List.iter (flush_outbuf t)
+
 (* Cache-affinity hint for the balancer: does the thread's current node
    hold residual knowledge about [dest], i.e. would a hop there likely
    ship mostly hashes instead of pages? *)
@@ -295,7 +405,11 @@ module Codec = Pm2_net.Codec
    feed. *)
 
 let thread_heat t (th : Thread.t) =
-  if Thread.is_exited th || th.Thread.state = Thread.Migrating then 0
+  if
+    Thread.is_exited th
+    || th.Thread.state = Thread.Migrating
+    || Hashtbl.mem t.stranded th.Thread.id
+  then 0
   else begin
     let space = t.nodes.(th.Thread.node).Node.space in
     List.fold_left
@@ -309,7 +423,11 @@ let refresh_heat t =
   let node_heat = Array.make (Array.length t.nodes) 0 in
   List.iter
     (fun (th : Thread.t) ->
-      if (not (Thread.is_exited th)) && th.Thread.state <> Thread.Migrating then begin
+      if
+        (not (Thread.is_exited th))
+        && th.Thread.state <> Thread.Migrating
+        && not (Hashtbl.mem t.stranded th.Thread.id)
+      then begin
         let h = thread_heat t th in
         Obs.Feed.set t.feed (Obs.Feed.thread_heat_key th.Thread.id) (float_of_int h);
         node_heat.(th.Thread.node) <- node_heat.(th.Thread.node) + h
@@ -431,10 +549,17 @@ type quantum_outcome =
   | Dead
 
 let rec enqueue t (th : Thread.t) =
-  th.state <- Thread.Ready;
-  let node = t.nodes.(th.node) in
-  ignore (Dlist.push_back node.Node.queue th);
-  schedule_tick t node ~delay:0.
+  (* A stale wakeup (sleep timer, semaphore V, join release, in-flight
+     delivery) may target a thread stranded by a node crash — its memory
+     no longer exists; only the recovery supervisor may revive it — or one
+     already declared lost. Drop such wakeups on the floor. *)
+  if (not (Hashtbl.mem t.stranded th.Thread.id)) && not (Thread.is_exited th) then begin
+    th.state <- Thread.Ready;
+    let node = t.nodes.(th.node) in
+    ignore (Dlist.push_back node.Node.queue th);
+    schedule_tick t node ~delay:0.;
+    arm_checkpoint t
+  end
 
 and schedule_tick t node ~delay =
   if not node.Node.tick_scheduled then begin
@@ -447,6 +572,7 @@ and tick t node =
   if not (Dlist.is_empty node.Node.queue) then begin
     let th = Dlist.pop_front node.Node.queue in
     th.Thread.state <- Thread.Running;
+    if checkpointing t then Hashtbl.replace t.ckpt_dirty th.Thread.id ();
     Node.charge node t.config.cost.Cm.context_switch;
     let outcome = run_quantum t node th in
     (match outcome with
@@ -513,6 +639,11 @@ and guest_fault t node th fault =
 
 and exit_thread t node (th : Thread.t) reason =
   th.Thread.state <- Thread.Exited reason;
+  (* Exit commits any buffered output; the checkpoint (and its page
+     references) can never be restored again. *)
+  flush_outbuf t th.Thread.id;
+  Image_store.drop t.store ~tid:th.Thread.id;
+  Hashtbl.remove t.ckpt_dirty th.Thread.id;
   (* A dead thread's residual images and knowledge are useless on every
      node; reclaim the cache space. *)
   Array.iter (fun dc -> Delta_cache.drop_thread dc ~tid:th.Thread.id) t.delta;
@@ -546,12 +677,17 @@ and dispatch t node (th : Thread.t) sc =
       let text = format_guest node.Node.space fmt [ r.(2); r.(3) ] in
       Node.charge node (0.02 *. float_of_int (String.length text));
       (* pm2_printf flows through the event pipeline; the trace sink
-         attached at creation renders it in the legacy format. *)
+         attached at creation renders it in the legacy format. Under
+         checkpointing the line is held back until the next snapshot of
+         this thread commits it (output commit). *)
       List.iter
         (fun line ->
            if line <> "" then
-             Obs.Collector.emit t.obs ~node:node.Node.id
-               (Obs.Event.Thread_printf { tid = th.Thread.id; text = line }))
+             if checkpointing t then
+               buffer_print t ~tid:th.Thread.id ~node:node.Node.id line
+             else
+               Obs.Collector.emit t.obs ~node:node.Node.id
+                 (Obs.Event.Thread_printf { tid = th.Thread.id; text = line }))
         (String.split_on_char '\n' text);
       `Continue
     | Isa.Sys_self ->
@@ -852,6 +988,18 @@ and start_migration_direct t node (th : Thread.t) ~dest =
             deliver t th ~src ~dest ~started ~slots ~span:root buffer))
 
 and deliver t (th : Thread.t) ~src ~dest ~started ~slots ~span buffer =
+  if th.Thread.state <> Thread.Migrating then begin
+    (* The source crashed while the image was in flight: the thread left
+       the [Migrating] state (stranded, already restored elsewhere, or
+       declared lost) and belongs to the recovery supervisor — at-most-once
+       demands this late delivery be abandoned, not committed. *)
+    t.aborted_migrations <- t.aborted_migrations + 1;
+    Obs.Span.finish t.tracer ~at:(Engine.now t.engine)
+      ~note:"abandoned: source crashed mid-flight" span
+  end
+  else deliver_commit t th ~src ~dest ~started ~slots ~span buffer
+
+and deliver_commit t (th : Thread.t) ~src ~dest ~started ~slots ~span buffer =
   let dnode = t.nodes.(dest) in
   let arrived = Engine.now t.engine in
   let before = dnode.Node.charged in
@@ -1019,6 +1167,16 @@ and hardened_transfer t (th : Thread.t) ~src ~dest ~started ~ranges ~span =
           rollback_migration t th ~src ~dest ~buffer ~slots ~span ~reason))
 
 and rollback_migration t (th : Thread.t) ~src ~dest ~buffer ~slots ~span ~reason =
+  if th.Thread.state <> Thread.Migrating then
+    (* The source crashed after packing: there is no node to roll back
+       onto (its space was rebuilt empty), and the thread now belongs to
+       the checkpoint supervisor — whether still stranded, already
+       restored elsewhere, or declared lost, its memory must not be
+       remapped here. *)
+    abort_migration t th ~src ~dest ~span ~reason
+  else rollback_migration_apply t th ~src ~dest ~buffer ~slots ~span ~reason
+
+and rollback_migration_apply t (th : Thread.t) ~src ~dest ~buffer ~slots ~span ~reason =
   (* The thread's memory exists only in [buffer]; remap it into the
      source's own space — iso-addressing guarantees the addresses are
      still free there — and resume locally. *)
@@ -1050,10 +1208,16 @@ and abort_migration t (th : Thread.t) ~src ~dest ~span ~reason =
     Obs.Collector.emit t.obs ~node:src
       (Obs.Event.Migration_abort { tid = th.Thread.id; src; dst = dest; reason });
   Obs.Span.finish t.tracer ~at:(Engine.now t.engine) ~note:("abort: " ^ reason) span;
-  enqueue t th;
-  match t.on_migration_abort with
-  | Some retry -> retry th ~failed:dest
-  | None -> ()
+  (* Resume locally only if the thread is still ours: a thread that left
+     [Migrating] (stranded by a crash, restored from a checkpoint, or
+     declared lost) is owned by the recovery supervisor, and re-enqueueing
+     it here would double-dispatch it. *)
+  if th.Thread.state = Thread.Migrating then begin
+    enqueue t th;
+    match t.on_migration_abort with
+    | Some retry -> retry th ~failed:dest
+    | None -> ()
+  end
 
 and try_spawn_pc t ~node:node_id ~pc ~arg =
   let node = t.nodes.(node_id) in
@@ -1138,8 +1302,23 @@ and dequeue_from_runqueue t (th : Thread.t) =
 and group_release t members ~node =
   List.iter
     (fun ((th : Thread.t), was_queued) ->
-      th.Thread.node <- node;
-      if was_queued then enqueue t th else th.Thread.state <- Thread.Ready)
+      if th.Thread.state = Thread.Migrating then begin
+        th.Thread.node <- node;
+        if was_queued then enqueue t th else th.Thread.state <- Thread.Ready
+      end)
+    members
+
+(* True iff the group's source node crashed while the group was in flight
+   (members of one group always share a source, so the crash interrupts
+   all of them at once). A crashed-out member leaves the [Migrating]
+   state and never returns to it — stranding parks it in [Blocked], a
+   checkpoint restore re-dispatches it, losing it exits it — so "some
+   member is no longer [Migrating]" is exactly "this group's pipeline
+   lost ownership". The rollback/commit continuations abandon such
+   groups: the recovery supervisor owns the members now. *)
+and group_interrupted _t members =
+  List.exists
+    (fun ((th : Thread.t), _) -> th.Thread.state <> Thread.Migrating)
     members
 
 and group_abort t ~gid ~src ~dest ~span members ~reason =
@@ -1153,6 +1332,14 @@ and group_abort t ~gid ~src ~dest ~span members ~reason =
   group_release t members ~node:src
 
 and group_rollback t ~gid ~src ~dest ~buffer ~slots ~span members ~reason =
+  if group_interrupted t members then
+    (* No node to roll back onto: the source's space was rebuilt empty by
+       the crash. Abort without touching memory; [group_release] inside
+       skips every member the pipeline no longer owns. *)
+    group_abort t ~gid ~src ~dest ~span members ~reason:(reason ^ " (source crashed)")
+  else group_rollback_apply t ~gid ~src ~dest ~buffer ~slots ~span members ~reason
+
+and group_rollback_apply t ~gid ~src ~dest ~buffer ~slots ~span members ~reason =
   let rb_span =
     Obs.Span.child t.tracer ~at:(Engine.now t.engine) ~node:src ~parent:span
       Obs.Event.Rollback
@@ -1200,6 +1387,23 @@ and group_rollback t ~gid ~src ~dest ~buffer ~slots ~span members ~reason =
   group_abort t ~gid ~src ~dest ~span members ~reason
 
 and group_deliver t ~gid ~src ~dest ~started ~ranges ~slots ~pages ~span members buffer =
+  if group_interrupted t members then begin
+    (* Crash mid-migration: the source died while the train was in
+       flight. Committing the late image would race the checkpoint
+       supervisor's restore (violating at-most-once), so the delivery is
+       abandoned — the members resume from their last checkpoint
+       instead. *)
+    t.aborted_groups <- t.aborted_groups + 1;
+    if Obs.Collector.enabled t.obs then
+      Obs.Collector.emit t.obs ~node:dest
+        (Obs.Event.Group_migration_abort
+           { gid; src; dst = dest; reason = "source crashed mid-flight" });
+    Obs.Span.finish t.tracer ~at:(Engine.now t.engine)
+      ~note:"abandoned: source crashed mid-flight" span
+  end
+  else group_deliver_commit t ~gid ~src ~dest ~started ~ranges ~slots ~pages ~span members buffer
+
+and group_deliver_commit t ~gid ~src ~dest ~started ~ranges ~slots ~pages ~span members buffer =
   let dnode = t.nodes.(dest) in
   let arrived = Engine.now t.engine in
   let before = dnode.Node.charged in
@@ -1238,7 +1442,16 @@ and group_deliver t ~gid ~src ~dest ~started ~ranges ~slots ~pages ~span members
       Obs.Span.remote t.tracer ~at:arrived ~node:dest ~ctx:u.Migration.u_trace
         Obs.Event.Unpack
     in
-    let commit () =
+    let rec commit () =
+      if group_interrupted t members then begin
+        (* The source crashed during the fallback round-trips; the
+           checkpoint supervisor owns the members now. *)
+        t.aborted_groups <- t.aborted_groups + 1;
+        Obs.Span.finish t.tracer ~at:(Engine.now t.engine)
+          ~note:"abandoned: source crashed before commit" span
+      end
+      else commit_apply ()
+    and commit_apply () =
       (* Reconstruction is complete: settle the caches on both ends. The
          destination's own residual for each member is superseded by
          fresh knowledge of what the source now retains; the source's
@@ -1513,6 +1726,452 @@ and start_group t ~src ~dest members =
         ~reason:("probe undeliverable: " ^ reason));
   gid
 
+(* ===== crash recovery: checkpoints, failure detection, failover =====
+
+   Three layers (all inert unless configured):
+
+   - checkpoints: a virtual-time ticker snapshots every dirty thread with
+     a non-destructive v3 pack into the content-addressed {!Image_store};
+     pages the pool already holds ship as hashes, so steady-state frames
+     are deltas. Guest output is committed at snapshot boundaries.
+   - failure detection: surviving nodes beacon HBEA frames every
+     {!hb_interval}; the phi-style {!Heartbeat} detector turns silence
+     into [Node_suspected] then [Node_dead].
+   - failover: on [Node_dead], every thread stranded by that node's crash
+     is restored from its latest checkpoint onto the least-loaded
+     survivor through the probe/commit pipeline — or cold-started in
+     place when the node restarts first. A thread with no checkpoint (or
+     no host) is declared lost, typed, with joiners woken. *)
+
+and arm_checkpoint t =
+  if checkpointing t && not t.ckpt_scheduled then begin
+    t.ckpt_scheduled <- true;
+    let iv = t.config.checkpoint_interval in
+    (* next strictly-future multiple of the interval *)
+    let next = iv *. (Float.of_int (int_of_float (Engine.now t.engine /. iv)) +. 1.) in
+    Engine.schedule t.engine ~at:next (fun () -> ckpt_tick t)
+  end
+
+and ckpt_tick t =
+  t.ckpt_scheduled <- false;
+  List.iter
+    (fun (th : Thread.t) ->
+      if
+        (not (Thread.is_exited th))
+        && th.Thread.state <> Thread.Migrating
+        && (not (Hashtbl.mem t.stranded th.Thread.id))
+        && (Hashtbl.mem t.ckpt_dirty th.Thread.id
+            || Option.is_none (Image_store.latest t.store ~tid:th.Thread.id))
+      then checkpoint_thread t th)
+    (threads t);
+  (* Re-arm only while some thread can still make progress on its own —
+     otherwise the ticker would keep the engine alive forever. A later
+     wakeup re-arms through [enqueue]. *)
+  let runnable =
+    Hashtbl.fold
+      (fun _ (th : Thread.t) acc ->
+        acc
+        ||
+        match th.Thread.state with
+        | Thread.Ready | Thread.Running -> not (Hashtbl.mem t.stranded th.Thread.id)
+        | _ -> false)
+      t.threads false
+  in
+  if runnable then arm_checkpoint t
+
+and checkpoint_thread t (th : Thread.t) =
+  let n = th.Thread.node in
+  let node = t.nodes.(n) in
+  let space = node.Node.space in
+  (* Pages whose content the pool already holds (from any thread's
+     earlier snapshot) ship as [Cached] hashes: the store and the wire
+     share the v3 codec, so steady-state checkpoint frames are deltas for
+     free. *)
+  let known ~tid:_ addr =
+    let h = As.page_hash space addr in
+    if Image_store.has_page t.store ~hash:h then Some h else None
+  in
+  let before = node.Node.charged in
+  match
+    Migration.pack_group ~version:Codec.V3 ~known ~unmap:false ~cost:t.config.cost
+      ~space ~gid:0 [ th ]
+  with
+  | exception (Invalid_argument _ | Failure _ | As.Segfault _) ->
+    (* A thread the codec cannot snapshot right now stays dirty and is
+       retried at the next sweep. *)
+    node.Node.charged <- before
+  | p ->
+    let extra = node.Node.charged -. before in
+    node.Node.charged <- before;
+    Node.charge node (p.Migration.g_pack_cost +. extra);
+    let frame = p.Migration.g_buffer in
+    let pages =
+      match p.Migration.g_retained with
+      | [ (_, pages) ] ->
+        List.map (fun (_, page) -> (As.page_bytes_hash page, page)) pages
+      | _ -> []
+    in
+    let new_pages =
+      Image_store.save t.store ~tid:th.Thread.id ~node:n ~gen:t.node_gen.(n)
+        ~at:(Engine.now t.engine) ~frame
+        ~ranges:(Migration.slot_ranges space th)
+        ~pages
+    in
+    t.checkpoint_count <- t.checkpoint_count + 1;
+    Hashtbl.remove t.ckpt_dirty th.Thread.id;
+    let bytes = Bytes.length frame in
+    let full_bytes = bytes + (p.Migration.g_cached_pages * Layout.page_size) in
+    Obs.Collector.emit t.obs ~node:n
+      (Obs.Event.Checkpoint
+         { tid = th.Thread.id; node = n; bytes; full_bytes; new_pages });
+    (* The snapshot covers everything printed so far: commit it. *)
+    flush_outbuf t th.Thread.id
+
+(* -- heartbeats and the failure detector -- *)
+
+and arm_hb t =
+  if not t.hb_scheduled then begin
+    t.hb_scheduled <- true;
+    Engine.schedule_after t.engine ~delay:hb_interval (fun () -> hb_tick t)
+  end
+
+and hb_tick t =
+  t.hb_scheduled <- false;
+  match t.hb with
+  | None -> ()
+  | Some hb ->
+    let n = Array.length t.nodes in
+    (* Full mesh: every node the fault plan says is up beacons everyone
+       else. A killed, crashed or partitioned sender produces nothing —
+       the silence the detector keys on. *)
+    for src = 0 to n - 1 do
+      if node_alive t src then
+        for dst = 0 to n - 1 do
+          if dst <> src then
+            Reliable.send_heartbeat t.rel ~src ~dst ~gen:t.node_gen.(src)
+              ~on_heard:(fun ~src ~gen ->
+                Heartbeat.heard hb ~node:src ~gen ~now:(Engine.now t.engine))
+        done
+    done;
+    monitor t hb;
+    (* Beacon while detection is still pending: a crash ahead of us, a
+       currently-dead incarnation not yet declared, or stranded threads
+       awaiting failover / cold start. Once all three are quiet the
+       ticker lapses and the engine can quiesce. *)
+    let now = Engine.now t.engine in
+    let pending =
+      Hashtbl.length t.stranded > 0
+      || List.exists
+           (fun (k : Fault.Plan.kill) ->
+             now < k.at
+             || (node_crashed t k.victim && not t.hb_dead.(k.victim))
+             || match k.restart with Some r -> now < r | None -> false)
+           (Fault.Plan.spec t.config.faults).Fault.Plan.crashes
+    in
+    if pending then arm_hb t
+
+and monitor t hb =
+  let now = Engine.now t.engine in
+  let n = Array.length t.nodes in
+  (* The observer reporting suspicion and death: the lowest-id live
+     node — the supervisor role rotates implicitly if it dies itself. *)
+  let observer =
+    let rec first i = if i >= n then 0 else if node_alive t i then i else first (i + 1) in
+    first 0
+  in
+  for node = 0 to n - 1 do
+    if node <> observer then begin
+      match Heartbeat.verdict hb ~node ~now with
+      | Heartbeat.Alive -> if t.hb_suspected.(node) then t.hb_suspected.(node) <- false
+      | Heartbeat.Suspected ->
+        if not t.hb_suspected.(node) then begin
+          t.hb_suspected.(node) <- true;
+          Obs.Collector.emit t.obs ~node:observer
+            (Obs.Event.Node_suspected { node; by = observer })
+        end
+      | Heartbeat.Dead ->
+        if not t.hb_dead.(node) then begin
+          t.hb_dead.(node) <- true;
+          Obs.Collector.emit t.obs ~node:observer
+            (Obs.Event.Node_dead { node; by = observer });
+          failover_node t ~node
+        end
+    end
+  done
+
+(* -- crash execution -- *)
+
+and crash_node t ~node:n =
+  let old = t.nodes.(n) in
+  (* Strand every live thread whose memory lived in the dying space. *)
+  let victims =
+    Hashtbl.fold
+      (fun _ (th : Thread.t) acc ->
+        if
+          (not (Thread.is_exited th))
+          && th.Thread.node = n
+          && not (Hashtbl.mem t.stranded th.Thread.id)
+        then th :: acc
+        else acc)
+      t.threads []
+    |> List.sort (fun (a : Thread.t) (b : Thread.t) -> compare a.Thread.id b.Thread.id)
+  in
+  Obs.Collector.emit t.obs ~node:n
+    (Obs.Event.Node_crash { node = n; threads = List.length victims });
+  let gen = t.node_gen.(n) + 1 in
+  t.node_gen.(n) <- gen;
+  List.iter
+    (fun (th : Thread.t) ->
+      Hashtbl.replace t.stranded th.Thread.id { s_node = n; s_gen = gen };
+      th.Thread.state <- Thread.Blocked;
+      th.Thread.pending_migration <- None;
+      (* Unexternalized output dies with the node: the restored replay
+         will produce it again, exactly once. *)
+      Hashtbl.remove t.outbuf th.Thread.id;
+      Hashtbl.remove t.ckpt_dirty th.Thread.id)
+    victims;
+  (* Drain the dead run queue so a stale [tick] capture finds nothing. *)
+  while not (Dlist.is_empty old.Node.queue) do
+    ignore (Dlist.pop_front old.Node.queue)
+  done;
+  (* Rebuild the node around a fresh address space. The slot-ownership
+     bitmap is global knowledge and survives the crash verbatim (slots
+     held by stranded threads stay out of every bitmap until a restored
+     thread eventually releases them); everything in-memory — heap, slot
+     cache, partial train assemblies, residual images — is gone. *)
+  let fresh =
+    Node.create ~obs:t.obs ~allocator_policy:t.config.allocator_policy ~id:n
+      ~cost:t.config.cost ~geometry:t.geometry
+      ~bitmap:(Slot_manager.bitmap old.Node.mgr)
+      ~cache_capacity:t.config.cache_capacity ~seed:t.config.seed ()
+  in
+  Program.load_data t.program fresh.Node.space;
+  t.nodes.(n) <- fresh;
+  Negotiation.set_mgr t.neg ~node:n fresh.Node.mgr;
+  t.delta.(n) <-
+    Delta_cache.create ~budget:t.config.delta_cache_bytes
+      ~on_evict:(fun ~tid ~bytes ->
+        Obs.Collector.emit t.obs ~node:n (Obs.Event.Delta_evict { tid; bytes }))
+      ();
+  (* Peers' beliefs about what [n] retains are now false; invalidate. *)
+  Array.iteri
+    (fun i dc ->
+      if i <> n then begin
+        let entries = Delta_cache.drop_peer dc ~peer:n in
+        if entries > 0 then
+          Obs.Collector.emit t.obs ~node:i
+            (Obs.Event.Delta_invalidate { node = i; peer = n; entries })
+      end)
+    t.delta;
+  ignore (Reliable.forget_node t.rel ~node:n)
+
+and restart_node t ~node:n =
+  let now = Engine.now t.engine in
+  Obs.Collector.emit t.obs ~node:n (Obs.Event.Node_restart { node = n });
+  t.hb_suspected.(n) <- false;
+  t.hb_dead.(n) <- false;
+  (match t.hb with Some hb -> Heartbeat.reset hb ~node:n ~now | None -> ());
+  (* Cold start: any thread of this node not already failed over restores
+     from its checkpoint right here — the rebuilt space is empty, so its
+     iso addresses are free by construction. *)
+  let still =
+    Hashtbl.fold
+      (fun tid (s : stranded) acc -> if s.s_node = n then (tid, s) :: acc else acc)
+      t.stranded []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (tid, (s : stranded)) ->
+      match Image_store.latest t.store ~tid with
+      | None -> declare_lost t ~tid ~node:n ~reason:"no checkpoint to cold-start from"
+      | Some e ->
+        if not (restore_thread t ~tid ~gen:s.s_gen ~from_node:n ~dest:n ~via:n e) then
+          declare_lost t ~tid ~node:n ~reason:"cold start failed to apply the image")
+    still
+
+(* -- failover -- *)
+
+and failover_node t ~node:n =
+  let victims =
+    Hashtbl.fold
+      (fun tid (s : stranded) acc -> if s.s_node = n then (tid, s) :: acc else acc)
+      t.stranded []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (tid, (s : stranded)) -> failover_thread t ~tid ~gen:s.s_gen ~from_node:n)
+    victims
+
+and failover_thread t ~tid ~gen ~from_node =
+  if Hashtbl.mem t.stranded tid then begin
+    match Image_store.latest t.store ~tid with
+    | None ->
+      declare_lost t ~tid ~node:from_node
+        ~reason:"node crashed with no checkpoint of the thread"
+    | Some e ->
+      (* Balancer-scored survivors: alive nodes, least loaded first. *)
+      let n = Array.length t.nodes in
+      let candidates =
+        List.init n Fun.id
+        |> List.filter (fun i -> i <> from_node && node_alive t i && not t.hb_dead.(i))
+        |> List.sort (fun a b ->
+               compare (Node.load t.nodes.(a), a) (Node.load t.nodes.(b), b))
+      in
+      match candidates with
+      | [] ->
+        declare_lost t ~tid ~node:from_node
+          ~reason:"no surviving node can host the restored image"
+      | first :: _ ->
+        let supervisor = List.fold_left min first candidates in
+        try_failover t ~tid ~gen ~from_node e ~supervisor candidates
+  end
+
+and try_failover t ~tid ~gen ~from_node e ~supervisor = function
+  | [] ->
+    declare_lost t ~tid ~node:from_node
+      ~reason:"no surviving node can host the restored image"
+  | dest :: rest ->
+    (* Two-phase: probe the candidate with the checkpointed slot ranges
+       over the reliable layer. Verdict and commit coincide at the
+       destination because the image is served from the durable store,
+       not from a crashable peer. *)
+    Reliable.send t.rel ~src:supervisor ~dst:dest
+      (Migration.group_probe_message ~gid:0 ~ranges:e.Image_store.e_ranges ())
+      ~on_delivered:(fun probe ->
+        if Hashtbl.mem t.stranded tid then begin
+          let ok =
+            match Migration.parse_group_probe probe with
+            | None -> false
+            | Some (_, ranges, _) ->
+              List.for_all
+                (fun (addr, size) ->
+                  As.range_unmapped t.nodes.(dest).Node.space ~addr ~size)
+                ranges
+          in
+          if
+            not
+              (ok && restore_thread t ~tid ~gen ~from_node ~dest ~via:supervisor e)
+          then try_failover t ~tid ~gen ~from_node e ~supervisor rest
+        end)
+      ~on_failed:(fun ~reason:_ ->
+        if Hashtbl.mem t.stranded tid then
+          try_failover t ~tid ~gen ~from_node e ~supervisor rest)
+
+(* Apply checkpoint [e] to [dest]'s space and resume the thread there.
+   [via] is the node serving the store image (the transfer is accounted
+   as one virtual message unless the restore is local). False on an
+   unappliable image, with [dest]'s space scrubbed clean. *)
+and restore_thread t ~tid ~gen ~from_node ~dest ~via e =
+  let dnode = t.nodes.(dest) in
+  let frame = e.Image_store.e_frame in
+  let scrub () =
+    List.iter
+      (fun (addr, size) -> ignore (As.scrub_range dnode.Node.space ~addr ~size))
+      e.Image_store.e_ranges
+  in
+  let before = dnode.Node.charged in
+  match
+    Migration.unpack_group ~obs:t.obs ~node:dest ~cost:t.config.cost
+      ~space:dnode.Node.space
+      ~restore:(fun ~tid:_ ~addr ~hash ->
+        match Image_store.find_page t.store ~hash with
+        | Some page ->
+          As.store_bytes dnode.Node.space addr page;
+          true
+        | None -> false)
+      ~lookup:(fun id -> Hashtbl.find t.threads id)
+      frame
+  with
+  | exception (Invalid_argument _ | Failure _ | Not_found | As.Segfault _) ->
+    dnode.Node.charged <- before;
+    scrub ();
+    false
+  | u when u.Migration.u_missing <> [] ->
+    (* Every [Cached] hash of a stored frame is pool-backed by
+       construction; a miss here means corruption — scrub and let the
+       caller try elsewhere. *)
+    dnode.Node.charged <- before;
+    scrub ();
+    false
+  | u ->
+    let th = Hashtbl.find t.threads tid in
+    let extra = dnode.Node.charged -. before in
+    dnode.Node.charged <- before;
+    Node.charge dnode (u.Migration.u_cost +. extra);
+    let bytes = Bytes.length frame in
+    let delay =
+      if via <> dest then begin
+        Network.record_virtual t.net ~src:via ~dst:dest ~bytes;
+        Network.transfer_time t.net ~bytes +. u.Migration.u_cost +. extra
+      end
+      else u.Migration.u_cost +. extra
+    in
+    Hashtbl.remove t.stranded tid;
+    t.restored_count <- t.restored_count + 1;
+    th.Thread.node <- dest;
+    th.Thread.pending_migration <- None;
+    Obs.Collector.emit t.obs ~node:dest
+      (Obs.Event.Thread_restore { tid; node = dest; from_node; gen });
+    Engine.schedule_after t.engine ~delay (fun () -> enqueue t th);
+    true
+
+and declare_lost t ~tid ~node ~reason =
+  if Hashtbl.mem t.stranded tid then begin
+    Hashtbl.remove t.stranded tid;
+    let th = Hashtbl.find t.threads tid in
+    (* The thread's memory is unrecoverable. Its slots leak (they sit in
+       no bitmap and no live space — the documented cost of running
+       without checkpoints), but the descriptor dies cleanly: joiners
+       wake with the loss sentinel in r0. *)
+    th.Thread.ctx.Interp.regs.(0) <- -1;
+    th.Thread.state <- Thread.Exited Thread.Killed;
+    Array.iter (fun dc -> Delta_cache.drop_thread dc ~tid) t.delta;
+    Image_store.drop t.store ~tid;
+    Hashtbl.remove t.outbuf tid;
+    Hashtbl.remove t.ckpt_dirty tid;
+    t.lost <- { l_tid = tid; l_node = node; l_reason = reason } :: t.lost;
+    Obs.Collector.emit t.obs ~node (Obs.Event.Thread_lost { tid; node; reason });
+    match Hashtbl.find_opt t.waiters tid with
+    | None -> ()
+    | Some parked ->
+      Hashtbl.remove t.waiters tid;
+      List.iter
+        (fun (w : Thread.t) ->
+          w.Thread.ctx.Interp.regs.(0) <- -1;
+          enqueue t w)
+        parked
+  end
+
+(* Crash events and the failure detector call into the scheduler knot, so
+   [create] builds the quiescent cluster and this arms recovery before
+   anything runs. With no crashes in the plan and checkpointing off, this
+   schedules nothing and arms nothing: byte-identical default. *)
+let arm_recovery t =
+  let crashes = (Fault.Plan.spec t.config.faults).Fault.Plan.crashes in
+  if Fault.Plan.enabled t.config.faults && crashes <> [] then begin
+    let hb =
+      Heartbeat.create ~nodes:(Array.length t.nodes) ~interval:hb_interval
+        ~now:(Engine.now t.engine) ()
+    in
+    t.hb <- Some hb;
+    List.iter
+      (fun (k : Fault.Plan.kill) ->
+        if k.victim >= 0 && k.victim < Array.length t.nodes then begin
+          Engine.schedule t.engine ~at:k.at (fun () -> crash_node t ~node:k.victim);
+          Option.iter
+            (fun r -> Engine.schedule t.engine ~at:r (fun () -> restart_node t ~node:k.victim))
+            k.restart
+        end)
+      crashes;
+    arm_hb t
+  end;
+  if checkpointing t then arm_checkpoint t
+
+let create config program =
+  let t = create config program in
+  arm_recovery t;
+  t
+
 let spawn t ~node ~entry ?(arg = 0) () =
   spawn_pc t ~node ~pc:(Program.entry t.program entry) ~arg
 
@@ -1572,7 +2231,11 @@ let create_barrier t ~participants =
   Hashtbl.replace t.barriers id { participants; arrived = 0; parked = [] };
   id
 
-let run ?until t = Engine.run ?until t.engine
+let run ?until t =
+  let r = Engine.run ?until t.engine in
+  (* End of run externalizes whatever buffered output survived. *)
+  flush_all_outbufs t;
+  r
 
 (* -- host-mode helpers -- *)
 
@@ -1671,6 +2334,8 @@ let check_invariants t =
        match th.Thread.state with
        | Thread.Migrating | Thread.Exited _ -> ()
        | _ ->
-         if th.Thread.slots_head <> 0 then
-           Iso_heap.check_invariants (host_env t th.Thread.node) th)
+         (* A stranded thread's slot chain points into memory its node's
+            crash wiped; it is checkable again only once restored. *)
+         if th.Thread.slots_head <> 0 && not (Hashtbl.mem t.stranded th.Thread.id)
+         then Iso_heap.check_invariants (host_env t th.Thread.node) th)
     t.threads

@@ -39,6 +39,18 @@ type config = {
          with the trace context propagated to the destination through the
          codec frame, the group probe and the train fragments. Off by
          default; untraced runs keep the historic wire bytes exactly *)
+  checkpoint_interval : float;
+      (* virtual-time period (µs) of the checkpoint ticker: every interval
+         each dirty thread is snapshotted (non-destructive v3 pack) into
+         the content-addressed {!Image_store}, and its buffered guest
+         output is committed. 0 (the default) disables checkpointing
+         entirely — output is emitted eagerly and crashes lose threads *)
+  net_max_attempts : int;
+      (* retransmission budget of the {!Pm2_net.Reliable} layer before a
+         message is declared undeliverable (default 12) *)
+  net_backoff_cap : int;
+      (* exponent cap of the reliable layer's exponential backoff:
+         timeouts scale up to [2^cap] x the base estimate (default 6) *)
 }
 
 val default_config : nodes:int -> config
@@ -235,6 +247,61 @@ val faults : t -> Pm2_fault.Plan.t
 (** The retransmitting delivery layer carrying migration, negotiation and
     LRPC traffic under a live plan. *)
 val reliable : t -> Pm2_net.Reliable.t
+
+(** {1 Crash recovery}
+
+    A [crash=N\@T] entry in the fault plan destroys node [N]'s in-memory
+    state at virtual time [T]: every thread living there is stranded, the
+    node is rebuilt around a fresh address space (the slot-ownership
+    ledger, being global knowledge, survives), peers' residual-image
+    caches are invalidated and in-flight trains to the dead interface are
+    dropped. Surviving nodes detect the silence through the heartbeat
+    protocol ([Node_suspected], then [Node_dead]) and the supervisor
+    restores each stranded thread from its latest checkpoint onto the
+    least-loaded survivor through the probe/commit pipeline — or the node
+    restarts first ([crash=N\@T1-T2]) and cold-starts them in place.
+    Threads with no checkpoint (or no possible host) are declared lost:
+    typed in {!lost_threads}, joiners woken with -1.
+
+    With [checkpoint_interval > 0] guest output is buffered and committed
+    only at snapshot boundaries (checkpoint, exit, end of run), so a
+    crash-and-restore run prints exactly what the fault-free run prints —
+    uncommitted lines die with the node and are reproduced by the
+    restored replay. *)
+
+(** A thread abandoned by crash recovery. *)
+type lost_record = {
+  l_tid : int;
+  l_node : int; (* the node whose crash doomed it *)
+  l_reason : string;
+}
+
+val checkpointing : t -> bool
+(** [config.checkpoint_interval > 0.] *)
+
+val image_store : t -> Pm2_recover.Image_store.t
+(** The cluster-wide content-addressed checkpoint store. *)
+
+val checkpoints : t -> int
+(** Snapshots taken. *)
+
+val restored_threads : t -> int
+(** Threads brought back from a checkpoint (failover or cold start). *)
+
+val lost_threads : t -> lost_record list
+(** Threads crash recovery could not save, oldest first. *)
+
+val stranded_threads : t -> int
+(** Threads currently awaiting failover or cold start. *)
+
+val node_generation : t -> int -> int
+(** Incarnation number of node [i]: 0 at boot, +1 per crash. Heartbeats
+    carry it; restore commits are tagged with the generation that
+    stranded the thread. *)
+
+(** [node_crashed t i] — true while node [i] is between a [crash] instant
+    and its restart (its current incarnation holds no thread state). *)
+val node_crashed : t -> int -> bool
 
 (** {1 Causal tracing, flight recorder, stats feed} *)
 

@@ -148,6 +148,20 @@ let drop_thread t ~tid =
   in
   List.iter (Hashtbl.remove t.knowledge) stale
 
+(* A crashed (or declared-dead) peer retains nothing: any knowledge
+   recorded about it would make a source ship hashes the destination can
+   no longer resolve — still correct (the fallback re-fetches), but a
+   guaranteed miss round-trip per run. Returns how many (thread, peer)
+   maps were dropped, for the delta.invalidate metric. *)
+let drop_peer t ~peer =
+  let stale =
+    Hashtbl.fold
+      (fun ((_, peer') as k) _ acc -> if peer' = peer then k :: acc else acc)
+      t.knowledge []
+  in
+  List.iter (Hashtbl.remove t.knowledge) stale;
+  List.length stale
+
 (* Test hook: flip one byte of a retained page so the next [Cached]
    restore fails its hash check — exercises the fallback protocol. *)
 let corrupt_page t ~tid ~addr =

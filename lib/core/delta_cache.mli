@@ -70,6 +70,11 @@ val drop_thread : t -> tid:int -> unit
 (** Forget everything about [tid]: its image and all knowledge entries
     (thread exit). *)
 
+val drop_peer : t -> peer:int -> int
+(** Forget every (thread, [peer]) knowledge entry — [peer] crashed or was
+    declared dead, so it retains nothing. Advisory state only (images are
+    untouched); returns the number of entries dropped. *)
+
 val image_bytes : t -> int
 (** Total bytes of retained images (pinned included). *)
 

@@ -352,7 +352,8 @@ let unpack_descriptor_v2 u (th : Thread.t) =
   done
 
 let pack_group ?(obs = Obs.Collector.null) ?(node = 0) ?(version = Codec.V2)
-    ?(known = fun ~tid:_ _ -> None) ?trace ~cost ~space ~gid threads =
+    ?(known = fun ~tid:_ _ -> None) ?trace ?(unmap = true) ~cost ~space ~gid
+    threads =
   (match version with
    | Codec.V1 -> invalid_arg "Migration.pack_group: v1 cannot carry a group image"
    | Codec.V2 | Codec.V3 -> ());
@@ -434,18 +435,21 @@ let pack_group ?(obs = Obs.Collector.null) ?(node = 0) ?(version = Codec.V2)
         all_slots
   in
   (* Free the source memory only after every member is packed: the group
-     image either exists in full or the source is untouched. *)
+     image either exists in full or the source is untouched. A checkpoint
+     passes [~unmap:false] — the same wire image is produced, but the
+     threads keep running in place. *)
   let munmap_total = ref 0. in
-  List.iter
-    (fun (_, slots) ->
-      List.iter
-        (fun slot ->
-          let size = Sh.read_size space slot in
-          As.munmap space ~addr:slot ~size;
-          munmap_total :=
-            !munmap_total +. Cm.munmap_cost cost ~pages:(size / Layout.page_size))
-        slots)
-    all_slots;
+  if unmap then
+    List.iter
+      (fun (_, slots) ->
+        List.iter
+          (fun slot ->
+            let size = Sh.read_size space slot in
+            As.munmap space ~addr:slot ~size;
+            munmap_total :=
+              !munmap_total +. Cm.munmap_cost cost ~pages:(size / Layout.page_size))
+          slots)
+      all_slots;
   let buffer = Codec.frame ?trace version (Pk.contents p) in
   let pack_cost =
     (float_of_int (List.length threads) *. cost.Cm.context_switch)

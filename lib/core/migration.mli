@@ -129,13 +129,18 @@ type group_packed = {
     page copies to pin. [?obs] receives one [Pack_slot] event per slot,
     plus per-member [Delta_hit]/[Delta_miss] under [V3]. [?trace] is the
     causal-trace context stamped into the codec frame
-    ({!Pm2_net.Codec.frame}) for destination-side span parenting. *)
+    ({!Pm2_net.Codec.frame}) for destination-side span parenting.
+    [?unmap:false] builds the identical image {e without} freeing the
+    source memory (and without charging the munmaps) — the
+    non-destructive snapshot a checkpoint takes of a still-running
+    thread. *)
 val pack_group :
   ?obs:Pm2_obs.Collector.t ->
   ?node:int ->
   ?version:Pm2_net.Codec.version ->
   ?known:(tid:int -> int -> int option) ->
   ?trace:int * int ->
+  ?unmap:bool ->
   cost:Pm2_sim.Cost_model.t ->
   space:Pm2_vmem.Address_space.t ->
   gid:int ->

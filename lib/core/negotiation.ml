@@ -57,6 +57,11 @@ let create ?(obs = Obs.Collector.null) ?(faults = Fault.Plan.none)
 
 let emit t ~node ev = Obs.Collector.emit t.obs ~node ev
 
+(* A node crash rebuilds the node around a fresh address space; the slot
+   ownership ledger survives (it is global knowledge), but the manager
+   object is new and the negotiation must consult the live one. *)
+let set_mgr t ~node mgr = t.mgrs.(node) <- mgr
+
 let lock_msg_bytes = 64
 
 (* Protocol time for a [nodes]-node configuration: critical-section entry

@@ -64,6 +64,11 @@ val create :
   unit ->
   t
 
+(** [set_mgr t ~node mgr] swaps in [node]'s slot manager after a crash
+    rebuilds the node: the ownership ledger is global knowledge and
+    survives, but the manager object is new. *)
+val set_mgr : t -> node:int -> Slot_manager.t -> unit
+
 (** [execute t ~requester ~n] runs one negotiation on behalf of node
     [requester] for [n] contiguous slots. Ownership changes are applied
     before returning. Even a failed search costs the full protocol time.

@@ -4,6 +4,7 @@ module Error = struct
     | Heap of Pm2_heap.Malloc.error
     | Negotiation of Negotiation.error
     | Relocation of { tid : int; slot : int; stage : Relocation.stage; reason : string }
+    | Lost of { tid : int; node : int; reason : string }
 
   let to_string = function
     | Slots e -> "slots: " ^ Slot_manager.error_to_string e
@@ -12,6 +13,8 @@ module Error = struct
     | Relocation { tid; slot; stage; reason } ->
       Printf.sprintf "relocation (tid=%d, slot=0x%x, %s): %s" tid slot
         (Relocation.stage_name stage) reason
+    | Lost { tid; node; reason } ->
+      Printf.sprintf "lost (tid=%d, node=%d): %s" tid node reason
 
   let of_exn = function
     | Relocation.Error { tid; slot; stage; reason } ->
@@ -25,7 +28,8 @@ module Config = struct
 
   let make ?(nodes = 2) ?slot_size ?distribution ?cache_capacity ?scheme ?packing
       ?quantum ?fit ?prebuy ?allocator_policy ?cost ?seed ?fault_plan ?sinks
-      ?delta_cache_bytes ?tracing () =
+      ?delta_cache_bytes ?tracing ?checkpoint_interval ?net_max_attempts
+      ?net_backoff_cap () =
     let d = Cluster.default_config ~nodes in
     let v o ~default = Option.value o ~default in
     {
@@ -45,8 +49,19 @@ module Config = struct
       sinks = v sinks ~default:d.Cluster.sinks;
       delta_cache_bytes = v delta_cache_bytes ~default:d.Cluster.delta_cache_bytes;
       tracing = v tracing ~default:d.Cluster.tracing;
+      checkpoint_interval =
+        v checkpoint_interval ~default:d.Cluster.checkpoint_interval;
+      net_max_attempts = v net_max_attempts ~default:d.Cluster.net_max_attempts;
+      net_backoff_cap = v net_backoff_cap ~default:d.Cluster.net_backoff_cap;
     }
 end
+
+(** Crash-recovery losses as typed errors. *)
+let lost_threads cluster =
+  List.map
+    (fun (l : Cluster.lost_record) ->
+      Error.Lost { tid = l.Cluster.l_tid; node = l.Cluster.l_node; reason = l.Cluster.l_reason })
+    (Cluster.lost_threads cluster)
 
 let build f =
   let b = Pm2_mvm.Asm.create () in

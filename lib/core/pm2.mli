@@ -21,6 +21,9 @@ module Error : sig
     | Heap of Pm2_heap.Malloc.error
     | Negotiation of Negotiation.error
     | Relocation of { tid : int; slot : int; stage : Relocation.stage; reason : string }
+    | Lost of { tid : int; node : int; reason : string }
+        (** the thread's node crashed and recovery could not restore it
+            (no checkpoint, or no surviving host) *)
 
   val to_string : t -> string
 
@@ -61,9 +64,18 @@ module Config : sig
     ?sinks:Pm2_obs.Sink.t list ->
     ?delta_cache_bytes:int ->
     ?tracing:bool ->
+    ?checkpoint_interval:float ->
+    ?net_max_attempts:int ->
+    ?net_backoff_cap:int ->
     unit ->
     Cluster.config
 end
+
+(** The threads crash recovery abandoned, as typed {!Error.Lost} values
+    (empty on a fault-free or fully recovered run). Graceful degradation:
+    a crash with checkpointing off loses threads {e loudly} — typed here,
+    joiners woken with -1 — and never hangs the run. *)
+val lost_threads : Cluster.t -> Error.t list
 
 (** [build f] assembles a program: [f] receives a fresh assembler. *)
 val build : (Pm2_mvm.Asm.t -> unit) -> Pm2_mvm.Program.t

@@ -12,6 +12,7 @@ type spec = {
   reorder : float;
   partitions : partition list;
   kills : kill list;
+  crashes : kill list;
 }
 
 let default_spec =
@@ -23,7 +24,15 @@ let default_spec =
     reorder = 0.;
     partitions = [];
     kills = [];
+    crashes = [];
   }
+
+(* A [kill=N@T-T] window is degenerate: the interface restarts at the kill
+   instant, so the node never actually goes dark. Such windows parse (the
+   heartbeat tests use them as no-op markers) but must not count as an
+   outage anywhere below. *)
+let window_nonempty k =
+  match k.restart with Some r -> r > k.at | None -> true
 
 (* [%g]-style printing without trailing zeros, so the canonical form of a
    parsed spec parses back to itself. *)
@@ -34,6 +43,12 @@ let fstr v =
 let spec_to_string s =
   let items = ref [] in
   let add fmt = Printf.ksprintf (fun x -> items := x :: !items) fmt in
+  List.iter
+    (fun c ->
+      match c.restart with
+      | None -> add "crash=%d@%s" c.victim (fstr c.at)
+      | Some r -> add "crash=%d@%s-%s" c.victim (fstr c.at) (fstr r))
+    (List.rev s.crashes);
   List.iter
     (fun k ->
       match k.restart with
@@ -75,20 +90,28 @@ let split2 sep s =
 
 let ( let* ) = Result.bind
 
-let parse_kill v =
+(* [kill] accepts a degenerate T-T window (restart at the kill instant, a
+   no-op outage); [crash] destroys state, so its restart must come strictly
+   after the crash. *)
+let parse_outage key ~allow_empty v =
   match split2 '@' v with
-  | None -> Error (Printf.sprintf "kill: expected N@T or N@T0-T1, got %s" v)
+  | None -> Error (Printf.sprintf "%s: expected N@T or N@T0-T1, got %s" key v)
   | Some (node, times) -> (
-      let* victim = parse_node "kill" node in
+      let* victim = parse_node key node in
       match split2 '-' times with
       | None ->
-          let* at = parse_time "kill" times in
+          let* at = parse_time key times in
           Ok { victim; at; restart = None }
       | Some (t0, t1) ->
-          let* at = parse_time "kill" t0 in
-          let* r = parse_time "kill" t1 in
-          if r <= at then Error "kill: restart time must follow the kill time"
+          let* at = parse_time key t0 in
+          let* r = parse_time key t1 in
+          if r < at || ((not allow_empty) && r = at) then
+            Error
+              (Printf.sprintf "%s: restart time must follow the %s time" key key)
           else Ok { victim; at; restart = Some r })
+
+let parse_kill v = parse_outage "kill" ~allow_empty:true v
+let parse_crash v = parse_outage "crash" ~allow_empty:false v
 
 let parse_part v =
   match split2 '@' v with
@@ -134,6 +157,9 @@ let spec_of_string str =
             | "kill" ->
                 let* k = parse_kill v in
                 Ok { s with kills = s.kills @ [ k ] }
+            | "crash" ->
+                let* c = parse_crash v in
+                Ok { s with crashes = s.crashes @ [ c ] }
             | "part" ->
                 let* p = parse_part v in
                 Ok { s with partitions = s.partitions @ [ p ] }
@@ -141,7 +167,7 @@ let spec_of_string str =
                 Error
                   (Printf.sprintf
                      "unknown fault key %s (expected \
-                      loss/dup/corrupt/reorder/delay/part/kill)"
+                      loss/dup/corrupt/reorder/delay/part/kill/crash)"
                      key)))
       (Ok default_spec) items
 
@@ -194,13 +220,19 @@ let summary t =
   Printf.sprintf "seed=%d dropped=%d duplicated=%d corrupted=%d reordered=%d"
     t.sd t.st.dropped t.st.duplicated t.st.corrupted t.st.reordered
 
+(* Alive under one outage window: not this node, before the window, inside
+   an empty window, or at/after the restart. *)
+let outage_spares ~node ~now k =
+  k.victim <> node || now < k.at || (not (window_nonempty k))
+  || match k.restart with Some r -> now >= r | None -> false
+
 let node_alive t ~node ~now =
   (not t.live)
-  || List.for_all
-       (fun k ->
-         k.victim <> node || now < k.at
-         || match k.restart with Some r -> now >= r | None -> false)
-       t.sp.kills
+  || List.for_all (outage_spares ~node ~now) t.sp.kills
+     && List.for_all (outage_spares ~node ~now) t.sp.crashes
+
+let node_crashed t ~node ~now =
+  t.live && not (List.for_all (outage_spares ~node ~now) t.sp.crashes)
 
 let killed_during t ~node ~from_ ~until =
   if not t.live then None
@@ -208,10 +240,12 @@ let killed_during t ~node ~from_ ~until =
   else
     List.fold_left
       (fun acc k ->
-        if k.victim = node && k.at >= from_ && k.at < until then
-          match acc with Some a when a <= k.at -> acc | _ -> Some k.at
+        if
+          k.victim = node && window_nonempty k && k.at >= from_ && k.at < until
+        then match acc with Some a when a <= k.at -> acc | _ -> Some k.at
         else acc)
-      None t.sp.kills
+      None
+      (t.sp.kills @ t.sp.crashes)
 
 let partitioned t ~now ~src ~dst =
   List.exists

@@ -38,9 +38,13 @@ type spec = {
   reorder : float; (* probability of a large extra delay, 0..1 *)
   partitions : partition list;
   kills : kill list;
+  crashes : kill list;
+      (* full crash-restart windows: unlike [kills] (interface-only), a
+         crash destroys the node's in-memory state — see
+         {!Pm2_core.Cluster} for the recovery machinery *)
 }
 
-(** All probabilities zero, no partitions, no kills. *)
+(** All probabilities zero, no partitions, no kills, no crashes. *)
 val default_spec : spec
 
 (** Canonical rendering of the grammar below; [""] for {!default_spec}. *)
@@ -54,7 +58,10 @@ ITEM  := loss=P | dup=P | corrupt=P | reorder=P   (P a float in 0..1)
        | delay=US                                  (mean jitter, µs)
        | part=A-B\@T0-T1      (link A<->B severed during [T0,T1))
        | kill=N\@T            (node N's interface dies at T, forever)
-       | kill=N\@T0-T1        (dies at T0, restarts at T1)
+       | kill=N\@T0-T1        (dies at T0, restarts at T1; T1 = T0 is a
+                               degenerate no-op window)
+       | crash=N\@T           (node N crashes at T: full state loss)
+       | crash=N\@T0-T1       (crashes at T0, rejoins empty at T1 > T0)
     v}
 
     The empty string is a valid spec: it enables the failure-hardened
@@ -80,16 +87,22 @@ val seed : t -> int
 
 (** {1 Node life cycle} *)
 
-(** [node_alive t ~node ~now] is [false] while [node]'s network interface
-    is down per the kill schedule. Local computation is unaffected: the
-    fault model is fail-stop of the interconnect interface (crash-restart
-    of full node state is future work, see DESIGN.md). *)
+(** [node_alive t ~node ~now] is [false] while [node] is down per the kill
+    or crash schedule. For a [kill], local computation is unaffected: the
+    fault model is fail-stop of the interconnect interface. For a [crash],
+    the node's in-memory state is destroyed at the crash instant and the
+    node rejoins empty at the restart (see DESIGN §14). Degenerate
+    [kill=N\@T-T] windows never count as an outage. *)
 val node_alive : t -> node:int -> now:float -> bool
 
+(** [node_crashed t ~node ~now] is [true] while [node] is inside a crash
+    window: state destroyed and not yet restarted. *)
+val node_crashed : t -> node:int -> now:float -> bool
+
 (** [killed_during t ~node ~from_ ~until] is the earliest instant in
-    [[from_, until)] at which [node] is dead, if any — the test a
-    negotiation uses to decide whether its requester survives the
-    critical section. *)
+    [[from_, until)] at which [node] is dead (killed or crashed), if any —
+    the test a negotiation uses to decide whether its requester survives
+    the critical section. Zero-length windows are skipped. *)
 val killed_during : t -> node:int -> from_:float -> until:float -> float option
 
 (** {1 Per-message routing} *)

@@ -10,32 +10,37 @@ let frag_magic = 0x52454C54 (* "RELT": one fragment of a packet train *)
 
 let train_ack_magic = 0x52454C4B (* "RELK": whole-train acknowledgement *)
 
+let heartbeat_magic = 0x48424541 (* "HBEA": one liveness beacon, unacked *)
+
 (* Receiver-side reassembly of one in-flight train. [rx_ctx] is the
    causal-trace context carried by the fragments (if any); [rx_first] is
    the virtual arrival time of the first fragment — together they bound
-   the destination-side [Train] span. *)
+   the destination-side [Train] span. [rx_dst] lets a node crash tear down
+   its partial assemblies. *)
 type train_rx = {
   frags : Bytes.t option array;
   mutable have : int;
   mutable rx_ctx : (int * int) option;
   rx_first : float;
+  rx_dst : int;
 }
 
 type t = {
   net : Network.t;
   obs : Obs.Collector.t;
   max_attempts : int;
+  backoff_cap : int;
   fragment : int;
   mutable next_seq : int;
   (* seqs whose payload ran its delivery continuation (or whose session
      was torn down): any further copy is suppressed *)
   delivered : (int, unit) Hashtbl.t;
-  (* seqs awaiting an ack -> sender-side completion *)
-  pending : (int, unit -> unit) Hashtbl.t;
+  (* seqs awaiting an ack -> (sender node, sender-side completion) *)
+  pending : (int, int * (unit -> unit)) Hashtbl.t;
   (* train ids fully assembled (or torn down): later fragments are dups *)
   trains_delivered : (int, unit) Hashtbl.t;
   train_rx : (int, train_rx) Hashtbl.t;
-  train_pending : (int, unit -> unit) Hashtbl.t;
+  train_pending : (int, int * (unit -> unit)) Hashtbl.t;
   mutable next_train : int;
   mutable retransmits : int;
   mutable dups : int;
@@ -48,12 +53,16 @@ type t = {
   mutable tracer : Obs.Span.t option;
 }
 
-let create ?(obs = Obs.Collector.null) ?(max_attempts = 12) ?(fragment = 16384) net =
+let create ?(obs = Obs.Collector.null) ?(max_attempts = 12) ?(backoff_cap = 6)
+    ?(fragment = 16384) net =
   if fragment <= 0 then invalid_arg "Reliable.create: fragment must be positive";
+  if max_attempts < 1 then invalid_arg "Reliable.create: max_attempts must be >= 1";
+  if backoff_cap < 0 then invalid_arg "Reliable.create: backoff_cap must be >= 0";
   {
     net;
     obs;
     max_attempts;
+    backoff_cap;
     fragment;
     next_seq = 0;
     delivered = Hashtbl.create 64;
@@ -141,7 +150,7 @@ let handle_ack t b =
     | exception Invalid_argument _ -> ()
     | seq -> (
       match Hashtbl.find_opt t.pending seq with
-      | Some complete -> complete ()
+      | Some (_, complete) -> complete ()
       | None -> () (* late or duplicate ack *)))
   | Some _ | None -> ()
 
@@ -181,9 +190,11 @@ let send t ~src ~dst payload ~on_delivered ~on_failed =
     let bytes = Bytes.length wire in
     let engine = Network.engine t.net in
     let acked = ref false in
-    Hashtbl.replace t.pending seq (fun () ->
-        acked := true;
-        Hashtbl.remove t.pending seq);
+    Hashtbl.replace t.pending seq
+      ( src,
+        fun () ->
+          acked := true;
+          Hashtbl.remove t.pending seq );
     let rtt =
       Network.transfer_time t.net ~bytes
       +. Network.transfer_time t.net ~bytes:(Bytes.length (ack_frame ~seq:0))
@@ -222,13 +233,69 @@ let send t ~src ~dst payload ~on_delivered ~on_failed =
               (Obs.Event.Net_retransmit { src; dst; seq; attempt = n; bytes })
         end;
         Network.send t.net ~src ~dst wire (handle_data t ~src ~dst ~on_delivered);
-        let timeout = base_timeout *. (2. ** float_of_int (min (n - 1) 6)) in
+        let timeout =
+          base_timeout *. (2. ** float_of_int (min (n - 1) t.backoff_cap))
+        in
         Engine.schedule_after engine ~delay:timeout (fun () ->
             if not !acked then attempt (n + 1))
       end
     in
     attempt 1
   end
+
+(* -- heartbeats --------------------------------------------------------- *)
+
+(* One HBEA beacon: fire-and-forget through the faulty network (loss is
+   fine — the suspicion protocol tolerates missed beats; what matters is
+   that a dead or partitioned sender produces none at all). [gen] is the
+   sender's incarnation number, so a restarted node is recognisably new. *)
+let heartbeat_frame ~node ~gen =
+  let p = Packet.packer () in
+  Packet.pack_int p node;
+  Packet.pack_int p gen;
+  frame ~magic:heartbeat_magic (Packet.contents p)
+
+let send_heartbeat t ~src ~dst ~gen ~on_heard =
+  Network.send t.net ~src ~dst (heartbeat_frame ~node:src ~gen) (fun b ->
+      match parse_frame b with
+      | Some (magic, inner) when magic = heartbeat_magic -> (
+        match
+          let u = Packet.unpacker inner in
+          let node = Packet.unpack_int u in
+          let gen = Packet.unpack_int u in
+          (node, gen)
+        with
+        | exception Invalid_argument _ -> ()
+        | node, gen -> on_heard ~src:node ~gen)
+      | Some _ | None -> () (* corrupt beacon: just a missed beat *))
+
+(* -- crash teardown ----------------------------------------------------- *)
+
+(* A node crash wipes its half-assembled trains (the fragments lived in
+   the node's memory) and cancels every send session it originated: the
+   retransmission timers and completion continuations belonged to the
+   dead incarnation's protocol stack, so they are silenced — neither
+   delivery nor failure ever fires. Sessions *to* the dead node are left
+   alone: their senders are alive and give up on their own schedule
+   (or succeed after a restart). Returns the number of sessions torn
+   down (assemblies + cancelled sends). *)
+let forget_node t ~node =
+  let doomed =
+    Hashtbl.fold
+      (fun train rx acc -> if rx.rx_dst = node then train :: acc else acc)
+      t.train_rx []
+  in
+  List.iter (Hashtbl.remove t.train_rx) doomed;
+  let cancel pending =
+    let mine =
+      Hashtbl.fold
+        (fun _ (src, complete) acc -> if src = node then complete :: acc else acc)
+        pending []
+    in
+    List.iter (fun complete -> complete ()) mine;
+    List.length mine
+  in
+  List.length doomed + cancel t.pending + cancel t.train_pending
 
 (* -- packet trains ------------------------------------------------------ *)
 
@@ -264,7 +331,7 @@ let handle_train_ack t b =
     | exception Invalid_argument _ -> ()
     | train -> (
       match Hashtbl.find_opt t.train_pending train with
-      | Some complete -> complete ()
+      | Some (_, complete) -> complete ()
       | None -> () (* late or duplicate ack *)))
   | Some _ | None -> ()
 
@@ -302,15 +369,16 @@ let handle_frag t ~src ~dst ~on_delivered b =
       end
       else begin
         let now = Engine.now (Network.engine t.net) in
+        let fresh () =
+          { frags = Array.make nfrags None; have = 0; rx_ctx = None;
+            rx_first = now; rx_dst = dst }
+        in
         let rx =
           match Hashtbl.find_opt t.train_rx train with
           | Some rx when Array.length rx.frags = nfrags -> rx
-          | Some _ -> (* inconsistent geometry: treat as corrupt *)
-            { frags = Array.make nfrags None; have = 0; rx_ctx = None; rx_first = now }
+          | Some _ -> (* inconsistent geometry: treat as corrupt *) fresh ()
           | None ->
-            let rx =
-              { frags = Array.make nfrags None; have = 0; rx_ctx = None; rx_first = now }
-            in
+            let rx = fresh () in
             Hashtbl.replace t.train_rx train rx;
             rx
         in
@@ -379,9 +447,11 @@ let send_train ?trace t ~src ~dst payload ~on_delivered ~on_failed =
     let wire_bytes = List.fold_left (fun acc f -> acc + Bytes.length f) 0 frames in
     let engine = Network.engine t.net in
     let acked = ref false in
-    Hashtbl.replace t.train_pending train (fun () ->
-        acked := true;
-        Hashtbl.remove t.train_pending train);
+    Hashtbl.replace t.train_pending train
+      ( src,
+        fun () ->
+          acked := true;
+          Hashtbl.remove t.train_pending train );
     let rtt =
       Network.transfer_time t.net ~bytes:wire_bytes
       +. Network.transfer_time t.net ~bytes:(Bytes.length (train_ack_frame ~train:0))
@@ -428,7 +498,9 @@ let send_train ?trace t ~src ~dst payload ~on_delivered ~on_failed =
         List.iter
           (fun f -> Network.send t.net ~src ~dst f (handle_frag t ~src ~dst ~on_delivered))
           frames;
-        let timeout = base_timeout *. (2. ** float_of_int (min (n - 1) 6)) in
+        let timeout =
+          base_timeout *. (2. ** float_of_int (min (n - 1) t.backoff_cap))
+        in
         Engine.schedule_after engine ~delay:timeout (fun () ->
             if not !acked then attempt (n + 1))
       end

@@ -22,12 +22,23 @@
 
 type t
 
-(** [create ?obs ?max_attempts ?fragment net] — [fragment] is the packet
-    train fragment size in bytes (default 16 KB), the unit into which
-    {!send_train} cuts its payload.
-    @raise Invalid_argument if [fragment <= 0]. *)
+(** [create ?obs ?max_attempts ?backoff_cap ?fragment net] —
+    [max_attempts] (default 12) bounds the retransmission budget of
+    {!send} and {!send_train}; [backoff_cap] (default 6) caps the
+    exponential-backoff exponent, so the timeout of attempt [n] is
+    [base * 2 ^ min (n-1) backoff_cap]; [fragment] is the packet train
+    fragment size in bytes (default 16 KB), the unit into which
+    {!send_train} cuts its payload. The defaults reproduce the historic
+    behaviour exactly.
+    @raise Invalid_argument if [fragment <= 0], [max_attempts < 1] or
+    [backoff_cap < 0]. *)
 val create :
-  ?obs:Pm2_obs.Collector.t -> ?max_attempts:int -> ?fragment:int -> Network.t -> t
+  ?obs:Pm2_obs.Collector.t ->
+  ?max_attempts:int ->
+  ?backoff_cap:int ->
+  ?fragment:int ->
+  Network.t ->
+  t
 
 (** Attach a causal tracer: train assembly at the destination then closes
     a [Train] span (first fragment arrival → assembly) parented through
@@ -76,6 +87,31 @@ val send_train :
   on_delivered:(Bytes.t -> unit) ->
   on_failed:(reason:string -> unit) ->
   unit
+
+(** {1 Heartbeats}
+
+    Liveness beacons for the crash detector: one unacked, checksummed
+    [HBEA] frame per call, routed through the same faulty network as
+    everything else — a killed, crashed or partitioned sender produces
+    none, which is exactly the signal the suspicion protocol keys on. *)
+
+(** [send_heartbeat t ~src ~dst ~gen ~on_heard] fires one beacon carrying
+    the sender id and its incarnation number [gen]; [on_heard ~src ~gen]
+    runs at the destination iff the beacon survives the fault plan. No
+    retransmission: a lost beacon is just a missed beat. *)
+val send_heartbeat :
+  t -> src:int -> dst:int -> gen:int -> on_heard:(src:int -> gen:int -> unit) -> unit
+
+(** {1 Crash teardown} *)
+
+(** [forget_node t ~node] discards the partial train assemblies held in
+    [node]'s memory (a crash destroys them) and silently cancels every
+    send session [node] originated — the dead incarnation's timers and
+    continuations never fire, neither as delivery nor as failure.
+    Sessions {e to} the dead node are untouched: their senders are alive
+    and give up on their own schedule (or succeed after a restart).
+    Returns how many sessions were torn down. *)
+val forget_node : t -> node:int -> int
 
 (** {1 Statistics} *)
 

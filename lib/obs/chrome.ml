@@ -161,6 +161,34 @@ let add_event buf ~time ~node ev =
   | Thread_printf { tid; text } ->
     instant ~name:"pm2_printf" ~cat:"guest"
       ~args:(Printf.sprintf "\"tid\":%d,\"text\":\"%s\"" tid (escape text))
+  | Node_crash { node; threads } ->
+    instant ~name:"node.crash" ~cat:"fault"
+      ~args:(Printf.sprintf "\"node\":%d,\"threads\":%d" node threads)
+  | Node_suspected { node; by } ->
+    instant ~name:"node.suspected" ~cat:"fault"
+      ~args:(Printf.sprintf "\"node\":%d,\"by\":%d" node by)
+  | Node_dead { node; by } ->
+    instant ~name:"node.dead" ~cat:"fault"
+      ~args:(Printf.sprintf "\"node\":%d,\"by\":%d" node by)
+  | Checkpoint { tid; node; bytes; full_bytes; new_pages } ->
+    instant ~name:"recover.checkpoint" ~cat:"recover"
+      ~args:
+        (Printf.sprintf
+           "\"tid\":%d,\"node\":%d,\"bytes\":%d,\"full_bytes\":%d,\"new_pages\":%d"
+           tid node bytes full_bytes new_pages)
+  | Thread_restore { tid; node; from_node; gen } ->
+    instant ~name:"recover.restore" ~cat:"recover"
+      ~args:
+        (Printf.sprintf "\"tid\":%d,\"node\":%d,\"from_node\":%d,\"gen\":%d" tid node
+           from_node gen)
+  | Thread_lost { tid; node; reason } ->
+    instant ~name:"recover.lost" ~cat:"recover"
+      ~args:
+        (Printf.sprintf "\"tid\":%d,\"node\":%d,\"reason\":\"%s\"" tid node
+           (escape reason))
+  | Delta_invalidate { node; peer; entries } ->
+    instant ~name:"delta.invalidate" ~cat:"migration"
+      ~args:(Printf.sprintf "\"node\":%d,\"peer\":%d,\"entries\":%d" node peer entries)
 
 let to_buffer t buf =
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in

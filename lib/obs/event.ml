@@ -84,6 +84,19 @@ type t =
       note : string;
     }
   | Thread_printf of { tid : int; text : string }
+  | Node_crash of { node : int; threads : int }
+  | Node_suspected of { node : int; by : int }
+  | Node_dead of { node : int; by : int }
+  | Checkpoint of {
+      tid : int;
+      node : int;
+      bytes : int;
+      full_bytes : int;
+      new_pages : int;
+    }
+  | Thread_restore of { tid : int; node : int; from_node : int; gen : int }
+  | Thread_lost of { tid : int; node : int; reason : string }
+  | Delta_invalidate of { node : int; peer : int; entries : int }
 
 and fault_kind =
   | Drop_loss
@@ -156,6 +169,13 @@ let name = function
   | Delta_evict _ -> "delta.evict"
   | Span_end { kind; _ } -> "span." ^ span_kind_name kind
   | Thread_printf _ -> "thread.printf"
+  | Node_crash _ -> "node.crash"
+  | Node_suspected _ -> "node.suspected"
+  | Node_dead _ -> "node.dead"
+  | Checkpoint _ -> "recover.checkpoint"
+  | Thread_restore _ -> "recover.restore"
+  | Thread_lost _ -> "recover.lost"
+  | Delta_invalidate _ -> "delta.invalidate"
 
 let pp ppf ev =
   match ev with
@@ -243,6 +263,22 @@ let pp ppf ev =
       (span_kind_name kind) trace span parent start dur host_us
       (if note = "" then "" else " " ^ note)
   | Thread_printf { tid; text } -> Format.fprintf ppf "thread.printf tid=%d %S" tid text
+  | Node_crash { node; threads } ->
+    Format.fprintf ppf "node.crash node%d %d threads stranded" node threads
+  | Node_suspected { node; by } ->
+    Format.fprintf ppf "node.suspected node%d by node%d" node by
+  | Node_dead { node; by } ->
+    Format.fprintf ppf "node.dead node%d declared by node%d" node by
+  | Checkpoint { tid; node; bytes; full_bytes; new_pages } ->
+    Format.fprintf ppf "recover.checkpoint tid=%d node%d %dB (full %dB, %d new pages)"
+      tid node bytes full_bytes new_pages
+  | Thread_restore { tid; node; from_node; gen } ->
+    Format.fprintf ppf "recover.restore tid=%d node%d<-node%d gen=%d" tid node
+      from_node gen
+  | Thread_lost { tid; node; reason } ->
+    Format.fprintf ppf "recover.lost tid=%d node%d: %s" tid node reason
+  | Delta_invalidate { node; peer; entries } ->
+    Format.fprintf ppf "delta.invalidate node%d peer=%d %d entries" node peer entries
 
 (* Structured rendering for the flight recorder and the stream sink.
    Every variant becomes {"name":..., ...fields} — flat, one object per
@@ -314,5 +350,17 @@ let to_json ev =
         f "host_us" host_us ]
       @ (if note = "" then [] else [ s "note" note ])
     | Thread_printf { tid; text } -> [ i "tid" tid; s "text" text ]
+    | Node_crash { node; threads } -> [ i "node" node; i "threads" threads ]
+    | Node_suspected { node; by } | Node_dead { node; by } ->
+      [ i "node" node; i "by" by ]
+    | Checkpoint { tid; node; bytes; full_bytes; new_pages } ->
+      [ i "tid" tid; i "node" node; i "bytes" bytes; i "full_bytes" full_bytes;
+        i "new_pages" new_pages ]
+    | Thread_restore { tid; node; from_node; gen } ->
+      [ i "tid" tid; i "node" node; i "from_node" from_node; i "gen" gen ]
+    | Thread_lost { tid; node; reason } ->
+      [ i "tid" tid; i "node" node; s "reason" reason ]
+    | Delta_invalidate { node; peer; entries } ->
+      [ i "node" node; i "peer" peer; i "entries" entries ]
   in
   Json.Obj (("name", Json.Str (name ev)) :: fields)

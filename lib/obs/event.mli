@@ -136,6 +136,28 @@ type t =
           event (the legacy trace sink ignores it). *)
   | Thread_printf of { tid : int; text : string }
       (** One [pm2_printf] output line (the legacy trace format). *)
+  | Node_crash of { node : int; threads : int }
+      (** [node] lost its full in-memory state; [threads] of its threads
+          are stranded awaiting recovery. *)
+  | Node_suspected of { node : int; by : int }
+      (** Observer [by] missed enough heartbeats to suspect [node]. *)
+  | Node_dead of { node : int; by : int }
+      (** Observer [by] declared [node] dead; failover begins. *)
+  | Checkpoint of {
+      tid : int;
+      node : int;
+      bytes : int; (* incremental image bytes written to the store *)
+      full_bytes : int; (* what a from-scratch image would have cost *)
+      new_pages : int; (* pages not already in the content pool *)
+    }  (** One thread image snapshotted into the {!Image_store}. *)
+  | Thread_restore of { tid : int; node : int; from_node : int; gen : int }
+      (** [tid], last seen on [from_node] (incarnation [gen]), was
+          reinstated on [node] from its latest checkpoint. *)
+  | Thread_lost of { tid : int; node : int; reason : string }
+      (** [tid] could not be recovered after [node]'s crash. *)
+  | Delta_invalidate of { node : int; peer : int; entries : int }
+      (** [node] dropped [entries] residual-knowledge entries about
+          [peer] after [peer]'s crash/death. *)
 
 (** How the fault plan interfered with a message. *)
 and fault_kind =

@@ -178,6 +178,20 @@ let on_event t ~node (ev : Event.t) =
     observe t ~node (key ^ "_us") dur;
     observe t ~node "span.host_us" host_us
   | Thread_printf _ -> incr t ~node key
+  | Node_crash { threads; _ } ->
+    incr t ~node key;
+    incr t ~node ~by:threads "recover.stranded_threads"
+  | Node_suspected _ | Node_dead _ -> incr t ~node key
+  | Checkpoint { bytes; full_bytes; new_pages; _ } ->
+    incr t ~node key;
+    incr t ~node ~by:bytes "recover.checkpoint_bytes";
+    incr t ~node ~by:full_bytes "recover.checkpoint_full_bytes";
+    incr t ~node ~by:new_pages "recover.checkpoint_new_pages";
+    observe t ~node "recover.checkpoint_image_bytes" (float_of_int bytes)
+  | Thread_restore _ | Thread_lost _ -> incr t ~node key
+  | Delta_invalidate { entries; _ } ->
+    incr t ~node key;
+    incr t ~node ~by:entries "delta.invalidated_entries"
 
 let sink t = Sink.make ~name:"metrics" (fun ~time:_ ~node ev -> on_event t ~node ev)
 

@@ -1,0 +1,40 @@
+(** Phi-style heartbeat failure detector (virtual time, pure state).
+
+    Surviving nodes beacon each other with HBEA frames
+    ({!Pm2_net.Reliable.send_heartbeat}); the cluster feeds every beacon
+    that survives the fault plan into {!heard} and polls {!verdict} on a
+    monitor tick. Silence past [suspect_after] beacon intervals yields
+    [Suspected]; past [dead_after] intervals, [Dead]. A suspected peer
+    that proves alive doubles its personal threshold scale (capped at
+    8x) — exponential backoff against flapping — so detection time stays
+    bounded by {!detection_bound}. *)
+
+type verdict = Alive | Suspected | Dead
+
+type t
+
+(** [create ~nodes ~interval ~now ()] — [interval] is the beacon period
+    in virtual µs; [now] baselines every peer as just-heard.
+    Defaults: [suspect_after] 3, [dead_after] 8.
+    @raise Invalid_argument unless
+    [1 <= suspect_after < dead_after], [nodes > 0], [interval > 0]. *)
+val create :
+  ?suspect_after:int -> ?dead_after:int -> nodes:int -> interval:float -> now:float ->
+  unit -> t
+
+(** A beacon from [node] (incarnation [gen]) arrived at [now]. Clears any
+    standing suspicion, doubling the peer's backoff scale. *)
+val heard : t -> node:int -> gen:int -> now:float -> unit
+
+(** Re-baseline [node] as just-heard (observed restart), keeping its
+    backoff scale. *)
+val reset : t -> node:int -> now:float -> unit
+
+val generation : t -> node:int -> int
+(** The incarnation number carried by [node]'s last beacon. *)
+
+val verdict : t -> node:int -> now:float -> verdict
+
+val detection_bound : t -> float
+(** Worst-case virtual time from a peer's last beacon to a [Dead]
+    verdict, at maximal backoff. *)

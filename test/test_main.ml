@@ -22,6 +22,7 @@ let () =
       ("core.cluster", Test_cluster.tests);
       ("core.group", Test_group.tests);
       ("core.delta", Test_delta.tests);
+      ("core.recover", Test_recover.tests);
       ("obs", Test_obs.tests);
       ("obs.trace", Test_trace.tests);
       ("core.extensions", Test_extensions.tests);
