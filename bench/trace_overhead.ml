@@ -142,17 +142,23 @@ let run_workload ?policy ?(tracing = false) ?(sinks = []) () =
     spans = !spans;
   }
 
-(* Host wall-clock of one run, tracing on or off; min-of-[reps] is the
-   noise-robust estimator (a run can only be slowed down by the host). *)
-let host_time ?policy ~tracing ~reps () =
-  let best = ref infinity in
+(* Host wall-clock, tracing off vs on, min-of-[reps] each. The two
+   variants are interleaved rep-by-rep so slow drift in host speed
+   (frequency scaling, noisy neighbours) hits both equally instead of
+   masquerading as tracing overhead; min is the noise-robust estimator
+   (a run can only be slowed down by the host). *)
+let host_times ?policy ~reps () =
+  let best_off = ref infinity and best_on = ref infinity in
   for _ = 1 to reps do
-    let sinks = if tracing then [ Obs.Chrome.sink (Obs.Chrome.create ()) ] else [] in
     let t0 = Unix.gettimeofday () in
-    ignore (run_workload ?policy ~tracing ~sinks ());
-    best := Float.min !best (Unix.gettimeofday () -. t0)
+    ignore (run_workload ?policy ~tracing:false ());
+    best_off := Float.min !best_off (Unix.gettimeofday () -. t0);
+    let sinks = [ Obs.Chrome.sink (Obs.Chrome.create ()) ] in
+    let t1 = Unix.gettimeofday () in
+    ignore (run_workload ?policy ~tracing:true ~sinks ());
+    best_on := Float.min !best_on (Unix.gettimeofday () -. t1)
   done;
-  !best
+  (!best_off, !best_on)
 
 let balanced_policy = Balancer.Access_imbalance { ratio = 2.; min_pages = 4 }
 
@@ -205,9 +211,8 @@ let run () =
   if traced.spans = 0 then failwith "trace_overhead: tracing-on run emitted no spans";
   if plain.spans <> 0 then failwith "trace_overhead: tracing-off run emitted spans";
   (* (2) host-time overhead, min over repetitions. *)
-  let reps = 5 in
-  let off = host_time ~policy:balanced_policy ~tracing:false ~reps () in
-  let on = host_time ~policy:balanced_policy ~tracing:true ~reps () in
+  let reps = 21 in
+  let off, on = host_times ~policy:balanced_policy ~reps () in
   let overhead = (on -. off) /. off in
   Harness.note "host time (min of %d): %.2f ms off, %.2f ms on -> %+.1f%% overhead" reps
     (off *. 1000.) (on *. 1000.) (overhead *. 100.);

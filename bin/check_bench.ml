@@ -13,7 +13,11 @@
    ping-pong entry must show at least a 60% steady-state wire-byte
    reduction over the v2 baseline with no fallback on a clean run, and
    the hash-mismatch entry must show the corrupted residual re-fetched
-   and the payload intact. `--require-suite NAME` (repeatable)
+   and the payload intact. For "mvm" (the execution engines) the
+   blocks engine must beat the step interpreter by at least 5x host
+   ns/instruction on the loop-heavy guest and the three engines must
+   agree byte-for-byte on every virtual-time output of the parity
+   workload. `--require-suite NAME` (repeatable)
    additionally fails if no entry of suite NAME is present — the @ci
    alias uses it to pin both migration suites into the trajectory. *)
 
@@ -122,6 +126,30 @@ let check_known_suite ~suite ~name metrics =
         (get "ckpt_ratio_steady");
     if get "dedup_pages" < 1. then
       fail "%s/%s: the content pool never deduplicated a page" suite name
+  | "mvm", "loop-heavy" ->
+    if get "speedup_blocks_vs_step" < 5.0 then
+      fail "%s/%s: blocks engine %.2fx over step, below the 5x bar" suite name
+        (get "speedup_blocks_vs_step");
+    if get "speedup_threaded_vs_step" < 1.5 then
+      fail "%s/%s: threaded engine %.2fx over step, below the 1.5x bar" suite name
+        (get "speedup_threaded_vs_step");
+    ignore (get "step_ns_per_instr");
+    ignore (get "blocks_ns_per_instr")
+  | "mvm", "call-heavy" ->
+    if get "speedup_blocks_vs_step" < 2.5 then
+      fail "%s/%s: blocks engine %.2fx over step, below the 2.5x bar" suite name
+        (get "speedup_blocks_vs_step");
+    if get "speedup_threaded_vs_step" < 1.5 then
+      fail "%s/%s: threaded engine %.2fx over step, below the 1.5x bar" suite name
+        (get "speedup_threaded_vs_step")
+  | "mvm", "engine-parity" ->
+    if get "identical" <> 1. then
+      fail
+        "%s/%s: step/threaded/blocks diverged on virtual-time outputs" suite name;
+    ignore (get "makespan_us");
+    ignore (get "wire_bytes");
+    if get "migrations" < 1. then
+      fail "%s/%s: parity workload never migrated" suite name
   | "trace-overhead", "telemetry-placement" ->
     if get "heat_imbalance_access" >= get "heat_imbalance_load" then
       fail "%s/%s: access-imbalance did not beat the load policy on node heat" suite

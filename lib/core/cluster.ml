@@ -9,6 +9,7 @@ module Fault = Pm2_fault
 module Interp = Pm2_mvm.Interp
 module Isa = Pm2_mvm.Isa
 module Program = Pm2_mvm.Program
+module Mvm_engine = Pm2_mvm.Engine
 module Malloc = Pm2_heap.Malloc
 module Dlist = Pm2_util.Dlist
 module Vec = Pm2_util.Vec
@@ -55,6 +56,12 @@ type config = {
   net_backoff_cap : int;
       (* Reliable-layer exponential-backoff cap (doublings of the base
          timeout); attempts beyond it retry at the capped interval *)
+  engine_kind : Pm2_mvm.Engine.kind;
+      (* MVM execution engine: Step (per-instruction reference oracle),
+         Threaded (pre-decoded run-until-event dispatch) or Blocks
+         (basic-block closure compilation, the default). All three
+         produce byte-identical virtual-time outputs; only host-side
+         ns/instruction differs. *)
 }
 
 let default_config ~nodes =
@@ -78,6 +85,7 @@ let default_config ~nodes =
     checkpoint_interval = 0.;
     net_max_attempts = 12;
     net_backoff_cap = 6;
+    engine_kind = Pm2_mvm.Engine.Blocks;
   }
 
 type migration_record = {
@@ -139,6 +147,7 @@ type t = {
   trace : Trace.t;
   obs : Obs.Collector.t;
   program : Program.t;
+  exec : Mvm_engine.t; (* shared MVM execution engine (no per-thread state) *)
   nodes : Node.t array;
   neg : Negotiation.t;
   threads : (int, Thread.t) Hashtbl.t;
@@ -242,6 +251,7 @@ let create (config : config) program =
     trace;
     obs;
     program;
+    exec = Mvm_engine.create config.engine_kind program;
     nodes;
     neg =
       Negotiation.create ~obs ~faults:config.faults ~geometry
@@ -598,13 +608,27 @@ and run_quantum t node (th : Thread.t) =
   | _ ->
     th.Thread.pending_migration <- None;
     let cost = t.config.cost in
+    (* Run-until-event: the engine executes whole slices between
+       scheduler events instead of bouncing back per instruction. Fuel
+       is an exact instruction budget, and the per-instruction charge
+       loop reproduces the historic one-float-add-per-step accumulation
+       sequence (NOT steps *. instr_cost — float addition is not
+       associative and virtual time must stay byte-identical). The
+       engine's fuel check precedes its wild-pc check, preserving the
+       old requeue-then-fault-next-quantum ordering. Syscalls return
+       here with the Sys instruction uncharged and unconsumed; the
+       historic combined charge and 5-unit budget cost apply below. *)
     let rec loop budget =
       if budget <= 0 then Requeue
       else begin
-        match Interp.step t.program th.Thread.ctx node.Node.space with
-        | Interp.Running ->
-          Node.charge node cost.Cm.instr_cost;
-          loop (budget - 1)
+        let outcome, steps =
+          Mvm_engine.run t.exec th.Thread.ctx node.Node.space ~fuel:budget
+        in
+        for _ = 1 to steps do
+          Node.charge node cost.Cm.instr_cost
+        done;
+        match outcome with
+        | Interp.Running -> Requeue
         | Interp.Halted ->
           exit_thread t node th Thread.Halted;
           Dead
@@ -613,7 +637,7 @@ and run_quantum t node (th : Thread.t) =
         | Interp.Syscall sc ->
           Node.charge node (cost.Cm.instr_cost +. cost.Cm.syscall_base);
           (match dispatch t node th sc with
-           | `Continue -> loop (budget - 5)
+           | `Continue -> loop (budget - steps - 5)
            | `Requeue -> Requeue
            | `Left -> Left
            | `Dead -> Dead)

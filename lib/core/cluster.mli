@@ -51,6 +51,12 @@ type config = {
   net_backoff_cap : int;
       (* exponent cap of the reliable layer's exponential backoff:
          timeouts scale up to [2^cap] x the base estimate (default 6) *)
+  engine_kind : Pm2_mvm.Engine.kind;
+      (* MVM execution engine: [Step] (per-instruction reference
+         oracle), [Threaded] (pre-decoded run-until-event dispatch) or
+         [Blocks] (basic-block closure compilation — the default). All
+         three produce byte-identical virtual-time outputs; only host
+         ns/instruction differs. See DESIGN §15 *)
 }
 
 val default_config : nodes:int -> config

@@ -67,6 +67,7 @@ module Config : sig
     ?checkpoint_interval:float ->
     ?net_max_attempts:int ->
     ?net_backoff_cap:int ->
+    ?engine:Pm2_mvm.Engine.kind ->
     unit ->
     Cluster.config
 end

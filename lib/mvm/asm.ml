@@ -111,8 +111,5 @@ let assemble b : Program.t =
        | None -> failwith (Printf.sprintf "Asm: undefined label %s" name)
        | Some target -> Vec.set b.code idx (Isa.with_target (Vec.get b.code idx) target))
     b.fixups;
-  {
-    Program.code = Vec.to_array b.code;
-    data = Buffer.to_bytes b.data;
-    entries = List.rev b.entries;
-  }
+  Program.make ~code:(Vec.to_array b.code) ~data:(Buffer.to_bytes b.data)
+    ~entries:(List.rev b.entries)

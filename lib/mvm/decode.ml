@@ -1,0 +1,160 @@
+(* Pre-decoded program form: the variant-free lowering of [Isa.instr]
+   that the fast execution engines run from.
+
+   One instruction becomes a fixed-width group of [stride] ints in one
+   flat array — opcode, then up to three operand fields — so the hot
+   loop fetches with two [Array.unsafe_get]s from a single cache-warm
+   buffer and dispatches on a small dense int (which the OCaml compiler
+   turns into a jump table), never touching the boxed AST.
+
+   Decoding validates every register operand once, up front; that single
+   check is what licenses the engines' unchecked register-file accesses.
+   Branch/call targets are deliberately NOT validated: a wild target is
+   defined guest behaviour (the [Wild_pc] fault, detected at the fetch
+   of the next instruction), not a malformed program. *)
+
+type t = {
+  code : int array; (* stride-wide groups: op, a, b, c per pc *)
+  len : int; (* instruction count = Array.length code / stride *)
+}
+
+let stride = 4
+
+(* Opcodes follow [Isa.instr] constructor order exactly. *)
+let op_imm = 0
+let op_mov = 1
+let op_add = 2
+let op_sub = 3
+let op_mul = 4
+let op_div = 5
+let op_mod = 6
+let op_addi = 7
+let op_load = 8
+let op_store = 9
+let op_push = 10
+let op_pop = 11
+let op_sp = 12
+let op_fp = 13
+let op_jmp = 14
+let op_beq = 15
+let op_bne = 16
+let op_blt = 17
+let op_bge = 18
+let op_call = 19
+let op_ret = 20
+let op_enter = 21
+let op_leave = 22
+let op_sys = 23
+let op_halt = 24
+let op_nop = 25
+
+(* An instruction that unconditionally ends a basic block: control never
+   falls through to pc+1 without the engine re-entering its driver. *)
+let is_terminator op =
+  (op >= op_jmp && op <= op_ret) || op = op_sys || op = op_halt
+
+let int_of_syscall : Isa.syscall -> int = function
+  | Isa.Sys_print -> 0
+  | Sys_migrate -> 1
+  | Sys_isomalloc -> 2
+  | Sys_isofree -> 3
+  | Sys_malloc -> 4
+  | Sys_free -> 5
+  | Sys_self -> 6
+  | Sys_node -> 7
+  | Sys_yield -> 8
+  | Sys_register_ptr -> 9
+  | Sys_unregister_ptr -> 10
+  | Sys_spawn -> 11
+  | Sys_clock -> 12
+  | Sys_rand -> 13
+  | Sys_workload -> 14
+  | Sys_migrate_thread -> 15
+  | Sys_rpc -> 16
+  | Sys_join -> 17
+  | Sys_isorealloc -> 18
+  | Sys_sem_create -> 19
+  | Sys_sem_p -> 20
+  | Sys_sem_v -> 21
+  | Sys_sleep -> 22
+  | Sys_barrier -> 23
+
+let syscall_table : Isa.syscall array =
+  [|
+    Isa.Sys_print;
+    Sys_migrate;
+    Sys_isomalloc;
+    Sys_isofree;
+    Sys_malloc;
+    Sys_free;
+    Sys_self;
+    Sys_node;
+    Sys_yield;
+    Sys_register_ptr;
+    Sys_unregister_ptr;
+    Sys_spawn;
+    Sys_clock;
+    Sys_rand;
+    Sys_workload;
+    Sys_migrate_thread;
+    Sys_rpc;
+    Sys_join;
+    Sys_isorealloc;
+    Sys_sem_create;
+    Sys_sem_p;
+    Sys_sem_v;
+    Sys_sleep;
+    Sys_barrier;
+  |]
+
+let syscall_of_int n = syscall_table.(n)
+
+let of_code (code : Isa.instr array) : t =
+  let len = Array.length code in
+  let d = Array.make (len * stride) 0 in
+  let reg pc r =
+    if r < 0 || r >= Isa.num_regs then
+      invalid_arg
+        (Printf.sprintf "Decode.of_code: register r%d out of range at pc %d" r pc);
+    r
+  in
+  let put pc op a b c =
+    let base = pc * stride in
+    d.(base) <- op;
+    d.(base + 1) <- a;
+    d.(base + 2) <- b;
+    d.(base + 3) <- c
+  in
+  Array.iteri
+    (fun pc i ->
+      match i with
+      | Isa.Imm (rd, v) -> put pc op_imm (reg pc rd) v 0
+      | Mov (rd, rs) -> put pc op_mov (reg pc rd) (reg pc rs) 0
+      | Add (rd, a, b) -> put pc op_add (reg pc rd) (reg pc a) (reg pc b)
+      | Sub (rd, a, b) -> put pc op_sub (reg pc rd) (reg pc a) (reg pc b)
+      | Mul (rd, a, b) -> put pc op_mul (reg pc rd) (reg pc a) (reg pc b)
+      | Div (rd, a, b) -> put pc op_div (reg pc rd) (reg pc a) (reg pc b)
+      | Mod (rd, a, b) -> put pc op_mod (reg pc rd) (reg pc a) (reg pc b)
+      | Addi (rd, rs, v) -> put pc op_addi (reg pc rd) (reg pc rs) v
+      | Load (rd, rs, off) -> put pc op_load (reg pc rd) (reg pc rs) off
+      | Store (rs, rbase, off) -> put pc op_store (reg pc rs) (reg pc rbase) off
+      | Push rs -> put pc op_push (reg pc rs) 0 0
+      | Pop rd -> put pc op_pop (reg pc rd) 0 0
+      | Sp rd -> put pc op_sp (reg pc rd) 0 0
+      | Fp rd -> put pc op_fp (reg pc rd) 0 0
+      | Jmp tgt -> put pc op_jmp tgt 0 0
+      | Beq (a, b, tgt) -> put pc op_beq (reg pc a) (reg pc b) tgt
+      | Bne (a, b, tgt) -> put pc op_bne (reg pc a) (reg pc b) tgt
+      | Blt (a, b, tgt) -> put pc op_blt (reg pc a) (reg pc b) tgt
+      | Bge (a, b, tgt) -> put pc op_bge (reg pc a) (reg pc b) tgt
+      | Call tgt -> put pc op_call tgt 0 0
+      | Ret -> put pc op_ret 0 0 0
+      | Enter n -> put pc op_enter n 0 0
+      | Leave -> put pc op_leave 0 0 0
+      | Sys sc -> put pc op_sys (int_of_syscall sc) 0 0
+      | Halt -> put pc op_halt 0 0 0
+      | Nop -> put pc op_nop 0 0 0)
+    code;
+  { code = d; len }
+
+let op t pc = t.code.(pc * stride)

@@ -31,8 +31,9 @@ let pp_fault ppf = function
 let step program ctx space =
   if ctx.pc < 0 || ctx.pc >= Program.code_size program then Fault (Wild_pc ctx.pc)
   else begin
-    let i = Program.instr program ctx.pc in
-    ctx.pc <- ctx.pc + 1;
+    let ipc = ctx.pc in
+    let i = Program.instr program ipc in
+    ctx.pc <- ipc + 1;
     let r = ctx.regs in
     try
       match i with
@@ -52,13 +53,19 @@ let step program ctx space =
         r.(rd) <- r.(a) * r.(b);
         Running
       | Div (rd, a, b) ->
-        if r.(b) = 0 then Fault Division_by_zero
+        if r.(b) = 0 then begin
+          ctx.pc <- ipc;
+          Fault Division_by_zero
+        end
         else begin
           r.(rd) <- r.(a) / r.(b);
           Running
         end
       | Mod (rd, a, b) ->
-        if r.(b) = 0 then Fault Division_by_zero
+        if r.(b) = 0 then begin
+          ctx.pc <- ipc;
+          Fault Division_by_zero
+        end
         else begin
           r.(rd) <- r.(a) mod r.(b);
           Running
@@ -127,5 +134,13 @@ let step program ctx space =
       | Sys sc -> Syscall sc
       | Halt -> Halted
       | Nop -> Running
-    with As.Segfault { addr; _ } -> Fault (Segv addr)
+    with As.Segfault { addr; _ } ->
+      (* Restore the faulting instruction's pc: [ctx.pc] was already
+         advanced (and [Call]/[Jmp] never reach their pc assignment when
+         the memory access faults first), so without this the report
+         points one past — or nowhere near — the faulting instruction.
+         Partial [sp]/[fp] mutations before the faulting access persist,
+         as on a real machine. *)
+      ctx.pc <- ipc;
+      Fault (Segv addr)
   end

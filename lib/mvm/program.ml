@@ -5,7 +5,26 @@ type t = {
   code : Isa.instr array;
   data : Bytes.t;
   entries : (string * int) list;
+  mutable decoded_ : Decode.t option;
 }
+
+let make ~code ~data ~entries =
+  (* Pre-decode at load time: the boxed AST is lowered once, here, and
+     every engine (and every cluster sharing this image) runs from the
+     same flat form. Decoding also validates register operands up front,
+     so a malformed image fails at assembly, not mid-run. *)
+  let t = { code; data; entries; decoded_ = None } in
+  t.decoded_ <- Some (Decode.of_code code);
+  t
+
+let decoded t =
+  match t.decoded_ with
+  | Some d -> d
+  | None ->
+    (* Images built by hand as record literals (tests) decode lazily. *)
+    let d = Decode.of_code t.code in
+    t.decoded_ <- Some d;
+    d
 
 let entry t name =
   match List.assoc_opt name t.entries with

@@ -10,7 +10,21 @@ type t = {
   code : Isa.instr array;
   data : Bytes.t; (* static-data image, loaded at [Layout.data_base] *)
   entries : (string * int) list; (* named entry points -> pc *)
+  mutable decoded_ : Decode.t option;
+      (* the pre-decoded form, filled by [make] (or lazily on first
+         [decoded] for hand-built record literals); use [decoded] *)
 }
+
+(** [make ~code ~data ~entries] builds an image and pre-decodes it —
+    the boxed AST is lowered to the flat {!Decode.t} form once, at load
+    time, which also validates every register operand up front.
+    @raise Invalid_argument on a register operand out of range. *)
+val make :
+  code:Isa.instr array -> data:Bytes.t -> entries:(string * int) list -> t
+
+val decoded : t -> Decode.t
+(** The pre-decoded form (memoized; decodes on first use for images
+    built as bare record literals). *)
 
 val entry : t -> string -> int
 (** Program counter of a named entry point. @raise Not_found. *)

@@ -227,6 +227,18 @@ let page_hash t a =
     t.last_dirty <- -1;
     h
 
+(* Raw page handles for the MVM execution engine's inlined load/store
+   fast path. [page_for_read]/[page_for_write] are exactly the internal
+   [page]/[wpage] lookups (including the dirty mark on the write side);
+   the returned buffer aliases the live page and is valid only until the
+   next [munmap]/[scrub_range], so callers must drop their handle at
+   every point such a call could run (the engine keeps them only within
+   one uninterrupted run-until-event slice, where the guest cannot
+   unmap). *)
+let page_for_read t a = page t "load" a
+
+let page_for_write t a = wpage t "store" a
+
 let load_u8 t a = Char.code (Bytes.get (page t "load" a) (a land (Layout.page_size - 1)))
 
 let store_u8 t a v =

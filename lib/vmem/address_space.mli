@@ -123,6 +123,21 @@ val page_bytes_hash : Bytes.t -> int
 
 (** {1 Typed access} *)
 
+(** [page_for_read t a] is the live page buffer containing [a] — the
+    building block of the MVM engine's inlined word-access fast path.
+    The handle aliases the mapped page and stays valid only until the
+    next {!munmap}/{!scrub_range}; callers must re-fetch it at any point
+    such a call could run. @raise Segfault if the page is unmapped. *)
+val page_for_read : t -> addr -> Bytes.t
+
+(** [page_for_write t a] is {!page_for_read} plus the dirty-page mark of
+    a store ({!page_dirty}, access epochs, hash-memo invalidation) — use
+    it before writing into the returned buffer. Subsequent direct writes
+    to the same page within one uninterrupted slice need no re-mark: the
+    page is already stamped with the current epoch.
+    @raise Segfault if the page is unmapped. *)
+val page_for_write : t -> addr -> Bytes.t
+
 val load_u8 : t -> addr -> int
 val store_u8 : t -> addr -> int -> unit
 

@@ -4,6 +4,8 @@ module Isa = Pm2_mvm.Isa
 module Asm = Pm2_mvm.Asm
 module Program = Pm2_mvm.Program
 module Interp = Pm2_mvm.Interp
+module Engine = Pm2_mvm.Engine
+module Decode = Pm2_mvm.Decode
 open Asm
 
 (* Minimal harness: run a program on a bare space with a 64 KB stack; a
@@ -271,6 +273,356 @@ let test_context_copy () =
   Alcotest.(check int) "registers are deep-copied" 77 ctx.Interp.regs.(3);
   Alcotest.(check int) "pc copied" 5 c2.Interp.pc
 
+(* ===== execution engines: differential + edge-case coverage =====
+
+   The step interpreter is the oracle; Threaded and Blocks must match
+   it exactly — registers, sp/fp/pc, memory, outcome, instruction
+   counts — for every program and every fuel chunking. *)
+
+let scratch_base = 0x300000
+let scratch_size = 16 * Layout.page_size
+
+(* Full final-state snapshot of one run, compared across engines. *)
+type snap = {
+  s_outcome : string;
+  s_regs : int array;
+  s_sp : int;
+  s_fp : int;
+  s_pc : int;
+  s_steps : int;
+  s_syscalls : int;
+  s_scratch_sum : int;
+  s_dirty : bool list; (* per scratch page: store-path bookkeeping parity *)
+}
+
+let outcome_str = function
+  | `Halted -> "halted"
+  | `Fault f -> Format.asprintf "fault: %a" Interp.pp_fault f
+
+(* Drive [program] under [kind] with the cyclic [fuels] schedule until
+   halt/fault, handling the two syscalls the generator may emit. *)
+let drive ?(entry = "main") ?(map_stack = true) kind program fuels : snap =
+  let space = As.create ~node:0 () in
+  Program.load_data program space;
+  if map_stack then As.mmap space ~addr:stack_base ~size:65536;
+  As.mmap space ~addr:scratch_base ~size:scratch_size;
+  let ctx =
+    Interp.make_context
+      ~entry:(try Program.entry program entry with Not_found -> 0)
+      ~stack_top:(stack_base + 65536)
+  in
+  let eng = Engine.create kind program in
+  let steps = ref 0 in
+  let syscalls = ref 0 in
+  let fi = ref 0 in
+  let next_fuel () =
+    let f = fuels.(!fi mod Array.length fuels) in
+    incr fi;
+    f
+  in
+  let rec loop guard =
+    if guard = 0 then failwith "drive: guard exhausted";
+    let outcome, n = Engine.run eng ctx space ~fuel:(next_fuel ()) in
+    steps := !steps + n;
+    match outcome with
+    | Interp.Running -> loop (guard - 1)
+    | Interp.Syscall sc ->
+      incr syscalls;
+      (match sc with
+       | Isa.Sys_self -> ctx.Interp.regs.(0) <- 4242
+       | Isa.Sys_yield -> ()
+       | _ -> failwith "drive: unexpected syscall");
+      loop (guard - 1)
+    | Interp.Halted -> `Halted
+    | Interp.Fault f -> `Fault f
+  in
+  let outcome = loop 2_000_000 in
+  let sum = ref 0 in
+  let a = ref scratch_base in
+  while !a < scratch_base + scratch_size do
+    sum := !sum + (As.load_word space !a lxor (!a land 0xffff));
+    a := !a + 8
+  done;
+  {
+    s_outcome = outcome_str outcome;
+    s_regs = Array.copy ctx.Interp.regs;
+    s_sp = ctx.Interp.sp;
+    s_fp = ctx.Interp.fp;
+    s_pc = ctx.Interp.pc;
+    s_steps = !steps;
+    s_syscalls = !syscalls;
+    s_scratch_sum = !sum;
+    s_dirty =
+      List.init (scratch_size / Layout.page_size) (fun i ->
+          As.page_dirty space (scratch_base + (i * Layout.page_size)));
+  }
+
+let check_snap_eq what (ref_ : snap) (got : snap) =
+  Alcotest.(check string) (what ^ ": outcome") ref_.s_outcome got.s_outcome;
+  Alcotest.(check (array int)) (what ^ ": regs") ref_.s_regs got.s_regs;
+  Alcotest.(check int) (what ^ ": sp") ref_.s_sp got.s_sp;
+  Alcotest.(check int) (what ^ ": fp") ref_.s_fp got.s_fp;
+  Alcotest.(check int) (what ^ ": pc") ref_.s_pc got.s_pc;
+  Alcotest.(check int) (what ^ ": steps") ref_.s_steps got.s_steps;
+  Alcotest.(check int) (what ^ ": syscalls") ref_.s_syscalls got.s_syscalls;
+  Alcotest.(check int) (what ^ ": scratch") ref_.s_scratch_sum got.s_scratch_sum;
+  Alcotest.(check (list bool)) (what ^ ": dirty pages") ref_.s_dirty got.s_dirty
+
+(* Fuel chunkings exercising every engine boundary: per-instruction,
+   tiny odd chunks (mid-block exhaustion and threaded-tail re-entry),
+   quantum-like, and effectively unbounded. *)
+let fuel_schedules =
+  [ ("fuel=1", [| 1 |]);
+    ("fuel=3,7", [| 3; 7 |]);
+    ("fuel=50,1,13", [| 50; 1; 13 |]);
+    ("fuel=200", [| 200 |]);
+    ("fuel=big", [| 1_000_000 |]) ]
+
+let all_kinds = [ Engine.Step; Engine.Threaded; Engine.Blocks ]
+
+(* Compare every engine x fuel-schedule combination against the step
+   oracle run per-instruction. *)
+let check_differential what program =
+  let ref_ = drive Engine.Step program [| 1 |] in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun (fname, fuels) ->
+          let got = drive kind program fuels in
+          check_snap_eq
+            (Printf.sprintf "%s [%s %s]" what (Engine.kind_to_string kind) fname)
+            ref_ got)
+        fuel_schedules)
+    all_kinds
+
+(* -- seeded random program generator: structured, always terminating -- *)
+
+let gen_program rng =
+  let b = create () in
+  let rnd n = Random.State.int rng n in
+  let greg () = rnd 8 in (* r0..r7 scratch registers *)
+  let arith b =
+    match rnd 6 with
+    | 0 -> imm b (greg ()) (rnd 1000 - 500)
+    | 1 -> add b (greg ()) (greg ()) (greg ())
+    | 2 -> sub b (greg ()) (greg ()) (greg ())
+    | 3 -> mul b (greg ()) (greg ()) (greg ())
+    | 4 -> addi b (greg ()) (greg ()) (rnd 100 - 50)
+    | _ -> mov b (greg ()) (greg ())
+  in
+  let n_leaves = 1 + rnd 3 in
+  proc b "main" (fun b ->
+      imm b r8 scratch_base;
+      imm b r9 0;
+      let segments = 4 + rnd 8 in
+      for _ = 1 to segments do
+        match rnd 8 with
+        | 0 | 1 ->
+          for _ = 0 to rnd 6 do arith b done
+        | 2 ->
+          (* bounded counted loop *)
+          let l = fresh_label b in
+          imm b r11 (1 + rnd 9);
+          label b l;
+          for _ = 0 to rnd 3 do arith b done;
+          addi b r11 r11 (-1);
+          bne b r11 r9 l
+        | 3 ->
+          (* scratch-memory traffic, word-aligned, in-bounds *)
+          let off = rnd (scratch_size / 8) * 8 in
+          store b (greg ()) r8 off;
+          load b (greg ()) r8 off
+        | 4 ->
+          let x = greg () and y = greg () in
+          push b x;
+          push b y;
+          pop b y;
+          pop b x
+        | 5 -> call b (Printf.sprintf "leaf%d" (rnd n_leaves))
+        | 6 -> sys b (if rnd 2 = 0 then Isa.Sys_yield else Isa.Sys_self)
+        | _ ->
+          (* guarded division: divisor forced nonzero *)
+          imm b r5 (1 + rnd 20);
+          (if rnd 2 = 0 then div b (greg ()) (greg ()) r5
+           else mod_ b (greg ()) (greg ()) r5)
+      done;
+      halt b);
+  for i = 0 to n_leaves - 1 do
+    label b (Printf.sprintf "leaf%d" i);
+    if rnd 2 = 0 then begin
+      (* frame-using leaf: locals below fp *)
+      enter b (8 * (1 + rnd 4));
+      fp b r10;
+      store b (greg ()) r10 (-8);
+      for _ = 0 to rnd 3 do arith b done;
+      load b (greg ()) r10 (-8);
+      leave b
+    end
+    else
+      for _ = 0 to rnd 4 do arith b done;
+    ret b
+  done;
+  assemble b
+
+let test_differential_random () =
+  for seed = 1 to 25 do
+    let rng = Random.State.make [| 0xbeef; seed |] in
+    let program = gen_program rng in
+    check_differential (Printf.sprintf "seed %d" seed) program
+  done
+
+(* Random programs that end in a guest fault: the exact fault, faulting
+   pc and partially mutated sp/fp must agree across engines. *)
+let test_differential_faulting () =
+  for seed = 1 to 12 do
+    let rng = Random.State.make [| 0xdead; seed |] in
+    let b = create () in
+    let rnd n = Random.State.int rng n in
+    proc b "main" (fun b ->
+        imm b r8 scratch_base;
+        imm b r9 0;
+        for _ = 0 to 2 + rnd 4 do
+          imm b (rnd 8) (rnd 100)
+        done;
+        (match rnd 5 with
+         | 0 -> div b r0 r1 r9 (* division by zero *)
+         | 1 ->
+           imm b r4 0x666000;
+           load b r0 r4 0 (* unmapped load *)
+         | 2 ->
+           imm b r4 0x666000;
+           store b r1 r4 8 (* unmapped store *)
+         | 3 ->
+           (* Push with sp relocated into the void: sp mutates, store
+              faults — the partial mutation must be identical *)
+           imm b r4 0x777000;
+           mov b r5 r4;
+           sp b r6;
+           push b r6 (* fine: stack still mapped *)
+         | _ -> mod_ b r0 r1 r9);
+        halt b);
+    let program = assemble b in
+    check_differential (Printf.sprintf "faulting seed %d" seed) program
+  done
+
+(* -- engine boundary edge cases -- *)
+
+(* Raw images (hand-numbered pcs) pin down exact fault pcs. *)
+let raw code = Program.make ~code ~data:Bytes.empty ~entries:[ ("main", 0) ]
+
+let test_edge_wild_jmp () =
+  (* Jmp far out of range: every engine faults Wild_pc 12345 with pc
+     left at the wild value. *)
+  let program = raw [| Isa.Jmp 12345 |] in
+  List.iter
+    (fun kind ->
+      let s = drive kind program [| 10 |] in
+      Alcotest.(check string)
+        (Engine.kind_to_string kind ^ ": wild jmp")
+        "fault: Illegal program counter 12345" s.s_outcome;
+      Alcotest.(check int) (Engine.kind_to_string kind ^ ": pc") 12345 s.s_pc)
+    all_kinds
+
+let test_edge_ret_wild () =
+  (* Ret to an out-of-range pc loaded from the stack, mid-block. *)
+  let program =
+    raw [| Isa.Imm (4, 9999); Isa.Push 4; Isa.Ret; Isa.Halt |]
+  in
+  check_differential "ret to wild pc" program;
+  let s = drive Engine.Blocks program [| 10 |] in
+  Alcotest.(check string) "ret wild faults" "fault: Illegal program counter 9999"
+    s.s_outcome
+
+let test_edge_negative_jmp () =
+  let program = raw [| Isa.Jmp (-3) |] in
+  check_differential "jmp to negative pc" program
+
+let test_edge_enter_zero_negative () =
+  (* Enter with zero and negative frame sizes: sp/fp arithmetic must
+     match the oracle exactly (negative n grows sp). *)
+  let program =
+    raw
+      [|
+        Isa.Enter 0; Isa.Sp 4; Isa.Fp 5; Isa.Leave;
+        Isa.Enter (-16); Isa.Sp 6; Isa.Fp 7; Isa.Leave;
+        Isa.Halt;
+      |]
+  in
+  check_differential "enter 0 / enter -16" program
+
+let test_edge_fault_last_in_block () =
+  (* The faulting Store is the last body instruction of its block (a
+     Jmp follows): fault pc and completed-step count must match. *)
+  let program =
+    raw [| Isa.Imm (4, 0x666000); Isa.Store (5, 4, 0); Isa.Jmp 0 |]
+  in
+  check_differential "fault on last instruction of a block" program;
+  let s = drive Engine.Blocks program [| 100 |] in
+  Alcotest.(check int) "fault pc is the store" 1 s.s_pc;
+  Alcotest.(check int) "steps before the fault" 1 s.s_steps
+
+let test_edge_fault_terminator () =
+  (* Call whose return-address push faults (unmapped stack): the block
+     terminator itself faults, with sp already decremented. *)
+  let program = raw [| Isa.Call 0 |] in
+  List.iter
+    (fun kind ->
+      let s = drive ~map_stack:false kind program [| 10 |] in
+      Alcotest.(check string)
+        (Engine.kind_to_string kind ^ ": call faults")
+        (Printf.sprintf "fault: Segmentation fault (address 0x%x)"
+           (stack_base + 65536 - 8))
+        s.s_outcome;
+      Alcotest.(check int) (Engine.kind_to_string kind ^ ": pc") 0 s.s_pc;
+      Alcotest.(check int)
+        (Engine.kind_to_string kind ^ ": sp decremented")
+        (stack_base + 65536 - 8) s.s_sp)
+    all_kinds
+
+let test_edge_syscall_branch_target () =
+  (* A Sys instruction as a branch target is a one-instruction block. *)
+  let b = create () in
+  proc b "main" (fun b ->
+      imm b r0 0;
+      imm b r1 0;
+      beq b r0 r1 "t";
+      halt b;
+      label b "t";
+      sys b Isa.Sys_yield;
+      sys b Isa.Sys_self;
+      halt b);
+  check_differential "syscall as branch target" (assemble b)
+
+let test_edge_code_end_fallthrough () =
+  (* Straight-line code running off the end of the image: wild fault at
+     pc = code_size under every engine and chunking. *)
+  let program = raw [| Isa.Imm (0, 1); Isa.Addi (0, 0, 2); Isa.Nop |] in
+  check_differential "fall off code end" program
+
+let test_fault_pc_reporting () =
+  (* Satellite fix: ctx.pc must point AT the faulting instruction, not
+     one past it — for the oracle and both fast engines. *)
+  let program =
+    raw [| Isa.Imm (1, 1); Isa.Imm (2, 0); Isa.Div (3, 1, 2); Isa.Halt |]
+  in
+  List.iter
+    (fun kind ->
+      let s = drive kind program [| 100 |] in
+      Alcotest.(check string)
+        (Engine.kind_to_string kind ^ ": div fault")
+        "fault: Division by zero" s.s_outcome;
+      Alcotest.(check int)
+        (Engine.kind_to_string kind ^ ": pc at faulting div")
+        2 s.s_pc)
+    all_kinds
+
+let test_decode_rejects_bad_reg () =
+  Alcotest.(check bool) "register out of range rejected" true
+    (try
+       ignore (Decode.of_code [| Isa.Mov (0, 99) |]);
+       false
+     with Invalid_argument _ -> true)
+
 let tests =
   [
     Alcotest.test_case "arithmetic" `Quick test_arith;
@@ -290,4 +642,16 @@ let tests =
     Alcotest.test_case "duplicate label" `Quick test_duplicate_label;
     Alcotest.test_case "lea" `Quick test_lea;
     Alcotest.test_case "context copy" `Quick test_context_copy;
+    Alcotest.test_case "engines: random differential" `Quick test_differential_random;
+    Alcotest.test_case "engines: faulting differential" `Quick test_differential_faulting;
+    Alcotest.test_case "engines: wild jmp" `Quick test_edge_wild_jmp;
+    Alcotest.test_case "engines: ret to wild pc" `Quick test_edge_ret_wild;
+    Alcotest.test_case "engines: negative jmp" `Quick test_edge_negative_jmp;
+    Alcotest.test_case "engines: enter 0/negative" `Quick test_edge_enter_zero_negative;
+    Alcotest.test_case "engines: fault at block end" `Quick test_edge_fault_last_in_block;
+    Alcotest.test_case "engines: faulting terminator" `Quick test_edge_fault_terminator;
+    Alcotest.test_case "engines: syscall branch target" `Quick test_edge_syscall_branch_target;
+    Alcotest.test_case "engines: code-end fallthrough" `Quick test_edge_code_end_fallthrough;
+    Alcotest.test_case "engines: fault pc reporting" `Quick test_fault_pc_reporting;
+    Alcotest.test_case "decode: register validation" `Quick test_decode_rejects_bad_reg;
   ]
