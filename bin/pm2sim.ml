@@ -8,6 +8,7 @@
 
 open Cmdliner
 open Pm2_core
+module Session = Pm2_svc.Session
 
 let program = Pm2_programs.Figures.image ()
 
@@ -189,42 +190,31 @@ let plan_of ~faults ~seed =
   | Some spec -> Pm2_fault.Plan.create ~seed spec
 
 (* Printed only when a plan is live, so fault-free output is unchanged. *)
-let report_faults cluster =
-  let plan = Cluster.faults cluster in
-  if Pm2_fault.Plan.enabled plan then begin
-    let rel = Cluster.reliable cluster in
-    Printf.printf "; faults: %s\n" (Pm2_fault.Plan.summary plan);
+let report_faults (st : Session.status) =
+  if st.Session.st_faults_enabled then begin
+    Printf.printf "; faults: %s\n" st.Session.st_faults_summary;
     Printf.printf
       "; recovery: %d retransmissions, %d duplicates suppressed, %d give-ups, \
        %d migrations aborted\n"
-      (Pm2_net.Reliable.retransmits rel)
-      (Pm2_net.Reliable.duplicates_suppressed rel)
-      (Pm2_net.Reliable.give_ups rel)
-      (Cluster.aborted_migrations cluster)
+      st.Session.st_retransmits st.Session.st_duplicates st.Session.st_give_ups
+      st.Session.st_aborted
   end
 
 (* Printed only when checkpointing ran or a crash touched a thread, so
    existing output is unchanged. *)
-let report_recovery cluster =
-  let lost = Cluster.lost_threads cluster in
-  if
-    Cluster.checkpointing cluster
-    || Cluster.restored_threads cluster > 0
-    || lost <> []
+let report_recovery (st : Session.status) =
+  if st.Session.st_checkpointing || st.Session.st_restored > 0 || st.Session.st_lost <> []
   then begin
-    let store = Cluster.image_store cluster in
     Printf.printf
       "; checkpoints: %d snapshots, %d page saves (%d served by dedup)\n"
-      (Cluster.checkpoints cluster)
-      (Pm2_recover.Image_store.saves store)
-      (Pm2_recover.Image_store.dedup_pages store);
+      st.Session.st_checkpoints st.Session.st_page_saves st.Session.st_dedup_pages;
     Printf.printf "; failover: %d threads restored, %d lost, %d stranded\n"
-      (Cluster.restored_threads cluster)
-      (List.length lost)
-      (Cluster.stranded_threads cluster);
+      st.Session.st_restored
+      (List.length st.Session.st_lost)
+      st.Session.st_stranded;
     List.iter
       (fun e -> Printf.printf ";   %s\n" (Pm2.Error.to_string e))
-      (Pm2.lost_threads cluster)
+      st.Session.st_lost
   end
 
 (* Attach the requested sinks to the cluster's collector; returns a
@@ -273,8 +263,6 @@ let setup_obs ?trace_stream ?metrics_interval ?flight_recorder cluster ~trace_js
          Pm2_sim.Engine.schedule_after engine ~delay:(float_of_int n) tick
      in
      Pm2_sim.Engine.schedule_after engine ~delay:(float_of_int n) tick
-   | Some _, _, None ->
-     Printf.eprintf "pm2sim: --metrics-interval needs --trace-stream; ignored\n"
    | _ -> ());
   Option.iter
     (fun file ->
@@ -334,46 +322,55 @@ let run_cmd =
   let run entry arg nodes scheme distribution slot_size timed trace_json metrics faults
       seed trace trace_stream metrics_interval flight_recorder delta checkpoint_interval
       engine =
-    if not (List.mem entry (entries ())) then begin
-      Printf.eprintf "unknown entry %S; try: %s\n" entry (String.concat " " (entries ()));
-      exit 2
-    end;
-    let faults = plan_of ~faults ~seed in
-    let tracing = trace || trace_stream <> None in
-    let cluster =
-      Cluster.create
-        (config ~nodes ~scheme ~distribution ~slot_size ~faults ~delta ~tracing
-           ~checkpoint_interval ~engine)
-        program
-    in
-    let finish_obs =
-      setup_obs ?trace_stream ?metrics_interval ?flight_recorder cluster ~trace_json
-        ~metrics
-    in
-    ignore (Cluster.spawn cluster ~node:0 ~entry ~arg ());
-    let finish = Cluster.run cluster in
-    let tr = Cluster.trace cluster in
-    List.iter print_endline
-      (if timed then Pm2_sim.Trace.timed_lines tr else Pm2_sim.Trace.lines tr);
-    Printf.printf "\n; finished at %.1f virtual us; %d migrations; %d negotiations\n"
-      finish
-      (List.length (Cluster.migrations cluster))
-      (Negotiation.count (Cluster.negotiation cluster));
-    (match Pm2.mean_migration_latency cluster with
-     | Some us -> Printf.printf "; mean one-way migration latency: %.1f us\n" us
-     | None -> ());
-    report_faults cluster;
-    report_recovery cluster;
-    finish_obs ();
-    Cluster.check_invariants cluster
+    if metrics_interval <> None && trace_stream = None then
+      Error (`Msg "--metrics-interval needs --trace-stream")
+    else begin
+      let faults = plan_of ~faults ~seed in
+      let tracing = trace || trace_stream <> None in
+      let session =
+        Session.create
+          ~config:
+            (config ~nodes ~scheme ~distribution ~slot_size ~faults ~delta ~tracing
+               ~checkpoint_interval ~engine)
+          ~program ()
+      in
+      (* The batch command is a thin client of the service control plane;
+         the cluster handle only feeds the optional observability sinks. *)
+      let finish_obs =
+        setup_obs ?trace_stream ?metrics_interval ?flight_recorder
+          (Session.cluster session) ~trace_json ~metrics
+      in
+      match Session.submit session { Session.entry; arg; node = 0 } with
+      | Error (Session.Unknown_entry _) ->
+        Printf.eprintf "unknown entry %S; try: %s\n" entry (String.concat " " (entries ()));
+        exit 2
+      | Error e -> Error (`Msg (Session.error_to_string e))
+      | Ok _ -> (
+        match Session.run session with
+        | Error e -> Error (`Msg (Session.error_to_string e))
+        | Ok finish ->
+          List.iter print_endline (Session.output session ~timed);
+          let st = Session.status session in
+          Printf.printf "\n; finished at %.1f virtual us; %d migrations; %d negotiations\n"
+            finish st.Session.st_migrations st.Session.st_negotiations;
+          (match st.Session.st_mean_latency with
+           | Some us -> Printf.printf "; mean one-way migration latency: %.1f us\n" us
+           | None -> ());
+          report_faults st;
+          report_recovery st;
+          finish_obs ();
+          Cluster.check_invariants (Session.cluster session);
+          Ok ())
+    end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one of the paper's example programs on a simulated cluster.")
     Term.(
-      const run $ entry_arg $ arg_arg $ nodes_arg $ scheme_arg $ distribution_arg
-      $ slot_size_arg $ timed_arg $ trace_json_arg $ metrics_arg $ faults_arg $ seed_arg
-      $ trace_arg $ trace_stream_arg $ metrics_interval_arg $ flight_recorder_arg
-      $ delta_arg $ checkpoint_interval_arg $ engine_arg)
+      term_result
+        (const run $ entry_arg $ arg_arg $ nodes_arg $ scheme_arg $ distribution_arg
+         $ slot_size_arg $ timed_arg $ trace_json_arg $ metrics_arg $ faults_arg
+         $ seed_arg $ trace_arg $ trace_stream_arg $ metrics_interval_arg
+         $ flight_recorder_arg $ delta_arg $ checkpoint_interval_arg $ engine_arg))
 
 (* -- balance -- *)
 
@@ -381,31 +378,13 @@ let balance_cmd =
   let workers_arg =
     Arg.(value & opt int 24 & info [ "workers" ] ~docv:"N" ~doc:"Worker thread count.")
   in
+  (* One grammar, shared with the daemon and the wire protocol. *)
   let policy_conv =
-    let parse = function
-      | "least-loaded" -> Ok Pm2_loadbal.Balancer.Least_loaded
-      | "spread" -> Ok Pm2_loadbal.Balancer.Round_robin_spread
-      | "cache-affinity" -> Ok Pm2_loadbal.Balancer.Cache_affinity
-      | "access-imbalance" ->
-        Ok (Pm2_loadbal.Balancer.Access_imbalance { ratio = 2.; min_pages = 1 })
-      | s ->
-        (match String.split_on_char ':' s with
-         | [ "threshold"; hi; lo ] ->
-           (try
-              Ok (Pm2_loadbal.Balancer.Threshold
-                    { high = int_of_string hi; low = int_of_string lo })
-            with _ -> Error (`Msg "threshold needs threshold:HIGH:LOW"))
-         | [ "access-imbalance"; ratio; min_pages ] ->
-           (try
-              Ok (Pm2_loadbal.Balancer.Access_imbalance
-                    { ratio = float_of_string ratio;
-                      min_pages = int_of_string min_pages })
-            with _ ->
-              Error (`Msg "access-imbalance needs access-imbalance:RATIO:MINPAGES"))
-         | _ -> Error (`Msg (Printf.sprintf "unknown policy %S" s)))
+    let parse s =
+      Result.map_error (fun e -> `Msg e) (Pm2_loadbal.Balancer.Policy.of_string s)
     in
     Arg.conv (parse, fun ppf p ->
-        Format.pp_print_string ppf (Pm2_loadbal.Balancer.policy_to_string p))
+        Format.pp_print_string ppf (Pm2_loadbal.Balancer.Policy.to_string p))
   in
   let policy_arg =
     Arg.(
@@ -413,59 +392,75 @@ let balance_cmd =
       & opt (some policy_conv) None
       & info [ "policy" ] ~docv:"POLICY"
           ~doc:"Balancing policy: $(b,least-loaded), $(b,spread), \
-                $(b,threshold:HIGH:LOW), $(b,cache-affinity) or \
+                $(b,threshold:HIGH:LOW), \
+                $(b,group-threshold:HIGH:LOW:LIMIT), $(b,cache-affinity) or \
                 $(b,access-imbalance)[$(b,:RATIO:MINPAGES)] (move the \
                 hottest-writing thread off the hottest node). Omit for no \
                 balancing.")
   in
   let run workers nodes policy trace_json metrics faults seed trace trace_stream
       metrics_interval flight_recorder delta checkpoint_interval =
-    let cluster =
-      Cluster.create
-        {
-          (Cluster.default_config ~nodes:(max nodes 2)) with
-          Cluster.faults = plan_of ~faults ~seed;
-          delta_cache_bytes = max 0 delta;
-          tracing = trace || trace_stream <> None;
-          checkpoint_interval = max 0. checkpoint_interval;
-        }
-        program
-    in
-    let finish_obs =
-      setup_obs ?trace_stream ?metrics_interval ?flight_recorder cluster ~trace_json
-        ~metrics
-    in
-    ignore (Cluster.spawn cluster ~node:0 ~entry:"spawner" ~arg:workers ());
-    let balancer =
-      Option.map (fun p -> Pm2_loadbal.Balancer.attach cluster ~policy:p ~period:400.) policy
-    in
-    let makespan = Cluster.run cluster in
-    Printf.printf "makespan: %.0f virtual us for %d workers on %d nodes\n" makespan workers
-      nodes;
-    (match balancer with
-     | Some b ->
-       let s = Pm2_loadbal.Balancer.stats b in
-       let retried =
-         if Pm2_fault.Plan.enabled (Cluster.faults cluster) then
-           Printf.sprintf "%d retried, " s.Pm2_loadbal.Balancer.retries
-         else ""
-       in
-       Printf.printf "balancer: %d rounds acted, %d migrations requested, %s%d completed\n"
-         s.Pm2_loadbal.Balancer.decisions s.Pm2_loadbal.Balancer.migrations_requested retried
-         (List.length (Cluster.migrations cluster))
-     | None -> print_endline "balancer: none (baseline)");
-    report_faults cluster;
-    report_recovery cluster;
-    finish_obs ();
-    Cluster.check_invariants cluster
+    if metrics_interval <> None && trace_stream = None then
+      Error (`Msg "--metrics-interval needs --trace-stream")
+    else begin
+      let session =
+        Session.create
+          ~config:
+            {
+              (Cluster.default_config ~nodes:(max nodes 2)) with
+              Cluster.faults = plan_of ~faults ~seed;
+              delta_cache_bytes = max 0 delta;
+              tracing = trace || trace_stream <> None;
+              checkpoint_interval = max 0. checkpoint_interval;
+            }
+          ~program ()
+      in
+      let finish_obs =
+        setup_obs ?trace_stream ?metrics_interval ?flight_recorder
+          (Session.cluster session) ~trace_json ~metrics
+      in
+      let ( let* ) = Result.bind in
+      let err e = `Msg (Session.error_to_string e) in
+      Result.map_error err
+        (let* _tid =
+           Session.submit session { Session.entry = "spawner"; arg = workers; node = 0 }
+         in
+         let* () =
+           match policy with
+           | Some policy -> Session.balance session ~policy ()
+           | None -> Ok ()
+         in
+         let* makespan = Session.run session in
+         Printf.printf "makespan: %.0f virtual us for %d workers on %d nodes\n" makespan
+           workers nodes;
+         let st = Session.status session in
+         (match Session.balancer_stats session with
+          | Some s ->
+            let retried =
+              if st.Session.st_faults_enabled then
+                Printf.sprintf "%d retried, " s.Pm2_loadbal.Balancer.retries
+              else ""
+            in
+            Printf.printf
+              "balancer: %d rounds acted, %d migrations requested, %s%d completed\n"
+              s.Pm2_loadbal.Balancer.decisions s.Pm2_loadbal.Balancer.migrations_requested
+              retried st.Session.st_migrations
+          | None -> print_endline "balancer: none (baseline)");
+         report_faults st;
+         report_recovery st;
+         finish_obs ();
+         Cluster.check_invariants (Session.cluster session);
+         Ok ())
+    end
   in
   Cmd.v
     (Cmd.info "balance"
        ~doc:"Run the irregular-workers demo, optionally with a load balancer.")
     Term.(
-      const run $ workers_arg $ nodes_arg $ policy_arg $ trace_json_arg $ metrics_arg
-      $ faults_arg $ seed_arg $ trace_arg $ trace_stream_arg $ metrics_interval_arg
-      $ flight_recorder_arg $ delta_arg $ checkpoint_interval_arg)
+      term_result
+        (const run $ workers_arg $ nodes_arg $ policy_arg $ trace_json_arg $ metrics_arg
+         $ faults_arg $ seed_arg $ trace_arg $ trace_stream_arg $ metrics_interval_arg
+         $ flight_recorder_arg $ delta_arg $ checkpoint_interval_arg))
 
 (* -- hpf -- *)
 

@@ -2255,6 +2255,26 @@ let create_barrier t ~participants =
   Hashtbl.replace t.barriers id { participants; arrived = 0; parked = [] };
   id
 
+(* On-demand checkpoint sweep (the service tier's [checkpoint] request).
+   With the periodic ticker armed this snapshots exactly what the next
+   tick would (dirty or never-checkpointed threads); with checkpointing
+   off there is no dirty tracking, so every live thread is snapshotted —
+   the content-addressed store dedups unchanged pages either way. *)
+let checkpoint_now t =
+  let before = t.checkpoint_count in
+  List.iter
+    (fun (th : Thread.t) ->
+      if
+        (not (Thread.is_exited th))
+        && th.Thread.state <> Thread.Migrating
+        && (not (Hashtbl.mem t.stranded th.Thread.id))
+        && ((not (checkpointing t))
+            || Hashtbl.mem t.ckpt_dirty th.Thread.id
+            || Option.is_none (Image_store.latest t.store ~tid:th.Thread.id))
+      then checkpoint_thread t th)
+    (threads t);
+  t.checkpoint_count - before
+
 let run ?until t =
   let r = Engine.run ?until t.engine in
   (* End of run externalizes whatever buffered output survived. *)

@@ -291,6 +291,14 @@ val image_store : t -> Pm2_recover.Image_store.t
 val checkpoints : t -> int
 (** Snapshots taken. *)
 
+val checkpoint_now : t -> int
+(** On-demand checkpoint sweep (the service tier's [checkpoint] request):
+    snapshot into the image store every live, non-migrating thread that
+    the periodic ticker would snapshot at its next tick — every live
+    thread when checkpointing is off, since there is no dirty tracking to
+    consult. Returns the number of snapshots taken. Works with any
+    [checkpoint_interval], including 0. *)
+
 val restored_threads : t -> int
 (** Threads brought back from a checkpoint (failover or cold start). *)
 

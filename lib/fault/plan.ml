@@ -180,7 +180,7 @@ type stats = {
 
 type t = {
   live : bool;
-  sp : spec;
+  mutable sp : spec;
   sd : int;
   prng : Prng.t;
   st : stats;
@@ -203,6 +203,15 @@ let create ?(seed = 42) sp =
 let enabled t = t.live
 
 let spec t = t.sp
+
+(* Runtime re-arming for the service tier: an enabled plan swaps its spec
+   in place (the random stream and the statistics continue), so a resident
+   cluster can have faults injected mid-run. The shared disabled plan
+   [none] is immutable — enabling faults requires a [create]d plan because
+   the hardened protocols are selected at cluster creation. *)
+let set_spec t sp =
+  if not t.live then invalid_arg "Plan.set_spec: plan is disabled";
+  t.sp <- sp
 
 let seed t = t.sd
 

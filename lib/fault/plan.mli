@@ -83,6 +83,17 @@ val create : ?seed:int -> spec -> t
 
 val enabled : t -> bool
 val spec : t -> spec
+
+(** [set_spec t sp] swaps the spec of an {e enabled} plan in place — the
+    runtime fault-injection path of the service tier ([inject_faults]
+    over the wire). The plan's random stream and statistics continue
+    across the swap, so a given seed still reproduces a given interleaved
+    schedule. Messages already routed are unaffected.
+    @raise Invalid_argument on a disabled plan (notably {!none}): the
+    hardened protocols are selected at cluster creation, so faults can
+    only be injected into a cluster armed with a [create]d plan. *)
+val set_spec : t -> spec -> unit
+
 val seed : t -> int
 
 (** {1 Node life cycle} *)

@@ -35,6 +35,62 @@ let policy_to_string = function
   | Access_imbalance { ratio; min_pages } ->
     Printf.sprintf "access-imbalance(ratio=%g,min_pages=%d)" ratio min_pages
 
+module Policy = struct
+  type nonrec t = policy
+
+  let grammar =
+    "least-loaded, spread, cache-affinity, threshold:HIGH:LOW, \
+     group-threshold:HIGH:LOW:LIMIT, access-imbalance[:RATIO:MINPAGES]"
+
+  (* [%.12g] without trailing zeros, same discipline as the fault-spec
+     grammar: the canonical form of a parsed policy parses back to the
+     same policy. *)
+  let fstr v = Printf.sprintf "%.12g" v
+
+  let to_string = function
+    | Least_loaded -> "least-loaded"
+    | Round_robin_spread -> "spread"
+    | Cache_affinity -> "cache-affinity"
+    | Threshold { high; low } -> Printf.sprintf "threshold:%d:%d" high low
+    | Group_threshold { high; low; limit } ->
+      Printf.sprintf "group-threshold:%d:%d:%d" high low limit
+    | Access_imbalance { ratio; min_pages } ->
+      Printf.sprintf "access-imbalance:%s:%d" (fstr ratio) min_pages
+
+  let int_field key v =
+    match int_of_string_opt v with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "%s: not an integer: %s" key v)
+
+  let float_field key v =
+    match float_of_string_opt v with
+    | Some f when Float.is_finite f -> Ok f
+    | _ -> Error (Printf.sprintf "%s: not a number: %s" key v)
+
+  let ( let* ) = Result.bind
+
+  let of_string s =
+    match String.split_on_char ':' s with
+    | [ "least-loaded" ] -> Ok Least_loaded
+    | [ "spread" ] -> Ok Round_robin_spread
+    | [ "cache-affinity" ] -> Ok Cache_affinity
+    | [ "threshold"; hi; lo ] ->
+      let* high = int_field "threshold" hi in
+      let* low = int_field "threshold" lo in
+      Ok (Threshold { high; low })
+    | [ "group-threshold"; hi; lo; lim ] ->
+      let* high = int_field "group-threshold" hi in
+      let* low = int_field "group-threshold" lo in
+      let* limit = int_field "group-threshold" lim in
+      Ok (Group_threshold { high; low; limit })
+    | [ "access-imbalance" ] -> Ok (Access_imbalance { ratio = 2.; min_pages = 1 })
+    | [ "access-imbalance"; r; mp ] ->
+      let* ratio = float_field "access-imbalance" r in
+      let* min_pages = int_field "access-imbalance" mp in
+      Ok (Access_imbalance { ratio; min_pages })
+    | _ -> Error (Printf.sprintf "unknown policy %S (valid: %s)" s grammar)
+end
+
 let loads cluster =
   Array.init (Cluster.node_count cluster) (fun i -> Cluster.node_load cluster i)
 

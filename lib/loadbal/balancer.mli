@@ -40,6 +40,34 @@ type policy =
          than run-queue length — the two disagree exactly on skewed-access
          workloads, where a few threads do most of the writing. *)
 
+(** The typed policy-specification API shared by every front end — the
+    pm2sim CLI, the pm2simd daemon and the [pm2-ctl/1] wire protocol all
+    parse and print policies through this one grammar:
+
+    {v
+    least-loaded | spread | cache-affinity
+    | threshold:HIGH:LOW
+    | group-threshold:HIGH:LOW:LIMIT
+    | access-imbalance[:RATIO:MINPAGES]   (defaults 2:1)
+    v}
+
+    [of_string (to_string p) = Ok p] for every policy; parse errors list
+    the valid policies. ({!policy_to_string} below remains the
+    human-readable display form used in reports.) *)
+module Policy : sig
+  type nonrec t = policy
+
+  val of_string : string -> (t, string) result
+
+  (** Canonical rendering of the grammar above; round-trips through
+      {!of_string}. *)
+  val to_string : t -> string
+
+  (** One-line list of the valid policy forms (the text parse errors
+      embed). *)
+  val grammar : string
+end
+
 type stats = {
   mutable decisions : int; (* balancing rounds that migrated something *)
   mutable migrations_requested : int;

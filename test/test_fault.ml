@@ -275,11 +275,58 @@ let test_acceptance_loss_and_kill () =
     ((Plan.stats faults).Plan.dropped > 0);
   Cluster.check_invariants c
 
+(* -- property: any well-formed spec survives the wire round-trip --
+   (the grammar is now a wire format: inject-faults carries specs as
+   strings, so to_string/of_string must be mutually inverse) *)
+
+let gen_spec =
+  let open QCheck2.Gen in
+  (* %.12g rendering: three decimal digits round-trip exactly *)
+  let prob = map (fun i -> float_of_int i /. 1000.) (int_range 0 1000) in
+  let time = map float_of_int (int_range 0 100_000) in
+  let node = int_range 0 5 in
+  let outage ~min_gap =
+    let* victim = node in
+    let* at = time in
+    let* restart =
+      oneof
+        [ return None;
+          map (fun d -> Some (at +. float_of_int d)) (int_range min_gap 5000) ]
+    in
+    return { Plan.victim; at; restart }
+  in
+  let part =
+    let* pa = node in
+    let* pb = node in
+    let* from_t = time in
+    let* d = int_range 1 5000 in
+    return { Plan.pa; pb; from_t; until_t = from_t +. float_of_int d }
+  in
+  let* loss = prob in
+  let* dup = prob in
+  let* corrupt = prob in
+  let* reorder = prob in
+  let* delay = time in
+  let* partitions = list_size (int_range 0 3) part in
+  (* kill windows may be degenerate (T1 = T0); crash restarts must be
+     strictly later *)
+  let* kills = list_size (int_range 0 3) (outage ~min_gap:0) in
+  let* crashes = list_size (int_range 0 3) (outage ~min_gap:1) in
+  return { Plan.loss; dup; corrupt; reorder; delay; partitions; kills; crashes }
+
+let prop_spec_wire_roundtrip =
+  QCheck2.Test.make ~count:500
+    ~name:"Plan spec grammar: of_string (to_string sp) = sp" gen_spec (fun sp ->
+      match Plan.spec_of_string (Plan.spec_to_string sp) with
+      | Ok sp' -> sp' = sp
+      | Error e -> QCheck2.Test.fail_reportf "rejected own rendering: %s" e)
+
 let tests =
   [
     Alcotest.test_case "spec grammar" `Quick test_spec_parse;
     Alcotest.test_case "spec errors" `Quick test_spec_errors;
     Alcotest.test_case "spec round-trip" `Quick test_spec_roundtrip;
+    QCheck_alcotest.to_alcotest prop_spec_wire_roundtrip;
     Alcotest.test_case "seeded routing is deterministic" `Quick test_route_determinism;
     Alcotest.test_case "partitions and kills" `Quick test_route_partitions_and_kills;
     Alcotest.test_case "reliable: exactly-once under 30% loss" `Quick

@@ -28,5 +28,6 @@ let () =
       ("core.extensions", Test_extensions.tests);
       ("sync+hpf", Test_sync_hpf.tests);
       ("loadbal", Test_balancer.tests);
+      ("svc", Test_svc.tests);
       ("stress", Test_stress.tests);
     ]
