@@ -196,7 +196,8 @@ let () =
 
   (match ok a P.Query_status with
    | P.Status st ->
-     Printf.printf "status: migrations >= 1: %s\n" (yes (st.P.s_migrations >= 1))
+     Printf.printf "status: migrations >= 1: %s\n" (yes (st.P.s_migrations >= 1));
+     Printf.printf "status: domains: %d\n" st.P.s_domains
    | _ -> die "status: wrong reply");
 
   (match ok a P.Query_metrics with

@@ -300,6 +300,16 @@ let engine_arg =
     & opt engine_conv Pm2_mvm.Engine.Blocks
     & info [ "engine" ] ~docv:"ENGINE" ~doc:"MVM execution engine: $(b,step), $(b,threaded) or $(b,blocks).")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"OCaml domains driving the resident cluster ($(b,1) = \
+              sequential; $(b,N > 1) = barrier-synchronized superstep \
+              scheduler with byte-identical virtual outputs). Run slices \
+              align to superstep barriers, so clients are serviced between \
+              quantum batches, never inside one.")
+
 let trace_arg =
   Arg.(
     value & flag
@@ -307,7 +317,7 @@ let trace_arg =
         ~doc:"Enable causal migration tracing (span events appear on the \
               subscription stream).")
 
-let main socket nodes scheme faults seed delta checkpoint_interval engine trace =
+let main socket nodes scheme faults seed delta checkpoint_interval engine domains trace =
   let config =
     {
       (Cluster.default_config ~nodes:(max nodes 2)) with
@@ -317,6 +327,7 @@ let main socket nodes scheme faults seed delta checkpoint_interval engine trace 
       tracing = trace;
       checkpoint_interval = max 0. checkpoint_interval;
       engine_kind = engine;
+      domains = max 1 domains;
     }
   in
   let session = Session.create ~config () in
@@ -356,6 +367,6 @@ let cmd =
     (Cmd.info "pm2simd" ~doc)
     Term.(
       const main $ socket_arg $ nodes_arg $ scheme_arg $ faults_arg $ seed_arg
-      $ delta_arg $ checkpoint_interval_arg $ engine_arg $ trace_arg)
+      $ delta_arg $ checkpoint_interval_arg $ engine_arg $ domains_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,110 @@
+(* A small fixed pool of worker domains for the cluster's superstep
+   scheduler. The coordinator submits one batch of independent tasks at
+   a time and participates in draining it; [run_batch] is a barrier —
+   it returns only when every task has finished, which also gives the
+   happens-before edge (via the pool mutex) that makes worker writes
+   visible to the coordinator. Exceptions raised by tasks are captured
+   and re-raised at the barrier. *)
+
+type t = {
+  slots : int; (* total domains including the coordinator *)
+  mutable workers : unit Domain.t array; (* the [slots - 1] spawned domains *)
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable queue : (unit -> unit) list; (* tasks of the current batch *)
+  mutable pending : int; (* submitted tasks not yet finished *)
+  mutable failure : exn option; (* first task failure of the batch *)
+  mutable stop : bool;
+}
+
+let slots t = t.slots
+
+(* Runs with [p.m] held; returns with [p.m] held. *)
+let run_one p task =
+  Mutex.unlock p.m;
+  (try task ()
+   with e ->
+     Mutex.lock p.m;
+     if p.failure = None then p.failure <- Some e;
+     Mutex.unlock p.m);
+  Mutex.lock p.m;
+  p.pending <- p.pending - 1;
+  if p.pending = 0 then Condition.broadcast p.cv
+
+let worker_body p init slot () =
+  init slot;
+  Mutex.lock p.m;
+  let rec loop () =
+    if not p.stop then
+      match p.queue with
+      | [] ->
+        Condition.wait p.cv p.m;
+        loop ()
+      | task :: rest ->
+        p.queue <- rest;
+        run_one p task;
+        loop ()
+  in
+  loop ();
+  Mutex.unlock p.m
+
+let create ?(worker_init = fun _ -> ()) ~domains () =
+  if domains < 1 then invalid_arg "Domain_pool.create: domains < 1";
+  let p =
+    {
+      slots = domains;
+      workers = [||];
+      m = Mutex.create ();
+      cv = Condition.create ();
+      queue = [];
+      pending = 0;
+      failure = None;
+      stop = false;
+    }
+  in
+  (* worker slots are 1-based; slot 0 is the coordinator *)
+  p.workers <-
+    Array.init (domains - 1) (fun i ->
+        Domain.spawn (worker_body p worker_init (i + 1)));
+  p
+
+let run_batch p tasks =
+  match tasks with
+  | [] -> ()
+  | [ task ] -> task () (* nothing to overlap with *)
+  | tasks when p.slots <= 1 -> List.iter (fun task -> task ()) tasks
+  | tasks ->
+    Mutex.lock p.m;
+    if p.stop then begin
+      Mutex.unlock p.m;
+      invalid_arg "Domain_pool.run_batch: pool is shut down"
+    end;
+    p.queue <- tasks;
+    p.pending <- List.length tasks;
+    Condition.broadcast p.cv;
+    (* The coordinator helps drain the batch, then waits for stragglers. *)
+    let rec drain () =
+      match p.queue with
+      | task :: rest ->
+        p.queue <- rest;
+        run_one p task;
+        drain ()
+      | [] ->
+        if p.pending > 0 then begin
+          Condition.wait p.cv p.m;
+          drain ()
+        end
+    in
+    drain ();
+    let f = p.failure in
+    p.failure <- None;
+    Mutex.unlock p.m;
+    (match f with Some e -> raise e | None -> ())
+
+let shutdown p =
+  Mutex.lock p.m;
+  let was_stopped = p.stop in
+  p.stop <- true;
+  Condition.broadcast p.cv;
+  Mutex.unlock p.m;
+  if not was_stopped then Array.iter Domain.join p.workers

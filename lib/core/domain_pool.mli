@@ -1,0 +1,29 @@
+(** A fixed pool of OCaml 5 worker domains for the superstep scheduler.
+
+    The coordinator domain submits one batch of independent tasks at a
+    time; {!run_batch} is a barrier that returns once every task has
+    run. The pool mutex gives the happens-before edge making worker
+    writes visible to the coordinator after the barrier. *)
+
+type t
+
+(** [create ~domains ()] spawns [domains - 1] worker domains (the
+    coordinator is the remaining slot). [worker_init] runs once on each
+    worker domain before it accepts work, with its 1-based slot index —
+    used to tag per-domain observability buffers.
+    @raise Invalid_argument if [domains < 1]. *)
+val create : ?worker_init:(int -> unit) -> domains:int -> unit -> t
+
+(** Total domain slots, including the coordinator. *)
+val slots : t -> int
+
+(** [run_batch t tasks] runs the tasks concurrently across the pool
+    (the coordinator participates) and returns when all have finished.
+    Tasks must be independent: no ordering is guaranteed within the
+    batch. The first exception raised by a task is re-raised here after
+    the barrier. Batches of zero or one task run inline. *)
+val run_batch : t -> (unit -> unit) list -> unit
+
+(** Stop and join every worker domain. Idempotent. The pool cannot be
+    used after shutdown. *)
+val shutdown : t -> unit

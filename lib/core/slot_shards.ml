@@ -1,0 +1,189 @@
+(* Multicore-safe free-slot pool: sharded per-domain bitmaps backed by a
+   global fallback, after scalloc's virtual-spans + global-structures
+   design (Aigner et al.), with a lock-free constant-time path for the
+   small fixed-size bin (Blelloch & Wei).
+
+   The iso-address area is split into contiguous spans, one per shard
+   (shard = the domain of the node that owns the span). Each shard has
+
+   - a lock-free LIFO *bin* of recently freed single slots (a Treiber
+     stack of immutable list cells: OCaml's GC makes the classic CAS
+     loop ABA-free) — the constant-time fixed-size path that serves the
+     overwhelmingly common 1-slot acquire/release without a lock, and
+
+   - a mutex-protected *bitmap* of the remaining free slots, scanned
+     lowest-first — same placement policy as {!Slot_manager}, so an
+     uncontended shard hands out exactly the addresses the sequential
+     slot layer would.
+
+   When a shard runs dry the acquire falls back to the other shards in
+   index order (the scalloc global pool): first their bins, then their
+   locked bitmaps. Per-slot atomics track allocation state and the
+   *home* shard, and {!handoff} moves an allocated slot's home between
+   shards with a single atomic exchange — the migration-time transfer
+   of a slot header's ownership, raceable from both end domains. *)
+
+module Bitset = Pm2_util.Bitset
+
+type shard = {
+  base : int; (* first slot index of this span *)
+  span : int; (* number of slots in this span *)
+  lock : Mutex.t;
+  bitmap : Bitset.t; (* free slots, indexed relative to [base] *)
+  bin : int list Atomic.t; (* lock-free LIFO of free single slots *)
+}
+
+type t = {
+  count : int;
+  shards : shard array;
+  state : int Atomic.t array; (* per slot: shard index if free, -1 if allocated *)
+  home : int Atomic.t array; (* per slot: shard a release returns it to *)
+}
+
+let allocated = -1
+
+let create ~count ~shards:n =
+  if count <= 0 then invalid_arg "Slot_shards.create: count <= 0";
+  if n <= 0 || n > count then invalid_arg "Slot_shards.create: bad shard count";
+  let shards =
+    Array.init n (fun i ->
+        let base = i * count / n in
+        let limit = (i + 1) * count / n in
+        let span = limit - base in
+        let bitmap = Bitset.create span in
+        Bitset.set_range bitmap 0 span;
+        { base; span; lock = Mutex.create (); bitmap; bin = Atomic.make [] })
+  in
+  let shard_of = Array.make count 0 in
+  Array.iteri
+    (fun i sh ->
+      for local = 0 to sh.span - 1 do
+        shard_of.(sh.base + local) <- i
+      done)
+    shards;
+  {
+    count;
+    shards;
+    state = Array.init count (fun s -> Atomic.make shard_of.(s));
+    home = Array.init count (fun s -> Atomic.make shard_of.(s));
+  }
+
+let count t = t.count
+
+let shard_count t = Array.length t.shards
+
+(* -- the lock-free fixed-size bin -- *)
+
+let rec bin_push bin slot =
+  let old = Atomic.get bin in
+  if not (Atomic.compare_and_set bin old (slot :: old)) then bin_push bin slot
+
+let rec bin_pop bin =
+  match Atomic.get bin with
+  | [] -> None
+  | slot :: rest as old ->
+    if Atomic.compare_and_set bin old rest then Some slot else bin_pop bin
+
+(* -- acquire / release -- *)
+
+(* Claim [slot] out of shard [s]: flip its state to allocated. The
+   caller already holds exclusive title (a successful bin pop, or the
+   shard lock over the bitmap), so a failed CAS is corruption. *)
+let claim t slot ~from_shard =
+  if not (Atomic.compare_and_set t.state.(slot) from_shard allocated) then
+    failwith
+      (Printf.sprintf "Slot_shards: slot %d claimed while not free in shard %d"
+         slot from_shard);
+  Atomic.set t.home.(slot) from_shard
+
+let acquire_from t i =
+  let sh = t.shards.(i) in
+  match bin_pop sh.bin with
+  | Some slot ->
+    claim t slot ~from_shard:i;
+    Some slot
+  | None ->
+    Mutex.lock sh.lock;
+    let r =
+      match Bitset.first_set sh.bitmap with
+      | Some local ->
+        Bitset.clear sh.bitmap local;
+        let slot = sh.base + local in
+        claim t slot ~from_shard:i;
+        Some slot
+      | None -> None
+    in
+    Mutex.unlock sh.lock;
+    r
+
+let acquire t ~shard =
+  if shard < 0 || shard >= Array.length t.shards then
+    invalid_arg "Slot_shards.acquire: bad shard";
+  match acquire_from t shard with
+  | Some _ as r -> r
+  | None ->
+    (* Global fallback: sweep the other shards in index order. *)
+    let n = Array.length t.shards in
+    let rec sweep k =
+      if k = n then None
+      else if k = shard then sweep (k + 1)
+      else
+        match acquire_from t k with
+        | Some _ as r -> r
+        | None -> sweep (k + 1)
+    in
+    sweep 0
+
+let release t slot =
+  if slot < 0 || slot >= t.count then invalid_arg "Slot_shards.release: bad slot";
+  let h = Atomic.get t.home.(slot) in
+  if not (Atomic.compare_and_set t.state.(slot) allocated h) then
+    failwith (Printf.sprintf "Slot_shards: double free of slot %d" slot);
+  bin_push t.shards.(h).bin slot
+
+(* -- migration-time ownership transfer -- *)
+
+let handoff t slot ~dst =
+  if slot < 0 || slot >= t.count then invalid_arg "Slot_shards.handoff: bad slot";
+  if dst < 0 || dst >= Array.length t.shards then
+    invalid_arg "Slot_shards.handoff: bad shard";
+  if Atomic.get t.state.(slot) <> allocated then
+    failwith (Printf.sprintf "Slot_shards: handoff of free slot %d" slot);
+  (* One atomic publication: after this, the slot releases into [dst].
+     The state word stays [allocated] throughout, so a racing release
+     on either end domain is still detected as a double free. *)
+  Atomic.exchange t.home.(slot) dst
+
+(* -- introspection (advisory under concurrency) -- *)
+
+let free_in_shard t i =
+  let sh = t.shards.(i) in
+  Mutex.lock sh.lock;
+  let n = Bitset.count sh.bitmap + List.length (Atomic.get sh.bin) in
+  Mutex.unlock sh.lock;
+  n
+
+let free_total t =
+  let n = ref 0 in
+  Array.iteri (fun i _ -> n := !n + free_in_shard t i) t.shards;
+  !n
+
+(* Quiescent-state verifier: every slot is either allocated or free in
+   exactly one place, and bins/bitmaps never disagree with the state
+   words. Call only when no other domain is touching the pool. *)
+let check t =
+  let seen = Array.make t.count 0 in
+  Array.iteri
+    (fun i sh ->
+      Bitset.iter_set (fun local -> seen.(sh.base + local) <- seen.(sh.base + local) + 1) sh.bitmap;
+      List.iter (fun slot -> seen.(slot) <- seen.(slot) + 1) (Atomic.get sh.bin);
+      ignore i)
+    t.shards;
+  Array.iteri
+    (fun slot n ->
+      let st = Atomic.get t.state.(slot) in
+      if st = allocated && n <> 0 then
+        failwith (Printf.sprintf "Slot_shards: allocated slot %d also free %d time(s)" slot n);
+      if st <> allocated && n <> 1 then
+        failwith (Printf.sprintf "Slot_shards: free slot %d recorded %d time(s)" slot n))
+    seen

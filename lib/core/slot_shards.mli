@@ -1,0 +1,47 @@
+(** Multicore-safe free-slot pool: sharded per-domain bitmaps with a
+    global fallback (scalloc's virtual spans + global structures) and a
+    lock-free constant-time path for single-slot bins (Blelloch & Wei).
+
+    This is the concurrent substrate for the slot layer once nodes run
+    on their own domains: each shard is a contiguous span of the
+    iso-address area owned by one domain. Uncontended, a shard hands
+    out slots in exactly the order the sequential {!Slot_manager}
+    would (LIFO bin of recent frees, then lowest-first bitmap scan),
+    so placement — and therefore every virtual-time output — is
+    unchanged at [domains = 1]. *)
+
+type t
+
+(** [create ~count ~shards] splits slots [0 .. count-1] into [shards]
+    contiguous spans, all slots free. *)
+val create : count:int -> shards:int -> t
+
+val count : t -> int
+val shard_count : t -> int
+
+(** [acquire t ~shard] takes a free slot, preferring [shard]'s
+    lock-free bin, then its bitmap (lowest-first), then the other
+    shards in index order (global fallback). [None] when the whole
+    pool is empty. Safe to call from any domain concurrently. *)
+val acquire : t -> shard:int -> int option
+
+(** Return a slot to its home shard's lock-free bin. Constant time.
+    @raise Failure on double free. *)
+val release : t -> int -> unit
+
+(** [handoff t slot ~dst] atomically moves an allocated slot's home to
+    shard [dst] — the migration-commit transfer of a slot header's
+    ownership. Returns the previous home.
+    @raise Failure if the slot is not allocated. *)
+val handoff : t -> int -> dst:int -> int
+
+(** Free slots currently in shard [i] (advisory under concurrency). *)
+val free_in_shard : t -> int -> int
+
+val free_total : t -> int
+
+(** Quiescent-state invariant check: every slot is allocated or free in
+    exactly one bin/bitmap, consistent with its state word.
+    @raise Failure on violation. Call only while no other domain is
+    touching the pool. *)
+val check : t -> unit

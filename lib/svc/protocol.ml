@@ -83,6 +83,7 @@ type request =
 
 type status = {
   s_time : float;
+  s_domains : int;
   s_live : int;
   s_threads : int;
   s_migrations : int;
@@ -106,6 +107,7 @@ type status = {
 let status_of_session (st : Session.status) =
   {
     s_time = st.Session.st_time;
+    s_domains = st.Session.st_domains;
     s_live = st.Session.st_live;
     s_threads = st.Session.st_threads;
     s_migrations = st.Session.st_migrations;
@@ -195,6 +197,7 @@ let thread_fields (ti : Session.thread_info) =
 
 let status_fields (s : status) =
   [ ("time", Json.Num s.s_time);
+    ("domains", num s.s_domains);
     ("live", num s.s_live);
     ("threads", num s.s_threads);
     ("migrations", num s.s_migrations);
@@ -408,6 +411,7 @@ let decode_thread j =
 
 let decode_status j =
   let* s_time = float_field "time" j in
+  let* s_domains = int_field "domains" j in
   let* s_live = int_field "live" j in
   let* s_threads = int_field "threads" j in
   let* s_migrations = int_field "migrations" j in
@@ -433,7 +437,7 @@ let decode_status j =
   let* s_lost = str_list_field "lost" j in
   Ok
     (Status
-       { s_time; s_live; s_threads; s_migrations; s_groups; s_negotiations;
+       { s_time; s_domains; s_live; s_threads; s_migrations; s_groups; s_negotiations;
          s_aborted; s_mean_latency; s_faults; s_retransmits; s_duplicates;
          s_give_ups; s_checkpointing; s_checkpoints; s_page_saves;
          s_dedup_pages; s_restored; s_stranded; s_lost })

@@ -87,6 +87,7 @@ type request =
     strings, the fault summary only when a plan is enabled). *)
 type status = {
   s_time : float;
+  s_domains : int;
   s_live : int;
   s_threads : int;
   s_migrations : int;

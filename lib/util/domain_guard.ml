@@ -1,0 +1,43 @@
+(* Single-owner tripwire for domain-confined mutable structures.
+
+   The parallel cluster scheduler confines every shared mutable
+   structure (delta caches, reliable endpoints, session maps) to the
+   coordinator domain: worker domains only ever touch the thread
+   context and address space handed to them for a precompute segment.
+   A guard makes that confinement executable — the first domain to
+   touch the structure claims it, and any later touch from a different
+   domain fails fast instead of corrupting state silently. *)
+
+type t = {
+  name : string;
+  owner : int Atomic.t; (* domain id, or -1 when unclaimed *)
+}
+
+let create ~name = { name; owner = Atomic.make (-1) }
+
+let self_id () = (Domain.self () :> int)
+
+let check t =
+  let d = self_id () in
+  let o = Atomic.get t.owner in
+  if o <> d then
+    if o = -1 then begin
+      (* First touch claims. A lost race here means two domains touched
+         an unclaimed guard concurrently — exactly the bug we exist to
+         catch. *)
+      if not (Atomic.compare_and_set t.owner (-1) d) then
+        failwith
+          (Printf.sprintf
+             "Domain_guard: %s claimed concurrently by domains %d and %d"
+             t.name (Atomic.get t.owner) d)
+    end
+    else
+      failwith
+        (Printf.sprintf
+           "Domain_guard: %s touched by domain %d but owned by domain %d"
+           t.name d o)
+
+let release t = Atomic.set t.owner (-1)
+
+let owner t =
+  match Atomic.get t.owner with -1 -> None | d -> Some d

@@ -1,0 +1,23 @@
+(** Single-owner tripwire for domain-confined mutable structures.
+
+    The parallel scheduler keeps structures like delta caches and
+    reliable endpoints confined to the coordinator domain. A guard
+    makes the confinement executable: the first domain to {!check}
+    claims ownership; a {!check} from any other domain raises
+    [Failure] immediately instead of letting a data race corrupt the
+    structure silently. *)
+
+type t
+
+val create : name:string -> t
+
+(** Claim on first touch, verify on every later touch.
+    @raise Failure if called from a domain other than the owner. *)
+val check : t -> unit
+
+(** Release ownership so another domain may claim it — the explicit
+    handoff point at a superstep barrier. *)
+val release : t -> unit
+
+(** Current owning domain id, if claimed. *)
+val owner : t -> int option

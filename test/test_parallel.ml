@@ -1,0 +1,398 @@
+(* The multicore scheduler's contract is byte-identity: every
+   virtual-time output of a [domains = N] run — guest prints with their
+   timestamps, makespan, wire bytes and message counts, migration and
+   negotiation statistics — must equal the sequential [domains = 1] run
+   exactly, across plain, group-migration, delta-migration and faulty
+   scenarios. The differential tests here (fixed matrix plus a seeded
+   QCheck sweep) enforce that, and the rest of the file covers the
+   substrate the scheduler is built from: [Engine.take_batch], the
+   per-domain Obs buffers, the sharded slot pool and the single-owner
+   guards — including genuinely multi-domain stress runs. *)
+
+module Cluster = Pm2_core.Cluster
+module Pm2 = Pm2_core.Pm2
+module Thread = Pm2_core.Thread
+module Negotiation = Pm2_core.Negotiation
+module Slot_shards = Pm2_core.Slot_shards
+module Engine = Pm2_sim.Engine
+module Trace = Pm2_sim.Trace
+module Network = Pm2_net.Network
+module Reliable = Pm2_net.Reliable
+module Plan = Pm2_fault.Plan
+module Obs = Pm2_obs
+module Domain_guard = Pm2_util.Domain_guard
+
+let program = Pm2_programs.Figures.image ()
+
+(* -- differential harness -- *)
+
+(* Everything a run publishes in virtual time, in one comparable value.
+   [lines] are the timed guest prints, so a run that produced the right
+   text at the wrong instant still fails. *)
+type fingerprint = {
+  lines : string list;
+  makespan : float;
+  wire_bytes : int;
+  wire_msgs : int;
+  migrations : int;
+  groups : int;
+  aborted : int;
+  negotiations : int;
+  retransmits : int;
+  lost : int;
+}
+
+(* [faults] is a (spec, seed) pair, not a [Plan.t]: a plan's random
+   stream is mutable state that advances as a run consumes it, so each
+   fingerprinted run must be armed with its own fresh plan. *)
+let fingerprint ?(nodes = 2) ?faults ?(delta = 0) ~domains drive =
+  let fault_plan =
+    Option.map
+      (fun (spec_str, seed) ->
+        match Plan.spec_of_string spec_str with
+        | Ok spec -> Plan.create ~seed spec
+        | Error e -> failwith e)
+      faults
+  in
+  let config =
+    Pm2.Config.make ~nodes ~domains ?fault_plan ~delta_cache_bytes:delta ~tracing:true ()
+  in
+  let c = Cluster.create config program in
+  drive c;
+  let makespan = Cluster.run c in
+  Cluster.check_invariants c;
+  let fp =
+    {
+      lines = Trace.timed_lines (Cluster.trace c);
+      makespan;
+      wire_bytes = Network.bytes_sent (Cluster.network c);
+      wire_msgs = Network.messages_sent (Cluster.network c);
+      migrations = List.length (Cluster.migrations c);
+      groups = List.length (Cluster.group_migrations c);
+      aborted = Cluster.aborted_migrations c;
+      negotiations = Negotiation.count (Cluster.negotiation c);
+      retransmits = Reliable.retransmits (Cluster.reliable c);
+      lost = List.length (Pm2.lost_threads c);
+    }
+  in
+  Cluster.shutdown_domains c;
+  fp
+
+let check_identical name (a : fingerprint) (b : fingerprint) =
+  Alcotest.(check (list string)) (name ^ ": guest lines") a.lines b.lines;
+  Alcotest.(check (float 0.)) (name ^ ": makespan") a.makespan b.makespan;
+  Alcotest.(check int) (name ^ ": wire bytes") a.wire_bytes b.wire_bytes;
+  Alcotest.(check int) (name ^ ": wire messages") a.wire_msgs b.wire_msgs;
+  Alcotest.(check int) (name ^ ": migrations") a.migrations b.migrations;
+  Alcotest.(check int) (name ^ ": group migrations") a.groups b.groups;
+  Alcotest.(check int) (name ^ ": aborted") a.aborted b.aborted;
+  Alcotest.(check int) (name ^ ": negotiations") a.negotiations b.negotiations;
+  Alcotest.(check int) (name ^ ": retransmits") a.retransmits b.retransmits;
+  Alcotest.(check int) (name ^ ": lost threads") a.lost b.lost
+
+let differential ?(want_output = true) name ?nodes ?faults ?delta ~domains drive () =
+  let seq = fingerprint ?nodes ?faults ?delta ~domains:1 drive in
+  let par = fingerprint ?nodes ?faults ?delta ~domains drive in
+  check_identical name seq par;
+  (* An empty fingerprint usually means the scenario broke, not that
+     parity held. *)
+  Alcotest.(check bool) (name ^ ": ran") true (seq.makespan > 0.);
+  if want_output then
+    Alcotest.(check bool) (name ^ ": produced output") true (seq.lines <> [])
+
+(* -- the fixed differential matrix -- *)
+
+(* deep_pingpong both migrates under a frame chain and prints a canary
+   line, so it exercises lines, makespans and wire bytes at once;
+   pingpong and spawner migrate/spawn silently. *)
+let spawn_one entry ?(arg = 6) c = ignore (Cluster.spawn c ~node:0 ~entry ~arg ())
+
+let test_diff_plain = differential "plain" ~domains:3 (spawn_one "deep_pingpong")
+
+let test_diff_many_nodes =
+  differential "spawner/4 nodes" ~want_output:false ~nodes:4 ~domains:4
+    (spawn_one "spawner" ~arg:10)
+
+let test_diff_group =
+  differential "group migration" ~want_output:false ~domains:3 (fun c ->
+      let ths =
+        List.map
+          (fun arg -> Cluster.spawn c ~node:0 ~entry:"worker" ~arg ())
+          [ 1200; 800; 1500 ]
+      in
+      match Cluster.migrate_group c ths ~dest:1 with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "migrate_group rejected: %s" e)
+
+let test_diff_delta =
+  differential "delta migration" ~domains:3 ~delta:4_194_304
+    (spawn_one "deep_pingpong" ~arg:8)
+
+let test_diff_faults =
+  differential "faults" ~domains:3 ~faults:("loss=0.2,kill=1@3000-6000", 11)
+    (spawn_one "deep_pingpong" ~arg:8)
+
+let test_diff_delta_faults =
+  differential "delta+faults" ~domains:4 ~delta:4_194_304 ~faults:("loss=0.15", 11)
+    (spawn_one "registered_hop" ~arg:6)
+
+(* -- seeded random sweep over the scenario space -- *)
+
+let prop_differential =
+  let open QCheck2 in
+  let gen =
+    Gen.(
+      let* nodes = int_range 2 4 in
+      let* domains = int_range 2 4 in
+      let* entry = oneofl [ "pingpong"; "deep_pingpong"; "registered_hop"; "spawner" ] in
+      let* arg = int_range 2 8 in
+      let* delta = oneofl [ 0; 1_048_576 ] in
+      let* faults = oneofl [ None; Some "loss=0.1"; Some "loss=0.05,dup=0.05" ] in
+      let* seed = int_range 1 1000 in
+      return (nodes, domains, entry, arg, delta, faults, seed))
+  in
+  QCheck2.Test.make ~name:"random scenarios are byte-identical across domain counts"
+    ~count:12 gen (fun (nodes, domains, entry, arg, delta, faults, seed) ->
+      let faults = Option.map (fun spec -> (spec, seed)) faults in
+      let drive c = ignore (Cluster.spawn c ~node:0 ~entry ~arg ()) in
+      let seq = fingerprint ~nodes ?faults ~delta ~domains:1 drive in
+      let par = fingerprint ~nodes ?faults ~delta ~domains drive in
+      if seq <> par then
+        QCheck2.Test.fail_reportf
+          "divergence at nodes=%d domains=%d entry=%s arg=%d delta=%d faults=%s seed=%d:\n\
+           seq: makespan=%.1f wire=%d lines=%d migr=%d\n\
+           par: makespan=%.1f wire=%d lines=%d migr=%d"
+          nodes domains entry arg delta
+          (match faults with Some (s, _) -> s | None -> "-")
+          seed seq.makespan seq.wire_bytes (List.length seq.lines) seq.migrations
+          par.makespan par.wire_bytes (List.length par.lines) par.migrations;
+      true)
+
+(* -- step_events: slicing aligns to superstep barriers -- *)
+
+let test_step_events_slices () =
+  let drive = spawn_one "deep_pingpong" ~arg:6 in
+  let whole = fingerprint ~domains:3 drive in
+  let config = Pm2.Config.make ~domains:3 ~tracing:true () in
+  let c = Cluster.create config program in
+  drive c;
+  (* Drive to quiescence in small slices; each slice commits whole
+     superstep batches, so the interleaved run must land on the same
+     outputs as one uninterrupted run. *)
+  let rec pump guardrail =
+    if guardrail = 0 then Alcotest.fail "sliced run did not quiesce";
+    if Cluster.step_events c ~max_events:3 > 0 then pump (guardrail - 1)
+  in
+  pump 100_000;
+  let makespan = Cluster.run c in
+  Cluster.check_invariants c;
+  Alcotest.(check (list string)) "sliced lines" whole.lines
+    (Trace.timed_lines (Cluster.trace c));
+  Alcotest.(check (float 0.)) "sliced makespan" whole.makespan makespan;
+  Alcotest.(check int) "sliced wire bytes" whole.wire_bytes
+    (Network.bytes_sent (Cluster.network c));
+  Cluster.shutdown_domains c
+
+(* -- Engine.take_batch -- *)
+
+let test_take_batch () =
+  let e = Engine.create () in
+  let order = ref [] in
+  let note tag () = order := tag :: !order in
+  (* seqs 0..4: three at t=10, one at t=10 failing the predicate, one at
+     t=20. The batch must stop at the first non-matching event even
+     though a later same-instant event would match. *)
+  Engine.schedule e ~at:10. (note "a");
+  Engine.schedule e ~at:10. (note "b");
+  Engine.schedule e ~at:10. (note "reject");
+  Engine.schedule e ~at:10. (note "c");
+  Engine.schedule e ~at:20. (note "later");
+  let batch = Engine.take_batch e ~pred:(fun seq -> seq <> 2) in
+  Alcotest.(check (list int)) "claimed prefix seqs" [ 0; 1 ] (List.map fst batch);
+  Alcotest.(check (float 0.)) "clock advanced to batch instant" 10. (Engine.now e);
+  List.iter (fun (_, run) -> run ()) batch;
+  Alcotest.(check (list string)) "batch runs in seq order" [ "a"; "b" ] (List.rev !order);
+  (* The rejected event and the rest of the queue are untouched. *)
+  Alcotest.(check int) "remaining events" 3 (Engine.pending e);
+  ignore (Engine.run e);
+  Alcotest.(check (list string)) "drain order" [ "a"; "b"; "reject"; "c"; "later" ]
+    (List.rev !order);
+  let empty = Engine.take_batch e ~pred:(fun _ -> true) in
+  Alcotest.(check int) "empty queue -> empty batch" 0 (List.length empty)
+
+(* -- Collector per-domain buffers -- *)
+
+let test_collector_merge () =
+  let clock = ref 0. in
+  let col = Obs.Collector.create ~now:(fun () -> !clock) () in
+  let seen = ref [] in
+  Obs.Collector.attach col
+    (Obs.Sink.make ~name:"probe" (fun ~time ~node _ev -> seen := (time, node) :: !seen));
+  Obs.Collector.set_domain_buffers col ~slots:2;
+  let ev = Obs.Event.Slot_release { slot = 0; cached = false } in
+  (* Two real worker domains, each buffering events for its own nodes at
+     interleaved virtual instants; the merge must come out in (time,
+     node) order no matter how the host scheduled the domains. *)
+  let worker slot node () =
+    Obs.Collector.set_domain_slot slot;
+    List.iter
+      (fun t -> Obs.Collector.emit_at col ~time:t ~node ev)
+      [ 30.; 10.; 20. ]
+  in
+  let d1 = Domain.spawn (worker 1 1) in
+  let d2 = Domain.spawn (worker 2 2) in
+  Domain.join d1;
+  Domain.join d2;
+  Alcotest.(check (list (pair (float 0.) int))) "nothing delivered while buffered" []
+    (List.rev !seen);
+  let n = Obs.Collector.drain_domain_buffers col in
+  Alcotest.(check int) "drained count" 6 n;
+  Alcotest.(check (list (pair (float 0.) int))) "merged in (time, node) order"
+    [ (10., 1); (10., 2); (20., 1); (20., 2); (30., 1); (30., 2) ]
+    (List.rev !seen);
+  (* The coordinator's own emissions always deliver directly. *)
+  clock := 99.;
+  Obs.Collector.emit col ~node:0 ev;
+  Alcotest.(check (pair (float 0.) int)) "coordinator delivers directly" (99., 0)
+    (List.hd !seen);
+  Obs.Collector.clear_domain_buffers col
+
+(* -- Slot_shards -- *)
+
+let test_shards_sequential_order () =
+  let t = Slot_shards.create ~count:12 ~shards:3 in
+  Alcotest.(check int) "count" 12 (Slot_shards.count t);
+  Alcotest.(check int) "shards" 3 (Slot_shards.shard_count t);
+  (* Uncontended, a shard serves lowest-first from its own span. *)
+  Alcotest.(check (option int)) "shard 0 first" (Some 0) (Slot_shards.acquire t ~shard:0);
+  Alcotest.(check (option int)) "shard 1 first" (Some 4) (Slot_shards.acquire t ~shard:1);
+  Alcotest.(check (option int)) "shard 2 first" (Some 8) (Slot_shards.acquire t ~shard:2);
+  (* A freed slot comes back LIFO from the bin before the bitmap scan. *)
+  Slot_shards.release t 0;
+  Alcotest.(check (option int)) "bin beats bitmap" (Some 0) (Slot_shards.acquire t ~shard:0);
+  Alcotest.(check (option int)) "then bitmap" (Some 1) (Slot_shards.acquire t ~shard:0);
+  Slot_shards.check t
+
+let test_shards_fallback_and_handoff () =
+  let t = Slot_shards.create ~count:6 ~shards:2 in
+  (* Exhaust shard 0; the next acquire falls back to shard 1's span. *)
+  for _ = 1 to 3 do
+    ignore (Slot_shards.acquire t ~shard:0)
+  done;
+  Alcotest.(check (option int)) "global fallback" (Some 3) (Slot_shards.acquire t ~shard:0);
+  (* Migration-commit ownership transfer: slot 3 now frees into shard 0. *)
+  Alcotest.(check int) "handoff returns previous home" 1 (Slot_shards.handoff t 3 ~dst:0);
+  Slot_shards.release t 3;
+  Alcotest.(check int) "freed into new home" 1 (Slot_shards.free_in_shard t 0);
+  Alcotest.(check (option int)) "reacquired from new home" (Some 3)
+    (Slot_shards.acquire t ~shard:0);
+  (* Error paths: double free and handoff of a free slot. *)
+  Slot_shards.release t 3;
+  Alcotest.check_raises "double free" (Failure "Slot_shards: double free of slot 3")
+    (fun () -> Slot_shards.release t 3);
+  (match Slot_shards.handoff t 3 ~dst:1 with
+   | exception Failure _ -> ()
+   | _ -> Alcotest.fail "handoff of a free slot must raise");
+  Slot_shards.check t;
+  (* Pool exhaustion is a None, not an error. *)
+  let t2 = Slot_shards.create ~count:2 ~shards:2 in
+  ignore (Slot_shards.acquire t2 ~shard:0);
+  ignore (Slot_shards.acquire t2 ~shard:0);
+  Alcotest.(check (option int)) "empty pool" None (Slot_shards.acquire t2 ~shard:1)
+
+(* Real contention: D domains hammer one pool with random acquire /
+   release / handoff traffic, each recording what it holds. No slot may
+   ever be held by two domains at once (disjointness of the final
+   holdings), nothing may leak (conservation), and the quiescent check
+   must pass. *)
+let test_shards_stress () =
+  let count = 64 and shards = 4 and domains = 4 and ops = 3000 in
+  let t = Slot_shards.create ~count ~shards in
+  let body d () =
+    let prng = ref (d + 1) in
+    let rand bound =
+      prng := (!prng * 1103515245) + 12345;
+      (!prng lsr 16) mod bound
+    in
+    let held = ref [] in
+    for _ = 1 to ops do
+      match rand 3 with
+      | 0 -> (
+        match Slot_shards.acquire t ~shard:(rand shards) with
+        | Some s -> held := s :: !held
+        | None -> ())
+      | 1 -> (
+        match !held with
+        | s :: rest ->
+          held := rest;
+          Slot_shards.release t s
+        | [] -> ())
+      | _ -> (
+        match !held with
+        | s :: _ -> ignore (Slot_shards.handoff t s ~dst:(rand shards))
+        | [] -> ())
+    done;
+    !held
+  in
+  let workers = Array.init domains (fun d -> Domain.spawn (body d)) in
+  let holdings = Array.to_list (Array.map Domain.join workers) in
+  let held = List.concat holdings in
+  let uniq = List.sort_uniq compare held in
+  Alcotest.(check int) "no slot held twice" (List.length held) (List.length uniq);
+  Alcotest.(check int) "conservation" count (Slot_shards.free_total t + List.length held);
+  Slot_shards.check t;
+  (* Quiescent postlude: everything still held releases cleanly. *)
+  List.iter (Slot_shards.release t) held;
+  Alcotest.(check int) "all free after release" count (Slot_shards.free_total t);
+  Slot_shards.check t
+
+(* -- Domain_guard -- *)
+
+let test_domain_guard () =
+  let g = Domain_guard.create ~name:"probe" in
+  Alcotest.(check (option int)) "unclaimed" None (Domain_guard.owner g);
+  Domain_guard.check g;
+  Domain_guard.check g;
+  Alcotest.(check bool) "claimed by us" true (Domain_guard.owner g <> None);
+  (* A foreign domain must trip, and must not steal ownership. *)
+  let tripped =
+    Domain.join
+      (Domain.spawn (fun () ->
+           match Domain_guard.check g with
+           | () -> false
+           | exception Failure _ -> true))
+  in
+  Alcotest.(check bool) "foreign domain trips" true tripped;
+  Domain_guard.check g;
+  (* After release, a new domain may claim. *)
+  Domain_guard.release g;
+  let claimed =
+    Domain.join
+      (Domain.spawn (fun () ->
+           match Domain_guard.check g with () -> true | exception Failure _ -> false))
+  in
+  Alcotest.(check bool) "claimable after release" true claimed;
+  Domain_guard.release g
+
+let tests =
+  [
+    Alcotest.test_case "differential: plain migration" `Quick test_diff_plain;
+    Alcotest.test_case "differential: spawner on 4 nodes" `Quick test_diff_many_nodes;
+    Alcotest.test_case "differential: group migration" `Quick test_diff_group;
+    Alcotest.test_case "differential: delta migration" `Quick test_diff_delta;
+    Alcotest.test_case "differential: faults" `Quick test_diff_faults;
+    Alcotest.test_case "differential: delta+faults" `Quick test_diff_delta_faults;
+    QCheck_alcotest.to_alcotest prop_differential;
+    Alcotest.test_case "step_events aligns to superstep barriers" `Quick
+      test_step_events_slices;
+    Alcotest.test_case "engine: take_batch claims same-instant prefix" `Quick
+      test_take_batch;
+    Alcotest.test_case "obs: per-domain buffers merge deterministically" `Quick
+      test_collector_merge;
+    Alcotest.test_case "shards: sequential acquire order" `Quick
+      test_shards_sequential_order;
+    Alcotest.test_case "shards: fallback, handoff, error paths" `Quick
+      test_shards_fallback_and_handoff;
+    Alcotest.test_case "shards: multi-domain stress" `Quick test_shards_stress;
+    Alcotest.test_case "domain guard: single-owner tripwire" `Quick test_domain_guard;
+  ]
